@@ -1,0 +1,210 @@
+//! Evolutionary search over schedule candidates, guided by a cost model.
+//!
+//! Mirrors Ansor's search: an initial random population is evolved for a few
+//! generations with tile mutations and crossover; the cost model prunes the
+//! population each generation; finally the top-k candidates are returned for
+//! hardware measurement (ε-greedy: a fraction is random to keep exploring).
+
+use crate::cost_model::CostModel;
+use crate::sketch::{Candidate, SketchPolicy};
+use crate::task::SearchTask;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Evolutionary-search knobs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EvolutionConfig {
+    /// Population size per generation.
+    pub population: usize,
+    /// Number of evolution generations.
+    pub generations: usize,
+    /// Fraction of each new generation produced by mutation (the rest is
+    /// crossover).
+    pub mutation_rate: f64,
+    /// Fraction of the returned top-k replaced with random candidates.
+    pub epsilon: f64,
+}
+
+impl Default for EvolutionConfig {
+    fn default() -> Self {
+        EvolutionConfig {
+            population: 128,
+            generations: 4,
+            mutation_rate: 0.85,
+            epsilon: 0.1,
+        }
+    }
+}
+
+/// Runs evolutionary search, returning `k` candidates ranked best-first by
+/// the cost model.
+pub fn evolutionary_search(
+    task: &SearchTask,
+    policy: &SketchPolicy,
+    model: &dyn CostModel,
+    config: &EvolutionConfig,
+    k: usize,
+    rng: &mut SmallRng,
+) -> Vec<Candidate> {
+    let mut population: Vec<Candidate> = (0..config.population)
+        .map(|_| Candidate::random(policy, &task.subgraph, rng))
+        .collect();
+
+    for _ in 0..config.generations {
+        let scores = score(model, task, &population);
+        let ranked = rank_indices(&scores);
+        // Elite survivors seed the next generation.
+        let elite: Vec<Candidate> = ranked
+            .iter()
+            .take((config.population / 4).max(2))
+            .map(|&i| population[i].clone())
+            .collect();
+        let mut next = elite.clone();
+        while next.len() < config.population {
+            if rng.gen_bool(config.mutation_rate) {
+                let parent = &elite[rng.gen_range(0..elite.len())];
+                let mut d = parent.decision.clone();
+                policy.mutate(&task.subgraph, &mut d, rng);
+                let sequence = policy.emit(&task.subgraph, &d);
+                next.push(Candidate {
+                    decision: d,
+                    sequence,
+                });
+            } else {
+                let a = &elite[rng.gen_range(0..elite.len())];
+                let b = &elite[rng.gen_range(0..elite.len())];
+                let d = policy.crossover(&a.decision, &b.decision, rng);
+                let sequence = policy.emit(&task.subgraph, &d);
+                next.push(Candidate {
+                    decision: d,
+                    sequence,
+                });
+            }
+        }
+        population = next;
+    }
+
+    let scores = score(model, task, &population);
+    let ranked = rank_indices(&scores);
+    let mut picked: Vec<Candidate> = ranked
+        .into_iter()
+        .take(k)
+        .map(|i| population[i].clone())
+        .collect();
+    // ε-greedy exploration.
+    let n_random = ((k as f64) * config.epsilon).round() as usize;
+    for slot in picked.iter_mut().rev().take(n_random) {
+        *slot = Candidate::random(policy, &task.subgraph, rng);
+    }
+    picked
+}
+
+fn score(model: &dyn CostModel, task: &SearchTask, pop: &[Candidate]) -> Vec<f32> {
+    let seqs: Vec<_> = pop.iter().map(|c| c.sequence.clone()).collect();
+    model.predict(task, &seqs)
+}
+
+/// Indices sorted by descending score.
+fn rank_indices(scores: &[f32]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost_model::RandomModel;
+    use crate::measure::Measurer;
+    use rand::SeedableRng;
+    use tlp_hwsim::Platform;
+    use tlp_workload::{AnchorOp, Subgraph};
+
+    fn task() -> SearchTask {
+        SearchTask::new(
+            Subgraph::new("d", AnchorOp::Dense { m: 256, n: 256, k: 256 }),
+            Platform::i7_10510u(),
+        )
+    }
+
+    /// An "oracle" model that scores by true (negated) latency.
+    struct Oracle;
+    impl CostModel for Oracle {
+        fn predict(
+            &self,
+            task: &SearchTask,
+            schedules: &[tlp_schedule::ScheduleSequence],
+        ) -> Vec<f32> {
+            let mut m = Measurer::new(false);
+            schedules
+                .iter()
+                .map(|s| {
+                    m.measure(task, s)
+                        .map(|l| -(l as f32))
+                        .unwrap_or(f32::NEG_INFINITY)
+                })
+                .collect()
+        }
+        fn name(&self) -> &str {
+            "oracle"
+        }
+    }
+
+    #[test]
+    fn returns_k_candidates() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let t = task();
+        let got = evolutionary_search(
+            &t,
+            &SketchPolicy::cpu(),
+            &RandomModel::new(3),
+            &EvolutionConfig {
+                population: 32,
+                generations: 2,
+                ..EvolutionConfig::default()
+            },
+            10,
+            &mut rng,
+        );
+        assert_eq!(got.len(), 10);
+    }
+
+    #[test]
+    fn oracle_guidance_beats_random_guidance() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let t = task();
+        let config = EvolutionConfig {
+            population: 48,
+            generations: 3,
+            epsilon: 0.0,
+            ..EvolutionConfig::default()
+        };
+        let best_latency = |cands: &[Candidate]| {
+            let mut m = Measurer::new(false);
+            cands
+                .iter()
+                .filter_map(|c| m.measure(&t, &c.sequence))
+                .fold(f64::INFINITY, f64::min)
+        };
+        let by_oracle =
+            evolutionary_search(&t, &SketchPolicy::cpu(), &Oracle, &config, 8, &mut rng);
+        let by_random = evolutionary_search(
+            &t,
+            &SketchPolicy::cpu(),
+            &RandomModel::new(5),
+            &config,
+            8,
+            &mut rng,
+        );
+        let lo = best_latency(&by_oracle);
+        let lr = best_latency(&by_random);
+        assert!(
+            lo <= lr * 1.05,
+            "oracle-guided {lo} should beat random-guided {lr}"
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! `tlp-autotuner` — an Ansor-like automatic schedule search framework for
+//! the TLP (ASPLOS 2023) reproduction.
+//!
+//! The framework mirrors Ansor's structure (paper §2, §6.3):
+//!
+//! - [`SketchPolicy`]: hierarchical sketch generation (multi-level "SSRSRS"
+//!   tiling on CPU, thread-bound tiles on GPU) with random annotations,
+//!   mutation and crossover;
+//! - [`CostModel`]: the pluggable cost-model interface ([`RandomModel`] is
+//!   the no-model baseline; TLP / TenSet-MLP / GBDT models live in the `tlp`
+//!   crate);
+//! - [`evolutionary_search`]: cost-model-guided evolution over candidates;
+//! - [`Measurer`]: "hardware" measurement against the simulator, charging
+//!   simulated search time;
+//! - [`tune_network`]: the full tuning loop with the task scheduler,
+//!   producing a [`TuningReport`] of tuning curves and best latencies.
+//!
+//! # Example
+//!
+//! ```
+//! use tlp_autotuner::{tune_network, RandomModel, TuningOptions, EvolutionConfig};
+//! use tlp_hwsim::Platform;
+//! use tlp_workload::bert_tiny;
+//!
+//! let net = bert_tiny(1, 64);
+//! let mut model = RandomModel::new(1);
+//! let opts = TuningOptions {
+//!     rounds: net.num_tasks(),
+//!     programs_per_round: 2,
+//!     evolution: EvolutionConfig { population: 8, generations: 1, ..Default::default() },
+//!     seed: 7,
+//!     ..TuningOptions::default()
+//! };
+//! let report = tune_network(&net, &Platform::i7_10510u(), &mut model, &opts);
+//! assert!(report.final_latency_s().is_finite());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cost_model;
+pub mod evolutionary;
+pub mod measure;
+pub mod sketch;
+pub mod task;
+pub mod tuner;
+
+pub use cost_model::{CostModel, RandomModel};
+pub use evolutionary::{evolutionary_search, EvolutionConfig};
+pub use measure::{MeasureRecord, Measurer};
+pub use sketch::{Candidate, ScheduleDecision, SketchPolicy, UNROLL_STEPS};
+pub use task::SearchTask;
+pub use tuner::{tune_network, RoundLog, TuningOptions, TuningReport};

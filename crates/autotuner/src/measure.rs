@@ -1,0 +1,99 @@
+//! Program measurement against the simulated hardware.
+
+use crate::task::SearchTask;
+use serde::{Deserialize, Serialize};
+use tlp_hwsim::{lower, MeasureCost, SimClock, Simulator};
+use tlp_schedule::ScheduleSequence;
+
+/// One measured tensor program: the schedule and its latency.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MeasureRecord {
+    /// The measured schedule.
+    pub schedule: ScheduleSequence,
+    /// Measured latency in seconds.
+    pub latency_s: f64,
+}
+
+/// Measures schedules on the simulated target, charging simulated time.
+#[derive(Debug)]
+pub struct Measurer {
+    sim: Simulator,
+    cost: MeasureCost,
+    /// Simulated + real time spent so far.
+    pub clock: SimClock,
+    /// Total number of hardware measurements performed.
+    pub count: u64,
+}
+
+impl Measurer {
+    /// Creates a measurer for a task's platform (CPU vs GPU measurement cost).
+    pub fn new(gpu: bool) -> Self {
+        Measurer {
+            sim: Simulator::new(),
+            cost: if gpu { MeasureCost::gpu() } else { MeasureCost::cpu() },
+            clock: SimClock::new(),
+            count: 0,
+        }
+    }
+
+    /// Measures one schedule; `None` if it fails to lower (build error on
+    /// real hardware). Failed builds still cost compile time.
+    pub fn measure(&mut self, task: &SearchTask, schedule: &ScheduleSequence) -> Option<f64> {
+        self.count += 1;
+        match lower(&task.subgraph, schedule) {
+            Ok(spec) => {
+                let lat =
+                    self.sim
+                        .latency(&task.platform, &task.subgraph, &spec, schedule.fingerprint());
+                self.clock.charge_measurement(&self.cost, lat);
+                Some(lat)
+            }
+            Err(_) => {
+                self.clock.charge_measurement(&self.cost, 0.0);
+                None
+            }
+        }
+    }
+
+    /// Measures a batch, returning per-schedule records for the successes.
+    pub fn measure_batch(
+        &mut self,
+        task: &SearchTask,
+        schedules: &[ScheduleSequence],
+    ) -> Vec<MeasureRecord> {
+        schedules
+            .iter()
+            .filter_map(|s| {
+                self.measure(task, s).map(|latency_s| MeasureRecord {
+                    schedule: s.clone(),
+                    latency_s,
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sketch::{Candidate, SketchPolicy};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use tlp_hwsim::Platform;
+    use tlp_workload::{AnchorOp, Subgraph};
+
+    #[test]
+    fn measuring_charges_the_clock() {
+        let task = SearchTask::new(
+            Subgraph::new("d", AnchorOp::Dense { m: 64, n: 64, k: 64 }),
+            Platform::i7_10510u(),
+        );
+        let mut m = Measurer::new(false);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let c = Candidate::random(&SketchPolicy::cpu(), &task.subgraph, &mut rng);
+        let lat = m.measure(&task, &c.sequence).expect("measures");
+        assert!(lat > 0.0);
+        assert!(m.clock.simulated_s > 0.2, "compile+run time charged");
+        assert_eq!(m.count, 1);
+    }
+}

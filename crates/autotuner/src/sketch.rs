@@ -1,0 +1,560 @@
+//! Sketch generation and random annotation, after Ansor.
+//!
+//! Ansor generates schedules hierarchically: a *sketch* (multi-level tiling
+//! structure — "SSRSRS" on CPU, thread-bound tiles on GPU) plus random
+//! *annotations* (tile sizes, parallel/vectorize/unroll choices). This module
+//! samples [`ScheduleDecision`]s and emits the corresponding
+//! schedule-primitive sequences, plus the mutation/crossover operators used
+//! by evolutionary search.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use tlp_schedule::{ConcretePrimitive, PrimitiveKind, ScheduleSequence};
+use tlp_workload::{AnchorOp, Subgraph};
+
+/// The tunable decisions of one schedule.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleDecision {
+    /// Per spatial axis: the three inner tile extents `[f1, f2, f3]`
+    /// (multi-level tiling, four loop levels total).
+    pub spatial_factors: Vec<[i64; 3]>,
+    /// Per reduction axis: the inner tile extent.
+    pub reduction_factors: Vec<i64>,
+    /// Whether the innermost spatial loop is vectorized (CPU).
+    pub vectorize: bool,
+    /// `auto_unroll_max_step` pragma value (0 = none); Ansor samples from
+    /// {0, 16, 64, 512}.
+    pub unroll_step: i64,
+    /// Add a cache-write stage for the accumulator.
+    pub cache_write: bool,
+    /// Add a cache-read (shared-memory) stage — GPU sketches.
+    pub cache_read: bool,
+    /// Use rfactor on the reduction (profitable for small-spatial,
+    /// large-reduction kernels).
+    pub rfactor: bool,
+}
+
+/// Ansor's candidate values for `auto_unroll_max_step`.
+pub const UNROLL_STEPS: [i64; 4] = [0, 16, 64, 512];
+
+/// Generates schedules for a device class.
+#[derive(Clone, Copy, Debug)]
+pub struct SketchPolicy {
+    /// Whether to generate GPU (thread-bound) schedules.
+    pub gpu: bool,
+}
+
+impl SketchPolicy {
+    /// Policy for a CPU target.
+    pub fn cpu() -> Self {
+        SketchPolicy { gpu: false }
+    }
+
+    /// Policy for a GPU target.
+    pub fn gpu() -> Self {
+        SketchPolicy { gpu: true }
+    }
+
+    /// Whether the subgraph gets the full multi-level-tiling sketch
+    /// (compute-heavy anchors) or the simple parallel/vectorize sketch.
+    pub fn is_compute_heavy(subgraph: &Subgraph) -> bool {
+        matches!(
+            subgraph.anchor,
+            AnchorOp::Dense { .. } | AnchorOp::BatchMatmul { .. } | AnchorOp::Conv2d { .. }
+        )
+    }
+
+    /// Samples a random schedule decision for `subgraph`.
+    pub fn random_decision(&self, subgraph: &Subgraph, rng: &mut SmallRng) -> ScheduleDecision {
+        let spatial = subgraph.spatial_loops();
+        let reduction = subgraph.reduction_loops();
+        let heavy = Self::is_compute_heavy(subgraph);
+        let spatial_factors = spatial
+            .iter()
+            .map(|l| self.sample_spatial_factors(l.extent, rng))
+            .collect();
+        let reduction_factors = reduction
+            .iter()
+            .map(|l| {
+                if heavy {
+                    sample_pow2(rng, l.extent.min(64))
+                } else {
+                    1
+                }
+            })
+            .collect();
+        ScheduleDecision {
+            spatial_factors,
+            reduction_factors,
+            vectorize: !self.gpu && rng.gen_bool(0.85),
+            unroll_step: UNROLL_STEPS[rng.gen_range(0..UNROLL_STEPS.len())],
+            cache_write: heavy && rng.gen_bool(0.5),
+            cache_read: self.gpu && heavy && rng.gen_bool(0.6),
+            rfactor: heavy
+                && !reduction.is_empty()
+                && subgraph.output_elems() < 4096.0
+                && rng.gen_bool(0.3),
+        }
+    }
+
+    fn sample_spatial_factors(&self, extent: i64, rng: &mut SmallRng) -> [i64; 3] {
+        if self.gpu {
+            // f2 becomes part of threadIdx; bias it toward warp fractions.
+            let f3 = sample_pow2(rng, extent.min(8));
+            let f2 = sample_pow2(rng, (extent / f3).clamp(1, 32));
+            let f1 = sample_pow2(rng, (extent / (f3 * f2)).clamp(1, 4));
+            [f1, f2, f3]
+        } else {
+            let f3 = sample_pow2(rng, extent.min(64));
+            let f2 = sample_pow2(rng, (extent / f3).clamp(1, 8));
+            let f1 = sample_pow2(rng, (extent / (f3 * f2)).clamp(1, 4));
+            [f1, f2, f3]
+        }
+    }
+
+    /// Mutates one decision in place (tile resample, annotation flip, …).
+    pub fn mutate(
+        &self,
+        subgraph: &Subgraph,
+        decision: &mut ScheduleDecision,
+        rng: &mut SmallRng,
+    ) {
+        let spatial = subgraph.spatial_loops();
+        let reduction = subgraph.reduction_loops();
+        match rng.gen_range(0..5) {
+            0 if !spatial.is_empty() => {
+                let i = rng.gen_range(0..spatial.len());
+                decision.spatial_factors[i] = self.sample_spatial_factors(spatial[i].extent, rng);
+            }
+            1 if !reduction.is_empty() => {
+                let i = rng.gen_range(0..reduction.len());
+                decision.reduction_factors[i] = sample_pow2(rng, reduction[i].extent.min(64));
+            }
+            2 => decision.unroll_step = UNROLL_STEPS[rng.gen_range(0..UNROLL_STEPS.len())],
+            3 if SketchPolicy::is_compute_heavy(subgraph) => {
+                if self.gpu {
+                    decision.cache_read = !decision.cache_read;
+                } else {
+                    decision.cache_write = !decision.cache_write;
+                }
+            }
+            _ => {
+                if self.gpu {
+                    // Re-roll one thread-tile factor.
+                    if !spatial.is_empty() {
+                        let i = rng.gen_range(0..spatial.len());
+                        decision.spatial_factors[i] =
+                            self.sample_spatial_factors(spatial[i].extent, rng);
+                    }
+                } else {
+                    decision.vectorize = !decision.vectorize;
+                }
+            }
+        }
+    }
+
+    /// One-point per-axis crossover of two parents.
+    pub fn crossover(
+        &self,
+        a: &ScheduleDecision,
+        b: &ScheduleDecision,
+        rng: &mut SmallRng,
+    ) -> ScheduleDecision {
+        let mut child = a.clone();
+        for (c, bv) in child.spatial_factors.iter_mut().zip(&b.spatial_factors) {
+            if rng.gen_bool(0.5) {
+                *c = *bv;
+            }
+        }
+        for (c, bv) in child
+            .reduction_factors
+            .iter_mut()
+            .zip(&b.reduction_factors)
+        {
+            if rng.gen_bool(0.5) {
+                *c = *bv;
+            }
+        }
+        if rng.gen_bool(0.5) {
+            child.unroll_step = b.unroll_step;
+        }
+        if rng.gen_bool(0.5) {
+            child.cache_write = b.cache_write;
+            child.cache_read = b.cache_read;
+        }
+        child
+    }
+
+    /// Emits the schedule-primitive sequence for a decision — the concrete
+    /// "sentence" the TLP cost model reads.
+    pub fn emit(&self, subgraph: &Subgraph, d: &ScheduleDecision) -> ScheduleSequence {
+        let stage = subgraph.anchor.name();
+        let spatial = subgraph.spatial_loops();
+        let reduction = subgraph.reduction_loops();
+        let heavy = Self::is_compute_heavy(subgraph);
+        let mut seq = ScheduleSequence::new();
+
+        // Inline fused elementwise stages.
+        for f in &subgraph.fused {
+            seq.push(ConcretePrimitive::new(
+                PrimitiveKind::ComputeInline,
+                f.stage_name(),
+            ));
+        }
+
+        if !heavy {
+            self.emit_light(&mut seq, subgraph, d, stage);
+            return seq;
+        }
+
+        if d.cache_write && !self.gpu {
+            seq.push(ConcretePrimitive::new(PrimitiveKind::CacheWrite, stage));
+        }
+        if d.rfactor {
+            if let Some(r) = reduction.first() {
+                seq.push(
+                    ConcretePrimitive::new(PrimitiveKind::Rfactor, stage)
+                        .with_loops([r.name.as_str()])
+                        .with_ints([1]),
+                );
+            }
+        }
+
+        // Multi-level tiling splits.
+        for (l, f) in spatial.iter().zip(&d.spatial_factors) {
+            // Ansor record convention: [extent, inner factors...] — the
+            // extent puts the subgraph's computational parameters into the
+            // schedule sequence itself (paper §4.3).
+            seq.push(
+                ConcretePrimitive::new(PrimitiveKind::Split, stage)
+                    .with_loops([l.name.as_str()])
+                    .with_ints([l.extent, f[0], f[1], f[2]]),
+            );
+        }
+        for (l, &f) in reduction.iter().zip(&d.reduction_factors) {
+            if f > 1 {
+                seq.push(
+                    ConcretePrimitive::new(PrimitiveKind::Split, stage)
+                        .with_loops([l.name.as_str()])
+                        .with_ints([l.extent, f]),
+                );
+            }
+        }
+
+        // Canonical SSRSRS (CPU) / block-thread (GPU) loop order.
+        let mut order: Vec<String> = Vec::new();
+        for level in 0..4usize {
+            if level == 2 {
+                for (l, &f) in reduction.iter().zip(&d.reduction_factors) {
+                    order.push(if f > 1 {
+                        format!("{}.0", l.name)
+                    } else {
+                        l.name.clone()
+                    });
+                }
+            }
+            if level == 3 {
+                for (l, &f) in reduction.iter().zip(&d.reduction_factors) {
+                    if f > 1 {
+                        order.push(format!("{}.1", l.name));
+                    }
+                }
+            }
+            for l in &spatial {
+                order.push(format!("{}.{level}", l.name));
+            }
+        }
+        seq.push(
+            ConcretePrimitive::new(PrimitiveKind::Reorder, stage)
+                .with_loops(order.iter().map(String::as_str)),
+        );
+
+        // Outer fusion + binding/parallel annotation.
+        let level_vars = |level: usize| -> Vec<String> {
+            spatial.iter().map(|l| format!("{}.{level}", l.name)).collect()
+        };
+        let fuse_level = |seq: &mut ScheduleSequence, level: usize| -> String {
+            let vars = level_vars(level);
+            let fused = vars.join("@");
+            seq.push(
+                ConcretePrimitive::new(PrimitiveKind::Fuse, stage)
+                    .with_loops(vars.iter().map(String::as_str)),
+            );
+            fused
+        };
+        if self.gpu {
+            let block = fuse_level(&mut seq, 0);
+            seq.push(
+                ConcretePrimitive::new(PrimitiveKind::Annotation, stage)
+                    .with_loops([block.as_str()])
+                    .with_extras(["blockIdx.x"]),
+            );
+            let vthread = fuse_level(&mut seq, 1);
+            seq.push(
+                ConcretePrimitive::new(PrimitiveKind::Annotation, stage)
+                    .with_loops([vthread.as_str()])
+                    .with_extras(["vthread"]),
+            );
+            let threads = fuse_level(&mut seq, 2);
+            seq.push(
+                ConcretePrimitive::new(PrimitiveKind::Annotation, stage)
+                    .with_loops([threads.as_str()])
+                    .with_extras(["threadIdx.x"]),
+            );
+            if d.cache_read {
+                seq.push(ConcretePrimitive::new(PrimitiveKind::CacheRead, stage));
+                // The shared-memory stage follows the main stage's reduction split.
+                if let Some((r, &f)) = reduction.iter().zip(&d.reduction_factors).next() {
+                    if f > 1 {
+                        seq.push(
+                            ConcretePrimitive::new(PrimitiveKind::FollowSplit, "shared")
+                                .with_loops([r.name.as_str()])
+                                .with_ints([r.extent, f]),
+                        );
+                    }
+                    seq.push(
+                        ConcretePrimitive::new(PrimitiveKind::ComputeAt, "shared")
+                            .with_loops([threads.as_str()]),
+                    );
+                }
+            }
+        } else {
+            let fused = fuse_level(&mut seq, 0);
+            seq.push(
+                ConcretePrimitive::new(PrimitiveKind::Annotation, stage)
+                    .with_loops([fused.as_str()])
+                    .with_extras(["parallel"]),
+            );
+            if d.cache_write {
+                // The cache stage is computed at the fused parallel loop and
+                // follows the main stage's tiling.
+                seq.push(
+                    ConcretePrimitive::new(PrimitiveKind::ComputeAt, "cache")
+                        .with_loops([fused.as_str()]),
+                );
+                if let Some((l, f)) = spatial.iter().zip(&d.spatial_factors).last() {
+                    seq.push(
+                        ConcretePrimitive::new(PrimitiveKind::FollowSplit, "cache")
+                            .with_loops([l.name.as_str()])
+                            .with_ints([l.extent, f[1] * f[2]]),
+                    );
+                }
+            }
+            if d.vectorize {
+                if let Some(l) = spatial.last() {
+                    seq.push(
+                        ConcretePrimitive::new(PrimitiveKind::Annotation, stage)
+                            .with_loops([format!("{}.3", l.name).as_str()])
+                            .with_extras(["vectorize"]),
+                    );
+                }
+            }
+        }
+
+        if d.unroll_step > 0 {
+            seq.push(
+                ConcretePrimitive::new(PrimitiveKind::Pragma, stage)
+                    .with_ints([d.unroll_step])
+                    .with_extras(["auto_unroll_max_step"]),
+            );
+        }
+        seq
+    }
+
+    /// Simple sketch for memory-bound anchors: split for parallelism (or
+    /// thread binding) and vectorize.
+    fn emit_light(
+        &self,
+        seq: &mut ScheduleSequence,
+        subgraph: &Subgraph,
+        d: &ScheduleDecision,
+        stage: &str,
+    ) {
+        let spatial = subgraph.spatial_loops();
+        for (l, f) in spatial.iter().zip(&d.spatial_factors) {
+            let inner = f[2].min(l.extent).max(1);
+            seq.push(
+                ConcretePrimitive::new(PrimitiveKind::Split, stage)
+                    .with_loops([l.name.as_str()])
+                    .with_ints([l.extent, inner]),
+            );
+        }
+        let outer: Vec<String> = spatial.iter().map(|l| format!("{}.0", l.name)).collect();
+        seq.push(
+            ConcretePrimitive::new(PrimitiveKind::Fuse, stage)
+                .with_loops(outer.iter().map(String::as_str)),
+        );
+        let fused = outer.join("@");
+        if self.gpu {
+            seq.push(
+                ConcretePrimitive::new(PrimitiveKind::Annotation, stage)
+                    .with_loops([fused.as_str()])
+                    .with_extras(["blockIdx.x"]),
+            );
+            if let Some(l) = spatial.last() {
+                seq.push(
+                    ConcretePrimitive::new(PrimitiveKind::Annotation, stage)
+                        .with_loops([format!("{}.1", l.name).as_str()])
+                        .with_extras(["threadIdx.x"]),
+                );
+            }
+        } else {
+            seq.push(
+                ConcretePrimitive::new(PrimitiveKind::Annotation, stage)
+                    .with_loops([fused.as_str()])
+                    .with_extras(["parallel"]),
+            );
+            if d.vectorize {
+                if let Some(l) = spatial.last() {
+                    seq.push(
+                        ConcretePrimitive::new(PrimitiveKind::Annotation, stage)
+                            .with_loops([format!("{}.1", l.name).as_str()])
+                            .with_extras(["vectorize"]),
+                    );
+                }
+            }
+        }
+        if d.rfactor && !subgraph.reduction_loops().is_empty() {
+            seq.push(
+                ConcretePrimitive::new(PrimitiveKind::Rfactor, stage)
+                    .with_loops([subgraph.reduction_loops()[0].name.as_str()])
+                    .with_ints([1]),
+            );
+        }
+    }
+}
+
+/// Samples a power of two in `[1, cap]`, biased toward mid-sized factors.
+fn sample_pow2(rng: &mut SmallRng, cap: i64) -> i64 {
+    let cap = cap.max(1);
+    let max_exp = 63 - cap.leading_zeros() as i64;
+    1 << rng.gen_range(0..=max_exp as u32)
+}
+
+/// A sampled candidate: the decision plus its emitted primitive sequence.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// The tunable decision.
+    pub decision: ScheduleDecision,
+    /// The emitted schedule-primitive sequence (what cost models see).
+    pub sequence: ScheduleSequence,
+}
+
+impl Candidate {
+    /// Samples a fresh random candidate.
+    pub fn random(policy: &SketchPolicy, subgraph: &Subgraph, rng: &mut SmallRng) -> Self {
+        let decision = policy.random_decision(subgraph, rng);
+        let sequence = policy.emit(subgraph, &decision);
+        Candidate { decision, sequence }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tlp_hwsim::lower;
+    use tlp_workload::FusedOp;
+
+    fn conv_sg() -> Subgraph {
+        Subgraph::new(
+            "c",
+            AnchorOp::Conv2d {
+                n: 1,
+                cin: 64,
+                hw: 56,
+                cout: 64,
+                khw: 3,
+                stride: 1,
+                pad: 1,
+                groups: 1,
+            },
+        )
+        .with_fused([FusedOp::BiasAdd, FusedOp::Relu])
+    }
+
+    #[test]
+    fn random_cpu_schedules_lower_cleanly() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let sg = conv_sg();
+        let policy = SketchPolicy::cpu();
+        for _ in 0..200 {
+            let c = Candidate::random(&policy, &sg, &mut rng);
+            let spec = lower(&sg, &c.sequence).expect("must lower");
+            assert!(spec.parallel_extent >= 1);
+        }
+    }
+
+    #[test]
+    fn random_gpu_schedules_bind_threads() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let sg = conv_sg();
+        let policy = SketchPolicy::gpu();
+        for _ in 0..100 {
+            let c = Candidate::random(&policy, &sg, &mut rng);
+            let spec = lower(&sg, &c.sequence).expect("must lower");
+            assert!(spec.block_threads >= 1, "threads bound");
+            assert!(spec.grid_blocks >= 1, "blocks bound");
+        }
+    }
+
+    #[test]
+    fn light_sketch_for_softmax() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let sg = Subgraph::new("s", AnchorOp::Softmax { rows: 512, cols: 128 });
+        let c = Candidate::random(&SketchPolicy::cpu(), &sg, &mut rng);
+        // No multi-level tiling reorder in the light sketch.
+        assert_eq!(c.sequence.count_kind(PrimitiveKind::Reorder), 0);
+        lower(&sg, &c.sequence).expect("must lower");
+    }
+
+    #[test]
+    fn mutation_changes_decision_but_stays_valid() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let sg = conv_sg();
+        let policy = SketchPolicy::cpu();
+        let mut c = Candidate::random(&policy, &sg, &mut rng);
+        let mut changed = false;
+        for _ in 0..50 {
+            let before = c.decision.clone();
+            policy.mutate(&sg, &mut c.decision, &mut rng);
+            c.sequence = policy.emit(&sg, &c.decision);
+            lower(&sg, &c.sequence).expect("mutated schedule must lower");
+            changed |= before != c.decision;
+        }
+        assert!(changed);
+    }
+
+    #[test]
+    fn crossover_mixes_parents() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let sg = conv_sg();
+        let policy = SketchPolicy::cpu();
+        let a = policy.random_decision(&sg, &mut rng);
+        let b = policy.random_decision(&sg, &mut rng);
+        let child = policy.crossover(&a, &b, &mut rng);
+        assert_eq!(child.spatial_factors.len(), a.spatial_factors.len());
+        let seq = policy.emit(&sg, &child);
+        lower(&sg, &seq).expect("child must lower");
+    }
+
+    #[test]
+    fn emitted_sequences_vary_in_length() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let sg = conv_sg();
+        let policy = SketchPolicy::cpu();
+        let lens: std::collections::HashSet<usize> = (0..100)
+            .map(|_| Candidate::random(&policy, &sg, &mut rng).sequence.len())
+            .collect();
+        assert!(lens.len() >= 2, "sequence length should vary with decisions");
+    }
+
+    #[test]
+    fn inline_emitted_per_fused_stage() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let sg = conv_sg();
+        let c = Candidate::random(&SketchPolicy::cpu(), &sg, &mut rng);
+        assert_eq!(c.sequence.count_kind(PrimitiveKind::ComputeInline), 2);
+    }
+}

@@ -1,0 +1,55 @@
+//! Search tasks: a subgraph to be tuned for a target platform.
+
+use serde::{Deserialize, Serialize};
+use tlp_hwsim::Platform;
+use tlp_workload::{Network, Subgraph};
+
+/// One tuning task: optimize `subgraph` for `platform`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SearchTask {
+    /// The computational subgraph.
+    pub subgraph: Subgraph,
+    /// The target hardware platform.
+    pub platform: Platform,
+    /// How many times this subgraph occurs in its workload
+    /// (the paper's `weight_{m,s}`).
+    pub weight: usize,
+}
+
+impl SearchTask {
+    /// Creates a task with weight 1.
+    pub fn new(subgraph: Subgraph, platform: Platform) -> Self {
+        SearchTask {
+            subgraph,
+            platform,
+            weight: 1,
+        }
+    }
+
+    /// All tasks of a network on one platform.
+    pub fn from_network(network: &Network, platform: &Platform) -> Vec<SearchTask> {
+        network
+            .instances
+            .iter()
+            .map(|inst| SearchTask {
+                subgraph: inst.subgraph.clone(),
+                platform: platform.clone(),
+                weight: inst.weight,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlp_workload::bert_tiny;
+
+    #[test]
+    fn tasks_carry_weights() {
+        let net = bert_tiny(1, 128);
+        let tasks = SearchTask::from_network(&net, &Platform::i7_10510u());
+        assert_eq!(tasks.len(), net.num_tasks());
+        assert!(tasks.iter().any(|t| t.weight > 1));
+    }
+}

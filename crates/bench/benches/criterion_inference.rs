@@ -1,0 +1,98 @@
+//! Criterion micro-benchmarks of per-candidate cost-model pipelines: TLP's
+//! primitive-sequence feature extraction + NN inference vs the TenSet-MLP
+//! pipeline (program generation + feature extraction + MLP inference).
+//!
+//! These support Figure 10's "execution speed" comparison with real
+//! measurements on this machine.
+//!
+//! Run with `cargo bench -p tlp-bench --bench criterion_inference`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tlp::baselines::{program_features, TenSetMlp};
+use tlp::features::FeatureExtractor;
+use tlp::{TlpConfig, TlpModel};
+use tlp_autotuner::{Candidate, SketchPolicy};
+use tlp_schedule::{ScheduleSequence, Vocabulary};
+use tlp_workload::{AnchorOp, Subgraph};
+
+fn subject() -> (Subgraph, Vec<ScheduleSequence>) {
+    let sg = Subgraph::new(
+        "c",
+        AnchorOp::Conv2d {
+            n: 1,
+            cin: 64,
+            hw: 56,
+            cout: 64,
+            khw: 3,
+            stride: 1,
+            pad: 1,
+            groups: 1,
+        },
+    );
+    let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
+    let policy = SketchPolicy::cpu();
+    let seqs = (0..64)
+        .map(|_| Candidate::random(&policy, &sg, &mut rng).sequence)
+        .collect();
+    (sg, seqs)
+}
+
+fn extractor_for(seqs: &[ScheduleSequence]) -> FeatureExtractor {
+    let mut vb = Vocabulary::builder();
+    for s in seqs {
+        for p in s.iter() {
+            vb.observe(&p.stage);
+            for v in &p.loop_vars {
+                vb.observe(v);
+            }
+            for e in &p.extras {
+                vb.observe(e);
+            }
+        }
+    }
+    FeatureExtractor::with_vocab(vb.build(), 25, 22)
+}
+
+fn bench_pipelines(c: &mut Criterion) {
+    let (sg, seqs) = subject();
+    let extractor = extractor_for(&seqs);
+    let cfg = TlpConfig::default();
+    let tlp_model = TlpModel::new(cfg.clone());
+    let tenset = TenSetMlp::new(cfg);
+
+    let mut group = c.benchmark_group("per_candidate_scoring_64");
+    group.bench_function("tlp_extract_only", |b| {
+        b.iter(|| extractor.extract_batch(&seqs))
+    });
+    group.bench_function("tlp_extract_and_infer", |b| {
+        b.iter_batched(
+            || extractor.extract_batch(&seqs),
+            |feats| tlp_model.predict(&feats),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("tenset_program_gen_and_features", |b| {
+        b.iter(|| {
+            seqs.iter()
+                .filter_map(|s| program_features(&sg, s))
+                .count()
+        })
+    });
+    group.bench_function("tenset_full_pipeline", |b| {
+        b.iter(|| {
+            let mut feats = Vec::new();
+            for s in &seqs {
+                if let Some(f) = program_features(&sg, s) {
+                    feats.extend(f);
+                }
+            }
+            tenset.predict(&feats)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipelines);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Paper Figure 10: time for TLP and TenSet-MLP to tune each model the full
+//! budget on CPU and GPU.
+//!
+//! Paper result: TLP is on average 1.7× (CPU) / 1.8× (GPU) faster per tuning
+//! budget because it skips tensor-program generation when extracting
+//! features.
+//!
+//! Run with `cargo bench -p tlp-bench --bench fig10_tuning_time` (reuses the cached
+//! search suite produced by `fig11_tuning_curves` when present).
+
+use serde::Serialize;
+use tlp_bench::{bench_scale, print_table, search_runs, write_json};
+
+#[derive(Serialize)]
+struct Row {
+    device: String,
+    network: String,
+    tenset_s: f64,
+    tlp_s: f64,
+    speedup: f64,
+}
+
+fn main() {
+    let scale = bench_scale("fig10_tuning_time");
+    let mut rows = Vec::new();
+    for gpu in [false, true] {
+        let suite = search_runs::load_or_run(&scale, gpu);
+        for net in suite.networks() {
+            let tenset = suite.get(&net, "tenset-mlp").expect("tenset run");
+            let tlp = suite.get(&net, "tlp").expect("tlp run");
+            rows.push(Row {
+                device: suite.device.clone(),
+                network: net.clone(),
+                tenset_s: tenset.total_search_time_s(),
+                tlp_s: tlp.total_search_time_s(),
+                speedup: tenset.total_search_time_s() / tlp.total_search_time_s().max(1e-9),
+            });
+        }
+    }
+    let printable: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.device.clone(),
+                r.network.clone(),
+                format!("{:.1}", r.tenset_s),
+                format!("{:.1}", r.tlp_s),
+                format!("{:.2}x", r.speedup),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 10: time to run the full tuning budget (seconds)",
+        &["device", "network", "TenSet-MLP", "TLP", "TLP speedup"],
+        &printable,
+    );
+    let mean_cpu: f64 = rows.iter().filter(|r| r.device == "cpu").map(|r| r.speedup).sum::<f64>()
+        / rows.iter().filter(|r| r.device == "cpu").count().max(1) as f64;
+    let mean_gpu: f64 = rows.iter().filter(|r| r.device == "gpu").map(|r| r.speedup).sum::<f64>()
+        / rows.iter().filter(|r| r.device == "gpu").count().max(1) as f64;
+    println!("\nmean TLP speedup: {mean_cpu:.2}x CPU, {mean_gpu:.2}x GPU (paper: 1.7x / 1.8x)");
+    write_json("fig10_tuning_time", &rows);
+}

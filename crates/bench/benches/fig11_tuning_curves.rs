@@ -1,0 +1,42 @@
+//! Paper Figure 11: tuning curves for the five workloads on CPU and GPU
+//! under four cost models (Ansor online, TenSet-MLP, TLP, MTL-TLP).
+//!
+//! Paper result: TLP and MTL-TLP converge to low latencies far sooner than
+//! TenSet-MLP, which in turn beats Ansor; most pronounced on CPU.
+//!
+//! This bench runs the full search suite and caches it as JSON
+//! (`target/tlp-results/search_suite_{cpu,gpu}.json`) for Figs. 10/12/13.
+//!
+//! Run with `cargo bench -p tlp-bench --bench fig11_tuning_curves`.
+
+use tlp_bench::{bench_scale, search_runs};
+
+fn main() {
+    let scale = bench_scale("fig11_tuning_curves");
+    for gpu in [false, true] {
+        let suite = search_runs::load_or_run(&scale, gpu);
+        println!(
+            "\n=== Figure 11 ({}): tuning curves, workload latency (ms) vs search time (s) ===",
+            suite.device
+        );
+        for net in suite.networks() {
+            println!("\n--- {net} on {} ---", suite.platform);
+            for model in ["ansor", "tenset-mlp", "tlp", "mtl-tlp"] {
+                let Some(report) = suite.get(&net, model) else {
+                    continue;
+                };
+                // Print a decimated curve: 8 points across the run.
+                let n = report.rounds.len();
+                let pts: Vec<String> = (0..8)
+                    .map(|i| {
+                        let idx = ((i + 1) * n / 8).saturating_sub(1);
+                        let r = &report.rounds[idx];
+                        format!("({:.0}s, {:.3}ms)", r.search_time_s, r.workload_latency_s * 1e3)
+                    })
+                    .collect();
+                println!("{model:<11} {}", pts.join(" "));
+            }
+        }
+    }
+    println!("\n[full curves are in the cached search_suite_*.json files]");
+}

@@ -1,0 +1,86 @@
+//! Paper Figure 12: search time for each cost model to reach the quality
+//! TenSet-MLP attains with the full tuning budget.
+//!
+//! Paper result: TLP reaches TenSet-MLP-2000 quality 9.1× (CPU) / 3.0× (GPU)
+//! faster on average; MTL-TLP 4.7× / 2.9×.
+//!
+//! Run with `cargo bench -p tlp-bench --bench fig12_speedup_vs_tenset` (reuses the cached
+//! search suite produced by `fig11_tuning_curves` when present).
+
+use serde::Serialize;
+use tlp_bench::{bench_scale, print_table, search_runs, write_json};
+
+#[derive(Serialize)]
+struct Row {
+    device: String,
+    network: String,
+    target_ms: f64,
+    tenset_time_s: f64,
+    tlp_speedup: Option<f64>,
+    mtl_speedup: Option<f64>,
+}
+
+fn main() {
+    let scale = bench_scale("fig12_speedup_vs_tenset");
+    let mut rows = Vec::new();
+    for gpu in [false, true] {
+        let suite = search_runs::load_or_run(&scale, gpu);
+        for net in suite.networks() {
+            let tenset = suite.get(&net, "tenset-mlp").expect("tenset run");
+            // Target: TenSet-MLP's final (full-budget) quality; allow a hair
+            // of slack for measurement noise.
+            let target = tenset.final_latency_s() * 1.001;
+            let base_time = tenset
+                .time_to_reach(target)
+                .unwrap_or_else(|| tenset.total_search_time_s());
+            let speedup = |model: &str| -> Option<f64> {
+                suite
+                    .get(&net, model)
+                    .and_then(|r| r.time_to_reach(target))
+                    .map(|t| base_time / t.max(1e-9))
+            };
+            rows.push(Row {
+                device: suite.device.clone(),
+                network: net.clone(),
+                target_ms: target * 1e3,
+                tenset_time_s: base_time,
+                tlp_speedup: speedup("tlp"),
+                mtl_speedup: speedup("mtl-tlp"),
+            });
+        }
+    }
+    let fmt = |s: &Option<f64>| match s {
+        Some(v) => format!("{v:.2}x"),
+        None => "not reached".to_string(),
+    };
+    let printable: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.device.clone(),
+                r.network.clone(),
+                format!("{:.3}", r.target_ms),
+                format!("{:.1}s", r.tenset_time_s),
+                fmt(&r.tlp_speedup),
+                fmt(&r.mtl_speedup),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 12: speed-up to reach TenSet-MLP full-budget quality",
+        &["device", "network", "target (ms)", "TenSet time", "TLP", "MTL-TLP"],
+        &printable,
+    );
+    for dev in ["cpu", "gpu"] {
+        let mean = |f: fn(&Row) -> Option<f64>| -> f64 {
+            let v: Vec<f64> = rows.iter().filter(|r| r.device == dev).filter_map(f).collect();
+            if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 }
+        };
+        println!(
+            "mean over reached runs {dev}: TLP {:.2}x, MTL-TLP {:.2}x (paper CPU: 9.1x/4.7x, GPU: 3.0x/2.9x; 0 = never reached)",
+            mean(|r| r.tlp_speedup),
+            mean(|r| r.mtl_speedup)
+        );
+    }
+    write_json("fig12_speedup_vs_tenset", &rows);
+}

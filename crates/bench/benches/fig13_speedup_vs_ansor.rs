@@ -1,0 +1,96 @@
+//! Paper Figure 13: search time for each cost model to reach the quality
+//! Ansor (online model) attains with the full tuning budget.
+//!
+//! Paper result: TLP 16.7× (CPU) / 16.0× (GPU) faster on average; MTL-TLP
+//! 10.0× / 15.8×.
+//!
+//! Run with `cargo bench -p tlp-bench --bench fig13_speedup_vs_ansor` (reuses the cached
+//! search suite produced by `fig11_tuning_curves` when present).
+
+use serde::Serialize;
+use tlp_bench::{bench_scale, print_table, search_runs, write_json};
+
+#[derive(Serialize)]
+struct Row {
+    device: String,
+    network: String,
+    target_ms: f64,
+    ansor_time_s: f64,
+    tenset_speedup: Option<f64>,
+    tlp_speedup: Option<f64>,
+    mtl_speedup: Option<f64>,
+}
+
+fn main() {
+    let scale = bench_scale("fig13_speedup_vs_ansor");
+    let mut rows = Vec::new();
+    for gpu in [false, true] {
+        let suite = search_runs::load_or_run(&scale, gpu);
+        for net in suite.networks() {
+            let ansor = suite.get(&net, "ansor").expect("ansor run");
+            let target = ansor.final_latency_s() * 1.001;
+            let base_time = ansor
+                .time_to_reach(target)
+                .unwrap_or_else(|| ansor.total_search_time_s());
+            let speedup = |model: &str| -> Option<f64> {
+                suite
+                    .get(&net, model)
+                    .and_then(|r| r.time_to_reach(target))
+                    .map(|t| base_time / t.max(1e-9))
+            };
+            rows.push(Row {
+                device: suite.device.clone(),
+                network: net.clone(),
+                target_ms: target * 1e3,
+                ansor_time_s: base_time,
+                tenset_speedup: speedup("tenset-mlp"),
+                tlp_speedup: speedup("tlp"),
+                mtl_speedup: speedup("mtl-tlp"),
+            });
+        }
+    }
+    let fmt = |s: &Option<f64>| match s {
+        Some(v) => format!("{v:.2}x"),
+        None => "not reached".to_string(),
+    };
+    let printable: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.device.clone(),
+                r.network.clone(),
+                format!("{:.3}", r.target_ms),
+                format!("{:.1}s", r.ansor_time_s),
+                fmt(&r.tenset_speedup),
+                fmt(&r.tlp_speedup),
+                fmt(&r.mtl_speedup),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 13: speed-up to reach Ansor full-budget quality",
+        &[
+            "device",
+            "network",
+            "target (ms)",
+            "Ansor time",
+            "TenSet-MLP",
+            "TLP",
+            "MTL-TLP",
+        ],
+        &printable,
+    );
+    for dev in ["cpu", "gpu"] {
+        let mean = |f: fn(&Row) -> Option<f64>| -> f64 {
+            let v: Vec<f64> = rows.iter().filter(|r| r.device == dev).filter_map(f).collect();
+            if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 }
+        };
+        println!(
+            "mean over reached runs {dev}: TenSet {:.2}x, TLP {:.2}x, MTL-TLP {:.2}x (paper CPU: -/16.7x/10.0x; 0 = never reached)",
+            mean(|r| r.tenset_speedup),
+            mean(|r| r.tlp_speedup),
+            mean(|r| r.mtl_speedup)
+        );
+    }
+    write_json("fig13_speedup_vs_ansor", &rows);
+}

@@ -1,0 +1,31 @@
+//! Paper Figure 6: distribution of schedule-primitive sequence lengths in
+//! the CPU dataset.
+//!
+//! Run with `cargo bench -p tlp-bench --bench fig6_seq_len_distribution`.
+
+use tlp_bench::{bench_scale, write_json};
+use tlp_dataset::{max_sequence_length, sequence_length_distribution};
+
+fn main() {
+    let scale = bench_scale("fig6_seq_len_distribution");
+    let ds = scale.cpu_dataset();
+    println!(
+        "CPU dataset: {} tasks, {} programs",
+        ds.tasks.len(),
+        ds.num_programs()
+    );
+
+    let hist = sequence_length_distribution(&ds);
+    let max_count = hist.iter().map(|&(_, c)| c).max().unwrap_or(1);
+    println!("\n=== Figure 6: sequence-length distribution ===");
+    for (len, count) in &hist {
+        let bar = "#".repeat((58 * count + max_count - 1) / max_count);
+        println!("len {len:>3}: {count:>7} {bar}");
+    }
+    println!(
+        "\nmax sequence length: {} (paper: 54, with a dominant mode as in Fig. 6)",
+        max_sequence_length(&ds)
+    );
+
+    write_json("fig6_seq_len_distribution", &hist);
+}

@@ -1,0 +1,34 @@
+//! Paper Table 1: maximum embedding size per schedule-primitive kind in the
+//! CPU dataset.
+//!
+//! Run with `cargo bench -p tlp-bench --bench table1_embedding_sizes`.
+
+use tlp_bench::{bench_scale, print_table, write_json};
+use tlp_dataset::max_embedding_sizes;
+
+fn main() {
+    let scale = bench_scale("table1_embedding_sizes");
+    let ds = scale.cpu_dataset();
+    println!(
+        "CPU dataset: {} tasks, {} programs",
+        ds.tasks.len(),
+        ds.num_programs()
+    );
+
+    let sizes = max_embedding_sizes(&ds);
+    let rows: Vec<Vec<String>> = sizes
+        .iter()
+        .map(|(k, s)| vec![k.abbrev().to_string(), s.to_string()])
+        .collect();
+    print_table(
+        "Table 1: max embedding size per primitive kind (paper: RE 40 ... CI 12)",
+        &["kind", "max embedding size"],
+        &rows,
+    );
+
+    let json: Vec<(String, usize)> = sizes
+        .iter()
+        .map(|(k, s)| (k.abbrev().to_string(), *s))
+        .collect();
+    write_json("table1_embedding_sizes", &json);
+}

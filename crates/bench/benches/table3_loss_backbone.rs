@@ -1,0 +1,62 @@
+//! Paper Table 3: top-k scores for combinations of loss function (rank/MSE)
+//! and backbone basic module (self-attention/LSTM), on the Platinum-8272 CPU
+//! dataset.
+//!
+//! Paper result: Attention+Rank best (0.9194/0.9710), all four close.
+//!
+//! Run with `cargo bench -p tlp-bench --bench table3_loss_backbone`.
+
+use serde::Serialize;
+use tlp::experiments::train_and_eval_tlp;
+use tlp::{Backbone, LossKind};
+use tlp_bench::{bench_scale, print_table, write_json};
+
+#[derive(Serialize)]
+struct Row {
+    combo: String,
+    top1: f64,
+    top5: f64,
+}
+
+fn main() {
+    let scale = bench_scale("table3_loss_backbone");
+    let ds = scale.cpu_dataset();
+    let platform = ds.platform_index("platinum-8272").expect("platform");
+    println!(
+        "dataset: {} tasks, {} programs (evaluating on platinum-8272)",
+        ds.tasks.len(),
+        ds.num_programs()
+    );
+
+    let combos = [
+        ("Attention + Rank", Backbone::Attention, LossKind::Rank),
+        ("Attention + MSE", Backbone::Attention, LossKind::Mse),
+        ("LSTM + Rank", Backbone::Lstm, LossKind::Rank),
+        ("LSTM + MSE", Backbone::Lstm, LossKind::Mse),
+    ];
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for (name, backbone, loss) in combos {
+        eprintln!("[table3] training {name}…");
+        let mut cfg = scale.tlp_config();
+        cfg.backbone = backbone;
+        cfg.loss = loss;
+        let (_, _, top1, top5) = train_and_eval_tlp(&ds, platform, cfg, &scale, 1.0);
+        rows.push(vec![
+            name.to_string(),
+            format!("{top1:.4}"),
+            format!("{top5:.4}"),
+        ]);
+        json.push(Row {
+            combo: name.to_string(),
+            top1,
+            top5,
+        });
+    }
+    print_table(
+        "Table 3: loss function x backbone basic module",
+        &["combination", "top-1", "top-5"],
+        &rows,
+    );
+    write_json("table3_loss_backbone", &json);
+}

@@ -1,0 +1,68 @@
+//! Paper Table 4: top-k scores for combinations of sequence length and
+//! embedding size — cropping features to 25×22 helps vs. the dataset maxima.
+//!
+//! Paper result: 25×22 best (0.9194/0.9710); 54×40 close but worse.
+//!
+//! Run with `cargo bench -p tlp-bench --bench table4_feature_crop`.
+
+use serde::Serialize;
+use tlp::experiments::train_and_eval_tlp;
+use tlp_bench::{bench_scale, print_table, write_json};
+use tlp_dataset::{max_embedding_size, max_sequence_length};
+
+#[derive(Serialize)]
+struct Row {
+    seq_len: usize,
+    emb_size: usize,
+    top1: f64,
+    top5: f64,
+}
+
+fn main() {
+    let scale = bench_scale("table4_feature_crop");
+    let ds = scale.cpu_dataset();
+    let platform = ds.platform_index("platinum-8272").expect("platform");
+    let max_len = max_sequence_length(&ds);
+    let max_emb = max_embedding_size(&ds);
+    println!(
+        "dataset maxima: sequence length {max_len}, embedding size {max_emb} \
+         (paper: 54 and 40)"
+    );
+
+    // The paper compares the cropped shape (25×22) against the maxima. When
+    // the generated dataset's sequences are already shorter than 25, compare
+    // a proportionally tighter crop instead so the axis stays meaningful.
+    let cropped_len = if max_len > 25 { 25 } else { (max_len * 3 / 4).max(6) };
+    let combos = [
+        (cropped_len, 22),
+        (cropped_len, max_emb),
+        (max_len, 22),
+        (max_len, max_emb),
+    ];
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for (seq_len, emb_size) in combos {
+        eprintln!("[table4] training seq {seq_len} x emb {emb_size}…");
+        let mut cfg = scale.tlp_config();
+        cfg.seq_len = seq_len;
+        cfg.emb_size = emb_size;
+        let (_, _, top1, top5) = train_and_eval_tlp(&ds, platform, cfg, &scale, 1.0);
+        rows.push(vec![
+            format!("Seq Len {seq_len} + Emb Size {emb_size}"),
+            format!("{top1:.4}"),
+            format!("{top5:.4}"),
+        ]);
+        json.push(Row {
+            seq_len,
+            emb_size,
+            top1,
+            top5,
+        });
+    }
+    print_table(
+        "Table 4: sequence length x embedding size",
+        &["combination", "top-1", "top-5"],
+        &rows,
+    );
+    write_json("table4_feature_crop", &json);
+}

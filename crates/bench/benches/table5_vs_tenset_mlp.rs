@@ -1,0 +1,77 @@
+//! Paper Table 5: TLP vs TenSet-MLP top-k scores on all seven hardware
+//! platforms (5 CPUs + 2 GPUs).
+//!
+//! Paper result: TLP beats TenSet-MLP by a large margin on every CPU; on
+//! GPUs the two trade blows, with TLP's top-5 more stable.
+//!
+//! Run with `cargo bench -p tlp-bench --bench table5_vs_tenset_mlp`.
+
+use serde::Serialize;
+use tlp::experiments::{train_and_eval_tenset_mlp, train_and_eval_tlp};
+use tlp_bench::{bench_scale, print_table, write_json};
+use tlp_dataset::Dataset;
+
+#[derive(Serialize)]
+struct Row {
+    platform: String,
+    tenset_top1: f64,
+    tenset_top5: f64,
+    tlp_top1: f64,
+    tlp_top5: f64,
+}
+
+fn eval_group(ds: &Dataset, scale: &tlp::experiments::Scale, rows: &mut Vec<Row>) {
+    for (idx, platform) in ds.platforms.iter().enumerate() {
+        eprintln!("[table5] platform {}…", platform.name);
+        let cfg = scale.tlp_config();
+        let (_, ts1, ts5) = train_and_eval_tenset_mlp(ds, idx, cfg.clone(), scale);
+        let (_, _, tl1, tl5) = train_and_eval_tlp(ds, idx, cfg, scale, 1.0);
+        rows.push(Row {
+            platform: platform.name.clone(),
+            tenset_top1: ts1,
+            tenset_top5: ts5,
+            tlp_top1: tl1,
+            tlp_top5: tl5,
+        });
+    }
+}
+
+fn main() {
+    let scale = bench_scale("table5_vs_tenset_mlp");
+    let mut rows: Vec<Row> = Vec::new();
+
+    let cpu = scale.cpu_dataset();
+    println!("CPU dataset: {} programs", cpu.num_programs());
+    eval_group(&cpu, &scale, &mut rows);
+    drop(cpu);
+
+    let gpu = scale.gpu_dataset();
+    println!("GPU dataset: {} programs", gpu.num_programs());
+    eval_group(&gpu, &scale, &mut rows);
+
+    let printable: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.platform.clone(),
+                format!("{:.4}", r.tenset_top1),
+                format!("{:.4}", r.tenset_top5),
+                format!("{:.4}", r.tlp_top1),
+                format!("{:.4}", r.tlp_top5),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 5: TLP vs TenSet-MLP on all platforms",
+        &["platform", "TenSet top-1", "TenSet top-5", "TLP top-1", "TLP top-5"],
+        &printable,
+    );
+
+    let cpu_wins = rows
+        .iter()
+        .take(5)
+        .filter(|r| r.tlp_top1 > r.tenset_top1)
+        .count();
+    println!("\nTLP wins top-1 on {cpu_wins}/5 CPUs (paper: 5/5)");
+    write_json("table5_vs_tenset_mlp", &rows);
+}

@@ -1,0 +1,102 @@
+//! Paper §6.1.3 architecture ablations: up-sampling width, attention heads,
+//! attention layers (one is enough), and residual-block count (two is best).
+//!
+//! Run with `cargo bench -p tlp-bench --bench table_arch_ablation`.
+
+use serde::Serialize;
+use tlp::experiments::train_and_eval_tlp;
+use tlp_bench::{bench_scale, print_table, write_json};
+
+#[derive(Serialize)]
+struct Row {
+    variant: String,
+    top1: f64,
+    top5: f64,
+}
+
+fn main() {
+    let scale = bench_scale("table_arch_ablation");
+    let ds = scale.cpu_dataset();
+    let platform = ds.platform_index("platinum-8272").expect("platform");
+
+    let base = scale.tlp_config();
+    let variants: Vec<(String, tlp::TlpConfig)> = vec![
+        (format!("base (hidden {}, 8 heads, 2 res)", base.hidden), base.clone()),
+        (
+            format!("wider hidden ({})", base.hidden * 2),
+            tlp::TlpConfig {
+                hidden: base.hidden * 2,
+                ..base.clone()
+            },
+        ),
+        (
+            {
+                // Keep the width divisible by the head count.
+                let narrow = ((base.hidden / 2).max(base.heads) / base.heads) * base.heads;
+                format!("narrower hidden ({narrow})")
+            },
+            tlp::TlpConfig {
+                hidden: ((base.hidden / 2).max(base.heads) / base.heads) * base.heads,
+                ..base.clone()
+            },
+        ),
+        (
+            "2 heads".to_string(),
+            tlp::TlpConfig {
+                heads: 2,
+                ..base.clone()
+            },
+        ),
+        (
+            "0 residual blocks".to_string(),
+            tlp::TlpConfig {
+                res_blocks: 0,
+                ..base.clone()
+            },
+        ),
+        (
+            "1 residual block".to_string(),
+            tlp::TlpConfig {
+                res_blocks: 1,
+                ..base.clone()
+            },
+        ),
+        (
+            "3 residual blocks".to_string(),
+            tlp::TlpConfig {
+                res_blocks: 3,
+                ..base.clone()
+            },
+        ),
+        (
+            "full transformer layer".to_string(),
+            tlp::TlpConfig {
+                backbone: tlp::Backbone::Transformer,
+                ..base.clone()
+            },
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for (name, cfg) in variants {
+        eprintln!("[ablation] training {name}…");
+        let (_, _, top1, top5) = train_and_eval_tlp(&ds, platform, cfg, &scale, 1.0);
+        rows.push(vec![
+            name.clone(),
+            format!("{top1:.4}"),
+            format!("{top5:.4}"),
+        ]);
+        json.push(Row {
+            variant: name,
+            top1,
+            top5,
+        });
+    }
+    print_table(
+        "6.1.3: model architecture ablation",
+        &["variant", "top-1", "top-5"],
+        &rows,
+    );
+    write_json("table_arch_ablation", &json);
+}

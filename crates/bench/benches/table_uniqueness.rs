@@ -1,0 +1,38 @@
+//! Paper 4.3: schedule-sequence uniqueness — the fraction of duplicate
+//! schedule sequences in the dataset (paper: 1.04% over 8.65M programs).
+//!
+//! Run with `cargo bench -p tlp-bench --bench table_uniqueness`.
+
+use serde::Serialize;
+use tlp_bench::{bench_scale, print_table, write_json};
+use tlp_dataset::uniqueness;
+
+#[derive(Serialize)]
+struct Row {
+    total: usize,
+    distinct: usize,
+    repetition_rate: f64,
+}
+
+fn main() {
+    let scale = bench_scale("table_uniqueness");
+    let ds = scale.cpu_dataset();
+    let u = uniqueness(&ds);
+    print_table(
+        "4.3: schedule-sequence uniqueness (paper: repetition rate 1.04%)",
+        &["programs", "distinct sequences", "repetition rate"],
+        &[vec![
+            u.total.to_string(),
+            u.distinct.to_string(),
+            format!("{:.4}%", u.repetition_rate() * 100.0),
+        ]],
+    );
+    write_json(
+        "table_uniqueness",
+        &Row {
+            total: u.total,
+            distinct: u.distinct,
+            repetition_rate: u.repetition_rate(),
+        },
+    );
+}

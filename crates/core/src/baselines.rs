@@ -1,0 +1,603 @@
+//! Baseline cost models: TenSet-MLP and Ansor's online GBDT.
+//!
+//! Both extract features from the *lowered tensor program* (paper §2/§4: Ansor
+//! hand-extracts 164 features from the innermost statement; TenSet-MLP adds
+//! graph-level features). That requires generating the program for every
+//! candidate — the pipeline cost TLP avoids — and the features are
+//! device-specific (GPU adds binding features).
+
+use crate::config::TlpConfig;
+use crate::train::TrainData;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use tlp_dataset::{Dataset, TaskData};
+use tlp_gbdt::{Gbdt, GbdtParams};
+use tlp_hwsim::lower;
+use tlp_nn::{lambda_rank_loss, Adam, Binding, Graph, Mlp, Optimizer, ParamStore, Tensor};
+use tlp_schedule::ScheduleSequence;
+use tlp_workload::Subgraph;
+
+/// Width of the hand-extracted program feature vector.
+pub const PROGRAM_FEATURE_DIM: usize = 56;
+
+/// Extracts Ansor/TenSet-style features from the lowered tensor program.
+///
+/// Returns `None` when the schedule fails to lower (a build error).
+pub fn program_features(subgraph: &Subgraph, schedule: &ScheduleSequence) -> Option<Vec<f32>> {
+    let spec = lower(subgraph, schedule).ok()?;
+    let ln = |x: f64| (1.0 + x.max(0.0)).ln() as f32;
+    let mut f = Vec::with_capacity(PROGRAM_FEATURE_DIM);
+    // Graph-level features (TenSet adds these on top of Ansor's).
+    f.push(ln(subgraph.flops()));
+    f.push(ln(subgraph.bytes_read()));
+    f.push(ln(subgraph.bytes_written()));
+    f.push(ln(subgraph.arithmetic_intensity()));
+    f.push(subgraph.spatial_loops().len() as f32);
+    f.push(subgraph.reduction_loops().len() as f32);
+    f.push(subgraph.fused.len() as f32);
+    // Program-level features from the loop structure. Note what is *not*
+    // here: the `auto_unroll_max_step` pragma. Ansor/TenSet features are
+    // statistics of the lowered loop nest (computation, memory access,
+    // arithmetic intensity) — compiler pragmas that only act downstream in
+    // codegen are invisible to them, one of the blind spots of hand-crafted
+    // program features the paper attributes to "the limitation of prior
+    // knowledge" (§1). TLP sees the pragma as a PR primitive.
+    f.push(ln(spec.parallel_extent as f64));
+    f.push(ln(spec.vector_len as f64));
+    f.push(spec.cache_write as u8 as f32);
+    f.push(spec.cache_read as u8 as f32);
+    f.push(spec.rfactor as u8 as f32);
+    f.push(spec.inlined_stages as f32);
+    f.push(ln(spec.register_tile() as f64));
+    f.push(ln(spec.reduction_inner() as f64));
+    f.push(ln(spec.block_threads as f64));
+    f.push(ln(spec.grid_blocks as f64));
+    // Aggregate loop-nest statistics, in the spirit of Ansor's
+    // innermost-statement features: lossy summaries (working sets, extents,
+    // depth buckets), *not* the exact per-axis tile pyramid — hand-crafted
+    // features summarize the program rather than reproduce the schedule
+    // decisions (paper 1/4: "the hand-picked cost models still fall short
+    // ... largely affected by the limitation of prior knowledge").
+    let spatial: Vec<_> = spec.spatial_axes().collect();
+    let reduction: Vec<_> = spec.reduction_axes().collect();
+    f.push(spatial.len() as f32);
+    f.push(reduction.len() as f32);
+    // Loop-nest depth after tiling.
+    f.push(spec.axes.iter().map(|a| a.tiles.len()).sum::<usize>() as f32);
+    // Innermost extents (the statement's immediate surroundings).
+    f.push(ln(spatial.iter().map(|a| a.inner()).max().unwrap_or(1) as f64));
+    f.push(ln(spatial.iter().map(|a| a.inner()).min().unwrap_or(1) as f64));
+    f.push(ln(reduction.iter().map(|a| a.inner()).max().unwrap_or(1) as f64));
+    // Level-2 working-set proxy (touched bytes of one mid-tile).
+    let ws: f64 = spatial
+        .iter()
+        .map(|a| a.inner_product(2) as f64)
+        .product::<f64>()
+        * 4.0;
+    f.push(ln(ws));
+    // Total spatial extent and outer (parallelizable) iteration count.
+    f.push(ln(spatial.iter().map(|a| a.extent as f64).product::<f64>()));
+    f.push(ln(
+        spatial
+            .iter()
+            .map(|a| a.tiles.first().copied().unwrap_or(1) as f64)
+            .product::<f64>(),
+    ));
+    // Arithmetic intensity of the innermost tile.
+    let reg = spec.register_tile().max(1) as f64;
+    let red = spec.reduction_inner().max(1) as f64;
+    f.push(ln(reg * red / (reg + red)));
+    debug_assert!(f.len() <= PROGRAM_FEATURE_DIM, "got {}", f.len());
+    f.resize(PROGRAM_FEATURE_DIM, 0.0);
+    Some(f)
+}
+
+/// Oracle variant of [`program_features`] for the substrate-ablation bench:
+/// additionally exposes the `auto_unroll_max_step` pragma and the exact
+/// per-axis tile pyramid — information the simulator consumes directly but
+/// real hand-crafted feature sets do not enumerate. Comparing baselines
+/// trained on these vs. the standard features quantifies the calibration
+/// decision recorded in DESIGN.md §5.
+pub fn program_features_oracle(
+    subgraph: &Subgraph,
+    schedule: &ScheduleSequence,
+) -> Option<Vec<f32>> {
+    let spec = lower(subgraph, schedule).ok()?;
+    let ln = |x: f64| (1.0 + x.max(0.0)).ln() as f32;
+    let mut f = program_features(subgraph, schedule)?;
+    // Truncate the zero padding, append the oracle block, re-pad.
+    while f.last() == Some(&0.0) && f.len() > 1 {
+        f.pop();
+    }
+    f.push(ln(spec.unroll_step as f64));
+    for i in 0..7 {
+        match spec.axes.get(i) {
+            Some(a) => {
+                f.push(ln(a.extent as f64));
+                for level in 0..4 {
+                    f.push(ln(a.tiles.get(level).copied().unwrap_or(1) as f64));
+                }
+            }
+            None => f.extend([0.0f32; 5]),
+        }
+    }
+    f.resize(ORACLE_FEATURE_DIM, 0.0);
+    Some(f)
+}
+
+/// Width of the oracle feature vector.
+pub const ORACLE_FEATURE_DIM: usize = 96;
+
+/// Builds a [`TrainData`] over program features for the baseline models.
+pub fn program_feature_data(ds: &Dataset, tasks: &[&TaskData], platform_idx: usize) -> TrainData {
+    let _ = ds;
+    let groups = tasks
+        .iter()
+        .filter(|t| !t.programs.is_empty())
+        .map(|t| {
+            let mut features = Vec::new();
+            let mut labels = Vec::new();
+            let task_labels = t.labels(platform_idx);
+            for (r, &label) in t.programs.iter().zip(&task_labels) {
+                if let Some(f) = program_features(&t.subgraph, &r.schedule) {
+                    features.extend(f);
+                    labels.push(label);
+                }
+            }
+            crate::train::GroupData { features, labels }
+        })
+        .collect();
+    TrainData {
+        feature_size: PROGRAM_FEATURE_DIM,
+        groups,
+    }
+}
+
+/// The TenSet-MLP baseline cost model (paper §2): an MLP over program
+/// features, pre-trained offline with rank loss.
+#[derive(Debug)]
+pub struct TenSetMlp {
+    /// Training hyper-parameters (epochs, lr, batch size reused from TLP's).
+    pub config: TlpConfig,
+    /// Learnable parameters.
+    pub store: ParamStore,
+    mlp: Mlp,
+}
+
+impl TenSetMlp {
+    /// Creates the model (layer widths `[dim, h, h, 1]`).
+    pub fn new(config: TlpConfig) -> Self {
+        let mut store = ParamStore::new();
+        let mut rng = SmallRng::seed_from_u64(config.seed ^ 0x7e5e);
+        let h = config.hidden.max(16) * 2;
+        let mlp = Mlp::new(
+            &mut store,
+            &mut rng,
+            "tenset_mlp",
+            &[PROGRAM_FEATURE_DIM, h, h, 1],
+        );
+        TenSetMlp { config, store, mlp }
+    }
+
+    /// Scores a row-major feature batch (higher = predicted faster).
+    pub fn predict(&self, features: &[f32]) -> Vec<f32> {
+        if features.is_empty() {
+            return Vec::new();
+        }
+        let n = features.len() / PROGRAM_FEATURE_DIM;
+        let mut g = Graph::new();
+        let mut bind = Binding::new();
+        let x = g.constant(Tensor::from_vec(
+            features.to_vec(),
+            &[n, PROGRAM_FEATURE_DIM],
+        ));
+        let mut f = tlp_nn::Fwd::new(&mut g, &self.store, &mut bind);
+        let y = self.mlp.forward(&mut f, x);
+        let y = g.reshape(y, &[n]);
+        g.value(y).data().to_vec()
+    }
+
+    /// Trains with rank loss on task-grouped program features, returning
+    /// per-epoch losses.
+    pub fn train(&mut self, data: &TrainData) -> Vec<f32> {
+        assert_eq!(data.feature_size, PROGRAM_FEATURE_DIM);
+        let mut opt = Adam::new(self.config.learning_rate);
+        let mut rng = SmallRng::seed_from_u64(self.config.seed ^ 0x515);
+        let bs = self.config.batch_size.max(2);
+        let mut epoch_losses = Vec::new();
+        for epoch in 0..self.config.epochs {
+            opt.set_learning_rate(self.config.learning_rate * 0.9f32.powi(epoch as i32));
+            let mut order: Vec<usize> = (0..data.groups.len()).collect();
+            order.shuffle(&mut rng);
+            let mut total = 0.0f64;
+            let mut batches = 0usize;
+            for &gi in &order {
+                let group = &data.groups[gi];
+                let n = group.labels.len();
+                if n < 2 {
+                    continue;
+                }
+                let mut sample_order: Vec<usize> = (0..n).collect();
+                sample_order.shuffle(&mut rng);
+                for chunk in sample_order.chunks(bs) {
+                    if chunk.len() < 2 {
+                        continue;
+                    }
+                    let mut feats = Vec::with_capacity(chunk.len() * PROGRAM_FEATURE_DIM);
+                    let mut labels = Vec::with_capacity(chunk.len());
+                    for &i in chunk {
+                        feats.extend_from_slice(
+                            &group.features
+                                [i * PROGRAM_FEATURE_DIM..(i + 1) * PROGRAM_FEATURE_DIM],
+                        );
+                        labels.push(group.labels[i]);
+                    }
+                    let mut g = Graph::new();
+                    let mut bind = Binding::new();
+                    let x = g.constant(Tensor::from_vec(
+                        feats,
+                        &[chunk.len(), PROGRAM_FEATURE_DIM],
+                    ));
+                    let scores = {
+                        let mut f = tlp_nn::Fwd::new(&mut g, &self.store, &mut bind);
+                        let y = self.mlp.forward(&mut f, x);
+                        g.reshape(y, &[chunk.len()])
+                    };
+                    let loss = lambda_rank_loss(&mut g, scores, &labels);
+                    g.backward(loss);
+                    bind.harvest(&g, &mut self.store);
+                    self.store.clip_grad_norm(5.0);
+                    opt.step(&mut self.store);
+                    total += g.value(loss).item() as f64;
+                    batches += 1;
+                }
+            }
+            epoch_losses.push(if batches > 0 {
+                (total / batches as f64) as f32
+            } else {
+                0.0
+            });
+        }
+        epoch_losses
+    }
+}
+
+/// Ansor's online cost model: a GBDT retrained on the measurements collected
+/// during the current tuning session (no offline data).
+#[derive(Debug)]
+pub struct AnsorOnlineModel {
+    features: Vec<f32>,
+    targets: Vec<f32>,
+    model: Option<Gbdt>,
+    params: GbdtParams,
+    refit_every: usize,
+    since_fit: usize,
+}
+
+impl AnsorOnlineModel {
+    /// Creates an empty online model.
+    pub fn new() -> Self {
+        AnsorOnlineModel {
+            features: Vec::new(),
+            targets: Vec::new(),
+            model: None,
+            params: GbdtParams {
+                n_trees: 30,
+                ..GbdtParams::default()
+            },
+            refit_every: 1,
+            since_fit: 0,
+        }
+    }
+
+    /// Number of training records absorbed so far.
+    pub fn num_records(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Adds measured programs (target: throughput score `1/latency`, log-scaled)
+    /// and refits.
+    pub fn absorb(&mut self, subgraph: &Subgraph, schedules: &[ScheduleSequence], latencies: &[f64]) {
+        for (s, &l) in schedules.iter().zip(latencies) {
+            if let Some(f) = program_features(subgraph, s) {
+                self.features.extend(f);
+                self.targets.push(-(l.max(1e-12).ln()) as f32);
+            }
+        }
+        self.since_fit += 1;
+        if self.since_fit >= self.refit_every && self.targets.len() >= 8 {
+            self.model = Some(Gbdt::fit(
+                &self.features,
+                PROGRAM_FEATURE_DIM,
+                &self.targets,
+                &self.params,
+            ));
+            self.since_fit = 0;
+        }
+    }
+
+    /// Scores schedules (higher = predicted faster). Before any data is
+    /// absorbed every schedule scores 0 (random search phase).
+    pub fn score(&self, subgraph: &Subgraph, schedules: &[ScheduleSequence]) -> Vec<f32> {
+        schedules
+            .iter()
+            .map(|s| match (&self.model, program_features(subgraph, s)) {
+                (Some(m), Some(f)) => m.predict(&f),
+                _ => 0.0,
+            })
+            .collect()
+    }
+}
+
+impl Default for AnsorOnlineModel {
+    fn default() -> Self {
+        AnsorOnlineModel::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tlp_autotuner::{Candidate, SketchPolicy};
+    use tlp_workload::AnchorOp;
+
+    fn sg() -> Subgraph {
+        Subgraph::new("d", AnchorOp::Dense { m: 128, n: 128, k: 128 })
+    }
+
+    #[test]
+    fn program_features_fixed_width() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let c = Candidate::random(&SketchPolicy::cpu(), &sg(), &mut rng);
+        let f = program_features(&sg(), &c.sequence).expect("features");
+        assert_eq!(f.len(), PROGRAM_FEATURE_DIM);
+        assert!(f.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn oracle_features_extend_standard() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let c = Candidate::random(&SketchPolicy::cpu(), &sg(), &mut rng);
+        let std_f = program_features(&sg(), &c.sequence).unwrap();
+        let oracle = program_features_oracle(&sg(), &c.sequence).unwrap();
+        assert_eq!(std_f.len(), PROGRAM_FEATURE_DIM);
+        assert_eq!(oracle.len(), ORACLE_FEATURE_DIM);
+        assert!(oracle.len() > std_f.len());
+        // The oracle vector starts with the standard (unpadded) features.
+        let unpadded = std_f.iter().rposition(|&x| x != 0.0).map(|i| i + 1).unwrap_or(0);
+        assert_eq!(&oracle[..unpadded], &std_f[..unpadded]);
+        assert!(oracle.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn tenset_mlp_trains() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let policy = SketchPolicy::cpu();
+        let subgraph = sg();
+        let sim = tlp_hwsim::Simulator::new();
+        let platform = tlp_hwsim::Platform::i7_10510u();
+        let mut features = Vec::new();
+        let mut lats = Vec::new();
+        for _ in 0..40 {
+            let c = Candidate::random(&policy, &subgraph, &mut rng);
+            if let Some(f) = program_features(&subgraph, &c.sequence) {
+                let spec = lower(&subgraph, &c.sequence).unwrap();
+                features.extend(f);
+                lats.push(sim.latency(&platform, &subgraph, &spec, c.sequence.fingerprint()));
+            }
+        }
+        let min = lats.iter().cloned().fold(f64::INFINITY, f64::min);
+        let labels: Vec<f32> = lats.iter().map(|&l| (min / l) as f32).collect();
+        let data = TrainData {
+            feature_size: PROGRAM_FEATURE_DIM,
+            groups: vec![crate::train::GroupData { features, labels }],
+        };
+        let mut model = TenSetMlp::new(TlpConfig {
+            epochs: 8,
+            ..TlpConfig::test_scale()
+        });
+        let losses = model.train(&data);
+        assert!(losses.last().unwrap() < losses.first().unwrap());
+    }
+
+    #[test]
+    fn ansor_online_learns_from_measurements() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let policy = SketchPolicy::cpu();
+        let subgraph = sg();
+        let sim = tlp_hwsim::Simulator::new();
+        let platform = tlp_hwsim::Platform::i7_10510u();
+        let mut model = AnsorOnlineModel::new();
+        let mut schedules = Vec::new();
+        let mut lats = Vec::new();
+        for _ in 0..60 {
+            let c = Candidate::random(&policy, &subgraph, &mut rng);
+            if let Ok(spec) = lower(&subgraph, &c.sequence) {
+                lats.push(sim.latency(&platform, &subgraph, &spec, c.sequence.fingerprint()));
+                schedules.push(c.sequence);
+            }
+        }
+        // Before data: zero scores.
+        assert!(model
+            .score(&subgraph, &schedules[..3])
+            .iter()
+            .all(|&s| s == 0.0));
+        model.absorb(&subgraph, &schedules, &lats);
+        assert!(model.num_records() > 0);
+        let scores = model.score(&subgraph, &schedules);
+        // Rank correlation with the truth should be clearly positive.
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for i in 0..schedules.len() {
+            for j in (i + 1)..schedules.len() {
+                total += 1;
+                if (scores[i] > scores[j]) == (lats[i] < lats[j]) {
+                    hits += 1;
+                }
+            }
+        }
+        let acc = hits as f64 / total as f64;
+        assert!(acc > 0.7, "pairwise accuracy {acc}");
+    }
+}
+
+/// TenSet's transfer-learning scheme (paper §6.3/§7): keep a model trained on
+/// a *source* platform and fit a lightweight local model that corrects it
+/// toward the *target* platform from a handful of target measurements.
+///
+/// The local model is a GBDT over the program features plus the source
+/// model's score (stacking) — the closest dataset-based analogue of TenSet's
+/// "local model that predicts the gap between the source and target".
+#[derive(Debug)]
+pub struct TenSetTransfer {
+    source: TenSetMlp,
+    local: Option<Gbdt>,
+}
+
+impl TenSetTransfer {
+    /// Wraps a source-platform-trained TenSet-MLP.
+    pub fn new(source: TenSetMlp) -> Self {
+        TenSetTransfer {
+            source,
+            local: None,
+        }
+    }
+
+    /// Whether the local correction model has been fit.
+    pub fn has_local(&self) -> bool {
+        self.local.is_some()
+    }
+
+    fn stacked_features(&self, program_feats: &[f32]) -> Vec<f32> {
+        let n = program_feats.len() / PROGRAM_FEATURE_DIM;
+        let src = self.source.predict(program_feats);
+        let mut out = Vec::with_capacity(n * (PROGRAM_FEATURE_DIM + 1));
+        for (row, &s) in program_feats.chunks(PROGRAM_FEATURE_DIM).zip(&src) {
+            out.extend_from_slice(row);
+            out.push(s);
+        }
+        out
+    }
+
+    /// Fits the local model on target-platform labelled data (task-grouped
+    /// program features, as produced by [`program_feature_data`]).
+    pub fn fit_local(&mut self, target: &crate::train::TrainData) {
+        assert_eq!(target.feature_size, PROGRAM_FEATURE_DIM);
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for g in &target.groups {
+            let stacked = self.stacked_features(&g.features);
+            features.extend(stacked);
+            labels.extend_from_slice(&g.labels);
+        }
+        if labels.len() >= 8 {
+            self.local = Some(Gbdt::fit(
+                &features,
+                PROGRAM_FEATURE_DIM + 1,
+                &labels,
+                &GbdtParams {
+                    n_trees: 40,
+                    ..GbdtParams::default()
+                },
+            ));
+        }
+    }
+
+    /// Scores a batch of program-feature rows for the target platform
+    /// (higher = predicted faster). Falls back to the raw source model until
+    /// the local model is fit.
+    pub fn predict(&self, program_feats: &[f32]) -> Vec<f32> {
+        match &self.local {
+            Some(local) => {
+                let stacked = self.stacked_features(program_feats);
+                local.predict_batch(&stacked)
+            }
+            None => self.source.predict(program_feats),
+        }
+    }
+}
+
+#[cfg(test)]
+mod transfer_tests {
+    use super::*;
+    use crate::config::TlpConfig;
+    use crate::train::GroupData;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use tlp_autotuner::{Candidate, SketchPolicy};
+    use tlp_hwsim::{Platform, Simulator};
+    use tlp_workload::AnchorOp;
+
+    /// Program features + labels for one subgraph on one platform.
+    fn task_data(platform: &Platform, seed: u64, n: usize) -> crate::train::TrainData {
+        let sg = Subgraph::new("d", AnchorOp::Dense { m: 256, n: 256, k: 256 });
+        let policy = SketchPolicy::cpu();
+        let sim = Simulator::new();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut features = Vec::new();
+        let mut lats = Vec::new();
+        while lats.len() < n {
+            let c = Candidate::random(&policy, &sg, &mut rng);
+            if let Some(f) = program_features(&sg, &c.sequence) {
+                let spec = lower(&sg, &c.sequence).unwrap();
+                features.extend(f);
+                lats.push(sim.latency(platform, &sg, &spec, c.sequence.fingerprint()));
+            }
+        }
+        let min = lats.iter().cloned().fold(f64::INFINITY, f64::min);
+        let labels = lats.iter().map(|&l| (min / l) as f32).collect();
+        crate::train::TrainData {
+            feature_size: PROGRAM_FEATURE_DIM,
+            groups: vec![GroupData { features, labels }],
+        }
+    }
+
+    #[test]
+    fn local_model_improves_target_ranking() {
+        let source_platform = Platform::platinum_8272();
+        let target_platform = Platform::graviton2(); // very different arch
+        // Train the source model on source-platform labels.
+        let source_data = task_data(&source_platform, 1, 80);
+        let mut source = TenSetMlp::new(TlpConfig {
+            epochs: 8,
+            ..TlpConfig::test_scale()
+        });
+        source.train(&source_data);
+        let mut transfer = TenSetTransfer::new(source);
+        assert!(!transfer.has_local());
+
+        // Evaluate pairwise ranking accuracy on fresh target data.
+        let eval = task_data(&target_platform, 2, 60);
+        let pairwise = |scores: &[f32], labels: &[f32]| -> f64 {
+            let mut hit = 0usize;
+            let mut total = 0usize;
+            for i in 0..labels.len() {
+                for j in (i + 1)..labels.len() {
+                    if (labels[i] - labels[j]).abs() < 1e-6 {
+                        continue;
+                    }
+                    total += 1;
+                    if (scores[i] > scores[j]) == (labels[i] > labels[j]) {
+                        hit += 1;
+                    }
+                }
+            }
+            hit as f64 / total.max(1) as f64
+        };
+        let g = &eval.groups[0];
+        let before = pairwise(&transfer.predict(&g.features), &g.labels);
+
+        // Fit the local gap model with a small target slice.
+        let target_small = task_data(&target_platform, 3, 30);
+        transfer.fit_local(&target_small);
+        assert!(transfer.has_local());
+        let after = pairwise(&transfer.predict(&g.features), &g.labels);
+        assert!(
+            after >= before - 0.02,
+            "local model must not hurt: {before:.3} -> {after:.3}"
+        );
+        assert!(after > 0.55, "transferred ranking accuracy {after:.3}");
+    }
+}

@@ -1,0 +1,178 @@
+//! `tlp-cli` — command-line front end for the TLP reproduction.
+//!
+//! ```text
+//! tlp-cli stats                         dataset statistics (Fig. 6 / Table 1)
+//! tlp-cli train <model.json>            train TLP and snapshot it
+//! tlp-cli eval <model.json>             top-k of a snapshot on the test set
+//! tlp-cli tune <network> [model.json]   tune a workload (random or TLP-guided)
+//! tlp-cli platforms                     list simulated platforms
+//! ```
+//!
+//! Sizes follow `TLP_SCALE` (test|small|medium|paper; default small).
+
+use tlp::experiments::{capped_train_tasks, eval_tlp, Scale};
+use tlp::features::FeatureExtractor;
+use tlp::persist::{snapshot_tlp, SavedTlp};
+use tlp::search::TlpCostModel;
+use tlp::train::{train_tlp, TrainData};
+use tlp::TlpModel;
+use tlp_autotuner::{tune_network, CostModel, EvolutionConfig, RandomModel, TuningOptions};
+use tlp_hwsim::Platform;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("stats") => cmd_stats(),
+        Some("train") => cmd_train(args.get(1).map(String::as_str)),
+        Some("eval") => cmd_eval(args.get(1).map(String::as_str)),
+        Some("tune") => cmd_tune(args.get(1).map(String::as_str), args.get(2).map(String::as_str)),
+        Some("platforms") => cmd_platforms(),
+        _ => {
+            eprintln!(
+                "usage: tlp-cli <stats|train|eval|tune|platforms> [args]\n\
+                 \n\
+                 stats                        dataset statistics\n\
+                 train <model.json>           train TLP on the CPU dataset (i7 target)\n\
+                 eval <model.json>            evaluate a snapshot's top-k\n\
+                 tune <network> [model.json]  tune a workload (resnet-50, mobilenet-v2,\n\
+                 \x20                            resnext-50, bert-tiny, bert-base)\n\
+                 platforms                    list simulated platforms"
+            );
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn cmd_platforms() -> i32 {
+    println!("{:<16} {:>6} {:>9} {:>12} {:>10}", "name", "cores", "GHz", "peak GF/s", "DRAM GB/s");
+    for p in Platform::all() {
+        println!(
+            "{:<16} {:>6} {:>9.2} {:>12.0} {:>10.0}",
+            p.name, p.cores, p.freq_ghz, p.peak_gflops(), p.dram_gbps
+        );
+    }
+    0
+}
+
+fn cmd_stats() -> i32 {
+    let scale = Scale::from_env();
+    let ds = scale.cpu_dataset();
+    println!("tasks: {}  programs: {}", ds.tasks.len(), ds.num_programs());
+    let u = tlp_dataset::uniqueness(&ds);
+    println!(
+        "distinct sequences: {} (repetition rate {:.3}%)",
+        u.distinct,
+        u.repetition_rate() * 100.0
+    );
+    println!("max sequence length: {}", tlp_dataset::max_sequence_length(&ds));
+    for (k, s) in tlp_dataset::max_embedding_sizes(&ds) {
+        println!("  {:<4} max embedding size {s}", k.abbrev());
+    }
+    0
+}
+
+fn cmd_train(path: Option<&str>) -> i32 {
+    let Some(path) = path else {
+        eprintln!("train: missing output path");
+        return 2;
+    };
+    let scale = Scale::from_env();
+    let ds = scale.cpu_dataset();
+    let target = ds.platform_index("i7-10510u").expect("platform");
+    let cfg = scale.tlp_config();
+    let extractor = FeatureExtractor::fit(&ds, cfg.seq_len, cfg.emb_size);
+    let data = TrainData::from_tasks(
+        &capped_train_tasks(&ds, scale.max_train_tasks),
+        &extractor,
+        target,
+    );
+    println!("training on {} samples…", data.num_samples());
+    let mut model = TlpModel::new(cfg);
+    let losses = train_tlp(&mut model, &data);
+    println!("epoch losses: {losses:?}");
+    let (t1, t5) = eval_tlp(&model, &extractor, &ds, target);
+    println!("top-1 {t1:.4}  top-5 {t5:.4}");
+    match snapshot_tlp(&model, &extractor).save(path) {
+        Ok(()) => {
+            println!("saved snapshot to {path}");
+            0
+        }
+        Err(e) => {
+            eprintln!("train: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_eval(path: Option<&str>) -> i32 {
+    let Some(path) = path else {
+        eprintln!("eval: missing model path");
+        return 2;
+    };
+    let snap = match SavedTlp::load(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("eval: {e}");
+            return 1;
+        }
+    };
+    let (model, extractor) = snap.restore_tlp();
+    let scale = Scale::from_env();
+    let ds = scale.cpu_dataset();
+    let target = ds.platform_index("i7-10510u").expect("platform");
+    let (t1, t5) = eval_tlp(&model, &extractor, &ds, target);
+    println!("top-1 {t1:.4}  top-5 {t5:.4}");
+    0
+}
+
+fn cmd_tune(network: Option<&str>, model_path: Option<&str>) -> i32 {
+    let Some(name) = network else {
+        eprintln!("tune: missing network name");
+        return 2;
+    };
+    let Some(net) = tlp_workload::test_networks()
+        .into_iter()
+        .find(|n| n.name == name)
+    else {
+        eprintln!("tune: unknown network `{name}`");
+        return 2;
+    };
+    let platform = Platform::i7_10510u();
+    let opts = TuningOptions {
+        rounds: net.num_tasks() * 2,
+        programs_per_round: 10,
+        evolution: EvolutionConfig {
+            population: 24,
+            generations: 2,
+            ..EvolutionConfig::default()
+        },
+        ..TuningOptions::default()
+    };
+    let mut model: Box<dyn CostModel> = match model_path {
+        Some(p) => match SavedTlp::load(p) {
+            Ok(snap) => {
+                let (m, ex) = snap.restore_tlp();
+                println!("tuning with TLP snapshot {p}");
+                Box::new(TlpCostModel::new(m, ex))
+            }
+            Err(e) => {
+                eprintln!("tune: {e}");
+                return 1;
+            }
+        },
+        None => {
+            println!("tuning with the random baseline (pass a snapshot for TLP guidance)");
+            Box::new(RandomModel::new(1))
+        }
+    };
+    let report = tune_network(&net, &platform, model.as_mut(), &opts);
+    println!(
+        "{}: final workload latency {:.3} ms after {:.0} s simulated search ({} measurements)",
+        net.name,
+        report.final_latency_s() * 1e3,
+        report.total_search_time_s(),
+        report.measurements
+    );
+    0
+}

@@ -1,0 +1,124 @@
+//! TLP model and training configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Backbone basic module (paper §4.4 / Table 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Backbone {
+    /// One multi-head self-attention layer (the paper's best choice).
+    Attention,
+    /// One LSTM layer.
+    Lstm,
+    /// A full transformer-encoder layer (attention + feed-forward with layer
+    /// norms) — the paper's §8 "more mature NLP techniques" extension. The
+    /// paper found one plain attention layer sufficient (§6.1.3); this
+    /// variant lets that claim be re-tested.
+    Transformer,
+}
+
+/// Training loss (paper §6.1.1 / Table 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LossKind {
+    /// LambdaRank listwise ranking loss (the paper's best choice).
+    Rank,
+    /// Mean squared error on the normalized-latency label.
+    Mse,
+}
+
+/// Hyper-parameters of the TLP cost model.
+///
+/// Paper defaults: sequence length 25, embedding size 22, hidden width 256,
+/// 8 heads, 2 residual blocks, attention + rank loss. The default here uses
+/// a reduced hidden width so the full experiment harness runs on one CPU
+/// core; pass `TlpConfig::paper_scale()` for the paper's widths.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TlpConfig {
+    /// Cropped/padded schedule-sequence length (paper: 25).
+    pub seq_len: usize,
+    /// Cropped/padded per-primitive embedding size (paper: 22).
+    pub emb_size: usize,
+    /// Hidden width after up-sampling (paper: 256).
+    pub hidden: usize,
+    /// Attention heads (paper: 8).
+    pub heads: usize,
+    /// Residual blocks after the backbone (paper: 2).
+    pub res_blocks: usize,
+    /// Backbone basic module.
+    pub backbone: Backbone,
+    /// Training loss.
+    pub loss: LossKind,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size (rank loss groups batches by task).
+    pub batch_size: usize,
+    /// RNG seed for weight init and batch shuffling.
+    pub seed: u64,
+}
+
+impl Default for TlpConfig {
+    fn default() -> Self {
+        TlpConfig {
+            seq_len: 25,
+            emb_size: 22,
+            hidden: 48,
+            heads: 8,
+            res_blocks: 2,
+            backbone: Backbone::Attention,
+            loss: LossKind::Rank,
+            learning_rate: 1e-3,
+            epochs: 6,
+            batch_size: 128,
+            seed: 0x71f0,
+        }
+    }
+}
+
+impl TlpConfig {
+    /// The paper's full-scale architecture (hidden 256, 8 heads).
+    pub fn paper_scale() -> Self {
+        TlpConfig {
+            hidden: 256,
+            epochs: 30,
+            ..TlpConfig::default()
+        }
+    }
+
+    /// A tiny configuration for unit tests. The feature shape stays at the
+    /// paper's 25×22 (smaller crops lose the trailing annotation primitives
+    /// and the split factors — the most predictive features); only the
+    /// network is shrunk.
+    pub fn test_scale() -> Self {
+        TlpConfig {
+            hidden: 16,
+            heads: 4,
+            res_blocks: 1,
+            epochs: 3,
+            batch_size: 32,
+            learning_rate: 3e-3,
+            ..TlpConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_feature_shape() {
+        let c = TlpConfig::default();
+        assert_eq!(c.seq_len, 25);
+        assert_eq!(c.emb_size, 22);
+        assert_eq!(c.res_blocks, 2);
+        assert_eq!(c.backbone, Backbone::Attention);
+        assert_eq!(c.loss, LossKind::Rank);
+    }
+
+    #[test]
+    fn paper_scale_widens_model() {
+        assert_eq!(TlpConfig::paper_scale().hidden, 256);
+        assert!(TlpConfig::paper_scale().hidden % TlpConfig::paper_scale().heads == 0);
+    }
+}

@@ -1,0 +1,204 @@
+//! TLP feature extraction (paper §4.1, Figs. 4–5).
+//!
+//! A schedule primitive is treated as a combination of three basic elements:
+//! primitive type, numeric parameters, and character parameters ("Method 3").
+//! The extractor (`F` in Fig. 4b) maps:
+//!
+//! - `F1`: primitive type → one-hot vector (14-wide here: Ansor's step kinds);
+//! - `F2`: character parameter → vocabulary token;
+//! - `F3`: number → itself.
+//!
+//! Features are concatenated in source order, then post-processed: cropped or
+//! padded to `seq_len × emb_size` and normalized (`ln(1+x)` on parameter
+//! values, which keeps the Euclidean distance between same-kind primitives
+//! with nearby parameters small — the synonym-preserving property of §4.1).
+
+use tlp_dataset::Dataset;
+use tlp_schedule::{preprocess, Element, PrimitiveKind, ScheduleSequence, Vocabulary};
+
+/// The one-hot width of the primitive-type field.
+pub const ONEHOT: usize = PrimitiveKind::ALL.len();
+
+/// A frozen feature-extraction pipeline: vocabulary plus output shape.
+#[derive(Clone, Debug)]
+pub struct FeatureExtractor {
+    vocab: Vocabulary,
+    /// Output sequence length (primitives per program).
+    pub seq_len: usize,
+    /// Output embedding size (features per primitive).
+    pub emb_size: usize,
+}
+
+impl FeatureExtractor {
+    /// Builds an extractor from a dataset corpus: the vocabulary collects all
+    /// character parameters seen in the dataset's schedules.
+    pub fn fit(dataset: &Dataset, seq_len: usize, emb_size: usize) -> Self {
+        let mut builder = Vocabulary::builder();
+        for task in &dataset.tasks {
+            for rec in &task.programs {
+                for p in rec.schedule.iter() {
+                    for e in preprocess(p).elements {
+                        if let Element::Name(n) = e {
+                            builder.observe(&n);
+                        }
+                    }
+                }
+            }
+        }
+        FeatureExtractor {
+            vocab: builder.build(),
+            seq_len,
+            emb_size,
+        }
+    }
+
+    /// Builds an extractor with an explicit vocabulary.
+    pub fn with_vocab(vocab: Vocabulary, seq_len: usize, emb_size: usize) -> Self {
+        FeatureExtractor {
+            vocab,
+            seq_len,
+            emb_size,
+        }
+    }
+
+    /// The extractor's vocabulary.
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Features per program: `seq_len × emb_size` (paper: 25 × 22 = 550).
+    pub fn feature_size(&self) -> usize {
+        self.seq_len * self.emb_size
+    }
+
+    /// Extracts the padded/cropped/normalized feature matrix of one schedule,
+    /// flattened row-major (`seq_len` rows of `emb_size`).
+    pub fn extract(&self, schedule: &ScheduleSequence) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.feature_size()];
+        for (row, p) in schedule.iter().take(self.seq_len).enumerate() {
+            let a = preprocess(p);
+            let slot = &mut out[row * self.emb_size..(row + 1) * self.emb_size];
+            // F1: one-hot type.
+            let kind_idx = a.kind.index();
+            if kind_idx < self.emb_size {
+                slot[kind_idx] = 1.0;
+            }
+            // F2/F3: parameter elements in source order, cropped at emb_size.
+            for (i, e) in a.elements.iter().enumerate() {
+                let col = ONEHOT + i;
+                if col >= self.emb_size {
+                    break;
+                }
+                let raw = match e {
+                    Element::Num(n) => *n as f32,
+                    Element::Name(n) => self.vocab.token(n) as f32,
+                };
+                // ln(1+x) normalization keeps magnitudes comparable.
+                slot[col] = (1.0 + raw.max(0.0)).ln();
+            }
+        }
+        out
+    }
+
+    /// Extracts a batch, flattened as `n × feature_size`.
+    pub fn extract_batch(&self, schedules: &[ScheduleSequence]) -> Vec<f32> {
+        let mut out = Vec::with_capacity(schedules.len() * self.feature_size());
+        for s in schedules {
+            out.extend(self.extract(s));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlp_schedule::ConcretePrimitive;
+
+    fn extractor() -> FeatureExtractor {
+        let mut b = Vocabulary::builder();
+        for w in ["dense", "i", "j", "k", "parallel", "vectorize"] {
+            b.observe(w);
+        }
+        FeatureExtractor::with_vocab(b.build(), 4, 22)
+    }
+
+    fn split(factors: [i64; 2]) -> ConcretePrimitive {
+        ConcretePrimitive::new(PrimitiveKind::Split, "dense")
+            .with_loops(["i"])
+            .with_ints(factors)
+    }
+
+    #[test]
+    fn onehot_kind_set() {
+        let ex = extractor();
+        let seq: ScheduleSequence = [split([8, 4])].into_iter().collect();
+        let f = ex.extract(&seq);
+        assert_eq!(f.len(), 4 * 22);
+        let row0 = &f[..22];
+        assert_eq!(row0[PrimitiveKind::Split.index()], 1.0);
+        let hot: usize = row0[..ONEHOT].iter().filter(|&&x| x != 0.0).count();
+        assert_eq!(hot, 1, "exactly one kind bit");
+    }
+
+    #[test]
+    fn padding_rows_are_zero() {
+        let ex = extractor();
+        let seq: ScheduleSequence = [split([8, 4])].into_iter().collect();
+        let f = ex.extract(&seq);
+        assert!(f[22..].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn cropping_drops_extra_primitives() {
+        let ex = extractor();
+        let seq: ScheduleSequence = (0..10).map(|_| split([8, 4])).collect();
+        let f = ex.extract(&seq);
+        assert_eq!(f.len(), 4 * 22);
+        // All four rows populated.
+        for r in 0..4 {
+            assert!(f[r * 22..(r + 1) * 22].iter().any(|&x| x != 0.0));
+        }
+    }
+
+    #[test]
+    fn same_kind_primitives_are_close_different_kinds_far() {
+        // The synonym-preservation property (paper §4.1): same-kind
+        // primitives with nearby parameters are closer in Euclidean distance
+        // than different-kind primitives.
+        let ex = extractor();
+        let a: ScheduleSequence = [split([8, 4])].into_iter().collect();
+        let b: ScheduleSequence = [split([8, 8])].into_iter().collect();
+        let c: ScheduleSequence = [ConcretePrimitive::new(PrimitiveKind::Annotation, "dense")
+            .with_loops(["i.0"])
+            .with_extras(["parallel"])]
+        .into_iter()
+        .collect();
+        let d2 = |x: &[f32], y: &[f32]| -> f32 {
+            x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum()
+        };
+        let (fa, fb, fc) = (ex.extract(&a), ex.extract(&b), ex.extract(&c));
+        assert!(d2(&fa, &fb) < d2(&fa, &fc));
+    }
+
+    #[test]
+    fn numeric_values_are_log_scaled() {
+        let ex = extractor();
+        let seq: ScheduleSequence = [split([512, 1])].into_iter().collect();
+        let f = ex.extract(&seq);
+        let max = f.iter().cloned().fold(0.0f32, f32::max);
+        assert!(max < 8.0, "log scaling keeps features small, max {max}");
+    }
+
+    #[test]
+    fn batch_concatenates() {
+        let ex = extractor();
+        let seqs: Vec<ScheduleSequence> = vec![
+            [split([8, 4])].into_iter().collect(),
+            [split([4, 4])].into_iter().collect(),
+        ];
+        let b = ex.extract_batch(&seqs);
+        assert_eq!(b.len(), 2 * ex.feature_size());
+        assert_eq!(&b[..ex.feature_size()], ex.extract(&seqs[0]).as_slice());
+    }
+}

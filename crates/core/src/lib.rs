@@ -1,0 +1,64 @@
+//! `tlp` — the core of the TLP (ASPLOS 2023) reproduction: a deep
+//! learning-based cost model for tensor program tuning.
+//!
+//! TLP extracts features **from schedule primitives** instead of from the
+//! lowered tensor program, turning latency prediction into an NLP-style
+//! regression over the "tensor language" (paper §4). MTL-TLP adds one head
+//! per hardware platform to address cross-hardware unavailability (§5).
+//!
+//! Crate map:
+//!
+//! - [`features`]: the TLP feature extractor (Fig. 4/5): one-hot primitive
+//!   type + numeric params + tokenized name params, cropped to 25×22;
+//! - [`model`] / [`mtl`]: the TLP network (Fig. 7) and MTL-TLP (Fig. 8);
+//! - [`train`]: task-grouped training with LambdaRank or MSE loss;
+//! - [`metrics`]: the paper's top-k score (§6.1);
+//! - [`baselines`]: TenSet-MLP and Ansor's online GBDT over hand-extracted
+//!   program features;
+//! - [`pretrain`]: GPT/BERT-style self-supervised baselines (Table 8);
+//! - [`search`]: cost-model adapters for the auto-tuner (§6.3);
+//! - [`experiments`]: shared harness plumbing for the table/figure benches.
+//!
+//! # Example
+//!
+//! Extract TLP features from a schedule:
+//!
+//! ```
+//! use tlp::features::FeatureExtractor;
+//! use tlp_schedule::{ConcretePrimitive, PrimitiveKind, ScheduleSequence, Vocabulary};
+//!
+//! let mut vocab = Vocabulary::builder();
+//! vocab.observe("dense");
+//! vocab.observe("j");
+//! let extractor = FeatureExtractor::with_vocab(vocab.build(), 25, 22);
+//! let seq: ScheduleSequence = [ConcretePrimitive::new(PrimitiveKind::Split, "dense")
+//!     .with_loops(["j"])
+//!     .with_ints([8, 4])]
+//! .into_iter()
+//! .collect();
+//! let features = extractor.extract(&seq);
+//! assert_eq!(features.len(), 25 * 22);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod config;
+pub mod experiments;
+pub mod features;
+pub mod metrics;
+pub mod model;
+pub mod mtl;
+pub mod persist;
+pub mod pretrain;
+pub mod search;
+pub mod train;
+
+pub use config::{Backbone, LossKind, TlpConfig};
+pub use features::FeatureExtractor;
+pub use metrics::top_k_score;
+pub use model::TlpModel;
+pub use mtl::{train_mtl, MtlTlp};
+pub use persist::{snapshot_mtl, snapshot_tlp, SavedTlp};
+pub use search::{AnsorCostModel, MtlTlpCostModel, TenSetMlpCostModel, TlpCostModel};
+pub use train::{train_tlp, TrainData};

@@ -1,0 +1,123 @@
+//! Dataset-based evaluation metrics (paper §6.1).
+//!
+//! The top-k score measures how good a cost model's best-k picks are:
+//!
+//! ```text
+//! top-k = Σ_m Σ_s min_latency(m,s)·weight(m,s)
+//!         ─────────────────────────────────────────────
+//!         Σ_m Σ_s min_{i≤k} latency(m,s,i)·weight(m,s)
+//! ```
+//!
+//! where `latency(m,s,i)` is the true latency of the program ranked `i`-th
+//! by the cost model. A perfect model scores 1.0.
+
+use tlp_dataset::{Dataset, TaskData};
+
+/// Scores a cost model on a dataset's held-out test tasks.
+///
+/// `scorer` returns one predicted score per program of a task (higher =
+/// predicted faster). `platform` selects the label column.
+pub fn top_k_score(
+    ds: &Dataset,
+    platform: usize,
+    k: usize,
+    mut scorer: impl FnMut(&TaskData) -> Vec<f32>,
+) -> f64 {
+    let mut numer = 0.0f64;
+    let mut denom = 0.0f64;
+    for task in ds.test_tasks() {
+        if task.programs.is_empty() {
+            continue;
+        }
+        let scores = scorer(task);
+        assert_eq!(
+            scores.len(),
+            task.programs.len(),
+            "scorer must rank every program"
+        );
+        let best_of_topk = top_k_latency(task, platform, k, &scores);
+        let w = task.weight as f64;
+        numer += task.min_latency(platform) * w;
+        denom += best_of_topk * w;
+    }
+    if denom == 0.0 {
+        0.0
+    } else {
+        numer / denom
+    }
+}
+
+/// The minimum true latency among the `k` programs the scorer ranks highest.
+fn top_k_latency(task: &TaskData, platform: usize, k: usize, scores: &[f32]) -> f64 {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    idx.into_iter()
+        .take(k.max(1))
+        .map(|i| task.programs[i].latencies[platform])
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlp_dataset::ProgramRecord;
+    use tlp_schedule::ScheduleSequence;
+    use tlp_workload::{AnchorOp, Subgraph};
+
+    fn ds_with_latencies(lats: &[f64]) -> Dataset {
+        Dataset {
+            platforms: vec![tlp_hwsim::Platform::i7_10510u()],
+            tasks: vec![TaskData {
+                subgraph: Subgraph::new("d", AnchorOp::Dense { m: 1, n: 1, k: 1 }),
+                weight: 2,
+                from_test_set: true,
+                programs: lats
+                    .iter()
+                    .map(|&l| ProgramRecord {
+                        schedule: ScheduleSequence::new(),
+                        latencies: vec![l],
+                    })
+                    .collect(),
+            }],
+        }
+    }
+
+    #[test]
+    fn perfect_scorer_hits_one() {
+        let ds = ds_with_latencies(&[3e-3, 1e-3, 2e-3]);
+        // Score = -latency: perfect ranking.
+        let s = top_k_score(&ds, 0, 1, |t| {
+            t.programs.iter().map(|r| -(r.latencies[0] as f32)).collect()
+        });
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverted_scorer_scores_below_one() {
+        let ds = ds_with_latencies(&[3e-3, 1e-3, 2e-3]);
+        let s = top_k_score(&ds, 0, 1, |t| {
+            t.programs.iter().map(|r| r.latencies[0] as f32).collect()
+        });
+        assert!((s - 1.0 / 3.0).abs() < 1e-9, "picked the slowest: 1ms/3ms");
+    }
+
+    #[test]
+    fn top5_forgives_mistakes_topk_monotone() {
+        let ds = ds_with_latencies(&[3e-3, 1e-3, 2e-3, 5e-3, 4e-3, 6e-3]);
+        let bad = |t: &TaskData| -> Vec<f32> {
+            t.programs.iter().map(|r| r.latencies[0] as f32).collect()
+        };
+        let s1 = top_k_score(&ds, 0, 1, bad);
+        let s5 = top_k_score(&ds, 0, 5, bad);
+        let s6 = top_k_score(&ds, 0, 6, bad);
+        assert!(s5 >= s1);
+        // Inverted ranking: top-5 of 6 misses only the true best (1 ms),
+        // its best pick is 2 ms → score 0.5; top-6 covers everything.
+        assert!((s5 - 0.5).abs() < 1e-9, "s5 {s5}");
+        assert!((s6 - 1.0).abs() < 1e-9, "s6 {s6}");
+    }
+}

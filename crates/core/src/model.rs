@@ -1,0 +1,293 @@
+//! The TLP cost-model architecture (paper §4.4, Fig. 7).
+//!
+//! Input `[N, L, E_l]` features are up-sampled by linear layers, passed
+//! through the backbone basic module (one 8-head self-attention layer or one
+//! LSTM layer), then two residual blocks, final linear layers, and a sum over
+//! the sequence produces the score. The red-box *backbone* (upsampling +
+//! basic module) is shared across tasks in MTL-TLP; the blue-box *head*
+//! (residual blocks + output linears + sum) is per-task.
+
+use crate::config::{Backbone, TlpConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tlp_nn::{
+    Binding, Fwd, Graph, LayerNorm, Linear, Lstm, MultiHeadSelfAttention, ParamStore,
+    ResidualBlock, Tensor, Var,
+};
+
+/// The shared portion of the network: up-sampling linears + basic module +
+/// residual blocks. Sharing the residual blocks keeps the per-task heads
+/// small — the paper's "non-shared parameters fit hardware-dependent
+/// features" are a thin slice on top of a hardware-independent trunk.
+#[derive(Clone, Debug)]
+pub struct TlpBackbone {
+    up1: Linear,
+    up2: Linear,
+    module: BackboneModule,
+    res: Vec<ResidualBlock>,
+    /// Hidden width.
+    pub hidden: usize,
+}
+
+#[derive(Clone, Debug)]
+enum BackboneModule {
+    Attention(MultiHeadSelfAttention),
+    Lstm(Lstm),
+    Transformer {
+        attn: MultiHeadSelfAttention,
+        ln1: LayerNorm,
+        ff1: Linear,
+        ff2: Linear,
+        ln2: LayerNorm,
+    },
+}
+
+impl TlpBackbone {
+    /// Registers backbone parameters.
+    pub fn new(store: &mut ParamStore, rng: &mut SmallRng, config: &TlpConfig) -> Self {
+        let up1 = Linear::new(store, rng, "backbone.up1", config.emb_size, config.hidden);
+        let up2 = Linear::new(store, rng, "backbone.up2", config.hidden, config.hidden);
+        let module = match config.backbone {
+            Backbone::Attention => BackboneModule::Attention(MultiHeadSelfAttention::new(
+                store,
+                rng,
+                "backbone.attn",
+                config.hidden,
+                config.heads,
+            )),
+            Backbone::Lstm => BackboneModule::Lstm(Lstm::new(
+                store,
+                rng,
+                "backbone.lstm",
+                config.hidden,
+                config.hidden,
+            )),
+            Backbone::Transformer => BackboneModule::Transformer {
+                attn: MultiHeadSelfAttention::new(
+                    store,
+                    rng,
+                    "backbone.tx.attn",
+                    config.hidden,
+                    config.heads,
+                ),
+                ln1: LayerNorm::new(store, "backbone.tx.ln1", config.hidden),
+                ff1: Linear::new(store, rng, "backbone.tx.ff1", config.hidden, config.hidden * 2),
+                ff2: Linear::new(store, rng, "backbone.tx.ff2", config.hidden * 2, config.hidden),
+                ln2: LayerNorm::new(store, "backbone.tx.ln2", config.hidden),
+            },
+        };
+        let res = (0..config.res_blocks)
+            .map(|i| ResidualBlock::new(store, rng, &format!("backbone.res{i}"), config.hidden))
+            .collect();
+        TlpBackbone {
+            up1,
+            up2,
+            module,
+            res,
+            hidden: config.hidden,
+        }
+    }
+
+    /// Maps `[n, l, emb]` features to `[n, l, hidden]` context features.
+    pub fn forward(&self, f: &mut Fwd<'_>, x: Var) -> Var {
+        let h = self.up1.forward(f, x);
+        let h = f.g.relu(h);
+        let h = self.up2.forward(f, h);
+        let h = f.g.relu(h);
+        let mut h = match &self.module {
+            BackboneModule::Attention(attn) => {
+                // Residual connection around the attention module keeps the
+                // up-sampled features flowing to the head.
+                let a = attn.forward(f, h);
+                f.g.add(h, a)
+            }
+            BackboneModule::Lstm(lstm) => lstm.forward(f, h),
+            BackboneModule::Transformer { attn, ln1, ff1, ff2, ln2 } => {
+                // Post-norm transformer encoder layer.
+                let a = attn.forward(f, h);
+                let h1 = f.g.add(h, a);
+                let h1 = ln1.forward(f, h1);
+                let m = ff1.forward(f, h1);
+                let m = f.g.relu(m);
+                let m = ff2.forward(f, m);
+                let h2 = f.g.add(h1, m);
+                ln2.forward(f, h2)
+            }
+        };
+        for block in &self.res {
+            h = block.forward(f, h);
+        }
+        h
+    }
+}
+
+/// The per-task portion: output linears + sequence sum. Deliberately thin so
+/// a platform head can be fit with little labelled target data (paper §5.3).
+#[derive(Clone, Debug)]
+pub struct TlpHead {
+    out1: Linear,
+    out2: Linear,
+}
+
+impl TlpHead {
+    /// Registers head parameters under `name`.
+    pub fn new(store: &mut ParamStore, rng: &mut SmallRng, name: &str, config: &TlpConfig) -> Self {
+        let mid = (config.hidden / 2).max(1);
+        TlpHead {
+            out1: Linear::new(store, rng, &format!("{name}.out1"), config.hidden, mid),
+            out2: Linear::new(store, rng, &format!("{name}.out2"), mid, 1),
+        }
+    }
+
+    /// Maps `[n, l, hidden]` context features to `[n]` scores.
+    pub fn forward(&self, f: &mut Fwd<'_>, h: Var) -> Var {
+        let h = self.out1.forward(f, h);
+        let h = f.g.relu(h);
+        let h = self.out2.forward(f, h); // [n, l, 1]
+        let shape = f.g.value(h).shape().to_vec();
+        let (n, l) = (shape[0], shape[1]);
+        let h = f.g.reshape(h, &[n, l]);
+        f.g.sum_axis(h, 1)
+    }
+}
+
+/// The single-task TLP cost model.
+#[derive(Debug)]
+pub struct TlpModel {
+    /// Model/training hyper-parameters.
+    pub config: TlpConfig,
+    /// All learnable parameters.
+    pub store: ParamStore,
+    backbone: TlpBackbone,
+    head: TlpHead,
+}
+
+impl TlpModel {
+    /// Creates a model with freshly initialized weights.
+    pub fn new(config: TlpConfig) -> Self {
+        let mut store = ParamStore::new();
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let backbone = TlpBackbone::new(&mut store, &mut rng, &config);
+        let head = TlpHead::new(&mut store, &mut rng, "head", &config);
+        TlpModel {
+            config,
+            store,
+            backbone,
+            head,
+        }
+    }
+
+    /// Forward pass on a tape: `features` is `n × (seq_len·emb_size)`
+    /// row-major; returns the `[n]` score node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` is not a multiple of the feature size.
+    pub fn forward(&self, g: &mut Graph, bind: &mut Binding, features: &[f32], n: usize) -> Var {
+        let fs = self.config.seq_len * self.config.emb_size;
+        assert_eq!(features.len(), n * fs, "feature batch shape mismatch");
+        let x = g.constant(Tensor::from_vec(
+            features.to_vec(),
+            &[n, self.config.seq_len, self.config.emb_size],
+        ));
+        let mut f = Fwd::new(g, &self.store, bind);
+        let h = self.backbone.forward(&mut f, x);
+        self.head.forward(&mut f, h)
+    }
+
+    /// Inference: scores for a feature batch (higher = predicted faster).
+    pub fn predict(&self, features: &[f32]) -> Vec<f32> {
+        let fs = self.config.seq_len * self.config.emb_size;
+        if features.is_empty() {
+            return Vec::new();
+        }
+        let n = features.len() / fs;
+        let mut g = Graph::new();
+        let mut bind = Binding::new();
+        let scores = self.forward(&mut g, &mut bind, features, n);
+        g.value(scores).data().to_vec()
+    }
+
+    /// Borrow of the shared backbone (for MTL construction/diagnostics).
+    pub fn backbone(&self) -> &TlpBackbone {
+        &self.backbone
+    }
+
+    /// Total scalar weight count.
+    pub fn num_weights(&self) -> usize {
+        self.store.num_weights()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LossKind;
+
+    #[test]
+    fn forward_shapes() {
+        let cfg = TlpConfig::test_scale();
+        let model = TlpModel::new(cfg.clone());
+        let fs = cfg.seq_len * cfg.emb_size;
+        let feats = vec![0.1f32; 3 * fs];
+        let scores = model.predict(&feats);
+        assert_eq!(scores.len(), 3);
+        // Identical inputs yield identical scores.
+        assert!((scores[0] - scores[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lstm_backbone_also_works() {
+        let cfg = TlpConfig {
+            backbone: Backbone::Lstm,
+            loss: LossKind::Mse,
+            ..TlpConfig::test_scale()
+        };
+        let model = TlpModel::new(cfg.clone());
+        let fs = cfg.seq_len * cfg.emb_size;
+        let scores = model.predict(&vec![0.2f32; 2 * fs]);
+        assert_eq!(scores.len(), 2);
+    }
+
+    #[test]
+    fn transformer_backbone_works() {
+        let cfg = TlpConfig {
+            backbone: Backbone::Transformer,
+            ..TlpConfig::test_scale()
+        };
+        let model = TlpModel::new(cfg.clone());
+        let fs = cfg.seq_len * cfg.emb_size;
+        let scores = model.predict(&vec![0.3f32; 2 * fs]);
+        assert_eq!(scores.len(), 2);
+        assert!(scores.iter().all(|s| s.is_finite()));
+        // The encoder layer adds weights over the plain attention backbone.
+        let plain = TlpModel::new(TlpConfig::test_scale());
+        assert!(model.num_weights() > plain.num_weights());
+    }
+
+    #[test]
+    fn different_inputs_different_scores() {
+        let cfg = TlpConfig::test_scale();
+        let model = TlpModel::new(cfg.clone());
+        let fs = cfg.seq_len * cfg.emb_size;
+        let mut feats = vec![0.0f32; 2 * fs];
+        for x in feats[..fs].iter_mut() {
+            *x = 1.0;
+        }
+        let scores = model.predict(&feats);
+        assert!((scores[0] - scores[1]).abs() > 1e-6);
+    }
+
+    #[test]
+    fn predict_empty_is_empty() {
+        let model = TlpModel::new(TlpConfig::test_scale());
+        assert!(model.predict(&[]).is_empty());
+    }
+
+    #[test]
+    fn weight_count_scales_with_hidden() {
+        let small = TlpModel::new(TlpConfig::test_scale());
+        let big = TlpModel::new(TlpConfig::default());
+        assert!(big.num_weights() > small.num_weights());
+    }
+}

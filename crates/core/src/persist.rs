@@ -1,0 +1,196 @@
+//! Saving and loading trained cost models.
+//!
+//! A trained TLP model is `(config, vocabulary, weights)`. All three are
+//! plain serde data, so models can be cached to JSON, shipped next to a
+//! compiler install, and reloaded without retraining — the deployment mode
+//! an offline cost model exists for.
+
+use crate::config::TlpConfig;
+use crate::features::FeatureExtractor;
+use crate::model::TlpModel;
+use crate::mtl::MtlTlp;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+use tlp_nn::ParamStore;
+use tlp_schedule::Vocabulary;
+
+/// A serializable snapshot of a trained TLP model + its feature extractor.
+#[derive(Serialize, Deserialize)]
+pub struct SavedTlp {
+    config: TlpConfig,
+    vocab: Vocabulary,
+    seq_len: usize,
+    emb_size: usize,
+    store: ParamStore,
+    /// Number of MTL heads (1 = single-task model).
+    heads: usize,
+}
+
+/// Error loading or saving a model snapshot.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Malformed snapshot.
+    Format(serde_json::Error),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "model snapshot io error: {e}"),
+            PersistError::Format(e) => write!(f, "model snapshot format error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Format(e)
+    }
+}
+
+/// Snapshots a single-task model.
+pub fn snapshot_tlp(model: &TlpModel, extractor: &FeatureExtractor) -> SavedTlp {
+    SavedTlp {
+        config: model.config.clone(),
+        vocab: extractor.vocab().clone(),
+        seq_len: extractor.seq_len,
+        emb_size: extractor.emb_size,
+        store: model.store.clone(),
+        heads: 1,
+    }
+}
+
+/// Snapshots an MTL model (all heads included; head 0 is the target).
+pub fn snapshot_mtl(model: &MtlTlp, extractor: &FeatureExtractor) -> SavedTlp {
+    SavedTlp {
+        config: model.config.clone(),
+        vocab: extractor.vocab().clone(),
+        seq_len: extractor.seq_len,
+        emb_size: extractor.emb_size,
+        store: model.store.clone(),
+        heads: model.num_tasks(),
+    }
+}
+
+impl SavedTlp {
+    /// Writes the snapshot as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] on filesystem or serialization failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        let body = serde_json::to_string(self)?;
+        std::fs::write(path, body)?;
+        Ok(())
+    }
+
+    /// Reads a snapshot from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] on filesystem or deserialization failure.
+    pub fn load(path: impl AsRef<Path>) -> Result<SavedTlp, PersistError> {
+        let body = std::fs::read_to_string(path)?;
+        Ok(serde_json::from_str(&body)?)
+    }
+
+    /// Rebuilds the single-task model and extractor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot was taken from an MTL model (use
+    /// [`SavedTlp::restore_mtl`]).
+    pub fn restore_tlp(&self) -> (TlpModel, FeatureExtractor) {
+        assert_eq!(self.heads, 1, "snapshot holds an MTL model");
+        let mut model = TlpModel::new(self.config.clone());
+        model.store = self.store.clone();
+        let extractor =
+            FeatureExtractor::with_vocab(self.vocab.clone(), self.seq_len, self.emb_size);
+        (model, extractor)
+    }
+
+    /// Rebuilds an MTL model and extractor.
+    pub fn restore_mtl(&self) -> (MtlTlp, FeatureExtractor) {
+        let mut model = MtlTlp::new(self.config.clone(), self.heads);
+        model.store = self.store.clone();
+        let extractor =
+            FeatureExtractor::with_vocab(self.vocab.clone(), self.seq_len, self.emb_size);
+        (model, extractor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlp_schedule::{ConcretePrimitive, PrimitiveKind, ScheduleSequence};
+
+    fn sample_features(ex: &FeatureExtractor) -> Vec<f32> {
+        let seq: ScheduleSequence = [ConcretePrimitive::new(PrimitiveKind::Split, "dense")
+            .with_loops(["i"])
+            .with_ints([64, 8])]
+        .into_iter()
+        .collect();
+        ex.extract(&seq)
+    }
+
+    #[test]
+    fn tlp_snapshot_roundtrip_preserves_predictions() {
+        let cfg = TlpConfig::test_scale();
+        let model = TlpModel::new(cfg.clone());
+        let mut vb = Vocabulary::builder();
+        vb.observe("dense");
+        vb.observe("i");
+        let ex = FeatureExtractor::with_vocab(vb.build(), cfg.seq_len, cfg.emb_size);
+        let feats = sample_features(&ex);
+        let before = model.predict(&feats);
+
+        let dir = std::env::temp_dir().join("tlp_snapshot_test.json");
+        snapshot_tlp(&model, &ex).save(&dir).expect("save");
+        let loaded = SavedTlp::load(&dir).expect("load");
+        let (model2, ex2) = loaded.restore_tlp();
+        let after = model2.predict(&sample_features(&ex2));
+        assert_eq!(before, after);
+        let _ = std::fs::remove_file(dir);
+    }
+
+    #[test]
+    fn mtl_snapshot_roundtrip() {
+        let cfg = TlpConfig::test_scale();
+        let model = MtlTlp::new(cfg.clone(), 3);
+        let ex = FeatureExtractor::with_vocab(
+            Vocabulary::builder().build(),
+            cfg.seq_len,
+            cfg.emb_size,
+        );
+        let snap = snapshot_mtl(&model, &ex);
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: SavedTlp = serde_json::from_str(&json).unwrap();
+        let (model2, _) = back.restore_mtl();
+        assert_eq!(model2.num_tasks(), 3);
+        let feats = sample_features(&ex);
+        for head in 0..3 {
+            assert_eq!(
+                model.predict_task(&feats, head),
+                model2.predict_task(&feats, head)
+            );
+        }
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(matches!(
+            SavedTlp::load("/nonexistent/path/model.json"),
+            Err(PersistError::Io(_))
+        ));
+    }
+}

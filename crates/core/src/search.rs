@@ -1,0 +1,229 @@
+//! Cost-model adapters plugging TLP, MTL-TLP and the baselines into the
+//! auto-tuner's search loop (paper §6.3).
+
+use crate::baselines::{program_features, AnsorOnlineModel, TenSetMlp, PROGRAM_FEATURE_DIM};
+use crate::features::FeatureExtractor;
+use crate::model::TlpModel;
+use crate::mtl::MtlTlp;
+use tlp_autotuner::{CostModel, SearchTask};
+use tlp_schedule::ScheduleSequence;
+
+/// Simulated per-candidate pipeline cost of program-feature models
+/// (seconds): generate the tensor program, extract features, run inference.
+/// Calibrated to the paper's §6.3 observation that five GA rounds take
+/// ~20 s with TenSet-MLP over ~10k candidates.
+pub const PROGRAM_GEN_OVERHEAD_S: f64 = 2.0e-3;
+
+/// Simulated per-candidate pipeline cost of TLP models (seconds): feature
+/// extraction straight from primitives plus batched inference — the same GA
+/// rounds take ~6 s (paper §6.3).
+pub const TLP_PIPELINE_OVERHEAD_S: f64 = 0.6e-3;
+
+/// TLP as a search cost model: features come straight from the schedule
+/// primitives, so no program generation is charged.
+#[derive(Debug)]
+pub struct TlpCostModel {
+    /// The pre-trained model.
+    pub model: TlpModel,
+    /// The frozen feature extractor.
+    pub extractor: FeatureExtractor,
+}
+
+impl TlpCostModel {
+    /// Wraps a pre-trained TLP model.
+    pub fn new(model: TlpModel, extractor: FeatureExtractor) -> Self {
+        TlpCostModel { model, extractor }
+    }
+}
+
+impl CostModel for TlpCostModel {
+    fn predict(&self, _task: &SearchTask, schedules: &[ScheduleSequence]) -> Vec<f32> {
+        let feats = self.extractor.extract_batch(schedules);
+        self.model.predict(&feats)
+    }
+
+    fn name(&self) -> &str {
+        "tlp"
+    }
+
+    fn per_candidate_overhead_s(&self) -> f64 {
+        TLP_PIPELINE_OVERHEAD_S
+    }
+}
+
+/// MTL-TLP (target head) as a search cost model.
+#[derive(Debug)]
+pub struct MtlTlpCostModel {
+    /// The pre-trained multi-task model.
+    pub model: MtlTlp,
+    /// The frozen feature extractor.
+    pub extractor: FeatureExtractor,
+}
+
+impl MtlTlpCostModel {
+    /// Wraps a pre-trained MTL-TLP model.
+    pub fn new(model: MtlTlp, extractor: FeatureExtractor) -> Self {
+        MtlTlpCostModel { model, extractor }
+    }
+}
+
+impl CostModel for MtlTlpCostModel {
+    fn predict(&self, _task: &SearchTask, schedules: &[ScheduleSequence]) -> Vec<f32> {
+        let feats = self.extractor.extract_batch(schedules);
+        self.model.predict(&feats)
+    }
+
+    fn name(&self) -> &str {
+        "mtl-tlp"
+    }
+
+    fn per_candidate_overhead_s(&self) -> f64 {
+        TLP_PIPELINE_OVERHEAD_S
+    }
+}
+
+/// TenSet-MLP as a search cost model: must lower every candidate to a tensor
+/// program before extracting features.
+#[derive(Debug)]
+pub struct TenSetMlpCostModel {
+    /// The pre-trained MLP.
+    pub model: TenSetMlp,
+}
+
+impl TenSetMlpCostModel {
+    /// Wraps a pre-trained TenSet-MLP.
+    pub fn new(model: TenSetMlp) -> Self {
+        TenSetMlpCostModel { model }
+    }
+}
+
+impl CostModel for TenSetMlpCostModel {
+    fn predict(&self, task: &SearchTask, schedules: &[ScheduleSequence]) -> Vec<f32> {
+        let mut feats = Vec::with_capacity(schedules.len() * PROGRAM_FEATURE_DIM);
+        let mut ok = Vec::with_capacity(schedules.len());
+        for s in schedules {
+            match program_features(&task.subgraph, s) {
+                Some(f) => {
+                    feats.extend(f);
+                    ok.push(true);
+                }
+                None => ok.push(false),
+            }
+        }
+        let scores = self.model.predict(&feats);
+        let mut it = scores.into_iter();
+        ok.into_iter()
+            .map(|lowered| {
+                if lowered {
+                    it.next().unwrap_or(f32::NEG_INFINITY)
+                } else {
+                    f32::NEG_INFINITY
+                }
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &str {
+        "tenset-mlp"
+    }
+
+    fn per_candidate_overhead_s(&self) -> f64 {
+        PROGRAM_GEN_OVERHEAD_S
+    }
+}
+
+/// Ansor's online GBDT as a search cost model (learns during tuning only).
+#[derive(Debug, Default)]
+pub struct AnsorCostModel {
+    model: AnsorOnlineModel,
+}
+
+impl AnsorCostModel {
+    /// Creates an empty online model.
+    pub fn new() -> Self {
+        AnsorCostModel {
+            model: AnsorOnlineModel::new(),
+        }
+    }
+
+    /// Number of measurements absorbed so far.
+    pub fn num_records(&self) -> usize {
+        self.model.num_records()
+    }
+}
+
+impl CostModel for AnsorCostModel {
+    fn predict(&self, task: &SearchTask, schedules: &[ScheduleSequence]) -> Vec<f32> {
+        self.model.score(&task.subgraph, schedules)
+    }
+
+    fn update(&mut self, task: &SearchTask, schedules: &[ScheduleSequence], latencies: &[f64]) {
+        self.model.absorb(&task.subgraph, schedules, latencies);
+    }
+
+    fn name(&self) -> &str {
+        "ansor"
+    }
+
+    fn per_candidate_overhead_s(&self) -> f64 {
+        PROGRAM_GEN_OVERHEAD_S
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TlpConfig;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use tlp_autotuner::{Candidate, SketchPolicy};
+    use tlp_hwsim::Platform;
+    use tlp_schedule::Vocabulary;
+    use tlp_workload::{AnchorOp, Subgraph};
+
+    fn task() -> SearchTask {
+        SearchTask::new(
+            Subgraph::new("d", AnchorOp::Dense { m: 64, n: 64, k: 64 }),
+            Platform::i7_10510u(),
+        )
+    }
+
+    fn schedules(n: usize) -> Vec<ScheduleSequence> {
+        let mut rng = SmallRng::seed_from_u64(4);
+        (0..n)
+            .map(|_| {
+                Candidate::random(&SketchPolicy::cpu(), &task().subgraph, &mut rng).sequence
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tlp_pipeline_cheaper_than_program_gen() {
+        let cfg = TlpConfig::test_scale();
+        let ex = FeatureExtractor::with_vocab(Vocabulary::builder().build(), cfg.seq_len, cfg.emb_size);
+        let m = TlpCostModel::new(TlpModel::new(cfg), ex);
+        assert!(m.per_candidate_overhead_s() < PROGRAM_GEN_OVERHEAD_S / 2.0);
+        let scores = m.predict(&task(), &schedules(4));
+        assert_eq!(scores.len(), 4);
+    }
+
+    #[test]
+    fn tenset_model_charges_program_gen() {
+        let m = TenSetMlpCostModel::new(TenSetMlp::new(TlpConfig::test_scale()));
+        assert!(m.per_candidate_overhead_s() > 0.0);
+        let scores = m.predict(&task(), &schedules(4));
+        assert_eq!(scores.len(), 4);
+    }
+
+    #[test]
+    fn ansor_model_updates_online() {
+        let mut m = AnsorCostModel::new();
+        let t = task();
+        let ss = schedules(12);
+        let lats: Vec<f64> = (0..12).map(|i| 1e-3 * (i + 1) as f64).collect();
+        m.update(&t, &ss, &lats);
+        assert!(m.num_records() > 0);
+        let scores = m.predict(&t, &ss);
+        assert_eq!(scores.len(), 12);
+    }
+}

@@ -1,0 +1,43 @@
+//! `tlp-dataset` — TenSet-like tensor-program datasets for the TLP
+//! (ASPLOS 2023) reproduction.
+//!
+//! TenSet (paper §2) collected ~51.57M `(schedule, latency)` pairs over 6
+//! hardware platforms. This crate regenerates an equivalent (scaled-down)
+//! dataset on the simulated platforms:
+//!
+//! - [`generate_dataset`]: samples sketch-policy schedules for every distinct
+//!   subgraph of the training pool + the five held-out test networks and
+//!   measures each on all requested platforms (multi-label records for MTL);
+//! - [`Dataset`] / [`TaskData`] / [`ProgramRecord`]: record types with the
+//!   paper's `min_latency/latency` labels;
+//! - [`stats`]: the paper's dataset analyses (Fig. 6 sequence lengths,
+//!   Table 1 embedding sizes, §4.3 uniqueness).
+//!
+//! # Example
+//!
+//! ```
+//! use tlp_dataset::{generate_dataset_for, DatasetConfig};
+//! use tlp_hwsim::Platform;
+//! use tlp_workload::bert_tiny;
+//!
+//! let ds = generate_dataset_for(
+//!     &[bert_tiny(1, 64)],
+//!     &[],
+//!     &[Platform::i7_10510u()],
+//!     &DatasetConfig { programs_per_task: 8, ..Default::default() },
+//! );
+//! assert!(ds.num_programs() > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod generate;
+pub mod record;
+pub mod stats;
+
+pub use generate::{generate_dataset, generate_dataset_for, DatasetConfig};
+pub use record::{Dataset, ProgramRecord, TaskData};
+pub use stats::{
+    max_embedding_size, max_embedding_sizes, max_sequence_length, sequence_length_distribution,
+    uniqueness, UniquenessStats,
+};

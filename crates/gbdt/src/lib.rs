@@ -1,0 +1,25 @@
+//! `tlp-gbdt` — gradient-boosted regression trees for the TLP (ASPLOS 2023)
+//! reproduction.
+//!
+//! Ansor's online cost model is XGBoost trained on hand-extracted program
+//! features. This crate is a compact, from-scratch substitute: exact-greedy
+//! CART regression trees ([`RegressionTree`]) boosted with shrinkage
+//! ([`Gbdt`]).
+//!
+//! # Example
+//!
+//! ```
+//! use tlp_gbdt::{Gbdt, GbdtParams};
+//! let xs: Vec<f32> = (0..100).map(|i| i as f32 / 50.0).collect();
+//! let ys: Vec<f32> = xs.iter().map(|&x| 3.0 * x + 1.0).collect();
+//! let model = Gbdt::fit(&xs, 1, &ys, &GbdtParams::default());
+//! assert!((model.predict(&[1.0]) - 4.0).abs() < 0.3);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod boost;
+pub mod tree;
+
+pub use boost::{Gbdt, GbdtParams};
+pub use tree::{Node, RegressionTree, TreeParams};

@@ -1,0 +1,242 @@
+//! Regression trees fit by exact greedy variance reduction.
+
+use serde::{Deserialize, Serialize};
+
+/// A node of a regression tree, stored in a flat arena.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Node {
+    /// Terminal node with a predicted value.
+    Leaf {
+        /// The leaf's prediction.
+        value: f32,
+    },
+    /// Binary split on `feature < threshold`.
+    Split {
+        /// Feature index.
+        feature: usize,
+        /// Split threshold; samples with `x[feature] < threshold` go left.
+        threshold: f32,
+        /// Left child index.
+        left: usize,
+        /// Right child index.
+        right: usize,
+    },
+}
+
+/// A CART-style regression tree.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+}
+
+/// Hyper-parameters for tree induction.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TreeParams {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples required in each child of a split.
+    pub min_samples_leaf: usize,
+    /// Minimum variance-reduction gain to accept a split.
+    pub min_gain: f32,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams {
+            max_depth: 6,
+            min_samples_leaf: 4,
+            min_gain: 1e-7,
+        }
+    }
+}
+
+impl RegressionTree {
+    /// Fits a tree to `(features, targets)` where `features` is row-major
+    /// with `dim` columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if row count × `dim` does not match `features.len()`, or if the
+    /// dataset is empty.
+    pub fn fit(features: &[f32], dim: usize, targets: &[f32], params: &TreeParams) -> Self {
+        let n = targets.len();
+        assert!(n > 0, "cannot fit a tree to an empty dataset");
+        assert_eq!(features.len(), n * dim, "feature matrix shape mismatch");
+        let mut tree = RegressionTree { nodes: Vec::new() };
+        let idx: Vec<usize> = (0..n).collect();
+        tree.grow(features, dim, targets, idx, 0, params);
+        tree
+    }
+
+    fn grow(
+        &mut self,
+        features: &[f32],
+        dim: usize,
+        targets: &[f32],
+        idx: Vec<usize>,
+        depth: usize,
+        params: &TreeParams,
+    ) -> usize {
+        let mean = idx.iter().map(|&i| targets[i]).sum::<f32>() / idx.len() as f32;
+        if depth >= params.max_depth || idx.len() < 2 * params.min_samples_leaf {
+            self.nodes.push(Node::Leaf { value: mean });
+            return self.nodes.len() - 1;
+        }
+        let Some((feature, threshold, gain)) =
+            best_split(features, dim, targets, &idx, params.min_samples_leaf)
+        else {
+            self.nodes.push(Node::Leaf { value: mean });
+            return self.nodes.len() - 1;
+        };
+        if gain < params.min_gain {
+            self.nodes.push(Node::Leaf { value: mean });
+            return self.nodes.len() - 1;
+        }
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
+            .into_iter()
+            .partition(|&i| features[i * dim + feature] < threshold);
+        // Reserve the split slot, then grow children.
+        let slot = self.nodes.len();
+        self.nodes.push(Node::Leaf { value: mean }); // placeholder
+        let left = self.grow(features, dim, targets, left_idx, depth + 1, params);
+        let right = self.grow(features, dim, targets, right_idx, depth + 1, params);
+        self.nodes[slot] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        slot
+    }
+
+    /// Predicts the value for one feature row.
+    pub fn predict(&self, x: &[f32]) -> f32 {
+        let mut at = 0usize;
+        loop {
+            match &self.nodes[at] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    at = if x[*feature] < *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes in the tree.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree is empty (never true after `fit`).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// Finds the best `(feature, threshold, gain)` split by exhaustive scan.
+fn best_split(
+    features: &[f32],
+    dim: usize,
+    targets: &[f32],
+    idx: &[usize],
+    min_leaf: usize,
+) -> Option<(usize, f32, f32)> {
+    let n = idx.len() as f32;
+    let total_sum: f32 = idx.iter().map(|&i| targets[i]).sum();
+    let total_sq: f32 = idx.iter().map(|&i| targets[i] * targets[i]).sum();
+    let parent_sse = total_sq - total_sum * total_sum / n;
+
+    let mut best: Option<(usize, f32, f32)> = None;
+    let mut order: Vec<usize> = idx.to_vec();
+    for f in 0..dim {
+        order.sort_by(|&a, &b| {
+            features[a * dim + f]
+                .partial_cmp(&features[b * dim + f])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut left_sum = 0.0f32;
+        let mut left_sq = 0.0f32;
+        for (pos, &i) in order.iter().enumerate() {
+            let y = targets[i];
+            left_sum += y;
+            left_sq += y * y;
+            let nl = (pos + 1) as f32;
+            let nr = n - nl;
+            if (pos + 1) < min_leaf || (idx.len() - pos - 1) < min_leaf {
+                continue;
+            }
+            let here = features[i * dim + f];
+            let next = features[order[pos + 1] * dim + f];
+            if next <= here {
+                continue; // no threshold separates equal values
+            }
+            let right_sum = total_sum - left_sum;
+            let right_sq = total_sq - left_sq;
+            let sse = (left_sq - left_sum * left_sum / nl) + (right_sq - right_sum * right_sum / nr);
+            let gain = parent_sse - sse;
+            if best.map(|(_, _, g)| gain > g).unwrap_or(gain > 0.0) {
+                best = Some((f, (here + next) * 0.5, gain));
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_a_step_function_exactly() {
+        // y = 1 if x0 > 0.5 else 0.
+        let xs: Vec<f32> = (0..100).map(|i| i as f32 / 100.0).collect();
+        let ys: Vec<f32> = xs.iter().map(|&x| if x > 0.5 { 1.0 } else { 0.0 }).collect();
+        let tree = RegressionTree::fit(&xs, 1, &ys, &TreeParams::default());
+        assert_eq!(tree.predict(&[0.2]), 0.0);
+        assert_eq!(tree.predict(&[0.9]), 1.0);
+    }
+
+    #[test]
+    fn respects_max_depth_zero() {
+        let xs = vec![0.0f32, 1.0, 2.0, 3.0];
+        let ys = vec![0.0f32, 1.0, 2.0, 3.0];
+        let tree = RegressionTree::fit(
+            &xs,
+            1,
+            &ys,
+            &TreeParams {
+                max_depth: 0,
+                ..TreeParams::default()
+            },
+        );
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.predict(&[5.0]), 1.5); // mean
+    }
+
+    #[test]
+    fn two_features_picks_informative_one() {
+        // Feature 0 is noise-ish, feature 1 determines the target.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..60 {
+            let noise = (i * 7 % 10) as f32;
+            let signal = (i % 2) as f32;
+            xs.extend_from_slice(&[noise, signal]);
+            ys.push(signal * 10.0);
+        }
+        let tree = RegressionTree::fit(&xs, 2, &ys, &TreeParams::default());
+        assert!((tree.predict(&[3.0, 0.0]) - 0.0).abs() < 1e-5);
+        assert!((tree.predict(&[3.0, 1.0]) - 10.0).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_panics() {
+        let _ = RegressionTree::fit(&[], 1, &[], &TreeParams::default());
+    }
+}

@@ -1,0 +1,55 @@
+//! Property-based tests for the gradient-boosted trees.
+
+use proptest::prelude::*;
+use tlp_gbdt::{Gbdt, GbdtParams, RegressionTree, TreeParams};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Tree predictions always lie within the target range (leaf values are
+    /// means of subsets).
+    #[test]
+    fn tree_predictions_in_target_hull(
+        xs in prop::collection::vec(-10.0f32..10.0, 8..60),
+        ys in prop::collection::vec(-5.0f32..5.0, 8..60),
+        q in -12.0f32..12.0,
+    ) {
+        let n = xs.len().min(ys.len());
+        let tree = RegressionTree::fit(&xs[..n], 1, &ys[..n], &TreeParams::default());
+        let lo = ys[..n].iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = ys[..n].iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let p = tree.predict(&[q]);
+        prop_assert!(p >= lo - 1e-4 && p <= hi + 1e-4, "{p} outside [{lo}, {hi}]");
+    }
+
+    /// Fitting is deterministic.
+    #[test]
+    fn fit_deterministic(
+        xs in prop::collection::vec(-10.0f32..10.0, 10..40),
+        ys in prop::collection::vec(-5.0f32..5.0, 10..40),
+    ) {
+        let n = xs.len().min(ys.len());
+        let params = GbdtParams { n_trees: 8, ..GbdtParams::default() };
+        let a = Gbdt::fit(&xs[..n], 1, &ys[..n], &params);
+        let b = Gbdt::fit(&xs[..n], 1, &ys[..n], &params);
+        for &x in &xs[..n] {
+            prop_assert_eq!(a.predict(&[x]), b.predict(&[x]));
+        }
+    }
+
+    /// Training error never exceeds the constant (mean) predictor's error.
+    #[test]
+    fn beats_mean_predictor_in_sample(
+        xs in prop::collection::vec(-10.0f32..10.0, 16..50),
+        ys in prop::collection::vec(-5.0f32..5.0, 16..50),
+    ) {
+        let n = xs.len().min(ys.len());
+        let model = Gbdt::fit(&xs[..n], 1, &ys[..n], &GbdtParams { n_trees: 20, ..GbdtParams::default() });
+        let mean = ys[..n].iter().sum::<f32>() / n as f32;
+        let model_mse: f32 = (0..n)
+            .map(|i| (model.predict(&[xs[i]]) - ys[i]).powi(2))
+            .sum::<f32>() / n as f32;
+        let mean_mse: f32 = ys[..n].iter().map(|y| (y - mean).powi(2)).sum::<f32>() / n as f32;
+        prop_assert!(model_mse <= mean_mse + 1e-4, "model {model_mse} vs mean {mean_mse}");
+    }
+}

@@ -1,0 +1,102 @@
+//! Simulated wall-clock accounting for end-to-end search experiments.
+//!
+//! The paper's search-based metrics (Figs. 10–13) compare *search time*.
+//! Measuring a tensor program on hardware takes hundreds of milliseconds
+//! (paper §1: compilation, loading, repeated execution, cache flushing);
+//! cost-model queries take micro- to milliseconds. This module charges a
+//! calibrated simulated duration per hardware measurement and lets callers
+//! add really-measured model-inference time, yielding comparable
+//! search-time curves on a machine without the testbed.
+
+use serde::{Deserialize, Serialize};
+
+/// Cost parameters for one hardware measurement.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MeasureCost {
+    /// Fixed per-program compile + load time, seconds.
+    pub compile_s: f64,
+    /// Number of repeated executions per measurement.
+    pub repeats: u32,
+    /// Fixed per-repeat overhead (cache flush, sync), seconds.
+    pub per_repeat_overhead_s: f64,
+}
+
+impl MeasureCost {
+    /// The paper's CPU measurement pipeline: compile + load + repeated
+    /// execution with cache flushes (≈2 s per program end to end).
+    pub fn cpu() -> Self {
+        MeasureCost {
+            compile_s: 0.6,
+            repeats: 12,
+            per_repeat_overhead_s: 0.12,
+        }
+    }
+
+    /// The GPU pipeline (longer compiles, RPC transfers, device sync).
+    pub fn gpu() -> Self {
+        MeasureCost {
+            compile_s: 1.0,
+            repeats: 10,
+            per_repeat_overhead_s: 0.15,
+        }
+    }
+
+    /// Total simulated seconds to measure one program of latency `lat_s`.
+    pub fn measurement_seconds(&self, lat_s: f64) -> f64 {
+        self.compile_s + self.repeats as f64 * (lat_s + self.per_repeat_overhead_s)
+    }
+}
+
+/// Accumulates simulated and real time during a tuning run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimClock {
+    /// Simulated seconds (hardware measurements).
+    pub simulated_s: f64,
+    /// Really elapsed seconds added by the caller (model inference,
+    /// feature extraction).
+    pub real_s: f64,
+}
+
+impl SimClock {
+    /// Creates a zeroed clock.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// Charges one hardware measurement.
+    pub fn charge_measurement(&mut self, cost: &MeasureCost, latency_s: f64) {
+        self.simulated_s += cost.measurement_seconds(latency_s);
+    }
+
+    /// Charges really-elapsed time (e.g. cost-model inference).
+    pub fn charge_real(&mut self, seconds: f64) {
+        self.real_s += seconds;
+    }
+
+    /// Total search time: simulated plus real components.
+    pub fn total_s(&self) -> f64 {
+        self.simulated_s + self.real_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_cost_dominated_by_overheads_for_fast_kernels() {
+        let c = MeasureCost::cpu();
+        let t = c.measurement_seconds(1e-4);
+        assert!(t > 1.5 && t < 3.0, "got {t}");
+    }
+
+    #[test]
+    fn clock_accumulates() {
+        let mut clk = SimClock::new();
+        clk.charge_measurement(&MeasureCost::cpu(), 0.001);
+        clk.charge_measurement(&MeasureCost::cpu(), 0.001);
+        clk.charge_real(0.5);
+        assert!(clk.simulated_s > 0.4);
+        assert!((clk.total_s() - clk.simulated_s - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,47 @@
+//! `tlp-hwsim` — simulated hardware for the TLP (ASPLOS 2023) reproduction.
+//!
+//! The paper measures tensor programs on five CPUs and two GPUs. This crate
+//! substitutes that testbed with:
+//!
+//! - [`Platform`]: the seven platforms of Table 5, parameterized by their
+//!   microarchitecture (SIMD width, cores/SMs, caches, bandwidth, quirks);
+//! - [`lower`](fn@lower): a mini code generator interpreting schedule-primitive
+//!   sequences into a structural [`ProgramSpec`];
+//! - [`Simulator`]: an analytical latency model (roofline + SIMD + parallel
+//!   + cache blocking + GPU occupancy + platform idiosyncrasies);
+//! - [`SimClock`] / [`MeasureCost`]: simulated search-time accounting.
+//!
+//! # Example
+//!
+//! ```
+//! use tlp_hwsim::{lower, Platform, Simulator};
+//! use tlp_schedule::{ConcretePrimitive, PrimitiveKind, ScheduleSequence};
+//! use tlp_workload::{AnchorOp, Subgraph};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let sg = Subgraph::new("d", AnchorOp::Dense { m: 128, n: 128, k: 128 });
+//! let seq: ScheduleSequence = [ConcretePrimitive::new(PrimitiveKind::Split, "dense")
+//!     .with_loops(["j"])
+//!     .with_ints([128, 16])]
+//! .into_iter()
+//! .collect();
+//! let spec = lower(&sg, &seq)?;
+//! let lat = Simulator::new().latency(&Platform::i7_10510u(), &sg, &spec, seq.fingerprint());
+//! assert!(lat > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analytic;
+pub mod clock;
+pub mod lower;
+pub mod platform;
+pub mod render;
+
+pub use analytic::{preferred_unroll, Simulator};
+pub use clock::{MeasureCost, SimClock};
+pub use lower::{lower, AxisTiles, LowerError, ProgramSpec};
+pub use render::render_program;
+pub use platform::{Arch, DeviceKind, Platform};

@@ -1,0 +1,261 @@
+//! Simulated hardware platforms.
+//!
+//! The seven platforms of the paper's Table 5 (five CPUs, two GPUs), modelled
+//! by their public microarchitectural parameters. Cross-platform *domain
+//! gaps* — the reason offline cost models do not transfer (paper §5.1) —
+//! arise from differences in SIMD width, core count, cache hierarchy,
+//! bandwidth, and per-platform idiosyncrasies (`quirk_seed`).
+
+use serde::{Deserialize, Serialize};
+
+/// Instruction-set / vendor family (drives MTL cross-architecture effects).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Arch {
+    /// Intel x86-64.
+    IntelX86,
+    /// AMD x86-64.
+    AmdX86,
+    /// 64-bit ARM.
+    Arm,
+    /// NVIDIA GPU.
+    NvidiaGpu,
+}
+
+/// CPU or GPU device class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// Multicore CPU.
+    Cpu,
+    /// CUDA-style GPU.
+    Gpu,
+}
+
+/// A hardware platform the simulator can "measure" tensor programs on.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    /// Marketing name, e.g. `platinum-8272`.
+    pub name: String,
+    /// Vendor/ISA family.
+    pub arch: Arch,
+    /// CPU or GPU.
+    pub device: DeviceKind,
+    /// Physical cores (CPU) or streaming multiprocessors (GPU).
+    pub cores: u32,
+    /// Clock frequency in GHz.
+    pub freq_ghz: f64,
+    /// f32 SIMD lanes per FMA unit (CPU) / CUDA cores per SM (GPU).
+    pub vector_lanes: u32,
+    /// FMA units per core.
+    pub fma_units: u32,
+    /// L1 data cache per core, KiB (GPU: shared memory per SM).
+    pub l1_kb: f64,
+    /// L2 cache per core, KiB (GPU: total L2).
+    pub l2_kb: f64,
+    /// Shared last-level cache, KiB (GPU: 0).
+    pub l3_kb: f64,
+    /// DRAM bandwidth, GB/s.
+    pub dram_gbps: f64,
+    /// Parallel-region / kernel-launch overhead, microseconds.
+    pub launch_overhead_us: f64,
+    /// Seed for platform-specific response idiosyncrasies (e.g. preferred
+    /// unroll factors), the irreducible part of the hardware domain gap.
+    pub quirk_seed: u64,
+}
+
+impl Platform {
+    /// Peak f32 throughput in GFLOP/s (2 flops per FMA lane per cycle).
+    pub fn peak_gflops(&self) -> f64 {
+        self.cores as f64 * self.freq_ghz * self.vector_lanes as f64 * self.fma_units as f64 * 2.0
+    }
+
+    /// Whether this platform is a GPU.
+    pub fn is_gpu(&self) -> bool {
+        self.device == DeviceKind::Gpu
+    }
+
+    /// Intel Xeon Platinum 8272CL @ 2.60 GHz, 16 cores (AVX-512).
+    pub fn platinum_8272() -> Platform {
+        Platform {
+            name: "platinum-8272".into(),
+            arch: Arch::IntelX86,
+            device: DeviceKind::Cpu,
+            cores: 16,
+            freq_ghz: 2.6,
+            vector_lanes: 16,
+            fma_units: 2,
+            l1_kb: 32.0,
+            l2_kb: 1024.0,
+            l3_kb: 36608.0,
+            dram_gbps: 110.0,
+            launch_overhead_us: 6.0,
+            quirk_seed: 0x8272,
+        }
+    }
+
+    /// Intel Xeon E5-2673 v4 @ 2.30 GHz, 8 cores (AVX2).
+    pub fn e5_2673() -> Platform {
+        Platform {
+            name: "e5-2673".into(),
+            arch: Arch::IntelX86,
+            device: DeviceKind::Cpu,
+            cores: 8,
+            freq_ghz: 2.3,
+            vector_lanes: 8,
+            fma_units: 2,
+            l1_kb: 32.0,
+            l2_kb: 256.0,
+            l3_kb: 40960.0,
+            dram_gbps: 68.0,
+            launch_overhead_us: 7.0,
+            quirk_seed: 0x2673,
+        }
+    }
+
+    /// AMD EPYC 7452 @ 2.35 GHz, 4 cores (AVX2).
+    pub fn epyc_7452() -> Platform {
+        Platform {
+            name: "epyc-7452".into(),
+            arch: Arch::AmdX86,
+            device: DeviceKind::Cpu,
+            cores: 4,
+            freq_ghz: 2.35,
+            vector_lanes: 8,
+            fma_units: 2,
+            l1_kb: 32.0,
+            l2_kb: 512.0,
+            l3_kb: 16384.0,
+            dram_gbps: 48.0,
+            launch_overhead_us: 8.0,
+            quirk_seed: 0x7452,
+        }
+    }
+
+    /// AWS Graviton2 (Neoverse N1) @ 2.50 GHz, 16 cores (NEON).
+    pub fn graviton2() -> Platform {
+        Platform {
+            name: "graviton2".into(),
+            arch: Arch::Arm,
+            device: DeviceKind::Cpu,
+            cores: 16,
+            freq_ghz: 2.5,
+            vector_lanes: 4,
+            fma_units: 2,
+            l1_kb: 64.0,
+            l2_kb: 1024.0,
+            l3_kb: 32768.0,
+            dram_gbps: 95.0,
+            launch_overhead_us: 10.0,
+            quirk_seed: 0x6472,
+        }
+    }
+
+    /// Intel Core i7-10510U @ 1.80 GHz, 4C/8T laptop CPU (AVX2).
+    pub fn i7_10510u() -> Platform {
+        Platform {
+            name: "i7-10510u".into(),
+            arch: Arch::IntelX86,
+            device: DeviceKind::Cpu,
+            cores: 8,
+            freq_ghz: 1.8,
+            vector_lanes: 8,
+            fma_units: 2,
+            l1_kb: 32.0,
+            l2_kb: 256.0,
+            l3_kb: 8192.0,
+            dram_gbps: 34.0,
+            launch_overhead_us: 9.0,
+            quirk_seed: 0x1051,
+        }
+    }
+
+    /// NVIDIA Tesla K80 (one GK210 die: 13 SMs @ 0.82 GHz).
+    pub fn tesla_k80() -> Platform {
+        Platform {
+            name: "tesla-k80".into(),
+            arch: Arch::NvidiaGpu,
+            device: DeviceKind::Gpu,
+            cores: 13,
+            freq_ghz: 0.82,
+            vector_lanes: 192,
+            fma_units: 1,
+            l1_kb: 112.0,
+            l2_kb: 1536.0,
+            l3_kb: 0.0,
+            dram_gbps: 240.0,
+            launch_overhead_us: 12.0,
+            quirk_seed: 0x0080,
+        }
+    }
+
+    /// NVIDIA Tesla T4 (40 SMs @ 1.59 GHz).
+    pub fn tesla_t4() -> Platform {
+        Platform {
+            name: "tesla-t4".into(),
+            arch: Arch::NvidiaGpu,
+            device: DeviceKind::Gpu,
+            cores: 40,
+            freq_ghz: 1.59,
+            vector_lanes: 64,
+            fma_units: 1,
+            l1_kb: 64.0,
+            l2_kb: 4096.0,
+            l3_kb: 0.0,
+            dram_gbps: 320.0,
+            launch_overhead_us: 8.0,
+            quirk_seed: 0x00b4,
+        }
+    }
+
+    /// The five CPU platforms of Table 5.
+    pub fn all_cpus() -> Vec<Platform> {
+        vec![
+            Platform::platinum_8272(),
+            Platform::e5_2673(),
+            Platform::epyc_7452(),
+            Platform::graviton2(),
+            Platform::i7_10510u(),
+        ]
+    }
+
+    /// The two GPU platforms of Table 5.
+    pub fn all_gpus() -> Vec<Platform> {
+        vec![Platform::tesla_k80(), Platform::tesla_t4()]
+    }
+
+    /// All seven platforms of Table 5.
+    pub fn all() -> Vec<Platform> {
+        let mut v = Platform::all_cpus();
+        v.extend(Platform::all_gpus());
+        v
+    }
+
+    /// Looks up a platform by name.
+    pub fn by_name(name: &str) -> Option<Platform> {
+        Platform::all().into_iter().find(|p| p.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_platforms() {
+        assert_eq!(Platform::all().len(), 7);
+        assert_eq!(Platform::all_cpus().len(), 5);
+        assert_eq!(Platform::all_gpus().len(), 2);
+    }
+
+    #[test]
+    fn peak_flops_ordering() {
+        // T4 > 8272 > i7.
+        assert!(Platform::tesla_t4().peak_gflops() > Platform::platinum_8272().peak_gflops());
+        assert!(Platform::platinum_8272().peak_gflops() > Platform::i7_10510u().peak_gflops());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(Platform::by_name("e5-2673").is_some());
+        assert!(Platform::by_name("nonexistent").is_none());
+    }
+}

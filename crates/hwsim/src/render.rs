@@ -1,0 +1,206 @@
+//! Rendering lowered tensor programs as pseudo-code.
+//!
+//! The paper's Figure 2 contrasts logically equivalent tensor programs with
+//! different loop structures. This module renders a [`ProgramSpec`] the same
+//! way — nested loops with parallel/vectorize/unroll/bind annotations — for
+//! examples, debugging, and documentation.
+
+use crate::lower::ProgramSpec;
+use std::fmt::Write as _;
+use tlp_workload::{LoopKind, Subgraph};
+
+/// Renders the lowered program as indented pseudo-code.
+///
+/// The canonical multi-level-tiling order is shown: outer spatial levels
+/// (fused & parallel/bound), reduction levels, inner spatial levels, and the
+/// innermost statement with its fused epilogues.
+pub fn render_program(subgraph: &Subgraph, spec: &ProgramSpec) -> String {
+    let mut out = String::new();
+    let gpu = spec.block_threads > 0 || spec.grid_blocks > 0;
+    let _ = writeln!(out, "// {}", subgraph.anchor);
+    if spec.cache_write {
+        let _ = writeln!(out, "// with accumulator cache stage");
+    }
+    if spec.cache_read {
+        let _ = writeln!(out, "// with shared-memory cache stage");
+    }
+    if spec.unroll_step > 0 {
+        let _ = writeln!(out, "#pragma auto_unroll_max_step = {}", spec.unroll_step);
+    }
+
+    let mut depth = 0usize;
+    let emit = |line: &str, depth: usize| {
+        let mut s = String::new();
+        for _ in 0..depth {
+            s.push_str("  ");
+        }
+        s.push_str(line);
+        s.push('\n');
+        s
+    };
+
+    // Level 0: fused outer loops.
+    let outer_extent: i64 = spec
+        .spatial_axes()
+        .map(|a| a.tiles.first().copied().unwrap_or(1))
+        .product();
+    let outer_ann = if gpu {
+        format!("bind(blockIdx.x)  // {} blocks", spec.grid_blocks.max(outer_extent))
+    } else if spec.parallel_extent > 1 {
+        format!("parallel  // {} chunks", spec.parallel_extent)
+    } else {
+        "serial".to_string()
+    };
+    out += &emit(
+        &format!(
+            "for fused_outer in 0..{outer_extent} @{outer_ann}"
+        ),
+        depth,
+    );
+    depth += 1;
+
+    // Remaining levels interleaved with reductions (SSRSRS).
+    let levels = spec
+        .spatial_axes()
+        .map(|a| a.tiles.len())
+        .max()
+        .unwrap_or(1);
+    for level in 1..levels {
+        if level == 2 {
+            for a in spec.reduction_axes() {
+                let e = a.tiles.first().copied().unwrap_or(a.extent);
+                out += &emit(&format!("for {}_o in 0..{e}", a.name), depth);
+                depth += 1;
+            }
+        }
+        if level == 3 {
+            for a in spec.reduction_axes() {
+                if a.tiles.len() > 1 {
+                    out += &emit(
+                        &format!("for {}_i in 0..{}", a.name, a.inner()),
+                        depth,
+                    );
+                    depth += 1;
+                }
+            }
+        }
+        for a in spec.spatial_axes() {
+            if let Some(&t) = a.tiles.get(level) {
+                let mut ann = String::new();
+                if gpu && level == 2 {
+                    ann = "  @bind(threadIdx.x)".to_string();
+                } else if level + 1 == levels && spec.vector_len == t {
+                    ann = "  @vectorize".to_string();
+                }
+                out += &emit(
+                    &format!("for {}.{level} in 0..{t}{ann}", a.name),
+                    depth,
+                );
+                depth += 1;
+            }
+        }
+    }
+
+    // Innermost statement.
+    let stmt = match subgraph.loops().iter().find(|l| l.kind == LoopKind::Reduction) {
+        Some(_) => format!("{}[out_idx] += lhs[...] * rhs[...]", subgraph.anchor.name()),
+        None => format!("{}[out_idx] = f(in[...])", subgraph.anchor.name()),
+    };
+    out += &emit(&stmt, depth);
+    for f in &subgraph.fused {
+        out += &emit(&format!("// fused: {}", f.stage_name()), depth);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use tlp_schedule::{ConcretePrimitive, PrimitiveKind, ScheduleSequence};
+    use tlp_workload::{AnchorOp, FusedOp};
+
+    fn dense() -> Subgraph {
+        Subgraph::new("d", AnchorOp::Dense { m: 64, n: 128, k: 256 })
+            .with_fused([FusedOp::Relu])
+    }
+
+    fn schedule() -> ScheduleSequence {
+        vec![
+            ConcretePrimitive::new(PrimitiveKind::Split, "dense")
+                .with_loops(["i"])
+                .with_ints([64, 2, 2, 8]),
+            ConcretePrimitive::new(PrimitiveKind::Split, "dense")
+                .with_loops(["j"])
+                .with_ints([128, 2, 2, 16]),
+            ConcretePrimitive::new(PrimitiveKind::Split, "dense")
+                .with_loops(["k"])
+                .with_ints([256, 16]),
+            ConcretePrimitive::new(PrimitiveKind::Fuse, "dense").with_loops(["i.0", "j.0"]),
+            ConcretePrimitive::new(PrimitiveKind::Annotation, "dense")
+                .with_loops(["i.0@j.0"])
+                .with_extras(["parallel"]),
+            ConcretePrimitive::new(PrimitiveKind::Annotation, "dense")
+                .with_loops(["j.3"])
+                .with_extras(["vectorize"]),
+            ConcretePrimitive::new(PrimitiveKind::Pragma, "dense")
+                .with_ints([64])
+                .with_extras(["auto_unroll_max_step"]),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn renders_loops_and_annotations() {
+        let sg = dense();
+        let spec = lower(&sg, &schedule()).unwrap();
+        let text = render_program(&sg, &spec);
+        assert!(text.contains("@parallel"), "{text}");
+        assert!(text.contains("@vectorize"), "{text}");
+        assert!(text.contains("#pragma auto_unroll_max_step = 64"), "{text}");
+        assert!(text.contains("+="), "reduction statement shown:\n{text}");
+        assert!(text.contains("// fused: relu"), "{text}");
+        // Deeper lines are further indented.
+        let lines: Vec<&str> = text.lines().collect();
+        let indent = |l: &str| l.len() - l.trim_start().len();
+        let first_for = lines.iter().position(|l| l.trim_start().starts_with("for")).unwrap();
+        let stmt = lines.iter().position(|l| l.contains("+=")).unwrap();
+        assert!(indent(lines[stmt]) > indent(lines[first_for]));
+    }
+
+    #[test]
+    fn gpu_program_shows_bindings() {
+        let sg = dense();
+        let seq: ScheduleSequence = vec![
+            ConcretePrimitive::new(PrimitiveKind::Split, "dense")
+                .with_loops(["i"])
+                .with_ints([64, 1, 8, 4]),
+            ConcretePrimitive::new(PrimitiveKind::Split, "dense")
+                .with_loops(["j"])
+                .with_ints([128, 1, 16, 4]),
+            ConcretePrimitive::new(PrimitiveKind::Fuse, "dense").with_loops(["i.0", "j.0"]),
+            ConcretePrimitive::new(PrimitiveKind::Annotation, "dense")
+                .with_loops(["i.0@j.0"])
+                .with_extras(["blockIdx.x"]),
+            ConcretePrimitive::new(PrimitiveKind::Fuse, "dense").with_loops(["i.2", "j.2"]),
+            ConcretePrimitive::new(PrimitiveKind::Annotation, "dense")
+                .with_loops(["i.2@j.2"])
+                .with_extras(["threadIdx.x"]),
+        ]
+        .into_iter()
+        .collect();
+        let spec = lower(&sg, &seq).unwrap();
+        let text = render_program(&sg, &spec);
+        assert!(text.contains("blockIdx.x"), "{text}");
+        assert!(text.contains("threadIdx.x"), "{text}");
+    }
+
+    #[test]
+    fn unscheduled_program_is_single_serial_nest() {
+        let sg = Subgraph::new("s", AnchorOp::Softmax { rows: 4, cols: 8 });
+        let spec = lower(&sg, &ScheduleSequence::new()).unwrap();
+        let text = render_program(&sg, &spec);
+        assert!(text.contains("@serial"), "{text}");
+    }
+}

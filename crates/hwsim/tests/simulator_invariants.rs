@@ -1,0 +1,143 @@
+//! Behavioural invariants of the hardware simulator across platforms and
+//! schedules.
+
+use tlp_hwsim::{lower, Platform, Simulator};
+use tlp_schedule::{ConcretePrimitive, PrimitiveKind, ScheduleSequence};
+use tlp_workload::{AnchorOp, Subgraph};
+
+fn dense(m: i64, n: i64, k: i64) -> Subgraph {
+    Subgraph::new("d", AnchorOp::Dense { m, n, k })
+}
+
+/// A parameterized well-formed CPU schedule for a dense subgraph.
+fn cpu_schedule(sg: &Subgraph, fi: [i64; 3], fj: [i64; 3], fk: i64, unroll: i64) -> ScheduleSequence {
+    let loops = sg.loops();
+    let (m, n, k) = (loops[0].extent, loops[1].extent, loops[2].extent);
+    let mut prims = vec![
+        ConcretePrimitive::new(PrimitiveKind::Split, "dense")
+            .with_loops(["i"])
+            .with_ints([m, fi[0], fi[1], fi[2]]),
+        ConcretePrimitive::new(PrimitiveKind::Split, "dense")
+            .with_loops(["j"])
+            .with_ints([n, fj[0], fj[1], fj[2]]),
+        ConcretePrimitive::new(PrimitiveKind::Split, "dense")
+            .with_loops(["k"])
+            .with_ints([k, fk]),
+        ConcretePrimitive::new(PrimitiveKind::Fuse, "dense").with_loops(["i.0", "j.0"]),
+        ConcretePrimitive::new(PrimitiveKind::Annotation, "dense")
+            .with_loops(["i.0@j.0"])
+            .with_extras(["parallel"]),
+        ConcretePrimitive::new(PrimitiveKind::Annotation, "dense")
+            .with_loops(["j.3"])
+            .with_extras(["vectorize"]),
+        ConcretePrimitive::new(PrimitiveKind::CacheWrite, "dense"),
+    ];
+    if unroll > 0 {
+        prims.push(
+            ConcretePrimitive::new(PrimitiveKind::Pragma, "dense")
+                .with_ints([unroll])
+                .with_extras(["auto_unroll_max_step"]),
+        );
+    }
+    prims.into_iter().collect()
+}
+
+fn latency(p: &Platform, sg: &Subgraph, seq: &ScheduleSequence) -> f64 {
+    let spec = lower(sg, seq).expect("lowers");
+    Simulator::new().latency(p, sg, &spec, seq.fingerprint())
+}
+
+#[test]
+fn bigger_problems_take_longer() {
+    let p = Platform::e5_2673();
+    let small = dense(128, 128, 128);
+    let large = dense(512, 512, 512);
+    let seq_s = cpu_schedule(&small, [2, 2, 8], [2, 2, 16], 16, 64);
+    let seq_l = cpu_schedule(&large, [2, 2, 8], [2, 2, 16], 16, 64);
+    assert!(latency(&p, &large, &seq_l) > latency(&p, &small, &seq_s));
+}
+
+#[test]
+fn good_schedule_scales_with_core_count() {
+    // Same ISA, same frequency class, different core counts: the 16-core
+    // 8272 must beat the 4-core EPYC on a well-parallelized kernel.
+    let sg = dense(1024, 1024, 256);
+    let seq = cpu_schedule(&sg, [4, 2, 8], [4, 2, 16], 16, 64);
+    let many = latency(&Platform::platinum_8272(), &sg, &seq);
+    let few = latency(&Platform::epyc_7452(), &sg, &seq);
+    assert!(many * 2.0 < few, "16-core {many} vs 4-core {few}");
+}
+
+#[test]
+fn unroll_preference_changes_ranking_between_platforms() {
+    // The quirk: platforms prefer different auto_unroll_max_step values, so
+    // the same pair of schedules can rank differently across platforms.
+    let sg = dense(256, 256, 256);
+    let steps = [16i64, 64, 512];
+    let mut rank_signatures = std::collections::HashSet::new();
+    for p in Platform::all_cpus() {
+        let mut lats: Vec<(i64, f64)> = steps
+            .iter()
+            .map(|&u| {
+                let seq = cpu_schedule(&sg, [2, 2, 8], [2, 2, 16], 16, u);
+                (u, latency(&p, &sg, &seq))
+            })
+            .collect();
+        lats.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let sig: Vec<i64> = lats.iter().map(|&(u, _)| u).collect();
+        rank_signatures.insert(sig);
+    }
+    assert!(
+        rank_signatures.len() >= 2,
+        "all platforms agree on unroll ranking — quirk not effective"
+    );
+}
+
+#[test]
+fn memory_bound_op_insensitive_to_reduction_tiling() {
+    let sg = Subgraph::new("s", AnchorOp::Softmax { rows: 4096, cols: 512 });
+    let p = Platform::i7_10510u();
+    let seq_a: ScheduleSequence = vec![
+        ConcretePrimitive::new(PrimitiveKind::Split, "softmax")
+            .with_loops(["r"])
+            .with_ints([4096, 8]),
+        ConcretePrimitive::new(PrimitiveKind::Fuse, "softmax").with_loops(["r.0"]),
+        ConcretePrimitive::new(PrimitiveKind::Annotation, "softmax")
+            .with_loops(["r.0"])
+            .with_extras(["parallel"]),
+    ]
+    .into_iter()
+    .collect();
+    let la = latency(&p, &sg, &seq_a);
+    // Roofline: softmax is bandwidth-bound; its latency should be within a
+    // small factor of pure streaming time.
+    let stream = (sg.bytes_read() + sg.bytes_written()) / (p.dram_gbps * 1e9);
+    assert!(la > stream * 0.5 && la < stream * 20.0, "la {la} stream {stream}");
+}
+
+#[test]
+fn gpu_latency_insensitive_to_cpu_annotations() {
+    // A CPU-annotated schedule on a GPU leaves threads unbound — the
+    // simulator must flag it as catastrophically slow rather than crash.
+    let sg = dense(512, 512, 128);
+    let seq = cpu_schedule(&sg, [2, 2, 8], [2, 2, 16], 16, 64);
+    let l = latency(&Platform::tesla_t4(), &sg, &seq);
+    let spec = lower(&sg, &seq).unwrap();
+    assert_eq!(spec.block_threads, 0);
+    assert!(l.is_finite() && l > 0.0);
+    // Unbound GPU programs are far slower than the same schedule on a CPU.
+    assert!(l > latency(&Platform::i7_10510u(), &sg, &seq));
+}
+
+#[test]
+fn noise_is_reproducible_but_varies_across_schedules() {
+    let sg = dense(128, 128, 128);
+    let p = Platform::graviton2();
+    let a = cpu_schedule(&sg, [2, 2, 8], [2, 2, 8], 8, 16);
+    let b = cpu_schedule(&sg, [2, 2, 8], [2, 2, 8], 8, 64);
+    let la1 = latency(&p, &sg, &a);
+    let la2 = latency(&p, &sg, &a);
+    let lb = latency(&p, &sg, &b);
+    assert_eq!(la1, la2, "same schedule, same measurement");
+    assert_ne!(la1, lb, "different schedules differ");
+}

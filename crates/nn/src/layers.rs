@@ -1,0 +1,542 @@
+//! Neural network layers used by the TLP cost models.
+//!
+//! Layers own [`ParamId`]s registered in a [`ParamStore`]; their `forward`
+//! methods run on a per-step [`Fwd`] context bundling the autograd tape,
+//! the store, and the parameter binding.
+
+use crate::graph::{Graph, Var};
+use crate::init::{uniform, xavier_uniform};
+use crate::params::{Binding, ParamId, ParamStore};
+use crate::tensor::Tensor;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Forward-pass context: the tape, the parameter store, and the binding
+/// that maps parameters to tape leaves.
+#[derive(Debug)]
+pub struct Fwd<'a> {
+    /// The autograd tape for this step.
+    pub g: &'a mut Graph,
+    /// The model parameters.
+    pub store: &'a ParamStore,
+    /// The per-tape parameter binding cache.
+    pub bind: &'a mut Binding,
+}
+
+impl<'a> Fwd<'a> {
+    /// Creates a forward context.
+    pub fn new(g: &'a mut Graph, store: &'a ParamStore, bind: &'a mut Binding) -> Self {
+        Fwd { g, store, bind }
+    }
+
+    /// Binds a parameter into the tape.
+    pub fn param(&mut self, id: ParamId) -> Var {
+        self.bind.var(self.g, self.store, id)
+    }
+}
+
+/// Fully connected layer `y = x·W + b` applied over the last axis.
+#[derive(Clone, Debug)]
+pub struct Linear {
+    w: ParamId,
+    b: ParamId,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Registers a linear layer's parameters.
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut SmallRng,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+    ) -> Self {
+        let w = store.add(format!("{name}.w"), xavier_uniform(rng, in_dim, out_dim));
+        let b = store.add(format!("{name}.b"), Tensor::zeros(&[out_dim]));
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Applies the layer to `x` of shape `[.., in_dim]`.
+    pub fn forward(&self, f: &mut Fwd<'_>, x: Var) -> Var {
+        let shape = f.g.value(x).shape().to_vec();
+        let last = *shape.last().expect("linear input must have rank >= 1");
+        assert_eq!(last, self.in_dim, "linear input width mismatch");
+        let rows: usize = shape[..shape.len() - 1].iter().product();
+        let x2 = f.g.reshape(x, &[rows, self.in_dim]);
+        let w = f.param(self.w);
+        let b = f.param(self.b);
+        let y = f.g.matmul(x2, w);
+        let y = f.g.add_bias(y, b);
+        let mut out_shape = shape;
+        *out_shape.last_mut().unwrap() = self.out_dim;
+        f.g.reshape(y, &out_shape)
+    }
+}
+
+/// Multi-head scaled-dot-product self-attention over `[N, L, E]` inputs.
+///
+/// One layer of this module is the paper's default backbone basic module
+/// (TLP §4.4: a single self-attention layer with 8 heads suffices).
+#[derive(Clone, Debug)]
+pub struct MultiHeadSelfAttention {
+    q: Linear,
+    k: Linear,
+    v: Linear,
+    out: Linear,
+    heads: usize,
+    dim: usize,
+}
+
+impl MultiHeadSelfAttention {
+    /// Registers attention parameters; `dim` must be divisible by `heads`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim % heads != 0`.
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut SmallRng,
+        name: &str,
+        dim: usize,
+        heads: usize,
+    ) -> Self {
+        assert!(heads > 0 && dim % heads == 0, "dim must be divisible by heads");
+        MultiHeadSelfAttention {
+            q: Linear::new(store, rng, &format!("{name}.q"), dim, dim),
+            k: Linear::new(store, rng, &format!("{name}.k"), dim, dim),
+            v: Linear::new(store, rng, &format!("{name}.v"), dim, dim),
+            out: Linear::new(store, rng, &format!("{name}.out"), dim, dim),
+            heads,
+            dim,
+        }
+    }
+
+    /// Number of attention heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Applies self-attention to `x` of shape `[n, l, dim]`.
+    pub fn forward(&self, f: &mut Fwd<'_>, x: Var) -> Var {
+        self.forward_masked(f, x, None)
+    }
+
+    /// Applies self-attention with an optional additive attention mask of
+    /// shape `[l, l]` (e.g. a causal mask with `-1e9` above the diagonal).
+    pub fn forward_masked(&self, f: &mut Fwd<'_>, x: Var, mask: Option<&Tensor>) -> Var {
+        let shape = f.g.value(x).shape().to_vec();
+        assert_eq!(shape.len(), 3, "attention input must be [n, l, e]");
+        let (n, l, e) = (shape[0], shape[1], shape[2]);
+        assert_eq!(e, self.dim, "attention width mismatch");
+        let h = self.heads;
+        let dh = e / h;
+
+        let q = self.q.forward(f, x);
+        let k = self.k.forward(f, x);
+        let v = self.v.forward(f, x);
+
+        // [n, l, e] -> [n*h, l, dh]
+        let split = |f: &mut Fwd<'_>, t: Var| {
+            let t = f.g.reshape(t, &[n, l, h, dh]);
+            let t = f.g.permute(t, &[0, 2, 1, 3]);
+            f.g.reshape(t, &[n * h, l, dh])
+        };
+        let qs = split(f, q);
+        let ks = split(f, k);
+        let vs = split(f, v);
+
+        let kt = f.g.permute(ks, &[0, 2, 1]); // [n*h, dh, l]
+        let scores = f.g.bmm(qs, kt); // [n*h, l, l]
+        let mut scores = f.g.scale(scores, 1.0 / (dh as f32).sqrt());
+        if let Some(m) = mask {
+            assert_eq!(m.shape(), &[l, l], "attention mask must be [l, l]");
+            let mut tiled = Tensor::zeros(&[n * h, l, l]);
+            for chunk in tiled.data_mut().chunks_mut(l * l) {
+                chunk.copy_from_slice(m.data());
+            }
+            let mv = f.g.constant(tiled);
+            scores = f.g.add(scores, mv);
+        }
+        let attn = f.g.softmax(scores);
+        let ctx = f.g.bmm(attn, vs); // [n*h, l, dh]
+
+        let ctx = f.g.reshape(ctx, &[n, h, l, dh]);
+        let ctx = f.g.permute(ctx, &[0, 2, 1, 3]);
+        let ctx = f.g.reshape(ctx, &[n, l, e]);
+        self.out.forward(f, ctx)
+    }
+}
+
+/// Single-layer LSTM over `[N, L, E]`, returning the full `[N, L, H]`
+/// hidden-state sequence (the paper's alternative backbone basic module).
+#[derive(Clone, Debug)]
+pub struct Lstm {
+    // Gate weights, one (Wx, Wh, b) triple per gate: input, forget, cell, output.
+    wx: [ParamId; 4],
+    wh: [ParamId; 4],
+    b: [ParamId; 4],
+    in_dim: usize,
+    hidden: usize,
+}
+
+impl Lstm {
+    /// Registers LSTM parameters.
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut SmallRng,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+    ) -> Self {
+        let gate_names = ["i", "f", "g", "o"];
+        let mut wx = Vec::new();
+        let mut wh = Vec::new();
+        let mut b = Vec::new();
+        for gn in gate_names {
+            wx.push(store.add(format!("{name}.wx_{gn}"), xavier_uniform(rng, in_dim, hidden)));
+            wh.push(store.add(format!("{name}.wh_{gn}"), xavier_uniform(rng, hidden, hidden)));
+            // Forget gate bias starts positive to encourage gradient flow.
+            let bias = if gn == "f" {
+                Tensor::full(&[hidden], 1.0)
+            } else {
+                Tensor::zeros(&[hidden])
+            };
+            b.push(store.add(format!("{name}.b_{gn}"), bias));
+        }
+        Lstm {
+            wx: [wx[0], wx[1], wx[2], wx[3]],
+            wh: [wh[0], wh[1], wh[2], wh[3]],
+            b: [b[0], b[1], b[2], b[3]],
+            in_dim,
+            hidden,
+        }
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Runs the recurrence over `x` of shape `[n, l, in_dim]`, producing `[n, l, hidden]`.
+    pub fn forward(&self, f: &mut Fwd<'_>, x: Var) -> Var {
+        let shape = f.g.value(x).shape().to_vec();
+        assert_eq!(shape.len(), 3, "lstm input must be [n, l, e]");
+        let (n, l, e) = (shape[0], shape[1], shape[2]);
+        assert_eq!(e, self.in_dim, "lstm input width mismatch");
+
+        let mut h = f.g.constant(Tensor::zeros(&[n, self.hidden]));
+        let mut c = f.g.constant(Tensor::zeros(&[n, self.hidden]));
+        let mut outputs = Vec::with_capacity(l);
+        for t in 0..l {
+            let xt = f.g.select(x, 1, t); // [n, e]
+            let gate = |f: &mut Fwd<'_>, gi: usize, xt: Var, h: Var| {
+                let wx = f.param(self.wxs(gi));
+                let wh = f.param(self.whs(gi));
+                let b = f.param(self.bs(gi));
+                let a = f.g.matmul(xt, wx);
+                let bmm = f.g.matmul(h, wh);
+                let s = f.g.add(a, bmm);
+                f.g.add_bias(s, b)
+            };
+            let i_g = gate(f, 0, xt, h);
+            let f_g = gate(f, 1, xt, h);
+            let g_g = gate(f, 2, xt, h);
+            let o_g = gate(f, 3, xt, h);
+            let i_s = f.g.sigmoid(i_g);
+            let f_s = f.g.sigmoid(f_g);
+            let g_t = f.g.tanh(g_g);
+            let o_s = f.g.sigmoid(o_g);
+            let fc = f.g.mul(f_s, c);
+            let ig = f.g.mul(i_s, g_t);
+            c = f.g.add(fc, ig);
+            let ct = f.g.tanh(c);
+            h = f.g.mul(o_s, ct);
+            outputs.push(h);
+        }
+        f.g.stack(&outputs, 1)
+    }
+
+    fn wxs(&self, i: usize) -> ParamId {
+        self.wx[i]
+    }
+    fn whs(&self, i: usize) -> ParamId {
+        self.wh[i]
+    }
+    fn bs(&self, i: usize) -> ParamId {
+        self.b[i]
+    }
+}
+
+/// Pre-activation residual block `y = x + W2·relu(W1·x)` followed by ReLU,
+/// as used after the TLP backbone (paper Fig. 7: two residual blocks).
+#[derive(Clone, Debug)]
+pub struct ResidualBlock {
+    l1: Linear,
+    l2: Linear,
+}
+
+impl ResidualBlock {
+    /// Registers a residual block of width `dim`.
+    pub fn new(store: &mut ParamStore, rng: &mut SmallRng, name: &str, dim: usize) -> Self {
+        ResidualBlock {
+            l1: Linear::new(store, rng, &format!("{name}.l1"), dim, dim),
+            l2: Linear::new(store, rng, &format!("{name}.l2"), dim, dim),
+        }
+    }
+
+    /// Applies the block to `x` of shape `[.., dim]`.
+    pub fn forward(&self, f: &mut Fwd<'_>, x: Var) -> Var {
+        let h = self.l1.forward(f, x);
+        let h = f.g.relu(h);
+        let h = self.l2.forward(f, h);
+        let s = f.g.add(x, h);
+        f.g.relu(s)
+    }
+}
+
+/// Layer normalization with learnable affine parameters.
+#[derive(Clone, Debug)]
+pub struct LayerNorm {
+    gamma: ParamId,
+    beta: ParamId,
+    eps: f32,
+}
+
+impl LayerNorm {
+    /// Registers layer-norm parameters of width `dim`.
+    pub fn new(store: &mut ParamStore, name: &str, dim: usize) -> Self {
+        LayerNorm {
+            gamma: store.add(format!("{name}.gamma"), Tensor::full(&[dim], 1.0)),
+            beta: store.add(format!("{name}.beta"), Tensor::zeros(&[dim])),
+            eps: 1e-5,
+        }
+    }
+
+    /// Normalizes over the last axis of `x`.
+    pub fn forward(&self, f: &mut Fwd<'_>, x: Var) -> Var {
+        let gamma = f.param(self.gamma);
+        let beta = f.param(self.beta);
+        f.g.layer_norm(x, gamma, beta, self.eps)
+    }
+}
+
+/// Inverted-dropout layer; active only when `train` is true.
+#[derive(Clone, Debug)]
+pub struct Dropout {
+    p: f32,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p` in `[0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1)`.
+    pub fn new(p: f32) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1)");
+        Dropout { p }
+    }
+
+    /// Applies dropout using `rng` when `train`, otherwise the identity.
+    pub fn forward(&self, f: &mut Fwd<'_>, rng: &mut SmallRng, x: Var, train: bool) -> Var {
+        if !train || self.p == 0.0 {
+            return x;
+        }
+        let keep = 1.0 - self.p;
+        let shape = f.g.value(x).shape().to_vec();
+        let n: usize = shape.iter().product();
+        let mask = Tensor::from_vec(
+            (0..n)
+                .map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
+                .collect(),
+            &shape,
+        );
+        f.g.mask_mul(x, mask)
+    }
+}
+
+/// Token embedding table.
+#[derive(Clone, Debug)]
+pub struct Embedding {
+    weight: ParamId,
+    dim: usize,
+}
+
+impl Embedding {
+    /// Registers an embedding table `[vocab, dim]`.
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut SmallRng,
+        name: &str,
+        vocab: usize,
+        dim: usize,
+    ) -> Self {
+        let weight = store.add(format!("{name}.weight"), uniform(rng, &[vocab, dim], 0.1));
+        Embedding { weight, dim }
+    }
+
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Looks up `ids`, producing `[ids.len(), dim]`.
+    pub fn forward(&self, f: &mut Fwd<'_>, ids: &[usize]) -> Var {
+        let w = f.param(self.weight);
+        f.g.embedding(w, ids)
+    }
+}
+
+/// A plain multi-layer perceptron with ReLU activations between layers.
+///
+/// The TenSet-MLP baseline (paper §2) is an instance of this.
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+}
+
+impl Mlp {
+    /// Registers an MLP with the given layer widths, e.g. `[in, h1, h2, out]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two widths are given.
+    pub fn new(store: &mut ParamStore, rng: &mut SmallRng, name: &str, widths: &[usize]) -> Self {
+        assert!(widths.len() >= 2, "mlp needs at least [in, out] widths");
+        let layers = widths
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(store, rng, &format!("{name}.fc{i}"), w[0], w[1]))
+            .collect();
+        Mlp { layers }
+    }
+
+    /// Applies the MLP (ReLU between layers, none after the last).
+    pub fn forward(&self, f: &mut Fwd<'_>, x: Var) -> Var {
+        let mut h = x;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(f, h);
+            if i + 1 < self.layers.len() {
+                h = f.g.relu(h);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn ctx() -> (Graph, ParamStore, Binding, SmallRng) {
+        (
+            Graph::new(),
+            ParamStore::new(),
+            Binding::new(),
+            SmallRng::seed_from_u64(42),
+        )
+    }
+
+    #[test]
+    fn linear_shapes() {
+        let (mut g, mut store, mut bind, mut rng) = ctx();
+        let lin = Linear::new(&mut store, &mut rng, "l", 4, 7);
+        let x = g.constant(Tensor::zeros(&[2, 5, 4]));
+        let mut f = Fwd::new(&mut g, &store, &mut bind);
+        let y = lin.forward(&mut f, x);
+        assert_eq!(g.value(y).shape(), &[2, 5, 7]);
+    }
+
+    #[test]
+    fn attention_shapes_and_grad_flow() {
+        let (mut g, mut store, mut bind, mut rng) = ctx();
+        let attn = MultiHeadSelfAttention::new(&mut store, &mut rng, "a", 8, 2);
+        let x = g.constant(uniform(&mut rng, &[3, 5, 8], 0.5));
+        let y = {
+            let mut f = Fwd::new(&mut g, &store, &mut bind);
+            attn.forward(&mut f, x)
+        };
+        assert_eq!(g.value(y).shape(), &[3, 5, 8]);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        bind.harvest(&g, &mut store);
+        let total: f32 = store.ids().map(|id| store.grad(id).sq_norm()).sum();
+        assert!(total > 0.0, "attention params should receive gradient");
+    }
+
+    #[test]
+    fn lstm_shapes_and_grad_flow() {
+        let (mut g, mut store, mut bind, mut rng) = ctx();
+        let lstm = Lstm::new(&mut store, &mut rng, "r", 6, 4);
+        let x = g.constant(uniform(&mut rng, &[2, 3, 6], 0.5));
+        let y = {
+            let mut f = Fwd::new(&mut g, &store, &mut bind);
+            lstm.forward(&mut f, x)
+        };
+        assert_eq!(g.value(y).shape(), &[2, 3, 4]);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        bind.harvest(&g, &mut store);
+        assert!(store.grad_norm() > 0.0);
+    }
+
+    #[test]
+    fn residual_block_is_identity_preserving_at_zero() {
+        let (mut g, mut store, mut bind, mut rng) = ctx();
+        let block = ResidualBlock::new(&mut store, &mut rng, "res", 4);
+        // Zero the second linear layer so the block is exactly relu(x).
+        for id in store.ids().collect::<Vec<_>>() {
+            if store.name(id).contains("l2.w") {
+                *store.value_mut(id) = Tensor::zeros(&[4, 4]);
+            }
+        }
+        let x = g.constant(Tensor::from_vec(vec![1.0, -1.0, 2.0, -2.0], &[1, 4]));
+        let mut f = Fwd::new(&mut g, &store, &mut bind);
+        let y = block.forward(&mut f, x);
+        assert_eq!(g.value(y).data(), &[1.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn dropout_eval_is_identity_and_train_masks() {
+        let (mut g, store, mut bind, mut rng) = ctx();
+        let d = Dropout::new(0.5);
+        let x = g.constant(Tensor::full(&[100], 1.0));
+        let mut f = Fwd::new(&mut g, &store, &mut bind);
+        let y_eval = d.forward(&mut f, &mut rng, x, false);
+        assert_eq!(y_eval, x);
+        let y_train = d.forward(&mut f, &mut rng, x, true);
+        let data = g.value(y_train).data();
+        let zeros = data.iter().filter(|&&v| v == 0.0).count();
+        assert!(zeros > 10 && zeros < 90, "mask should drop roughly half");
+        // Kept units are scaled by 1/keep.
+        assert!(data.iter().any(|&v| (v - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn mlp_forward_width() {
+        let (mut g, mut store, mut bind, mut rng) = ctx();
+        let mlp = Mlp::new(&mut store, &mut rng, "m", &[10, 16, 16, 1]);
+        let x = g.constant(Tensor::zeros(&[4, 10]));
+        let mut f = Fwd::new(&mut g, &store, &mut bind);
+        let y = mlp.forward(&mut f, x);
+        assert_eq!(g.value(y).shape(), &[4, 1]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Loss functions: mean-squared error and LambdaRank.
+//!
+//! The TLP paper (§4.4, §6.1.1) trains with either MSE loss or a lambda rank
+//! loss; attention + rank was the best combination. LambdaRank's gradient is
+//! computed directly from pairwise lambdas and injected into the tape via
+//! [`Graph::custom_grad_loss`].
+
+use crate::graph::{Graph, Var};
+use crate::tensor::Tensor;
+
+/// Mean-squared-error loss between a prediction node and constant targets.
+///
+/// # Panics
+///
+/// Panics if `targets` length differs from the prediction element count.
+pub fn mse_loss(g: &mut Graph, pred: Var, targets: &[f32]) -> Var {
+    let shape = g.value(pred).shape().to_vec();
+    assert_eq!(
+        g.value(pred).len(),
+        targets.len(),
+        "mse target count mismatch"
+    );
+    let t = g.constant(Tensor::from_vec(targets.to_vec(), &shape));
+    let d = g.sub(pred, t);
+    let sq = g.mul(d, d);
+    g.mean_all(sq)
+}
+
+/// Raw LambdaRank computation: returns `(loss_value, d loss / d scores)`.
+///
+/// Uses NDCG-weighted pairwise logistic loss with gain `2^rel - 1` where the
+/// relevance is the label itself (labels here are `min_latency/latency` in
+/// `(0, 1]`, so higher is better).
+pub fn lambda_rank(scores: &[f32], labels: &[f32]) -> (f32, Vec<f32>) {
+    assert_eq!(scores.len(), labels.len(), "score/label count mismatch");
+    let n = scores.len();
+    let mut grad = vec![0.0f32; n];
+    if n < 2 {
+        return (0.0, grad);
+    }
+    let sigma = 1.0f32;
+    let gain: Vec<f32> = labels.iter().map(|&y| (2.0f32).powf(y * 4.0) - 1.0).collect();
+
+    // Ranks under the current model scores (0-based position after sorting
+    // by score descending).
+    let mut by_score: Vec<usize> = (0..n).collect();
+    by_score.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut rank = vec![0usize; n];
+    for (pos, &i) in by_score.iter().enumerate() {
+        rank[i] = pos;
+    }
+    let discount = |pos: usize| 1.0 / ((pos as f32 + 2.0).log2());
+
+    // Ideal DCG from sorting by label descending.
+    let mut by_label: Vec<usize> = (0..n).collect();
+    by_label.sort_by(|&a, &b| labels[b].partial_cmp(&labels[a]).unwrap_or(std::cmp::Ordering::Equal));
+    let ideal_dcg: f32 = by_label
+        .iter()
+        .enumerate()
+        .map(|(pos, &i)| gain[i] * discount(pos))
+        .sum();
+    if ideal_dcg <= 0.0 {
+        return (0.0, grad);
+    }
+
+    let mut loss = 0.0f32;
+    for i in 0..n {
+        for j in 0..n {
+            if labels[i] <= labels[j] {
+                continue;
+            }
+            // i should be ranked above j.
+            let delta_ndcg = ((gain[i] - gain[j]) * (discount(rank[i]) - discount(rank[j])))
+                .abs()
+                / ideal_dcg;
+            if delta_ndcg == 0.0 {
+                continue;
+            }
+            let diff = sigma * (scores[i] - scores[j]);
+            // log(1 + e^-x), stable for both signs.
+            let pair_loss = if diff > 0.0 {
+                (-diff).exp().ln_1p()
+            } else {
+                -diff + diff.exp().ln_1p()
+            };
+            loss += delta_ndcg * pair_loss;
+            let lambda = -sigma * delta_ndcg / (1.0 + diff.exp());
+            grad[i] += lambda;
+            grad[j] -= lambda;
+        }
+    }
+    let scale = 1.0 / n as f32;
+    for gx in &mut grad {
+        *gx *= scale;
+    }
+    (loss * scale, grad)
+}
+
+/// LambdaRank loss over a prediction node, treating the batch as one query
+/// group (all samples of a batch come from the same subgraph during rank
+/// training).
+pub fn lambda_rank_loss(g: &mut Graph, pred: Var, labels: &[f32]) -> Var {
+    let shape = g.value(pred).shape().to_vec();
+    let scores = g.value(pred).data().to_vec();
+    let (value, grad) = lambda_rank(&scores, labels);
+    g.custom_grad_loss(pred, value, Tensor::from_vec(grad, &shape))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_zero_when_equal() {
+        let mut g = Graph::new();
+        let p = g.leaf(Tensor::from_vec(vec![0.5, 0.25], &[2]), true);
+        let loss = mse_loss(&mut g, p, &[0.5, 0.25]);
+        assert_eq!(g.value(loss).item(), 0.0);
+    }
+
+    #[test]
+    fn mse_gradient_points_toward_target() {
+        let mut g = Graph::new();
+        let p = g.leaf(Tensor::from_vec(vec![1.0], &[1]), true);
+        let loss = mse_loss(&mut g, p, &[0.0]);
+        g.backward(loss);
+        assert!(g.grad(p).unwrap().item() > 0.0, "should push prediction down");
+    }
+
+    #[test]
+    fn lambda_rank_zero_for_single_item() {
+        let (l, g) = lambda_rank(&[0.3], &[1.0]);
+        assert_eq!(l, 0.0);
+        assert_eq!(g, vec![0.0]);
+    }
+
+    #[test]
+    fn lambda_rank_gradient_fixes_inversion() {
+        // Item 0 has the best label but the worst score: its gradient must be
+        // negative (score should increase after a gradient *descent* step).
+        let (loss, grad) = lambda_rank(&[0.0, 1.0], &[1.0, 0.1]);
+        assert!(loss > 0.0);
+        assert!(grad[0] < 0.0, "best item pushed up");
+        assert!(grad[1] > 0.0, "worst item pushed down");
+    }
+
+    #[test]
+    fn lambda_rank_small_loss_when_correctly_ordered() {
+        let (l_bad, _) = lambda_rank(&[0.0, 1.0], &[1.0, 0.1]);
+        let (l_good, _) = lambda_rank(&[1.0, 0.0], &[1.0, 0.1]);
+        assert!(l_good < l_bad);
+    }
+
+    #[test]
+    fn lambda_rank_gradients_sum_to_zero() {
+        let scores = [0.3, -0.2, 0.9, 0.1, 0.05];
+        let labels = [0.9, 0.2, 0.4, 1.0, 0.6];
+        let (_, grad) = lambda_rank(&scores, &labels);
+        let s: f32 = grad.iter().sum();
+        assert!(s.abs() < 1e-5, "pairwise lambdas must cancel, got {s}");
+    }
+
+    #[test]
+    fn lambda_rank_descent_improves_ordering() {
+        let labels = [1.0, 0.7, 0.4, 0.1];
+        let mut scores = [0.0f32, 0.1, 0.2, 0.3]; // fully inverted
+        for _ in 0..200 {
+            let (_, grad) = lambda_rank(&scores, &labels);
+            for (s, g) in scores.iter_mut().zip(&grad) {
+                *s -= 0.5 * g;
+            }
+        }
+        assert!(scores[0] > scores[1] && scores[1] > scores[2] && scores[2] > scores[3]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Schedule-primitive kinds.
+//!
+//! Mirrors Ansor's transform-step kinds (paper §4.2/Table 1): 11 kinds appear
+//! on CPU, and 14 exist in total across CPU and GPU. The two-letter
+//! abbreviations match the paper's Table 1.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The type of a schedule primitive (Ansor transform step).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PrimitiveKind {
+    /// `SP` — split a loop into nested tiles.
+    Split,
+    /// `RE` — reorder the loop nest.
+    Reorder,
+    /// `FU` — fuse consecutive loops into one.
+    Fuse,
+    /// `FSP` — split a loop following another stage's split factors.
+    FollowSplit,
+    /// `CA` — move a stage's computation under a consumer's loop.
+    ComputeAt,
+    /// `AN` — annotate a loop (parallel, vectorize, unroll, thread binding).
+    Annotation,
+    /// `RF` — factor a reduction into a separate stage.
+    Rfactor,
+    /// `PR` — attach a pragma (e.g. `auto_unroll_max_step`).
+    Pragma,
+    /// `CHW` — add a cache-write stage.
+    CacheWrite,
+    /// `CP` — compute a stage at the root (undo compute-at).
+    ComputeRoot,
+    /// `CI` — inline an elementwise stage into its consumer.
+    ComputeInline,
+    /// `FFSP` — split following a fused set of splits (GPU sketches).
+    FollowFusedSplit,
+    /// `CHR` — add a cache-read stage (GPU shared memory).
+    CacheRead,
+    /// `SA` — set storage alignment of a buffer.
+    StorageAlign,
+}
+
+impl PrimitiveKind {
+    /// All kinds, in one-hot encoding order.
+    pub const ALL: [PrimitiveKind; 14] = [
+        PrimitiveKind::Split,
+        PrimitiveKind::Reorder,
+        PrimitiveKind::Fuse,
+        PrimitiveKind::FollowSplit,
+        PrimitiveKind::ComputeAt,
+        PrimitiveKind::Annotation,
+        PrimitiveKind::Rfactor,
+        PrimitiveKind::Pragma,
+        PrimitiveKind::CacheWrite,
+        PrimitiveKind::ComputeRoot,
+        PrimitiveKind::ComputeInline,
+        PrimitiveKind::FollowFusedSplit,
+        PrimitiveKind::CacheRead,
+        PrimitiveKind::StorageAlign,
+    ];
+
+    /// The kinds that appear in CPU schedules (11, as in the paper's Table 1).
+    pub const CPU: [PrimitiveKind; 11] = [
+        PrimitiveKind::Split,
+        PrimitiveKind::Reorder,
+        PrimitiveKind::Fuse,
+        PrimitiveKind::FollowSplit,
+        PrimitiveKind::ComputeAt,
+        PrimitiveKind::Annotation,
+        PrimitiveKind::Rfactor,
+        PrimitiveKind::Pragma,
+        PrimitiveKind::CacheWrite,
+        PrimitiveKind::ComputeRoot,
+        PrimitiveKind::ComputeInline,
+    ];
+
+    /// Index of this kind in [`PrimitiveKind::ALL`] (its one-hot slot).
+    pub fn index(self) -> usize {
+        PrimitiveKind::ALL
+            .iter()
+            .position(|&k| k == self)
+            .expect("kind present in ALL")
+    }
+
+    /// The paper's two/three-letter abbreviation (Table 1).
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            PrimitiveKind::Split => "SP",
+            PrimitiveKind::Reorder => "RE",
+            PrimitiveKind::Fuse => "FU",
+            PrimitiveKind::FollowSplit => "FSP",
+            PrimitiveKind::ComputeAt => "CA",
+            PrimitiveKind::Annotation => "AN",
+            PrimitiveKind::Rfactor => "RF",
+            PrimitiveKind::Pragma => "PR",
+            PrimitiveKind::CacheWrite => "CHW",
+            PrimitiveKind::ComputeRoot => "CP",
+            PrimitiveKind::ComputeInline => "CI",
+            PrimitiveKind::FollowFusedSplit => "FFSP",
+            PrimitiveKind::CacheRead => "CHR",
+            PrimitiveKind::StorageAlign => "SA",
+        }
+    }
+
+    /// Parses an abbreviation back to a kind.
+    pub fn from_abbrev(s: &str) -> Option<PrimitiveKind> {
+        PrimitiveKind::ALL.iter().copied().find(|k| k.abbrev() == s)
+    }
+}
+
+impl fmt::Display for PrimitiveKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fourteen_kinds_total_eleven_on_cpu() {
+        assert_eq!(PrimitiveKind::ALL.len(), 14);
+        assert_eq!(PrimitiveKind::CPU.len(), 11);
+    }
+
+    #[test]
+    fn abbrev_roundtrip() {
+        for k in PrimitiveKind::ALL {
+            assert_eq!(PrimitiveKind::from_abbrev(k.abbrev()), Some(k));
+        }
+        assert_eq!(PrimitiveKind::from_abbrev("XX"), None);
+    }
+
+    #[test]
+    fn index_matches_all_order() {
+        for (i, k) in PrimitiveKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Schedule-primitive sequences — the "sentences" of the tensor language.
+
+use crate::kind::PrimitiveKind;
+use crate::primitive::{preprocess, AbstractPrimitive, ConcretePrimitive};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// An ordered sequence of schedule primitives describing how one subgraph is
+/// lowered to a tensor program.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleSequence {
+    primitives: Vec<ConcretePrimitive>,
+}
+
+impl ScheduleSequence {
+    /// Creates an empty sequence.
+    pub fn new() -> Self {
+        ScheduleSequence {
+            primitives: Vec::new(),
+        }
+    }
+
+    /// Appends a primitive.
+    pub fn push(&mut self, p: ConcretePrimitive) {
+        self.primitives.push(p);
+    }
+
+    /// The primitives in order.
+    pub fn primitives(&self) -> &[ConcretePrimitive] {
+        &self.primitives
+    }
+
+    /// Sequence length (number of primitives), the paper's "sequence length".
+    pub fn len(&self) -> usize {
+        self.primitives.len()
+    }
+
+    /// Whether the sequence has no primitives.
+    pub fn is_empty(&self) -> bool {
+        self.primitives.is_empty()
+    }
+
+    /// Iterates over primitives.
+    pub fn iter(&self) -> std::slice::Iter<'_, ConcretePrimitive> {
+        self.primitives.iter()
+    }
+
+    /// Preprocesses every primitive (paper Fig. 4a).
+    pub fn to_abstract(&self) -> Vec<AbstractPrimitive> {
+        self.primitives.iter().map(preprocess).collect()
+    }
+
+    /// Counts primitives of a given kind.
+    pub fn count_kind(&self, kind: PrimitiveKind) -> usize {
+        self.primitives.iter().filter(|p| p.kind == kind).count()
+    }
+
+    /// A stable 64-bit fingerprint of the sequence, used for uniqueness
+    /// statistics (paper §4.3) and deterministic noise seeding.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for p in &self.primitives {
+            p.kind.index().hash(&mut h);
+            p.stage.hash(&mut h);
+            p.loop_vars.hash(&mut h);
+            p.ints.hash(&mut h);
+            p.extras.hash(&mut h);
+        }
+        h.finish()
+    }
+}
+
+impl FromIterator<ConcretePrimitive> for ScheduleSequence {
+    fn from_iter<T: IntoIterator<Item = ConcretePrimitive>>(iter: T) -> Self {
+        ScheduleSequence {
+            primitives: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<ConcretePrimitive> for ScheduleSequence {
+    fn extend<T: IntoIterator<Item = ConcretePrimitive>>(&mut self, iter: T) {
+        self.primitives.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a ScheduleSequence {
+    type Item = &'a ConcretePrimitive;
+    type IntoIter = std::slice::Iter<'a, ConcretePrimitive>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.primitives.iter()
+    }
+}
+
+impl IntoIterator for ScheduleSequence {
+    type Item = ConcretePrimitive;
+    type IntoIter = std::vec::IntoIter<ConcretePrimitive>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.primitives.into_iter()
+    }
+}
+
+impl fmt::Display for ScheduleSequence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, p) in self.primitives.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitive::recover;
+
+    fn seq() -> ScheduleSequence {
+        [
+            ConcretePrimitive::new(PrimitiveKind::Split, "C")
+                .with_loops(["i"])
+                .with_ints([16, 4]),
+            ConcretePrimitive::new(PrimitiveKind::Annotation, "C")
+                .with_loops(["i0"])
+                .with_extras(["parallel"]),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn collect_and_len() {
+        let s = seq();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.count_kind(PrimitiveKind::Split), 1);
+        assert_eq!(s.count_kind(PrimitiveKind::Fuse), 0);
+    }
+
+    #[test]
+    fn abstract_roundtrip_preserves_sequence() {
+        let s = seq();
+        let back: ScheduleSequence = s
+            .to_abstract()
+            .iter()
+            .map(|a| recover(a).expect("recover"))
+            .collect();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_parameters() {
+        let a = seq();
+        let mut b = seq();
+        b = {
+            let mut prims: Vec<_> = b.into_iter().collect();
+            prims[0].ints[0] = 8;
+            prims.into_iter().collect()
+        };
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), seq().fingerprint());
+    }
+
+    #[test]
+    fn display_multiline() {
+        let text = seq().to_string();
+        assert!(text.contains("SP(C, i, [16, 4])"));
+        assert!(text.contains("AN(C, i0, \"parallel\")"));
+    }
+}

@@ -1,0 +1,116 @@
+//! Token vocabulary for character (name) parameters.
+//!
+//! TLP maps name parameters to tokens "the same way NLP tasks deal with
+//! words" (paper Fig. 4b, `F2`). The vocabulary is built from a corpus of
+//! schedule sequences; unseen names map to a reserved unknown token.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Token id type.
+pub type Token = u32;
+
+/// Reserved token for names never seen during vocabulary construction.
+pub const UNKNOWN_TOKEN: Token = 0;
+
+/// A frozen name→token mapping.
+///
+/// # Examples
+///
+/// ```
+/// use tlp_schedule::Vocabulary;
+/// let mut b = Vocabulary::builder();
+/// b.observe("parallel");
+/// b.observe("vectorize");
+/// b.observe("parallel");
+/// let v = b.build();
+/// assert_ne!(v.token("parallel"), v.token("vectorize"));
+/// assert_eq!(v.token("never-seen"), tlp_schedule::vocab::UNKNOWN_TOKEN);
+/// ```
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Vocabulary {
+    map: HashMap<String, Token>,
+}
+
+impl Vocabulary {
+    /// Starts building a vocabulary from observed names.
+    pub fn builder() -> VocabularyBuilder {
+        VocabularyBuilder::default()
+    }
+
+    /// The token for `name` (the unknown token if unseen).
+    pub fn token(&self, name: &str) -> Token {
+        self.map.get(name).copied().unwrap_or(UNKNOWN_TOKEN)
+    }
+
+    /// Number of distinct known names (excluding the unknown token).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total token count including the reserved unknown slot
+    /// (useful for sizing embedding tables).
+    pub fn size_with_unknown(&self) -> usize {
+        self.map.len() + 1
+    }
+}
+
+/// Accumulates names before freezing them into a [`Vocabulary`].
+#[derive(Clone, Debug, Default)]
+pub struct VocabularyBuilder {
+    counts: HashMap<String, u64>,
+}
+
+impl VocabularyBuilder {
+    /// Records one occurrence of `name`.
+    pub fn observe(&mut self, name: &str) {
+        *self.counts.entry(name.to_string()).or_insert(0) += 1;
+    }
+
+    /// Freezes the builder. Tokens are assigned by descending frequency
+    /// (ties broken lexicographically) starting at 1; 0 is the unknown token.
+    pub fn build(self) -> Vocabulary {
+        let mut entries: Vec<(String, u64)> = self.counts.into_iter().collect();
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let map = entries
+            .into_iter()
+            .enumerate()
+            .map(|(i, (name, _))| (name, (i + 1) as Token))
+            .collect();
+        Vocabulary { map }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequency_order_is_stable() {
+        let mut b = Vocabulary::builder();
+        for _ in 0..5 {
+            b.observe("parallel");
+        }
+        b.observe("vectorize");
+        b.observe("unroll");
+        let v = b.build();
+        assert_eq!(v.token("parallel"), 1);
+        // Ties broken lexicographically: "unroll" < "vectorize".
+        assert_eq!(v.token("unroll"), 2);
+        assert_eq!(v.token("vectorize"), 3);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.size_with_unknown(), 4);
+    }
+
+    #[test]
+    fn unknown_maps_to_zero() {
+        let v = Vocabulary::builder().build();
+        assert_eq!(v.token("anything"), UNKNOWN_TOKEN);
+        assert!(v.is_empty());
+    }
+}

@@ -1,0 +1,33 @@
+//! `tlp-workload` — deep-learning workloads, operators and computational
+//! subgraphs for the TLP (ASPLOS 2023) reproduction.
+//!
+//! A workload ([`Network`]) is partitioned into computational subgraphs
+//! ([`Subgraph`]), each an anchor operator ([`AnchorOp`]) plus fused
+//! elementwise epilogues ([`FusedOp`]). Subgraphs are the unit the
+//! auto-scheduler tunes; their loop nests ([`LoopSpec`]) define the schedule
+//! search space.
+//!
+//! The paper's five held-out evaluation networks are built by
+//! [`test_networks`]; the offline-dataset pool by [`training_networks`].
+//!
+//! # Example
+//!
+//! ```
+//! use tlp_workload::resnet50;
+//! let net = resnet50(1, 224);
+//! assert_eq!(net.name, "resnet-50");
+//! assert!(net.total_flops() > 3e9);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod network;
+pub mod op;
+pub mod subgraph;
+
+pub use network::{
+    bert, bert_base, bert_tiny, distinct_subgraphs, mobilenet_v2, resnet50, resnext50,
+    test_networks, training_networks, Network,
+};
+pub use op::{AnchorOp, FusedOp, LoopKind, LoopSpec};
+pub use subgraph::{Subgraph, SubgraphInstance};

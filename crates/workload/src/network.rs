@@ -1,0 +1,780 @@
+//! Deep-learning workload builders.
+//!
+//! The paper's held-out test set (§6.1) is ResNet-50, MobileNet-V2,
+//! ResNeXt-50, BERT-tiny and BERT-base at batch size 1 (image 224 /
+//! sequence length 128). Training data comes from a pool of other networks
+//! (TenSet collected ~120; we build a parametric pool of the same families).
+
+use crate::op::{AnchorOp, FusedOp};
+use crate::subgraph::{Subgraph, SubgraphInstance};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A deep-learning workload as a bag of subgraph tuning tasks with weights.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    /// Network name, e.g. `resnet-50`.
+    pub name: String,
+    /// The distinct subgraphs and their occurrence counts.
+    pub instances: Vec<SubgraphInstance>,
+}
+
+impl Network {
+    /// Total number of distinct subgraphs (tuning tasks).
+    pub fn num_tasks(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Total weighted FLOPs of one inference pass.
+    pub fn total_flops(&self) -> f64 {
+        self.instances
+            .iter()
+            .map(|i| i.subgraph.flops() * i.weight as f64)
+            .sum()
+    }
+}
+
+/// Accumulates subgraphs, merging duplicates into weights.
+#[derive(Debug, Default)]
+struct NetBuilder {
+    order: Vec<u64>,
+    by_key: HashMap<u64, SubgraphInstance>,
+}
+
+impl NetBuilder {
+    fn add(&mut self, sg: Subgraph) {
+        let key = sg.key();
+        match self.by_key.get_mut(&key) {
+            Some(inst) => inst.weight += 1,
+            None => {
+                self.order.push(key);
+                self.by_key.insert(
+                    key,
+                    SubgraphInstance {
+                        subgraph: sg,
+                        weight: 1,
+                    },
+                );
+            }
+        }
+    }
+
+    fn build(mut self, name: &str) -> Network {
+        let instances = self
+            .order
+            .iter()
+            .map(|k| self.by_key.remove(k).expect("key present"))
+            .collect();
+        Network {
+            name: name.to_string(),
+            instances,
+        }
+    }
+}
+
+fn conv(n: i64, cin: i64, hw: i64, cout: i64, khw: i64, stride: i64, pad: i64) -> AnchorOp {
+    AnchorOp::Conv2d {
+        n,
+        cin,
+        hw,
+        cout,
+        khw,
+        stride,
+        pad,
+        groups: 1,
+    }
+}
+
+fn gconv(
+    n: i64,
+    cin: i64,
+    hw: i64,
+    cout: i64,
+    khw: i64,
+    stride: i64,
+    pad: i64,
+    groups: i64,
+) -> AnchorOp {
+    AnchorOp::Conv2d {
+        n,
+        cin,
+        hw,
+        cout,
+        khw,
+        stride,
+        pad,
+        groups,
+    }
+}
+
+/// ResNet-style network with bottleneck blocks.
+///
+/// `blocks` gives the number of bottlenecks per stage; `width` scales the
+/// base channel count (64 for standard ResNet-50); `groups`/`group_width`
+/// select the ResNeXt variant.
+fn resnet_like(
+    name: &str,
+    batch: i64,
+    image: i64,
+    blocks: [usize; 4],
+    width: i64,
+    groups: i64,
+) -> Network {
+    let mut b = NetBuilder::default();
+    // Stem.
+    b.add(
+        Subgraph::new("stem", conv(batch, 3, image, width, 7, 2, 3))
+            .with_fused([FusedOp::BiasAdd, FusedOp::Relu]),
+    );
+    b.add(Subgraph::new(
+        "stem_pool",
+        AnchorOp::Pool {
+            n: batch,
+            c: width,
+            hw: image / 2,
+            khw: 3,
+            stride: 2,
+        },
+    ));
+    let mut hw = image / 4;
+    let mut cin = width;
+    for (stage, &nblocks) in blocks.iter().enumerate() {
+        let mid = width * (1 << stage); // 64,128,256,512 at width=64
+        let cout = mid * 4;
+        for blk in 0..nblocks {
+            let stride = if stage > 0 && blk == 0 { 2 } else { 1 };
+            if stride == 2 {
+                hw /= 2;
+            }
+            let in_hw = if stride == 2 { hw * 2 } else { hw };
+            // 1x1 reduce.
+            b.add(
+                Subgraph::new(
+                    format!("s{stage}b{blk}_reduce"),
+                    conv(batch, cin, in_hw, mid, 1, 1, 0),
+                )
+                .with_fused([FusedOp::BiasAdd, FusedOp::Relu]),
+            );
+            // 3x3 (possibly grouped for ResNeXt).
+            b.add(
+                Subgraph::new(
+                    format!("s{stage}b{blk}_conv3"),
+                    gconv(batch, mid, in_hw, mid, 3, stride, 1, groups),
+                )
+                .with_fused([FusedOp::BiasAdd, FusedOp::Relu]),
+            );
+            // 1x1 expand with residual add.
+            b.add(
+                Subgraph::new(
+                    format!("s{stage}b{blk}_expand"),
+                    conv(batch, mid, hw, cout, 1, 1, 0),
+                )
+                .with_fused([FusedOp::BiasAdd, FusedOp::ResidualAdd, FusedOp::Relu]),
+            );
+            if blk == 0 {
+                // Projection shortcut.
+                b.add(
+                    Subgraph::new(
+                        format!("s{stage}b{blk}_proj"),
+                        conv(batch, cin, in_hw, cout, 1, stride, 0),
+                    )
+                    .with_fused([FusedOp::BiasAdd]),
+                );
+            }
+            cin = cout;
+        }
+    }
+    // Global pool + classifier.
+    b.add(Subgraph::new(
+        "global_pool",
+        AnchorOp::Pool {
+            n: batch,
+            c: cin,
+            hw,
+            khw: hw,
+            stride: hw,
+        },
+    ));
+    b.add(
+        Subgraph::new(
+            "classifier",
+            AnchorOp::Dense {
+                m: batch,
+                n: 1000,
+                k: cin,
+            },
+        )
+        .with_fused([FusedOp::BiasAdd]),
+    );
+    b.build(name)
+}
+
+/// ResNet-50 at the paper's test configuration.
+pub fn resnet50(batch: i64, image: i64) -> Network {
+    resnet_like("resnet-50", batch, image, [3, 4, 6, 3], 64, 1)
+}
+
+/// ResNeXt-50 (32×4d): ResNet-50 with 32-group 3×3 convolutions.
+pub fn resnext50(batch: i64, image: i64) -> Network {
+    resnet_like("resnext-50", batch, image, [3, 4, 6, 3], 64, 32)
+}
+
+/// MobileNet-V2 with inverted-residual blocks.
+pub fn mobilenet_v2(batch: i64, image: i64) -> Network {
+    let mut b = NetBuilder::default();
+    b.add(
+        Subgraph::new("stem", conv(batch, 3, image, 32, 3, 2, 1))
+            .with_fused([FusedOp::BiasAdd, FusedOp::Relu]),
+    );
+    // (expansion, out channels, repeats, stride)
+    let cfg: [(i64, i64, usize, i64); 7] = [
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ];
+    let mut cin = 32i64;
+    let mut hw = image / 2;
+    for (t, cout, reps, first_stride) in cfg {
+        for r in 0..reps {
+            let stride = if r == 0 { first_stride } else { 1 };
+            let mid = cin * t;
+            if t != 1 {
+                b.add(
+                    Subgraph::new("expand", conv(batch, cin, hw, mid, 1, 1, 0))
+                        .with_fused([FusedOp::BiasAdd, FusedOp::Relu]),
+                );
+            }
+            let in_hw = hw;
+            if stride == 2 {
+                hw /= 2;
+            }
+            b.add(
+                Subgraph::new(
+                    "depthwise",
+                    gconv(batch, mid, in_hw, mid, 3, stride, 1, mid),
+                )
+                .with_fused([FusedOp::BiasAdd, FusedOp::Relu]),
+            );
+            let mut proj =
+                Subgraph::new("project", conv(batch, mid, hw, cout, 1, 1, 0)).with_fused([FusedOp::BiasAdd]);
+            if stride == 1 && cin == cout {
+                proj = proj.with_fused([FusedOp::ResidualAdd]);
+            }
+            b.add(proj);
+            cin = cout;
+        }
+    }
+    b.add(
+        Subgraph::new("head", conv(batch, cin, hw, 1280, 1, 1, 0))
+            .with_fused([FusedOp::BiasAdd, FusedOp::Relu]),
+    );
+    b.add(Subgraph::new(
+        "global_pool",
+        AnchorOp::Pool {
+            n: batch,
+            c: 1280,
+            hw,
+            khw: hw,
+            stride: hw,
+        },
+    ));
+    b.add(
+        Subgraph::new(
+            "classifier",
+            AnchorOp::Dense {
+                m: batch,
+                n: 1000,
+                k: 1280,
+            },
+        )
+        .with_fused([FusedOp::BiasAdd]),
+    );
+    b.build("mobilenet-v2")
+}
+
+/// BERT-style transformer encoder.
+///
+/// `layers` encoder blocks of hidden size `hidden` with `heads` attention
+/// heads over sequence length `seq`.
+pub fn bert(name: &str, batch: i64, seq: i64, layers: usize, hidden: i64, heads: i64) -> Network {
+    let mut b = NetBuilder::default();
+    let m = batch * seq;
+    let dh = hidden / heads;
+    for _ in 0..layers {
+        // Q, K, V projections (three identical dense ops → weight 3).
+        for _ in 0..3 {
+            b.add(
+                Subgraph::new(
+                    "qkv_proj",
+                    AnchorOp::Dense {
+                        m,
+                        n: hidden,
+                        k: hidden,
+                    },
+                )
+                .with_fused([FusedOp::BiasAdd]),
+            );
+        }
+        // Attention scores and context.
+        b.add(Subgraph::new(
+            "attn_scores",
+            AnchorOp::BatchMatmul {
+                b: batch * heads,
+                m: seq,
+                n: seq,
+                k: dh,
+            },
+        ));
+        b.add(Subgraph::new(
+            "attn_softmax",
+            AnchorOp::Softmax {
+                rows: batch * heads * seq,
+                cols: seq,
+            },
+        ));
+        b.add(Subgraph::new(
+            "attn_context",
+            AnchorOp::BatchMatmul {
+                b: batch * heads,
+                m: seq,
+                n: dh,
+                k: seq,
+            },
+        ));
+        // Output projection + residual + layernorm.
+        b.add(
+            Subgraph::new(
+                "attn_out",
+                AnchorOp::Dense {
+                    m,
+                    n: hidden,
+                    k: hidden,
+                },
+            )
+            .with_fused([FusedOp::BiasAdd, FusedOp::ResidualAdd]),
+        );
+        b.add(Subgraph::new(
+            "ln1",
+            AnchorOp::LayerNorm {
+                rows: m,
+                cols: hidden,
+            },
+        ));
+        // Feed-forward.
+        b.add(
+            Subgraph::new(
+                "ffn_up",
+                AnchorOp::Dense {
+                    m,
+                    n: hidden * 4,
+                    k: hidden,
+                },
+            )
+            .with_fused([FusedOp::BiasAdd, FusedOp::Gelu]),
+        );
+        b.add(
+            Subgraph::new(
+                "ffn_down",
+                AnchorOp::Dense {
+                    m,
+                    n: hidden,
+                    k: hidden * 4,
+                },
+            )
+            .with_fused([FusedOp::BiasAdd, FusedOp::ResidualAdd]),
+        );
+        b.add(Subgraph::new(
+            "ln2",
+            AnchorOp::LayerNorm {
+                rows: m,
+                cols: hidden,
+            },
+        ));
+    }
+    b.build(name)
+}
+
+/// BERT-tiny (2 layers, hidden 128, 2 heads).
+pub fn bert_tiny(batch: i64, seq: i64) -> Network {
+    bert("bert-tiny", batch, seq, 2, 128, 2)
+}
+
+/// BERT-base (12 layers, hidden 768, 12 heads).
+pub fn bert_base(batch: i64, seq: i64) -> Network {
+    bert("bert-base", batch, seq, 12, 768, 12)
+}
+
+/// The paper's five held-out evaluation networks at batch 1, image 224 /
+/// sequence 128 (§6.1).
+pub fn test_networks() -> Vec<Network> {
+    vec![
+        resnet50(1, 224),
+        mobilenet_v2(1, 224),
+        resnext50(1, 224),
+        bert_tiny(1, 128),
+        bert_base(1, 128),
+    ]
+}
+
+/// VGG-style plain convolutional network (training pool).
+fn vgg_like(name: &str, batch: i64, image: i64, widths: &[i64]) -> Network {
+    let mut b = NetBuilder::default();
+    let mut cin = 3i64;
+    let mut hw = image;
+    for (i, &w) in widths.iter().enumerate() {
+        b.add(
+            Subgraph::new(format!("conv{i}"), conv(batch, cin, hw, w, 3, 1, 1))
+                .with_fused([FusedOp::BiasAdd, FusedOp::Relu]),
+        );
+        b.add(Subgraph::new(
+            format!("pool{i}"),
+            AnchorOp::Pool {
+                n: batch,
+                c: w,
+                hw,
+                khw: 2,
+                stride: 2,
+            },
+        ));
+        cin = w;
+        hw /= 2;
+    }
+    b.add(
+        Subgraph::new(
+            "fc",
+            AnchorOp::Dense {
+                m: batch,
+                n: 4096,
+                k: cin * hw * hw,
+            },
+        )
+        .with_fused([FusedOp::BiasAdd, FusedOp::Relu]),
+    );
+    b.add(
+        Subgraph::new(
+            "classifier",
+            AnchorOp::Dense {
+                m: batch,
+                n: 1000,
+                k: 4096,
+            },
+        )
+        .with_fused([FusedOp::BiasAdd]),
+    );
+    b.build(name)
+}
+
+/// MobileNet-V1-style depthwise-separable network (training pool).
+fn mobilenet_v1(batch: i64, image: i64, mult: f64) -> Network {
+    let mut b = NetBuilder::default();
+    let ch = |c: i64| ((c as f64 * mult) as i64).max(8);
+    b.add(
+        Subgraph::new("stem", conv(batch, 3, image, ch(32), 3, 2, 1))
+            .with_fused([FusedOp::BiasAdd, FusedOp::Relu]),
+    );
+    let cfg: [(i64, i64); 13] = [
+        (64, 1),
+        (128, 2),
+        (128, 1),
+        (256, 2),
+        (256, 1),
+        (512, 2),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (1024, 2),
+        (1024, 1),
+    ];
+    let mut cin = ch(32);
+    let mut hw = image / 2;
+    for (cout, stride) in cfg {
+        let in_hw = hw;
+        if stride == 2 {
+            hw /= 2;
+        }
+        b.add(
+            Subgraph::new("dw", gconv(batch, cin, in_hw, cin, 3, stride, 1, cin))
+                .with_fused([FusedOp::BiasAdd, FusedOp::Relu]),
+        );
+        b.add(
+            Subgraph::new("pw", conv(batch, cin, hw, ch(cout), 1, 1, 0))
+                .with_fused([FusedOp::BiasAdd, FusedOp::Relu]),
+        );
+        cin = ch(cout);
+    }
+    b.add(
+        Subgraph::new(
+            "classifier",
+            AnchorOp::Dense {
+                m: batch,
+                n: 1000,
+                k: cin,
+            },
+        )
+        .with_fused([FusedOp::BiasAdd]),
+    );
+    b.build(&format!("mobilenet-v1-x{mult}"))
+}
+
+/// Inception-style mixed-kernel network (training pool).
+fn inception_like(name: &str, batch: i64, image: i64) -> Network {
+    let mut b = NetBuilder::default();
+    b.add(
+        Subgraph::new("stem", conv(batch, 3, image, 64, 7, 2, 3))
+            .with_fused([FusedOp::BiasAdd, FusedOp::Relu]),
+    );
+    let mut hw = image / 4;
+    let mut cin = 64i64;
+    for stage in 0..3 {
+        // Parallel 1x1 / 3x3 / 5x5 branches, concatenated channel-wise.
+        let c1 = 32 << stage;
+        b.add(
+            Subgraph::new(format!("s{stage}_b1"), conv(batch, cin, hw, c1, 1, 1, 0))
+                .with_fused([FusedOp::BiasAdd, FusedOp::Relu]),
+        );
+        b.add(
+            Subgraph::new(format!("s{stage}_b3"), conv(batch, cin, hw, c1 * 2, 3, 1, 1))
+                .with_fused([FusedOp::BiasAdd, FusedOp::Relu]),
+        );
+        b.add(
+            Subgraph::new(format!("s{stage}_b5"), conv(batch, cin, hw, c1 / 2, 5, 1, 2))
+                .with_fused([FusedOp::BiasAdd, FusedOp::Relu]),
+        );
+        cin = c1 + c1 * 2 + c1 / 2;
+        b.add(Subgraph::new(
+            format!("s{stage}_pool"),
+            AnchorOp::Pool {
+                n: batch,
+                c: cin,
+                hw,
+                khw: 3,
+                stride: 2,
+            },
+        ));
+        hw = (hw - 3) / 2 + 1;
+    }
+    b.add(
+        Subgraph::new(
+            "classifier",
+            AnchorOp::Dense {
+                m: batch,
+                n: 1000,
+                k: cin,
+            },
+        )
+        .with_fused([FusedOp::BiasAdd]),
+    );
+    b.build(name)
+}
+
+/// SqueezeNet-style fire modules (squeeze 1x1, expand 1x1 + 3x3).
+fn squeezenet_like(name: &str, batch: i64, image: i64) -> Network {
+    let mut b = NetBuilder::default();
+    b.add(
+        Subgraph::new("stem", conv(batch, 3, image, 96, 7, 2, 3))
+            .with_fused([FusedOp::BiasAdd, FusedOp::Relu]),
+    );
+    let mut hw = image / 2;
+    let mut cin = 96i64;
+    for (i, (squeeze, expand)) in [(16i64, 64i64), (32, 128), (48, 192), (64, 256)]
+        .into_iter()
+        .enumerate()
+    {
+        if i % 2 == 0 {
+            b.add(Subgraph::new(
+                format!("pool{i}"),
+                AnchorOp::Pool {
+                    n: batch,
+                    c: cin,
+                    hw,
+                    khw: 3,
+                    stride: 2,
+                },
+            ));
+            hw = (hw - 3) / 2 + 1;
+        }
+        b.add(
+            Subgraph::new(format!("fire{i}_squeeze"), conv(batch, cin, hw, squeeze, 1, 1, 0))
+                .with_fused([FusedOp::BiasAdd, FusedOp::Relu]),
+        );
+        b.add(
+            Subgraph::new(format!("fire{i}_e1"), conv(batch, squeeze, hw, expand, 1, 1, 0))
+                .with_fused([FusedOp::BiasAdd, FusedOp::Relu]),
+        );
+        b.add(
+            Subgraph::new(format!("fire{i}_e3"), conv(batch, squeeze, hw, expand, 3, 1, 1))
+                .with_fused([FusedOp::BiasAdd, FusedOp::Relu]),
+        );
+        cin = expand * 2;
+    }
+    b.add(
+        Subgraph::new("head", conv(batch, cin, hw, 1000, 1, 1, 0))
+            .with_fused([FusedOp::BiasAdd, FusedOp::Relu]),
+    );
+    b.build(name)
+}
+
+/// The training pool: network families similar to (but distinct from) the
+/// held-out test set, across several batch sizes and input resolutions.
+///
+/// TenSet used 120 networks; this pool is a scaled-down analogue with the
+/// same family coverage (ResNets, VGG, MobileNets, transformers, MLPs).
+pub fn training_networks() -> Vec<Network> {
+    // Ordered so that any truncated prefix spans every family (ResNet, VGG,
+    // MobileNet, transformer): reduced-scale runs cap the pool length and
+    // still need training coverage for all five test-network families.
+    let mut nets = vec![
+        resnet_like("resnet-18ish", 1, 224, [2, 2, 2, 2], 64, 1),
+        bert("bert-small", 1, 128, 4, 256, 4),
+        mobilenet_v1(1, 224, 1.0),
+        vgg_like("vgg-11ish", 1, 224, &[64, 128, 256, 512, 512]),
+        resnet_like("resnet-26-g8", 1, 224, [2, 2, 2, 2], 64, 8),
+        bert("bert-medium", 1, 128, 8, 512, 8),
+        mobilenet_v1(1, 224, 0.5),
+        resnet_like("resnet-34ish", 1, 224, [3, 4, 6, 3], 48, 1),
+        bert("gpt2-ish", 1, 256, 6, 384, 6),
+        mobilenet_v1(1, 192, 0.75),
+        resnet_like("wide-resnet", 1, 224, [2, 2, 2, 2], 96, 1),
+        bert("bert-seq64", 1, 64, 4, 512, 8),
+        vgg_like("vgg-thin", 1, 224, &[32, 64, 128, 256, 256]),
+        resnet_like("resnet-small-192", 1, 192, [2, 2, 2, 2], 64, 1),
+        bert("bert-batch4", 4, 128, 2, 256, 4),
+        resnet_like("resnet-batch4", 4, 224, [2, 2, 2, 2], 64, 1),
+    ];
+    // Wider-coverage families used at medium/paper scales (appended so the
+    // reduced-scale prefix above stays stable).
+    nets.push(inception_like("inception-ish", 1, 224));
+    nets.push(squeezenet_like("squeezenet-ish", 1, 224));
+    nets.push(resnet_like("resnet-50-b8", 8, 224, [3, 4, 6, 3], 64, 1));
+    nets.push(bert("bert-seq256", 1, 256, 4, 256, 4));
+    nets.push(mobilenet_v1(1, 160, 1.0));
+    // MLP nets with assorted widths.
+    for (i, w) in [256i64, 512, 1024, 2048].into_iter().enumerate() {
+        let mut b = NetBuilder::default();
+        for l in 0..4 {
+            b.add(
+                Subgraph::new(
+                    format!("fc{l}"),
+                    AnchorOp::Dense { m: 16, n: w, k: w },
+                )
+                .with_fused([FusedOp::BiasAdd, FusedOp::Relu]),
+            );
+        }
+        nets.push(b.build(&format!("mlp-{i}")));
+    }
+    nets
+}
+
+/// Deduplicates subgraphs across networks, summing weights.
+pub fn distinct_subgraphs(networks: &[Network]) -> Vec<SubgraphInstance> {
+    let mut order = Vec::new();
+    let mut map: HashMap<u64, SubgraphInstance> = HashMap::new();
+    for net in networks {
+        for inst in &net.instances {
+            let key = inst.subgraph.key();
+            match map.get_mut(&key) {
+                Some(existing) => existing.weight += inst.weight,
+                None => {
+                    order.push(key);
+                    map.insert(key, inst.clone());
+                }
+            }
+        }
+    }
+    order
+        .into_iter()
+        .map(|k| map.remove(&k).expect("key present"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_networks_are_the_papers_five() {
+        let nets = test_networks();
+        let names: Vec<&str> = nets.iter().map(|n| n.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["resnet-50", "mobilenet-v2", "resnext-50", "bert-tiny", "bert-base"]
+        );
+    }
+
+    #[test]
+    fn resnet50_task_count_and_flops() {
+        let net = resnet50(1, 224);
+        // Distinct tuning tasks: dozens, not hundreds (dedup works).
+        assert!(net.num_tasks() > 20 && net.num_tasks() < 80, "{}", net.num_tasks());
+        // ~4 GFLOPs plus epilogues/projections for one 224x224 inference.
+        let gflops = net.total_flops() / 1e9;
+        assert!(gflops > 3.0 && gflops < 10.0, "got {gflops} GFLOPs");
+    }
+
+    #[test]
+    fn weights_count_repeats() {
+        let net = bert_base(1, 128);
+        let qkv = net
+            .instances
+            .iter()
+            .find(|i| i.subgraph.name == "qkv_proj")
+            .expect("qkv task");
+        // 3 projections × 12 layers share one task.
+        assert_eq!(qkv.weight, 36);
+    }
+
+    #[test]
+    fn resnext_differs_from_resnet_in_group_conv() {
+        let rn = resnet50(1, 224);
+        let rx = resnext50(1, 224);
+        assert!(rx.total_flops() < rn.total_flops());
+        let grouped = rx
+            .instances
+            .iter()
+            .any(|i| i.subgraph.anchor.name() == "group_conv2d");
+        assert!(grouped);
+    }
+
+    #[test]
+    fn mobilenet_has_depthwise() {
+        let net = mobilenet_v2(1, 224);
+        assert!(net
+            .instances
+            .iter()
+            .any(|i| i.subgraph.anchor.name() == "depthwise_conv2d"));
+        // MobileNet-V2 is ~0.3 GFLOPs.
+        let gflops = net.total_flops() / 1e9;
+        assert!(gflops > 0.15 && gflops < 1.5, "got {gflops}");
+    }
+
+    #[test]
+    fn training_pool_is_disjoint_scale() {
+        let pool = training_networks();
+        assert!(pool.len() >= 15);
+        let total: usize = pool.iter().map(Network::num_tasks).sum();
+        assert!(total > 150, "want a rich pool, got {total} tasks");
+        // The pool must not contain the exact held-out networks.
+        for n in &pool {
+            assert!(!["resnet-50", "mobilenet-v2", "resnext-50", "bert-tiny", "bert-base"]
+                .contains(&n.name.as_str()));
+        }
+    }
+
+    #[test]
+    fn distinct_subgraphs_dedups_across_networks() {
+        let nets = vec![bert_tiny(1, 128), bert_tiny(1, 128)];
+        let distinct = distinct_subgraphs(&nets);
+        let single = distinct_subgraphs(&nets[..1]);
+        assert_eq!(distinct.len(), single.len());
+        assert_eq!(
+            distinct.iter().map(|i| i.weight).sum::<usize>(),
+            2 * single.iter().map(|i| i.weight).sum::<usize>()
+        );
+    }
+}

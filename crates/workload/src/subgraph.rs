@@ -1,0 +1,159 @@
+//! Computational subgraphs — the unit of auto-scheduling.
+
+use crate::op::{AnchorOp, FusedOp, LoopKind, LoopSpec};
+use serde::{Deserialize, Serialize};
+use std::hash::{Hash, Hasher};
+
+/// A fused computational subgraph: one anchor operator plus elementwise
+/// epilogues, as produced by a compiler's graph partitioner.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Subgraph {
+    /// Human-readable name, e.g. `conv2d_64x56_k3`.
+    pub name: String,
+    /// The dominant compute operator.
+    pub anchor: AnchorOp,
+    /// Fused elementwise stages, in application order.
+    pub fused: Vec<FusedOp>,
+}
+
+impl Subgraph {
+    /// Creates a subgraph around an anchor operator.
+    pub fn new(name: impl Into<String>, anchor: AnchorOp) -> Self {
+        Subgraph {
+            name: name.into(),
+            anchor,
+            fused: Vec::new(),
+        }
+    }
+
+    /// Builder-style: appends fused elementwise stages.
+    pub fn with_fused(mut self, fused: impl IntoIterator<Item = FusedOp>) -> Self {
+        self.fused.extend(fused);
+        self
+    }
+
+    /// The anchor's loop nest.
+    pub fn loops(&self) -> Vec<LoopSpec> {
+        self.anchor.loops()
+    }
+
+    /// Spatial loops only.
+    pub fn spatial_loops(&self) -> Vec<LoopSpec> {
+        self.loops()
+            .into_iter()
+            .filter(|l| l.kind == LoopKind::Spatial)
+            .collect()
+    }
+
+    /// Reduction loops only.
+    pub fn reduction_loops(&self) -> Vec<LoopSpec> {
+        self.loops()
+            .into_iter()
+            .filter(|l| l.kind == LoopKind::Reduction)
+            .collect()
+    }
+
+    /// Number of output elements.
+    pub fn output_elems(&self) -> f64 {
+        self.spatial_loops().iter().map(|l| l.extent as f64).product()
+    }
+
+    /// Total floating-point operations (anchor + fused stages).
+    pub fn flops(&self) -> f64 {
+        let out = self.output_elems();
+        self.anchor.flops()
+            + self
+                .fused
+                .iter()
+                .map(|f| f.flops_per_elem() * out)
+                .sum::<f64>()
+    }
+
+    /// Total bytes read.
+    pub fn bytes_read(&self) -> f64 {
+        let out = self.output_elems();
+        self.anchor.bytes_read()
+            + self
+                .fused
+                .iter()
+                .map(|f| f.extra_bytes_per_elem() * out)
+                .sum::<f64>()
+    }
+
+    /// Total bytes written.
+    pub fn bytes_written(&self) -> f64 {
+        self.anchor.bytes_written()
+    }
+
+    /// Arithmetic intensity (FLOPs per byte moved).
+    pub fn arithmetic_intensity(&self) -> f64 {
+        self.flops() / (self.bytes_read() + self.bytes_written()).max(1.0)
+    }
+
+    /// A stable identity key: equal keys mean the same tuning task.
+    pub fn key(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.anchor.hash(&mut h);
+        self.fused.hash(&mut h);
+        h.finish()
+    }
+}
+
+/// A subgraph instance inside a network, with its occurrence count
+/// (the paper's `weight_{m,s}`).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SubgraphInstance {
+    /// The subgraph.
+    pub subgraph: Subgraph,
+    /// How many times it appears in the network.
+    pub weight: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sg() -> Subgraph {
+        Subgraph::new(
+            "dense_relu",
+            AnchorOp::Dense { m: 128, n: 128, k: 512 },
+        )
+        .with_fused([FusedOp::BiasAdd, FusedOp::Relu])
+    }
+
+    #[test]
+    fn fused_ops_add_flops() {
+        let bare = Subgraph::new("d", AnchorOp::Dense { m: 128, n: 128, k: 512 });
+        let fused = sg();
+        assert!(fused.flops() > bare.flops());
+        assert_eq!(
+            fused.flops() - bare.flops(),
+            2.0 * 128.0 * 128.0 // bias (1) + relu (1) per output element
+        );
+    }
+
+    #[test]
+    fn key_ignores_name_but_not_structure() {
+        let a = sg();
+        let mut b = sg();
+        b.name = "renamed".into();
+        assert_eq!(a.key(), b.key());
+        let c = Subgraph::new("other", AnchorOp::Dense { m: 128, n: 128, k: 256 });
+        assert_ne!(a.key(), c.key());
+    }
+
+    #[test]
+    fn loop_partition() {
+        let s = sg();
+        assert_eq!(s.spatial_loops().len(), 2);
+        assert_eq!(s.reduction_loops().len(), 1);
+        assert_eq!(s.output_elems(), 128.0 * 128.0);
+    }
+
+    #[test]
+    fn residual_add_reads_extra_bytes() {
+        let plain = sg();
+        let res = sg().with_fused([FusedOp::ResidualAdd]);
+        assert!(res.bytes_read() > plain.bytes_read());
+    }
+}

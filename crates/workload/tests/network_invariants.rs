@@ -1,0 +1,106 @@
+//! Structural invariants of the workload library's networks.
+
+use tlp_workload::{
+    bert, bert_base, bert_tiny, distinct_subgraphs, mobilenet_v2, resnet50, resnext50,
+    test_networks, training_networks, LoopKind,
+};
+
+#[test]
+fn all_networks_have_positive_work() {
+    let mut nets = training_networks();
+    nets.extend(test_networks());
+    for net in &nets {
+        assert!(net.num_tasks() > 0, "{} has no tasks", net.name);
+        assert!(net.total_flops() > 0.0, "{} has no flops", net.name);
+        for inst in &net.instances {
+            assert!(inst.weight >= 1);
+            let sg = &inst.subgraph;
+            assert!(sg.flops() > 0.0, "{}/{}", net.name, sg.name);
+            assert!(sg.bytes_read() > 0.0);
+            assert!(sg.bytes_written() > 0.0);
+            assert!(!sg.spatial_loops().is_empty(), "{}/{}", net.name, sg.name);
+            for l in sg.loops() {
+                assert!(l.extent >= 1, "{}/{} loop {}", net.name, sg.name, l.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn loop_extents_consistent_with_output_elems() {
+    for net in test_networks() {
+        for inst in &net.instances {
+            let sg = &inst.subgraph;
+            let spatial_product: f64 = sg
+                .loops()
+                .iter()
+                .filter(|l| l.kind == LoopKind::Spatial)
+                .map(|l| l.extent as f64)
+                .product();
+            assert_eq!(spatial_product, sg.output_elems());
+        }
+    }
+}
+
+#[test]
+fn bert_flops_scale_superlinearly_with_hidden() {
+    let small = bert("a", 1, 128, 4, 256, 4);
+    let big = bert("b", 1, 128, 4, 512, 8);
+    // Dense layers are O(hidden²): 2× hidden → ~4× flops.
+    let ratio = big.total_flops() / small.total_flops();
+    assert!(ratio > 3.0 && ratio < 5.0, "ratio {ratio}");
+}
+
+#[test]
+fn batch_scales_flops_linearly() {
+    let b1 = bert_tiny(1, 128);
+    let b4 = bert("bert-tiny-b4", 4, 128, 2, 128, 2);
+    let ratio = b4.total_flops() / b1.total_flops();
+    assert!((ratio - 4.0).abs() < 0.5, "ratio {ratio}");
+}
+
+#[test]
+fn paper_flop_counts_are_plausible() {
+    // Published MACs: ResNet-50 ≈ 4.1 G, MobileNet-V2 ≈ 0.3 G,
+    // ResNeXt-50 ≈ 4.2 G, BERT-base ≈ 22.5 G (seq 128, with epilogues).
+    let within = |x: f64, lo: f64, hi: f64| x > lo && x < hi;
+    assert!(within(resnet50(1, 224).total_flops() / 2e9, 3.0, 6.0));
+    assert!(within(mobilenet_v2(1, 224).total_flops() / 2e9, 0.1, 0.6));
+    assert!(within(resnext50(1, 224).total_flops() / 2e9, 2.0, 5.0));
+    assert!(within(bert_base(1, 128).total_flops() / 2e9, 8.0, 30.0));
+}
+
+#[test]
+fn distinct_subgraph_weights_conserve_instances() {
+    let nets = test_networks();
+    let total_weight: usize = nets
+        .iter()
+        .flat_map(|n| n.instances.iter())
+        .map(|i| i.weight)
+        .sum();
+    let distinct = distinct_subgraphs(&nets);
+    let distinct_weight: usize = distinct.iter().map(|i| i.weight).sum();
+    assert_eq!(total_weight, distinct_weight);
+    assert!(distinct.len() < nets.iter().map(|n| n.num_tasks()).sum());
+}
+
+#[test]
+fn training_pool_prefixes_span_families() {
+    // Reduced-scale runs truncate the pool; every 4-network prefix must
+    // contain at least three distinct anchor families.
+    let pool = training_networks();
+    let family = |name: &str| -> &'static str {
+        if name.contains("bert") || name.contains("gpt") {
+            "transformer"
+        } else if name.contains("mobilenet") {
+            "mobilenet"
+        } else if name.contains("vgg") {
+            "vgg"
+        } else {
+            "resnet"
+        }
+    };
+    let prefix: std::collections::HashSet<&str> =
+        pool[..4].iter().map(|n| family(&n.name)).collect();
+    assert!(prefix.len() >= 3, "prefix families {prefix:?}");
+}

@@ -1,0 +1,53 @@
+//! Dataset analyses from the paper: sequence-length distribution (Fig. 6),
+//! per-kind maximum embedding sizes (Table 1), and schedule-sequence
+//! uniqueness (§4.3).
+//!
+//! Run with `cargo run --release --example dataset_statistics`.
+
+use tlp_dataset::{
+    generate_dataset_for, max_embedding_sizes, max_sequence_length, sequence_length_distribution,
+    uniqueness, DatasetConfig,
+};
+use tlp_hwsim::Platform;
+use tlp_workload::{mobilenet_v2, resnet50, Network};
+
+fn main() {
+    let pool: Vec<Network> = vec![resnet50(1, 224), mobilenet_v2(1, 224)];
+    let ds = generate_dataset_for(
+        &pool,
+        &[],
+        &[Platform::i7_10510u()],
+        &DatasetConfig {
+            programs_per_task: 32,
+            ..DatasetConfig::default()
+        },
+    );
+    println!(
+        "dataset: {} tasks, {} programs\n",
+        ds.tasks.len(),
+        ds.num_programs()
+    );
+
+    println!("=== Sequence-length distribution (paper Fig. 6) ===");
+    let hist = sequence_length_distribution(&ds);
+    let max_count = hist.iter().map(|&(_, c)| c).max().unwrap_or(1);
+    for (len, count) in &hist {
+        let bar = "#".repeat(60 * count / max_count);
+        println!("len {len:>3}: {count:>6} {bar}");
+    }
+    println!("max sequence length: {}\n", max_sequence_length(&ds));
+
+    println!("=== Max embedding size per primitive kind (paper Table 1) ===");
+    for (kind, size) in max_embedding_sizes(&ds) {
+        println!("{:>4}: {size}", kind.abbrev());
+    }
+
+    println!("\n=== Schedule-sequence uniqueness (paper 4.3) ===");
+    let u = uniqueness(&ds);
+    println!(
+        "{} programs, {} distinct sequences, repetition rate {:.4}%",
+        u.total,
+        u.distinct,
+        u.repetition_rate() * 100.0
+    );
+}

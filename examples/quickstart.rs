@@ -1,0 +1,54 @@
+//! Quickstart: train a TLP cost model on a generated dataset and evaluate
+//! its top-k score on a held-out network.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use tlp::experiments::{capped_train_tasks, eval_tlp, Scale};
+use tlp::features::FeatureExtractor;
+use tlp::train::{train_tlp, TrainData};
+use tlp::{TlpConfig, TlpModel};
+use tlp_dataset::generate_dataset_for;
+use tlp_hwsim::Platform;
+use tlp_workload::{bert, bert_tiny};
+
+fn main() {
+    // 1. Build workloads: a small training pool and a held-out test network.
+    let training_pool = [
+        bert("bert-train-a", 1, 64, 2, 128, 2),
+        bert("bert-train-b", 1, 64, 4, 256, 4),
+    ];
+    let test_pool = [bert_tiny(1, 64)];
+    let platform = Platform::i7_10510u();
+    println!("target platform: {} ({:.0} peak GFLOP/s)", platform.name, platform.peak_gflops());
+
+    // 2. Generate a TenSet-like dataset on the simulated platform.
+    let scale = Scale::test();
+    let ds = generate_dataset_for(&training_pool, &test_pool, &[platform], &scale.dataset_config());
+    println!(
+        "dataset: {} tasks, {} programs",
+        ds.tasks.len(),
+        ds.num_programs()
+    );
+
+    // 3. Fit the TLP feature extractor (vocabulary + 25×22 crop) and build
+    //    the task-grouped training set.
+    let config = TlpConfig {
+        epochs: 6,
+        ..TlpConfig::test_scale()
+    };
+    let extractor = FeatureExtractor::fit(&ds, config.seq_len, config.emb_size);
+    let tasks = capped_train_tasks(&ds, scale.max_train_tasks);
+    let data = TrainData::from_tasks(&tasks, &extractor, 0);
+    println!("training samples: {}", data.num_samples());
+
+    // 4. Train TLP (self-attention backbone + LambdaRank loss).
+    let mut model = TlpModel::new(config);
+    let losses = train_tlp(&mut model, &data);
+    println!("epoch losses: {losses:?}");
+
+    // 5. Evaluate with the paper's top-k metric on the held-out network.
+    let (top1, top5) = eval_tlp(&model, &extractor, &ds, 0);
+    println!("top-1 score: {top1:.4}");
+    println!("top-5 score: {top5:.4}");
+    assert!(top5 >= top1);
+}

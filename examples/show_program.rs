@@ -1,0 +1,52 @@
+//! Render tensor programs the way the paper's Figure 2 does: the same
+//! subgraph under different schedule-primitive sequences, with the simulated
+//! latency of each variant.
+//!
+//! Run with `cargo run --release --example show_program`.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tlp_autotuner::{Candidate, SketchPolicy};
+use tlp_hwsim::{lower, render_program, Platform, Simulator};
+use tlp_workload::{AnchorOp, FusedOp, Subgraph};
+
+fn main() {
+    // The paper's Figure 2 subgraph: a fused dense + ReLU.
+    let sg = Subgraph::new(
+        "dense_relu",
+        AnchorOp::Dense { m: 128, n: 128, k: 512 },
+    )
+    .with_fused([FusedOp::BiasAdd, FusedOp::Relu]);
+    let platform = Platform::i7_10510u();
+    let sim = Simulator::new();
+    let policy = SketchPolicy::cpu();
+    let mut rng = SmallRng::seed_from_u64(0xF16);
+
+    println!("subgraph: {}\nplatform: {}\n", sg.anchor, platform.name);
+
+    // Sample a few schedule variants and show program + latency, best last.
+    let mut variants: Vec<(Candidate, f64)> = (0..48)
+        .map(|_| {
+            let c = Candidate::random(&policy, &sg, &mut rng);
+            let spec = lower(&sg, &c.sequence).expect("lowers");
+            let lat = sim.latency(&platform, &sg, &spec, c.sequence.fingerprint());
+            (c, lat)
+        })
+        .collect();
+    variants.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+
+    for (label, (c, lat)) in [
+        ("WORST sampled schedule", &variants[0]),
+        ("MEDIAN sampled schedule", &variants[variants.len() / 2]),
+        ("BEST sampled schedule", variants.last().unwrap()),
+    ] {
+        let spec = lower(&sg, &c.sequence).unwrap();
+        println!("=== {label}: {:.3} ms ===", lat * 1e3);
+        println!("--- schedule primitives ---");
+        println!("{}", c.sequence);
+        println!("--- generated tensor program ---");
+        println!("{}", render_program(&sg, &spec));
+    }
+    let spread = variants[0].1 / variants.last().unwrap().1;
+    println!("latency spread across sampled schedules: {spread:.1}x");
+}

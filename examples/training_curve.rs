@@ -1,0 +1,64 @@
+//! Watch TLP's top-k scores evolve epoch by epoch, against the oracle
+//! (perfect ranking) and a random ranker.
+//!
+//! Run with `cargo run --release --example training_curve`.
+
+use tlp::experiments::{capped_train_tasks, eval_tlp};
+use tlp::features::FeatureExtractor;
+use tlp::train::{train_tlp, TrainData};
+use tlp::{TlpConfig, TlpModel};
+use tlp_dataset::{generate_dataset_for, DatasetConfig};
+use tlp_hwsim::Platform;
+use tlp_workload::{bert, bert_tiny};
+
+fn main() {
+    let pool = [
+        bert("bert-train-a", 1, 64, 2, 128, 2),
+        bert("bert-train-b", 1, 64, 4, 256, 4),
+        bert("bert-train-c", 1, 128, 2, 192, 4),
+    ];
+    let ds = generate_dataset_for(
+        &pool,
+        &[bert_tiny(1, 64)],
+        &[Platform::i7_10510u()],
+        &DatasetConfig {
+            programs_per_task: 64,
+            ..DatasetConfig::default()
+        },
+    );
+    println!("tasks {} programs {}", ds.tasks.len(), ds.num_programs());
+    let cfg = TlpConfig {
+        hidden: 32,
+        heads: 4,
+        epochs: 1, // trained one epoch at a time below
+        learning_rate: 3e-3,
+        ..TlpConfig::default()
+    };
+    let ex = FeatureExtractor::fit(&ds, cfg.seq_len, cfg.emb_size);
+    let data = TrainData::from_tasks(&capped_train_tasks(&ds, usize::MAX), &ex, 0);
+    println!("training samples {}", data.num_samples());
+
+    let mut model = TlpModel::new(cfg);
+    for epoch in 0..15 {
+        let loss = train_tlp(&mut model, &data);
+        let (t1, t5) = eval_tlp(&model, &ex, &ds, 0);
+        println!("epoch {epoch:>2}  loss {:.4}  top-1 {t1:.4}  top-5 {t5:.4}", loss[0]);
+    }
+
+    let oracle = tlp::top_k_score(&ds, 0, 1, |t| {
+        t.programs.iter().map(|r| -(r.latencies[0] as f32)).collect()
+    });
+    let mut x = 0x12345u64;
+    let random = tlp::top_k_score(&ds, 0, 1, |t| {
+        t.programs
+            .iter()
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 40) as f32
+            })
+            .collect()
+    });
+    println!("reference: oracle top-1 {oracle:.4}, random top-1 {random:.4}");
+}

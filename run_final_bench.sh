@@ -1,0 +1,8 @@
+#!/bin/bash
+{
+echo "# cargo bench --workspace (TLP_SCALE=test for the quick verification sweep;"
+echo "# the full-scale per-table results live in bench_logs/*.log and target/tlp-results/*.json,"
+echo "# recorded in EXPERIMENTS.md)"
+TLP_SCALE=test cargo bench --workspace 2>&1
+echo "BENCH_SWEEP_DONE"
+} | tee /root/repo/bench_output.txt

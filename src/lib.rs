@@ -1,0 +1,14 @@
+//! Umbrella crate for the TLP (ASPLOS 2023) reproduction workspace.
+//!
+//! Re-exports the public crates so examples and integration tests can use a
+//! single dependency. See the individual crates for documentation:
+//! [`tlp`] (core models), [`tlp_nn`], [`tlp_schedule`], [`tlp_workload`],
+//! [`tlp_hwsim`], [`tlp_gbdt`], [`tlp_autotuner`], [`tlp_dataset`].
+pub use tlp;
+pub use tlp_autotuner;
+pub use tlp_dataset;
+pub use tlp_gbdt;
+pub use tlp_hwsim;
+pub use tlp_nn;
+pub use tlp_schedule;
+pub use tlp_workload;
