@@ -5,7 +5,7 @@
 //! population each generation; finally the top-k candidates are returned for
 //! hardware measurement (ε-greedy: a fraction is random to keep exploring).
 
-use crate::cost_model::CostModel;
+use crate::cost_model::{CostModel, ScoreRequest};
 use crate::sketch::{Candidate, SketchPolicy};
 use crate::task::SearchTask;
 use rand::rngs::SmallRng;
@@ -50,8 +50,8 @@ pub fn evolutionary_search(
         .map(|_| Candidate::random(policy, &task.subgraph, rng))
         .collect();
 
-    for _ in 0..config.generations {
-        let scores = score(model, task, &population);
+    for generation in 0..config.generations {
+        let scores = score(model, task, &population, generation as u32 + 1);
         let ranked = rank_indices(&scores);
         // Elite survivors seed the next generation.
         let elite: Vec<Candidate> = ranked
@@ -84,7 +84,7 @@ pub fn evolutionary_search(
         population = next;
     }
 
-    let scores = score(model, task, &population);
+    let scores = score(model, task, &population, config.generations as u32 + 1);
     let ranked = rank_indices(&scores);
     let mut picked: Vec<Candidate> = ranked
         .into_iter()
@@ -99,9 +99,15 @@ pub fn evolutionary_search(
     picked
 }
 
-fn score(model: &dyn CostModel, task: &SearchTask, pop: &[Candidate]) -> Vec<f32> {
+fn score(model: &dyn CostModel, task: &SearchTask, pop: &[Candidate], generation: u32) -> Vec<f32> {
     let seqs: Vec<_> = pop.iter().map(|c| c.sequence.clone()).collect();
-    model.predict(task, &seqs)
+    let batch = model.predict(ScoreRequest::new(task, &seqs).with_generation(generation));
+    debug_assert_eq!(batch.len(), pop.len(), "cost model batch shape");
+    // Unscoreable candidates rank last but stay in the population: a later
+    // mutation can repair them, and the measurer independently rejects them.
+    (0..batch.len())
+        .map(|i| batch.score_or(i, f32::NEG_INFINITY))
+        .collect()
 }
 
 /// Indices sorted by descending score.
@@ -126,7 +132,14 @@ mod tests {
 
     fn task() -> SearchTask {
         SearchTask::new(
-            Subgraph::new("d", AnchorOp::Dense { m: 256, n: 256, k: 256 }),
+            Subgraph::new(
+                "d",
+                AnchorOp::Dense {
+                    m: 256,
+                    n: 256,
+                    k: 256,
+                },
+            ),
             Platform::i7_10510u(),
         )
     }
@@ -134,20 +147,18 @@ mod tests {
     /// An "oracle" model that scores by true (negated) latency.
     struct Oracle;
     impl CostModel for Oracle {
-        fn predict(
-            &self,
-            task: &SearchTask,
-            schedules: &[tlp_schedule::ScheduleSequence],
-        ) -> Vec<f32> {
+        fn predict(&self, request: ScoreRequest<'_>) -> crate::cost_model::ScoreBatch {
             let mut m = Measurer::new(false);
-            schedules
+            let scores = request
+                .candidates
                 .iter()
                 .map(|s| {
-                    m.measure(task, s)
+                    m.measure(request.task, s)
                         .map(|l| -(l as f32))
                         .unwrap_or(f32::NEG_INFINITY)
                 })
-                .collect()
+                .collect();
+            crate::cost_model::ScoreBatch::dense(scores, crate::cost_model::PipelineCost::ZERO)
         }
         fn name(&self) -> &str {
             "oracle"

@@ -44,7 +44,10 @@ pub mod sketch;
 pub mod task;
 pub mod tuner;
 
-pub use cost_model::{CostModel, RandomModel};
+pub use cost_model::{
+    check_update_shape, BatchStats, CostModel, PipelineCost, RandomModel, ScoreBatch, ScoreRequest,
+    UpdateError,
+};
 pub use evolutionary::{evolutionary_search, EvolutionConfig};
 pub use measure::{MeasureRecord, Measurer};
 pub use sketch::{Candidate, ScheduleDecision, SketchPolicy, UNROLL_STEPS};

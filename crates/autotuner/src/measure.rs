@@ -30,7 +30,11 @@ impl Measurer {
     pub fn new(gpu: bool) -> Self {
         Measurer {
             sim: Simulator::new(),
-            cost: if gpu { MeasureCost::gpu() } else { MeasureCost::cpu() },
+            cost: if gpu {
+                MeasureCost::gpu()
+            } else {
+                MeasureCost::cpu()
+            },
             clock: SimClock::new(),
             count: 0,
         }
@@ -42,9 +46,12 @@ impl Measurer {
         self.count += 1;
         match lower(&task.subgraph, schedule) {
             Ok(spec) => {
-                let lat =
-                    self.sim
-                        .latency(&task.platform, &task.subgraph, &spec, schedule.fingerprint());
+                let lat = self.sim.latency(
+                    &task.platform,
+                    &task.subgraph,
+                    &spec,
+                    schedule.fingerprint(),
+                );
                 self.clock.charge_measurement(&self.cost, lat);
                 Some(lat)
             }
@@ -85,7 +92,14 @@ mod tests {
     #[test]
     fn measuring_charges_the_clock() {
         let task = SearchTask::new(
-            Subgraph::new("d", AnchorOp::Dense { m: 64, n: 64, k: 64 }),
+            Subgraph::new(
+                "d",
+                AnchorOp::Dense {
+                    m: 64,
+                    n: 64,
+                    k: 64,
+                },
+            ),
             Platform::i7_10510u(),
         );
         let mut m = Measurer::new(false);

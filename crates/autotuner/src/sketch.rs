@@ -114,12 +114,7 @@ impl SketchPolicy {
     }
 
     /// Mutates one decision in place (tile resample, annotation flip, …).
-    pub fn mutate(
-        &self,
-        subgraph: &Subgraph,
-        decision: &mut ScheduleDecision,
-        rng: &mut SmallRng,
-    ) {
+    pub fn mutate(&self, subgraph: &Subgraph, decision: &mut ScheduleDecision, rng: &mut SmallRng) {
         let spatial = subgraph.spatial_loops();
         let reduction = subgraph.reduction_loops();
         match rng.gen_range(0..5) {
@@ -167,11 +162,7 @@ impl SketchPolicy {
                 *c = *bv;
             }
         }
-        for (c, bv) in child
-            .reduction_factors
-            .iter_mut()
-            .zip(&b.reduction_factors)
-        {
+        for (c, bv) in child.reduction_factors.iter_mut().zip(&b.reduction_factors) {
             if rng.gen_bool(0.5) {
                 *c = *bv;
             }
@@ -272,7 +263,10 @@ impl SketchPolicy {
 
         // Outer fusion + binding/parallel annotation.
         let level_vars = |level: usize| -> Vec<String> {
-            spatial.iter().map(|l| format!("{}.{level}", l.name)).collect()
+            spatial
+                .iter()
+                .map(|l| format!("{}.{level}", l.name))
+                .collect()
         };
         let fuse_level = |seq: &mut ScheduleSequence, level: usize| -> String {
             let vars = level_vars(level);
@@ -333,7 +327,7 @@ impl SketchPolicy {
                     ConcretePrimitive::new(PrimitiveKind::ComputeAt, "cache")
                         .with_loops([fused.as_str()]),
                 );
-                if let Some((l, f)) = spatial.iter().zip(&d.spatial_factors).last() {
+                if let Some((l, f)) = spatial.iter().zip(&d.spatial_factors).next_back() {
                     seq.push(
                         ConcretePrimitive::new(PrimitiveKind::FollowSplit, "cache")
                             .with_loops([l.name.as_str()])
@@ -502,7 +496,13 @@ mod tests {
     #[test]
     fn light_sketch_for_softmax() {
         let mut rng = SmallRng::seed_from_u64(3);
-        let sg = Subgraph::new("s", AnchorOp::Softmax { rows: 512, cols: 128 });
+        let sg = Subgraph::new(
+            "s",
+            AnchorOp::Softmax {
+                rows: 512,
+                cols: 128,
+            },
+        );
         let c = Candidate::random(&SketchPolicy::cpu(), &sg, &mut rng);
         // No multi-level tiling reorder in the light sketch.
         assert_eq!(c.sequence.count_kind(PrimitiveKind::Reorder), 0);
@@ -547,7 +547,10 @@ mod tests {
         let lens: std::collections::HashSet<usize> = (0..100)
             .map(|_| Candidate::random(&policy, &sg, &mut rng).sequence.len())
             .collect();
-        assert!(lens.len() >= 2, "sequence length should vary with decisions");
+        assert!(
+            lens.len() >= 2,
+            "sequence length should vary with decisions"
+        );
     }
 
     #[test]

@@ -163,7 +163,7 @@ pub fn tune_network(
         // stands in for Ansor's ~10k-sequence rounds).
         measurer
             .clock
-            .charge_real(model.per_candidate_overhead_s() * opts.nominal_pool as f64);
+            .charge_real(model.pipeline_cost().per_candidate_s() * opts.nominal_pool as f64);
 
         // Measure up to `programs_per_round` unseen candidates.
         let mut batch = Vec::new();
@@ -179,7 +179,11 @@ pub fn tune_network(
         if !measured.is_empty() {
             let seqs: Vec<_> = measured.iter().map(|r| r.schedule.clone()).collect();
             let lats: Vec<f64> = measured.iter().map(|r| r.latency_s).collect();
-            model.update(task, &seqs, &lats);
+            // A mismatch here is a tuner bug (both vectors come from the
+            // same measurement batch), so surface it loudly.
+            model
+                .update(task, &seqs, &lats)
+                .expect("cost-model update rejected measurement batch");
             for r in &measured {
                 best[ti] = best[ti].min(r.latency_s);
                 records.push((ti, r.clone()));
@@ -250,7 +254,10 @@ mod tests {
         assert!(report.final_latency_s() <= seeded + 1e-12);
         // Dedup can shrink late batches below programs_per_round.
         let m = report.measurements as usize;
-        assert!(m <= n_tasks * 3 * 4 && m >= n_tasks * 3 * 2, "measurements {m}");
+        assert!(
+            m <= n_tasks * 3 * 4 && m >= n_tasks * 3 * 2,
+            "measurements {m}"
+        );
     }
 
     #[test]
@@ -270,7 +277,12 @@ mod tests {
         let net = bert_tiny(1, 64);
         let platform = Platform::i7_10510u();
         let mut model = RandomModel::new(3);
-        let report = tune_network(&net, &platform, &mut model, &small_opts(net.num_tasks() * 2));
+        let report = tune_network(
+            &net,
+            &platform,
+            &mut model,
+            &small_opts(net.num_tasks() * 2),
+        );
         let final_lat = report.final_latency_s();
         let t = report.time_to_reach(final_lat * 1.0001).expect("reached");
         assert!(t <= report.total_search_time_s());

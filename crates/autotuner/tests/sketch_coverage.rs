@@ -8,7 +8,12 @@ use tlp_autotuner::{Candidate, SketchPolicy};
 use tlp_schedule::PrimitiveKind;
 use tlp_workload::{test_networks, AnchorOp, Subgraph};
 
-fn sample_kinds(policy: &SketchPolicy, sg: &Subgraph, n: usize, seed: u64) -> HashSet<PrimitiveKind> {
+fn sample_kinds(
+    policy: &SketchPolicy,
+    sg: &Subgraph,
+    n: usize,
+    seed: u64,
+) -> HashSet<PrimitiveKind> {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut kinds = HashSet::new();
     for _ in 0..n {
@@ -56,7 +61,14 @@ fn cpu_sketches_cover_the_cpu_kind_set() {
 
 #[test]
 fn gpu_sketches_bind_and_cache() {
-    let sg = Subgraph::new("d", AnchorOp::Dense { m: 256, n: 256, k: 128 });
+    let sg = Subgraph::new(
+        "d",
+        AnchorOp::Dense {
+            m: 256,
+            n: 256,
+            k: 128,
+        },
+    );
     let mut rng = SmallRng::seed_from_u64(2);
     let policy = SketchPolicy::gpu();
     let mut saw_cache_read = false;
@@ -68,8 +80,14 @@ fn gpu_sketches_bind_and_cache() {
             .iter()
             .flat_map(|p| p.extras.iter().map(String::as_str))
             .collect();
-        assert!(anns.contains(&"blockIdx.x"), "every GPU schedule binds blocks");
-        assert!(anns.contains(&"threadIdx.x"), "every GPU schedule binds threads");
+        assert!(
+            anns.contains(&"blockIdx.x"),
+            "every GPU schedule binds blocks"
+        );
+        assert!(
+            anns.contains(&"threadIdx.x"),
+            "every GPU schedule binds threads"
+        );
         saw_vthread |= anns.contains(&"vthread");
         saw_cache_read |= c.sequence.count_kind(PrimitiveKind::CacheRead) > 0;
     }
@@ -80,7 +98,14 @@ fn gpu_sketches_bind_and_cache() {
 #[test]
 fn rfactor_appears_for_small_spatial_large_reduction() {
     // rfactor targets reduction-heavy kernels with tiny output.
-    let sg = Subgraph::new("d", AnchorOp::Dense { m: 4, n: 4, k: 4096 });
+    let sg = Subgraph::new(
+        "d",
+        AnchorOp::Dense {
+            m: 4,
+            n: 4,
+            k: 4096,
+        },
+    );
     let kinds = sample_kinds(&SketchPolicy::cpu(), &sg, 300, 3);
     assert!(kinds.contains(&PrimitiveKind::Rfactor));
 }
@@ -96,9 +121,8 @@ fn every_test_network_task_gets_valid_sequences_under_mutation_chains() {
                 policy.mutate(&inst.subgraph, &mut c.decision, &mut rng);
             }
             c.sequence = policy.emit(&inst.subgraph, &c.decision);
-            tlp_hwsim::lower(&inst.subgraph, &c.sequence).unwrap_or_else(|e| {
-                panic!("{}/{}: {e}", net.name, inst.subgraph.name)
-            });
+            tlp_hwsim::lower(&inst.subgraph, &c.sequence)
+                .unwrap_or_else(|e| panic!("{}/{}: {e}", net.name, inst.subgraph.name));
         }
     }
 }
@@ -107,11 +131,17 @@ fn every_test_network_task_gets_valid_sequences_under_mutation_chains() {
 fn split_records_carry_extents() {
     // Ansor's record convention (and TLP's shape-information source):
     // ints[0] of every anchor split equals the loop extent.
-    let sg = Subgraph::new("d", AnchorOp::Dense { m: 96, n: 160, k: 224 });
+    let sg = Subgraph::new(
+        "d",
+        AnchorOp::Dense {
+            m: 96,
+            n: 160,
+            k: 224,
+        },
+    );
     let mut rng = SmallRng::seed_from_u64(5);
     let c = Candidate::random(&SketchPolicy::cpu(), &sg, &mut rng);
-    let extents: std::collections::HashMap<&str, i64> =
-        [("i", 96), ("j", 160), ("k", 224)].into();
+    let extents: std::collections::HashMap<&str, i64> = [("i", 96), ("j", 160), ("k", 224)].into();
     let mut checked = 0;
     for p in c.sequence.iter() {
         if p.kind == PrimitiveKind::Split && p.stage == "dense" {

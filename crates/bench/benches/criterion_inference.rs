@@ -1,24 +1,33 @@
 //! Criterion micro-benchmarks of per-candidate cost-model pipelines: TLP's
 //! primitive-sequence feature extraction + NN inference vs the TenSet-MLP
-//! pipeline (program generation + feature extraction + MLP inference).
+//! pipeline (program generation + feature extraction + MLP inference), plus
+//! an [`InferenceEngine`] throughput section (candidates/sec at batch
+//! 64/512/4096, cache-cold vs cache-warm vs the seed single-threaded
+//! extract-then-predict path) that writes `BENCH_inference.json`.
 //!
 //! These support Figure 10's "execution speed" comparison with real
 //! measurements on this machine.
 //!
 //! Run with `cargo bench -p tlp-bench --bench criterion_inference`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{criterion_group, BatchSize, Criterion};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use serde::Serialize;
+use std::time::Instant;
 use tlp::baselines::{program_features, TenSetMlp};
+use tlp::engine::EngineConfig;
 use tlp::features::FeatureExtractor;
-use tlp::{TlpConfig, TlpModel};
-use tlp_autotuner::{Candidate, SketchPolicy};
+use tlp::search::TlpScorer;
+use tlp::{FeatureModel, TlpConfig, TlpModel};
+use tlp_autotuner::{Candidate, CostModel, ScoreRequest, SearchTask, SketchPolicy};
+use tlp_bench::write_json;
+use tlp_hwsim::Platform;
 use tlp_schedule::{ScheduleSequence, Vocabulary};
 use tlp_workload::{AnchorOp, Subgraph};
 
-fn subject() -> (Subgraph, Vec<ScheduleSequence>) {
-    let sg = Subgraph::new(
+fn conv_subgraph() -> Subgraph {
+    Subgraph::new(
         "c",
         AnchorOp::Conv2d {
             n: 1,
@@ -30,12 +39,20 @@ fn subject() -> (Subgraph, Vec<ScheduleSequence>) {
             pad: 1,
             groups: 1,
         },
-    );
+    )
+}
+
+fn candidates(sg: &Subgraph, n: usize) -> Vec<ScheduleSequence> {
     let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
     let policy = SketchPolicy::cpu();
-    let seqs = (0..64)
-        .map(|_| Candidate::random(&policy, &sg, &mut rng).sequence)
-        .collect();
+    (0..n)
+        .map(|_| Candidate::random(&policy, sg, &mut rng).sequence)
+        .collect()
+}
+
+fn subject() -> (Subgraph, Vec<ScheduleSequence>) {
+    let sg = conv_subgraph();
+    let seqs = candidates(&sg, 64);
     (sg, seqs)
 }
 
@@ -74,11 +91,7 @@ fn bench_pipelines(c: &mut Criterion) {
         )
     });
     group.bench_function("tenset_program_gen_and_features", |b| {
-        b.iter(|| {
-            seqs.iter()
-                .filter_map(|s| program_features(&sg, s))
-                .count()
-        })
+        b.iter(|| seqs.iter().filter_map(|s| program_features(&sg, s)).count())
     });
     group.bench_function("tenset_full_pipeline", |b| {
         b.iter(|| {
@@ -95,4 +108,142 @@ fn bench_pipelines(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_pipelines);
-criterion_main!(benches);
+
+/// One engine-throughput measurement at a fixed batch size.
+#[derive(Serialize)]
+struct ThroughputRow {
+    batch: usize,
+    reps: usize,
+    /// Seed path: single-threaded `extract_batch` + `TlpModel::predict`.
+    baseline_s: f64,
+    baseline_cand_per_s: f64,
+    /// Engine with an empty (invalidated) cache.
+    cold_s: f64,
+    cold_cand_per_s: f64,
+    /// Engine with every candidate already cached.
+    warm_s: f64,
+    warm_cand_per_s: f64,
+    cold_speedup_vs_baseline: f64,
+    warm_speedup_vs_baseline: f64,
+    engine_threads: u32,
+    cold_micro_batches: u32,
+    warm_cache_hits: u32,
+}
+
+#[derive(Serialize)]
+struct ThroughputSummary {
+    available_parallelism: usize,
+    micro_batch: usize,
+    rows: Vec<ThroughputRow>,
+}
+
+/// Best-of-`reps` wall time of `f`, seconds.
+fn time_best(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn engine_throughput() {
+    let sg = conv_subgraph();
+    let all = candidates(&sg, 4096);
+    let extractor = extractor_for(&all);
+    let cfg = TlpConfig::default();
+    let model = TlpModel::new(cfg);
+    let task = SearchTask::new(sg, Platform::i7_10510u());
+
+    let engine_cfg = EngineConfig {
+        micro_batch: 64,
+        threads: 0, // auto-size from available_parallelism()
+        cache_capacity: 1 << 13,
+    };
+    let cost_model = FeatureModel::with_engine(
+        TlpScorer {
+            model: model.clone(),
+            extractor: extractor.clone(),
+        },
+        engine_cfg,
+    );
+
+    println!("\n=== engine throughput (candidates/sec) ===");
+    let mut rows = Vec::new();
+    for &batch in &[64usize, 512, 4096] {
+        let seqs = &all[..batch];
+        let reps = (512 / batch).max(1);
+
+        let baseline_s = time_best(reps, || {
+            let feats = extractor.extract_batch(seqs);
+            criterion::black_box(model.predict(&feats));
+        });
+
+        // Cold: invalidate between reps so every pass misses the cache.
+        let cold_s = time_best(reps, || {
+            cost_model.engine().invalidate();
+            criterion::black_box(cost_model.predict(ScoreRequest::new(&task, seqs)));
+        });
+        let cold_batch = {
+            cost_model.engine().invalidate();
+            cost_model.predict(ScoreRequest::new(&task, seqs))
+        };
+
+        // Warm: the pass above primed the cache; every pass now hits.
+        let warm_s = time_best(reps.max(3), || {
+            criterion::black_box(cost_model.predict(ScoreRequest::new(&task, seqs)));
+        });
+        let warm_batch = cost_model.predict(ScoreRequest::new(&task, seqs));
+        assert_eq!(
+            warm_batch.stats.cache_misses, 0,
+            "warm pass must be all hits"
+        );
+
+        let row = ThroughputRow {
+            batch,
+            reps,
+            baseline_s,
+            baseline_cand_per_s: batch as f64 / baseline_s,
+            cold_s,
+            cold_cand_per_s: batch as f64 / cold_s,
+            warm_s,
+            warm_cand_per_s: batch as f64 / warm_s,
+            cold_speedup_vs_baseline: baseline_s / cold_s,
+            warm_speedup_vs_baseline: baseline_s / warm_s,
+            engine_threads: cold_batch.stats.threads,
+            cold_micro_batches: cold_batch.stats.micro_batches,
+            warm_cache_hits: warm_batch.stats.cache_hits,
+        };
+        println!(
+            "batch {:>4}: baseline {:>10.0}/s | cold {:>10.0}/s ({:>5.2}x) | warm {:>12.0}/s ({:>8.1}x) | threads {}",
+            row.batch,
+            row.baseline_cand_per_s,
+            row.cold_cand_per_s,
+            row.cold_speedup_vs_baseline,
+            row.warm_cand_per_s,
+            row.warm_speedup_vs_baseline,
+            row.engine_threads,
+        );
+        rows.push(row);
+    }
+
+    let summary = ThroughputSummary {
+        available_parallelism: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        micro_batch: engine_cfg.micro_batch,
+        rows,
+    };
+    write_json("BENCH_inference", &summary);
+    // Also drop a copy at the repo root so the acceptance record travels
+    // with the source tree, not just the target directory.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_inference.json");
+    let body = serde_json::to_string_pretty(&summary).expect("serialize summary");
+    std::fs::write(&root, body).expect("write BENCH_inference.json");
+}
+
+fn main() {
+    benches();
+    engine_throughput();
+}

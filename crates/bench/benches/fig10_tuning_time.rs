@@ -54,9 +54,17 @@ fn main() {
         &["device", "network", "TenSet-MLP", "TLP", "TLP speedup"],
         &printable,
     );
-    let mean_cpu: f64 = rows.iter().filter(|r| r.device == "cpu").map(|r| r.speedup).sum::<f64>()
+    let mean_cpu: f64 = rows
+        .iter()
+        .filter(|r| r.device == "cpu")
+        .map(|r| r.speedup)
+        .sum::<f64>()
         / rows.iter().filter(|r| r.device == "cpu").count().max(1) as f64;
-    let mean_gpu: f64 = rows.iter().filter(|r| r.device == "gpu").map(|r| r.speedup).sum::<f64>()
+    let mean_gpu: f64 = rows
+        .iter()
+        .filter(|r| r.device == "gpu")
+        .map(|r| r.speedup)
+        .sum::<f64>()
         / rows.iter().filter(|r| r.device == "gpu").count().max(1) as f64;
     println!("\nmean TLP speedup: {mean_cpu:.2}x CPU, {mean_gpu:.2}x GPU (paper: 1.7x / 1.8x)");
     write_json("fig10_tuning_time", &rows);

@@ -31,7 +31,11 @@ fn main() {
                     .map(|i| {
                         let idx = ((i + 1) * n / 8).saturating_sub(1);
                         let r = &report.rounds[idx];
-                        format!("({:.0}s, {:.3}ms)", r.search_time_s, r.workload_latency_s * 1e3)
+                        format!(
+                            "({:.0}s, {:.3}ms)",
+                            r.search_time_s,
+                            r.workload_latency_s * 1e3
+                        )
                     })
                     .collect();
                 println!("{model:<11} {}", pts.join(" "));

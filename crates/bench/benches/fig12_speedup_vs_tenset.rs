@@ -68,13 +68,28 @@ fn main() {
         .collect();
     print_table(
         "Figure 12: speed-up to reach TenSet-MLP full-budget quality",
-        &["device", "network", "target (ms)", "TenSet time", "TLP", "MTL-TLP"],
+        &[
+            "device",
+            "network",
+            "target (ms)",
+            "TenSet time",
+            "TLP",
+            "MTL-TLP",
+        ],
         &printable,
     );
     for dev in ["cpu", "gpu"] {
         let mean = |f: fn(&Row) -> Option<f64>| -> f64 {
-            let v: Vec<f64> = rows.iter().filter(|r| r.device == dev).filter_map(f).collect();
-            if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 }
+            let v: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.device == dev)
+                .filter_map(f)
+                .collect();
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            }
         };
         println!(
             "mean over reached runs {dev}: TLP {:.2}x, MTL-TLP {:.2}x (paper CPU: 9.1x/4.7x, GPU: 3.0x/2.9x; 0 = never reached)",

@@ -82,8 +82,16 @@ fn main() {
     );
     for dev in ["cpu", "gpu"] {
         let mean = |f: fn(&Row) -> Option<f64>| -> f64 {
-            let v: Vec<f64> = rows.iter().filter(|r| r.device == dev).filter_map(f).collect();
-            if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 }
+            let v: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.device == dev)
+                .filter_map(f)
+                .collect();
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            }
         };
         println!(
             "mean over reached runs {dev}: TenSet {:.2}x, TLP {:.2}x, MTL-TLP {:.2}x (paper CPU: -/16.7x/10.0x; 0 = never reached)",

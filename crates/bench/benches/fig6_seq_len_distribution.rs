@@ -19,7 +19,7 @@ fn main() {
     let max_count = hist.iter().map(|&(_, c)| c).max().unwrap_or(1);
     println!("\n=== Figure 6: sequence-length distribution ===");
     for (len, count) in &hist {
-        let bar = "#".repeat((58 * count + max_count - 1) / max_count);
+        let bar = "#".repeat((58 * count).div_ceil(max_count));
         println!("len {len:>3}: {count:>7} {bar}");
     }
     println!(

@@ -23,10 +23,7 @@ fn main() {
     let ds = scale.cpu_dataset();
     let target = ds.platform_index("e5-2673").expect("target");
     let aux = ds.platform_index("platinum-8272").expect("aux");
-    let total: usize = ds
-        .train_tasks()
-        .map(|t| t.programs.len())
-        .sum();
+    let total: usize = ds.train_tasks().map(|t| t.programs.len()).sum();
 
     // The paper sweeps 50K … 2M of ~8.6M (0.6% … 23%).
     let fractions = [0.02, 0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 1.0];

@@ -32,7 +32,11 @@ fn main() {
     // The paper compares the cropped shape (25×22) against the maxima. When
     // the generated dataset's sequences are already shorter than 25, compare
     // a proportionally tighter crop instead so the axis stays meaningful.
-    let cropped_len = if max_len > 25 { 25 } else { (max_len * 3 / 4).max(6) };
+    let cropped_len = if max_len > 25 {
+        25
+    } else {
+        (max_len * 3 / 4).max(6)
+    };
     let combos = [
         (cropped_len, 22),
         (cropped_len, max_emb),

@@ -63,7 +63,13 @@ fn main() {
         .collect();
     print_table(
         "Table 5: TLP vs TenSet-MLP on all platforms",
-        &["platform", "TenSet top-1", "TenSet top-5", "TLP top-1", "TLP top-5"],
+        &[
+            "platform",
+            "TenSet top-1",
+            "TenSet top-5",
+            "TLP top-1",
+            "TLP top-5",
+        ],
         &printable,
     );
 

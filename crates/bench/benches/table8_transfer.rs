@@ -57,12 +57,20 @@ fn lm_experiment(
     let tasks = capped_train_tasks(ds, scale.max_train_tasks);
     let corpus: Vec<Vec<usize>> = tasks
         .iter()
-        .flat_map(|t| t.programs.iter().map(|r| tokenize(&r.schedule, &vocab, &cfg)))
+        .flat_map(|t| {
+            t.programs
+                .iter()
+                .map(|r| tokenize(&r.schedule, &vocab, &cfg))
+        })
         .collect();
     let mut lm = PretrainedLm::new(kind, cfg.clone());
     eprintln!(
         "  pretraining {} ({} weights) on {} unlabeled sequences…",
-        if kind == PretrainKind::Gpt { "GPT" } else { "BERT" },
+        if kind == PretrainKind::Gpt {
+            "GPT"
+        } else {
+            "BERT"
+        },
         lm.num_weights(),
         corpus.len()
     );

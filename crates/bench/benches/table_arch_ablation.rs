@@ -21,7 +21,10 @@ fn main() {
 
     let base = scale.tlp_config();
     let variants: Vec<(String, tlp::TlpConfig)> = vec![
-        (format!("base (hidden {}, 8 heads, 2 res)", base.hidden), base.clone()),
+        (
+            format!("base (hidden {}, 8 heads, 2 res)", base.hidden),
+            base.clone(),
+        ),
         (
             format!("wider hidden ({})", base.hidden * 2),
             tlp::TlpConfig {

@@ -51,7 +51,15 @@ fn gbdt_eval(
             }
         }
     }
-    let model = Gbdt::fit(&xs, dim, &ys, &GbdtParams { n_trees: 60, ..GbdtParams::default() });
+    let model = Gbdt::fit(
+        &xs,
+        dim,
+        &ys,
+        &GbdtParams {
+            n_trees: 60,
+            ..GbdtParams::default()
+        },
+    );
     let scorer = |t: &TaskData| -> Vec<f32> {
         t.programs
             .iter()
@@ -88,9 +96,21 @@ fn main() {
     let (_, _, t1, t5) = train_and_eval_tlp(&ds, platform, scale.tlp_config(), &scale, 1.0);
 
     let rows = vec![
-        vec!["GBDT, standard program features".into(), format!("{s1:.4}"), format!("{s5:.4}")],
-        vec!["GBDT, oracle features".into(), format!("{o1:.4}"), format!("{o5:.4}")],
-        vec!["TLP (primitive sequences)".into(), format!("{t1:.4}"), format!("{t5:.4}")],
+        vec![
+            "GBDT, standard program features".into(),
+            format!("{s1:.4}"),
+            format!("{s5:.4}"),
+        ],
+        vec![
+            "GBDT, oracle features".into(),
+            format!("{o1:.4}"),
+            format!("{o5:.4}"),
+        ],
+        vec![
+            "TLP (primitive sequences)".into(),
+            format!("{t1:.4}"),
+            format!("{t5:.4}"),
+        ],
     ];
     print_table(
         "Substrate ablation: what oracle features would do to the baseline",
@@ -104,9 +124,21 @@ fn main() {
     write_json(
         "table_substrate_ablation",
         &vec![
-            Row { model: "gbdt-standard".into(), top1: s1, top5: s5 },
-            Row { model: "gbdt-oracle".into(), top1: o1, top5: o5 },
-            Row { model: "tlp".into(), top1: t1, top5: t5 },
+            Row {
+                model: "gbdt-standard".into(),
+                top1: s1,
+                top5: s5,
+            },
+            Row {
+                model: "gbdt-oracle".into(),
+                top1: o1,
+                top5: o5,
+            },
+            Row {
+                model: "tlp".into(),
+                top1: t1,
+                top5: t5,
+            },
         ],
     );
 }

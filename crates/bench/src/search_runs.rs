@@ -69,7 +69,11 @@ fn tuning_options(num_tasks: usize) -> TuningOptions {
 /// Runs the full suite for one device class.
 pub fn run_search_suite(scale: &Scale, gpu: bool) -> SearchSuite {
     let (dataset, target, aux) = if gpu {
-        (scale.gpu_dataset(), Platform::tesla_t4(), Platform::tesla_k80())
+        (
+            scale.gpu_dataset(),
+            Platform::tesla_t4(),
+            Platform::tesla_k80(),
+        )
     } else {
         (
             scale.cpu_dataset(),
@@ -122,10 +126,7 @@ pub fn run_search_suite(scale: &Scale, gpu: bool) -> SearchSuite {
         let mut models: Vec<Box<dyn CostModel>> = vec![
             Box::new(AnsorCostModel::new()),
             Box::new(TenSetMlpCostModel::new(clone_tenset(&tenset_model))),
-            Box::new(TlpCostModel::new(
-                clone_tlp(&tlp_model),
-                extractor.clone(),
-            )),
+            Box::new(TlpCostModel::new(clone_tlp(&tlp_model), extractor.clone())),
             Box::new(MtlTlpCostModel::new(
                 clone_mtl(&mtl_model),
                 extractor.clone(),
@@ -166,7 +167,11 @@ fn clone_tenset(m: &tlp::baselines::TenSetMlp) -> tlp::baselines::TenSetMlp {
 
 /// Loads the cached suite for a device, or runs it and caches the result.
 pub fn load_or_run(scale: &Scale, gpu: bool) -> SearchSuite {
-    let name = if gpu { "search_suite_gpu" } else { "search_suite_cpu" };
+    let name = if gpu {
+        "search_suite_gpu"
+    } else {
+        "search_suite_cpu"
+    };
     if let Some(suite) = crate::read_json::<SearchSuite>(name) {
         eprintln!("[search] using cached {name}.json (delete it to re-run)");
         return suite;

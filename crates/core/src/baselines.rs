@@ -14,7 +14,9 @@ use rand::SeedableRng;
 use tlp_dataset::{Dataset, TaskData};
 use tlp_gbdt::{Gbdt, GbdtParams};
 use tlp_hwsim::lower;
-use tlp_nn::{lambda_rank_loss, Adam, Binding, Graph, Mlp, Optimizer, ParamStore, Tensor};
+use tlp_nn::{
+    lambda_rank_loss, Adam, Binding, Graph, Mlp, Optimizer, ParamStore, Tensor, Workspace,
+};
 use tlp_schedule::ScheduleSequence;
 use tlp_workload::Subgraph;
 
@@ -66,9 +68,15 @@ pub fn program_features(subgraph: &Subgraph, schedule: &ScheduleSequence) -> Opt
     // Loop-nest depth after tiling.
     f.push(spec.axes.iter().map(|a| a.tiles.len()).sum::<usize>() as f32);
     // Innermost extents (the statement's immediate surroundings).
-    f.push(ln(spatial.iter().map(|a| a.inner()).max().unwrap_or(1) as f64));
-    f.push(ln(spatial.iter().map(|a| a.inner()).min().unwrap_or(1) as f64));
-    f.push(ln(reduction.iter().map(|a| a.inner()).max().unwrap_or(1) as f64));
+    f.push(ln(
+        spatial.iter().map(|a| a.inner()).max().unwrap_or(1) as f64
+    ));
+    f.push(ln(
+        spatial.iter().map(|a| a.inner()).min().unwrap_or(1) as f64
+    ));
+    f.push(ln(
+        reduction.iter().map(|a| a.inner()).max().unwrap_or(1) as f64
+    ));
     // Level-2 working-set proxy (touched bytes of one mid-tile).
     let ws: f64 = spatial
         .iter()
@@ -78,12 +86,10 @@ pub fn program_features(subgraph: &Subgraph, schedule: &ScheduleSequence) -> Opt
     f.push(ln(ws));
     // Total spatial extent and outer (parallelizable) iteration count.
     f.push(ln(spatial.iter().map(|a| a.extent as f64).product::<f64>()));
-    f.push(ln(
-        spatial
-            .iter()
-            .map(|a| a.tiles.first().copied().unwrap_or(1) as f64)
-            .product::<f64>(),
-    ));
+    f.push(ln(spatial
+        .iter()
+        .map(|a| a.tiles.first().copied().unwrap_or(1) as f64)
+        .product::<f64>()));
     // Arithmetic intensity of the innermost tile.
     let reg = spec.register_tile().max(1) as f64;
     let red = spec.reduction_inner().max(1) as f64;
@@ -182,17 +188,23 @@ impl TenSetMlp {
 
     /// Scores a row-major feature batch (higher = predicted faster).
     pub fn predict(&self, features: &[f32]) -> Vec<f32> {
+        self.predict_with(&mut Workspace::new(), features)
+    }
+
+    /// Like [`TenSetMlp::predict`], but reuses a caller-owned [`Workspace`]
+    /// so repeated calls recycle the tape storage.
+    pub fn predict_with(&self, ws: &mut Workspace, features: &[f32]) -> Vec<f32> {
         if features.is_empty() {
             return Vec::new();
         }
         let n = features.len() / PROGRAM_FEATURE_DIM;
-        let mut g = Graph::new();
-        let mut bind = Binding::new();
+        ws.reset();
+        let g = &mut ws.graph;
         let x = g.constant(Tensor::from_vec(
             features.to_vec(),
             &[n, PROGRAM_FEATURE_DIM],
         ));
-        let mut f = tlp_nn::Fwd::new(&mut g, &self.store, &mut bind);
+        let mut f = tlp_nn::Fwd::new(&mut *g, &self.store, &mut ws.bind);
         let y = self.mlp.forward(&mut f, x);
         let y = g.reshape(y, &[n]);
         g.value(y).data().to_vec()
@@ -228,17 +240,14 @@ impl TenSetMlp {
                     let mut labels = Vec::with_capacity(chunk.len());
                     for &i in chunk {
                         feats.extend_from_slice(
-                            &group.features
-                                [i * PROGRAM_FEATURE_DIM..(i + 1) * PROGRAM_FEATURE_DIM],
+                            &group.features[i * PROGRAM_FEATURE_DIM..(i + 1) * PROGRAM_FEATURE_DIM],
                         );
                         labels.push(group.labels[i]);
                     }
                     let mut g = Graph::new();
                     let mut bind = Binding::new();
-                    let x = g.constant(Tensor::from_vec(
-                        feats,
-                        &[chunk.len(), PROGRAM_FEATURE_DIM],
-                    ));
+                    let x =
+                        g.constant(Tensor::from_vec(feats, &[chunk.len(), PROGRAM_FEATURE_DIM]));
                     let scores = {
                         let mut f = tlp_nn::Fwd::new(&mut g, &self.store, &mut bind);
                         let y = self.mlp.forward(&mut f, x);
@@ -297,8 +306,15 @@ impl AnsorOnlineModel {
     }
 
     /// Adds measured programs (target: throughput score `1/latency`, log-scaled)
-    /// and refits.
-    pub fn absorb(&mut self, subgraph: &Subgraph, schedules: &[ScheduleSequence], latencies: &[f64]) {
+    /// and refits. Returns whether a refit happened — i.e. whether scores
+    /// the model hands out change from here on (callers holding score
+    /// caches must invalidate them when this returns `true`).
+    pub fn absorb(
+        &mut self,
+        subgraph: &Subgraph,
+        schedules: &[ScheduleSequence],
+        latencies: &[f64],
+    ) -> bool {
         for (s, &l) in schedules.iter().zip(latencies) {
             if let Some(f) = program_features(subgraph, s) {
                 self.features.extend(f);
@@ -314,7 +330,9 @@ impl AnsorOnlineModel {
                 &self.params,
             ));
             self.since_fit = 0;
+            return true;
         }
+        false
     }
 
     /// Scores schedules (higher = predicted faster). Before any data is
@@ -344,7 +362,14 @@ mod tests {
     use tlp_workload::AnchorOp;
 
     fn sg() -> Subgraph {
-        Subgraph::new("d", AnchorOp::Dense { m: 128, n: 128, k: 128 })
+        Subgraph::new(
+            "d",
+            AnchorOp::Dense {
+                m: 128,
+                n: 128,
+                k: 128,
+            },
+        )
     }
 
     #[test]
@@ -366,7 +391,11 @@ mod tests {
         assert_eq!(oracle.len(), ORACLE_FEATURE_DIM);
         assert!(oracle.len() > std_f.len());
         // The oracle vector starts with the standard (unpadded) features.
-        let unpadded = std_f.iter().rposition(|&x| x != 0.0).map(|i| i + 1).unwrap_or(0);
+        let unpadded = std_f
+            .iter()
+            .rposition(|&x| x != 0.0)
+            .map(|i| i + 1)
+            .unwrap_or(0);
         assert_eq!(&oracle[..unpadded], &std_f[..unpadded]);
         assert!(oracle.iter().all(|x| x.is_finite()));
     }
@@ -532,7 +561,14 @@ mod transfer_tests {
 
     /// Program features + labels for one subgraph on one platform.
     fn task_data(platform: &Platform, seed: u64, n: usize) -> crate::train::TrainData {
-        let sg = Subgraph::new("d", AnchorOp::Dense { m: 256, n: 256, k: 256 });
+        let sg = Subgraph::new(
+            "d",
+            AnchorOp::Dense {
+                m: 256,
+                n: 256,
+                k: 256,
+            },
+        );
         let policy = SketchPolicy::cpu();
         let sim = Simulator::new();
         let mut rng = SmallRng::seed_from_u64(seed);
@@ -558,7 +594,7 @@ mod transfer_tests {
     fn local_model_improves_target_ranking() {
         let source_platform = Platform::platinum_8272();
         let target_platform = Platform::graviton2(); // very different arch
-        // Train the source model on source-platform labels.
+                                                     // Train the source model on source-platform labels.
         let source_data = task_data(&source_platform, 1, 80);
         let mut source = TenSetMlp::new(TlpConfig {
             epochs: 8,

@@ -25,7 +25,10 @@ fn main() {
         Some("stats") => cmd_stats(),
         Some("train") => cmd_train(args.get(1).map(String::as_str)),
         Some("eval") => cmd_eval(args.get(1).map(String::as_str)),
-        Some("tune") => cmd_tune(args.get(1).map(String::as_str), args.get(2).map(String::as_str)),
+        Some("tune") => cmd_tune(
+            args.get(1).map(String::as_str),
+            args.get(2).map(String::as_str),
+        ),
         Some("platforms") => cmd_platforms(),
         _ => {
             eprintln!(
@@ -45,11 +48,18 @@ fn main() {
 }
 
 fn cmd_platforms() -> i32 {
-    println!("{:<16} {:>6} {:>9} {:>12} {:>10}", "name", "cores", "GHz", "peak GF/s", "DRAM GB/s");
+    println!(
+        "{:<16} {:>6} {:>9} {:>12} {:>10}",
+        "name", "cores", "GHz", "peak GF/s", "DRAM GB/s"
+    );
     for p in Platform::all() {
         println!(
             "{:<16} {:>6} {:>9.2} {:>12.0} {:>10.0}",
-            p.name, p.cores, p.freq_ghz, p.peak_gflops(), p.dram_gbps
+            p.name,
+            p.cores,
+            p.freq_ghz,
+            p.peak_gflops(),
+            p.dram_gbps
         );
     }
     0
@@ -65,7 +75,10 @@ fn cmd_stats() -> i32 {
         u.distinct,
         u.repetition_rate() * 100.0
     );
-    println!("max sequence length: {}", tlp_dataset::max_sequence_length(&ds));
+    println!(
+        "max sequence length: {}",
+        tlp_dataset::max_sequence_length(&ds)
+    );
     for (k, s) in tlp_dataset::max_embedding_sizes(&ds) {
         println!("  {:<4} max embedding size {s}", k.abbrev());
     }

@@ -119,6 +119,8 @@ mod tests {
     #[test]
     fn paper_scale_widens_model() {
         assert_eq!(TlpConfig::paper_scale().hidden, 256);
-        assert!(TlpConfig::paper_scale().hidden % TlpConfig::paper_scale().heads == 0);
+        assert!(TlpConfig::paper_scale()
+            .hidden
+            .is_multiple_of(TlpConfig::paper_scale().heads));
     }
 }

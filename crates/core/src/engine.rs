@@ -1,0 +1,689 @@
+//! Batched, cached, multi-threaded candidate scoring.
+//!
+//! Evolutionary search scores the same schedules over and over: elites
+//! survive generations unchanged, mutations collide, and the tuner revisits
+//! tasks across rounds. The [`InferenceEngine`] sits between the search loop
+//! and any feature-based model and exploits that redundancy:
+//!
+//! - **score cache** — a bounded LRU keyed by `(task fingerprint, schedule
+//!   fingerprint)`, both salted with a model-version counter so online
+//!   models invalidate the cache wholesale when they retrain;
+//! - **micro-batching** — cache misses are chunked and dispatched to a
+//!   [`std::thread::scope`] worker pool sized from
+//!   [`std::thread::available_parallelism`], each worker reusing one
+//!   per-thread [`ScheduleScorer::Scratch`] (feature buffers, autodiff
+//!   tapes) across the micro-batches it claims;
+//! - **statistics** — per-call [`BatchStats`] plus cumulative
+//!   [`EngineStats`] (batches run, hit/miss counts, wall time per
+//!   micro-batch) for throughput reporting.
+//!
+//! Scores are per-candidate deterministic — a candidate's score does not
+//! depend on which micro-batch or thread it lands in — so the parallel path
+//! returns exactly what single-threaded scoring would.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+use tlp_autotuner::{BatchStats, PipelineCost, SearchTask, UpdateError};
+use tlp_schedule::ScheduleSequence;
+
+/// The model-side half of the engine: maps (task, candidates) to raw scores.
+///
+/// Implementations must be cheap to share across threads (`Sync`); per
+/// thread mutable state goes into [`ScheduleScorer::Scratch`] instead, which
+/// the engine creates once per worker and reuses across micro-batches.
+pub trait ScheduleScorer: Sync {
+    /// Per-thread scratch reused across micro-batches (feature buffers,
+    /// autodiff workspaces).
+    type Scratch: Default + Send;
+
+    /// Stable model name for reports.
+    fn name(&self) -> &str;
+
+    /// Simulated per-candidate pipeline cost of this model family.
+    fn pipeline_cost(&self) -> PipelineCost;
+
+    /// Scores the candidates selected by `idx` (indices into `schedules`),
+    /// returning one entry per index in order. `None` marks a candidate the
+    /// model cannot score (e.g. its schedule fails to lower).
+    fn score_micro_batch(
+        &self,
+        scratch: &mut Self::Scratch,
+        task: &SearchTask,
+        schedules: &[ScheduleSequence],
+        idx: &[usize],
+    ) -> Vec<Option<f32>>;
+
+    /// Absorbs measured latencies. Returns `Ok(true)` when the model's
+    /// parameters changed (the engine then invalidates its score cache).
+    ///
+    /// # Errors
+    ///
+    /// Model-specific; offline models accept and ignore the data.
+    fn absorb(
+        &mut self,
+        task: &SearchTask,
+        schedules: &[ScheduleSequence],
+        latencies: &[f64],
+    ) -> Result<bool, UpdateError> {
+        let _ = (task, schedules, latencies);
+        Ok(false)
+    }
+}
+
+/// Engine sizing knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Candidates per micro-batch dispatched to one worker at a time.
+    pub micro_batch: usize,
+    /// Worker threads; `0` means use [`std::thread::available_parallelism`].
+    /// `1` scores inline on the calling thread with no pool at all.
+    pub threads: usize,
+    /// Maximum cached scores; `0` disables the cache entirely.
+    pub cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            micro_batch: 64,
+            threads: 0,
+            cache_capacity: 1 << 16,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A single-threaded, uncached configuration (reference semantics).
+    pub fn sequential_uncached() -> Self {
+        EngineConfig {
+            micro_batch: 64,
+            threads: 1,
+            cache_capacity: 0,
+        }
+    }
+
+    fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Cumulative engine counters since construction (or the last reset).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EngineStats {
+    /// Total `score` calls served.
+    pub requests: u64,
+    /// Micro-batches dispatched to workers.
+    pub micro_batches: u64,
+    /// Candidates served from the score cache.
+    pub cache_hits: u64,
+    /// Candidates scored by the model.
+    pub cache_misses: u64,
+    /// Total wall-clock seconds inside `score`.
+    pub wall_s: f64,
+    /// Wall-clock seconds summed over individual micro-batches (exceeds the
+    /// critical-path time when several workers run concurrently).
+    pub micro_batch_wall_s: f64,
+    /// Cache invalidations triggered by model updates.
+    pub invalidations: u64,
+    /// Current number of cached entries.
+    pub cache_len: usize,
+}
+
+impl EngineStats {
+    /// Mean wall seconds per micro-batch, or 0 when none ran.
+    pub fn mean_micro_batch_wall_s(&self) -> f64 {
+        if self.micro_batches == 0 {
+            0.0
+        } else {
+            self.micro_batch_wall_s / self.micro_batches as f64
+        }
+    }
+
+    /// Cache hit rate in [0, 1], or 0 before any candidate was seen.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Bounded LRU over `(task_fp, schedule_fp) → Option<score>`.
+///
+/// Slab-backed: entries live in a `Vec` threaded into an intrusive
+/// most-recent-first list, so get/insert are O(1) with no per-entry boxing.
+struct LruCache {
+    capacity: usize,
+    map: HashMap<(u64, u64), usize>,
+    slots: Vec<Slot>,
+    head: usize,
+    tail: usize,
+}
+
+struct Slot {
+    key: (u64, u64),
+    value: Option<f32>,
+    prev: usize,
+    next: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+impl LruCache {
+    fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            slots: Vec::with_capacity(capacity.min(1 << 20)),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on hit.
+    fn get(&mut self, key: (u64, u64)) -> Option<Option<f32>> {
+        let &i = self.map.get(&key)?;
+        if self.head != i {
+            self.unlink(i);
+            self.push_front(i);
+        }
+        Some(self.slots[i].value)
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least-recent entry at
+    /// capacity.
+    fn insert(&mut self, key: (u64, u64), value: Option<f32>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&i) = self.map.get(&key) {
+            self.slots[i].value = value;
+            if self.head != i {
+                self.unlink(i);
+                self.push_front(i);
+            }
+            return;
+        }
+        let i = if self.map.len() >= self.capacity {
+            // Recycle the LRU slot.
+            let victim = self.tail;
+            self.unlink(victim);
+            self.map.remove(&self.slots[victim].key);
+            self.slots[victim].key = key;
+            self.slots[victim].value = value;
+            victim
+        } else {
+            self.slots.push(Slot {
+                key,
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.slots.len() - 1
+        };
+        self.map.insert(key, i);
+        self.push_front(i);
+    }
+}
+
+/// Batched parallel scoring with a bounded LRU score cache.
+///
+/// One engine serves one model instance; [`crate::search::FeatureModel`]
+/// pairs them up behind the `CostModel` trait. The engine itself is `Sync` —
+/// all interior state is atomics plus a mutex-guarded cache — so a model
+/// stack can be shared across search threads.
+pub struct InferenceEngine {
+    config: EngineConfig,
+    cache: Mutex<LruCache>,
+    /// Model-version salt mixed into every cache key; bumped on
+    /// invalidation so stale entries can never be read back.
+    salt: AtomicU64,
+    requests: AtomicU64,
+    micro_batches: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    wall_ns: AtomicU64,
+    micro_batch_wall_ns: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl std::fmt::Debug for InferenceEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InferenceEngine")
+            .field("config", &self.config)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Default for InferenceEngine {
+    fn default() -> Self {
+        InferenceEngine::new(EngineConfig::default())
+    }
+}
+
+impl InferenceEngine {
+    /// Creates an engine with the given sizing.
+    pub fn new(config: EngineConfig) -> Self {
+        InferenceEngine {
+            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            config,
+            salt: AtomicU64::new(0x517c_c1b7_2722_0a95),
+            requests: AtomicU64::new(0),
+            micro_batches: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            wall_ns: AtomicU64::new(0),
+            micro_batch_wall_ns: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    /// The engine's sizing knobs.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Snapshot of the cumulative counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            micro_batches: self.micro_batches.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            wall_s: self.wall_ns.load(Ordering::Relaxed) as f64 * 1e-9,
+            micro_batch_wall_s: self.micro_batch_wall_ns.load(Ordering::Relaxed) as f64 * 1e-9,
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            cache_len: self.cache.lock().expect("engine cache poisoned").len(),
+        }
+    }
+
+    /// Drops every cached score by rotating the key salt (and clearing the
+    /// backing store). Called after a model update changes parameters.
+    pub fn invalidate(&self) {
+        // Golden-ratio increment: successive salts never repeat within any
+        // realistic tuning run, so a key from salt N cannot alias salt N+1.
+        self.salt
+            .fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed);
+        self.cache.lock().expect("engine cache poisoned").clear();
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Scores `schedules` for `task` through `scorer`, consulting the cache
+    /// first and micro-batching the misses across worker threads.
+    ///
+    /// Returns per-candidate optional scores (in request order; `None` =
+    /// unscoreable candidate) and the per-call execution stats.
+    pub fn score<S: ScheduleScorer>(
+        &self,
+        scorer: &S,
+        task: &SearchTask,
+        schedules: &[ScheduleSequence],
+    ) -> (Vec<Option<f32>>, BatchStats) {
+        let start = Instant::now();
+        let n = schedules.len();
+        let mut out: Vec<Option<f32>> = vec![None; n];
+
+        let salt = self.salt.load(Ordering::Relaxed);
+        let task_fp = task_fingerprint(task) ^ salt;
+        let mut keys: Vec<(u64, u64)> = Vec::with_capacity(n);
+        let mut miss_idx: Vec<usize> = Vec::new();
+
+        if self.config.cache_capacity > 0 {
+            let mut cache = self.cache.lock().expect("engine cache poisoned");
+            // Duplicate keys inside one request each probe the cache
+            // individually: the first occurrence misses and the rest also
+            // miss (the score is not inserted until after inference), so
+            // intra-request duplicates cost duplicate inference but never
+            // produce inconsistent scores.
+            for (i, s) in schedules.iter().enumerate() {
+                let key = (task_fp, s.salted_fingerprint(salt));
+                keys.push(key);
+                match cache.get(key) {
+                    Some(v) => out[i] = v,
+                    None => miss_idx.push(i),
+                }
+            }
+        } else {
+            miss_idx.extend(0..n);
+        }
+        let hits = n - miss_idx.len();
+        // A cached `None` (unscoreable schedule) is indistinguishable from a
+        // miss in `out`, which is fine: unscoreable candidates re-probe the
+        // model only when their key was evicted, and `valid` masks derive
+        // from the scorer's answer either way.
+
+        let mb = self.config.micro_batch.max(1);
+        let n_batches = miss_idx.len().div_ceil(mb);
+        let threads = self.config.effective_threads().clamp(1, n_batches.max(1));
+
+        if n_batches > 0 {
+            let next = AtomicUsize::new(0);
+            let batch_ns = AtomicU64::new(0);
+            let results: Mutex<Vec<(usize, Vec<Option<f32>>)>> =
+                Mutex::new(Vec::with_capacity(n_batches));
+            // Captures only shared references (atomics, the mutex, read-only
+            // slices), so the closure is `Copy` and one definition serves
+            // both the inline and the spawned path.
+            let worker = || {
+                let mut scratch = S::Scratch::default();
+                loop {
+                    let b = next.fetch_add(1, Ordering::Relaxed);
+                    if b >= n_batches {
+                        break;
+                    }
+                    let lo = b * mb;
+                    let hi = (lo + mb).min(miss_idx.len());
+                    let idx = &miss_idx[lo..hi];
+                    let t = Instant::now();
+                    let scores = scorer.score_micro_batch(&mut scratch, task, schedules, idx);
+                    batch_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    debug_assert_eq!(scores.len(), idx.len(), "scorer batch shape");
+                    results
+                        .lock()
+                        .expect("engine results poisoned")
+                        .push((b, scores));
+                }
+            };
+            if threads == 1 {
+                worker();
+            } else {
+                std::thread::scope(|s| {
+                    for _ in 0..threads {
+                        s.spawn(worker);
+                    }
+                });
+            }
+            let mut results = results.into_inner().expect("engine results poisoned");
+            results.sort_unstable_by_key(|(b, _)| *b);
+            let mut fresh: Vec<(usize, Option<f32>)> = Vec::with_capacity(miss_idx.len());
+            for (b, scores) in results {
+                let lo = b * mb;
+                for (off, s) in scores.into_iter().enumerate() {
+                    let i = miss_idx[lo + off];
+                    out[i] = s;
+                    fresh.push((i, s));
+                }
+            }
+            if self.config.cache_capacity > 0 {
+                let mut cache = self.cache.lock().expect("engine cache poisoned");
+                for (i, s) in fresh {
+                    cache.insert(keys[i], s);
+                }
+            }
+            self.micro_batch_wall_ns
+                .fetch_add(batch_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+
+        let wall = start.elapsed();
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.micro_batches
+            .fetch_add(n_batches as u64, Ordering::Relaxed);
+        self.cache_hits.fetch_add(hits as u64, Ordering::Relaxed);
+        self.cache_misses
+            .fetch_add(miss_idx.len() as u64, Ordering::Relaxed);
+        self.wall_ns
+            .fetch_add(wall.as_nanos() as u64, Ordering::Relaxed);
+
+        let stats = BatchStats {
+            micro_batches: n_batches as u32,
+            cache_hits: hits as u32,
+            cache_misses: miss_idx.len() as u32,
+            threads: if n_batches == 0 { 0 } else { threads as u32 },
+            wall_s: wall.as_secs_f64(),
+        };
+        (out, stats)
+    }
+}
+
+/// Stable fingerprint of a search task for cache keying. Covers the
+/// subgraph (which scoring depends on) and the platform's debug rendering
+/// (so identical subgraphs tuned for different targets never share entries).
+fn task_fingerprint(task: &SearchTask) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    task.subgraph.hash(&mut h);
+    format!("{:?}", task.platform).hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use tlp_hwsim::Platform;
+    use tlp_workload::{AnchorOp, Subgraph};
+
+    fn task() -> SearchTask {
+        SearchTask::new(
+            Subgraph::new("d", AnchorOp::Dense { m: 8, n: 8, k: 8 }),
+            Platform::i7_10510u(),
+        )
+    }
+
+    /// Scores by fingerprint; counts how many candidates hit the model.
+    struct CountingScorer {
+        scored: AtomicUsize,
+    }
+
+    impl CountingScorer {
+        fn new() -> Self {
+            CountingScorer {
+                scored: AtomicUsize::new(0),
+            }
+        }
+    }
+
+    impl ScheduleScorer for CountingScorer {
+        type Scratch = ();
+
+        fn name(&self) -> &str {
+            "counting"
+        }
+
+        fn pipeline_cost(&self) -> PipelineCost {
+            PipelineCost::ZERO
+        }
+
+        fn score_micro_batch(
+            &self,
+            _scratch: &mut (),
+            _task: &SearchTask,
+            schedules: &[ScheduleSequence],
+            idx: &[usize],
+        ) -> Vec<Option<f32>> {
+            self.scored.fetch_add(idx.len(), Ordering::Relaxed);
+            idx.iter()
+                .map(|&i| Some((schedules[i].fingerprint() >> 40) as f32))
+                .collect()
+        }
+    }
+
+    fn distinct_schedules(n: usize) -> Vec<ScheduleSequence> {
+        use tlp_schedule::{ConcretePrimitive, PrimitiveKind};
+        (0..n)
+            .map(|i| {
+                [ConcretePrimitive::new(PrimitiveKind::Split, "C")
+                    .with_loops(["i"])
+                    .with_ints([i as i64 + 1, 4])]
+                .into_iter()
+                .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn second_request_is_all_hits() {
+        let engine = InferenceEngine::new(EngineConfig {
+            micro_batch: 4,
+            threads: 1,
+            cache_capacity: 128,
+        });
+        let scorer = CountingScorer::new();
+        let t = task();
+        let seqs = distinct_schedules(10);
+        let (first, s1) = engine.score(&scorer, &t, &seqs);
+        assert_eq!(s1.cache_misses, 10);
+        assert_eq!(s1.cache_hits, 0);
+        assert_eq!(s1.micro_batches, 3);
+        let (second, s2) = engine.score(&scorer, &t, &seqs);
+        assert_eq!(s2.cache_hits, 10);
+        assert_eq!(s2.cache_misses, 0);
+        assert_eq!(first, second);
+        assert_eq!(scorer.scored.load(Ordering::Relaxed), 10);
+        assert_eq!(engine.stats().cache_len, 10);
+    }
+
+    #[test]
+    fn cache_respects_capacity() {
+        let engine = InferenceEngine::new(EngineConfig {
+            micro_batch: 8,
+            threads: 1,
+            cache_capacity: 4,
+        });
+        let scorer = CountingScorer::new();
+        let t = task();
+        let seqs = distinct_schedules(12);
+        engine.score(&scorer, &t, &seqs);
+        assert_eq!(engine.stats().cache_len, 4);
+        // The four most recent survive; re-scoring them is pure hits.
+        let tail = seqs[8..].to_vec();
+        let (_, s) = engine.score(&scorer, &t, &tail);
+        assert_eq!(s.cache_hits, 4);
+    }
+
+    #[test]
+    fn invalidate_forces_rescore() {
+        let engine = InferenceEngine::new(EngineConfig {
+            micro_batch: 8,
+            threads: 1,
+            cache_capacity: 64,
+        });
+        let scorer = CountingScorer::new();
+        let t = task();
+        let seqs = distinct_schedules(5);
+        engine.score(&scorer, &t, &seqs);
+        engine.invalidate();
+        let (_, s) = engine.score(&scorer, &t, &seqs);
+        assert_eq!(s.cache_misses, 5);
+        assert_eq!(engine.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let t = task();
+        let seqs = distinct_schedules(37);
+        let seq_engine = InferenceEngine::new(EngineConfig {
+            micro_batch: 5,
+            threads: 1,
+            cache_capacity: 0,
+        });
+        let par_engine = InferenceEngine::new(EngineConfig {
+            micro_batch: 5,
+            threads: 4,
+            cache_capacity: 0,
+        });
+        let scorer = CountingScorer::new();
+        let (a, sa) = seq_engine.score(&scorer, &t, &seqs);
+        let (b, sb) = par_engine.score(&scorer, &t, &seqs);
+        assert_eq!(a, b);
+        assert_eq!(sa.micro_batches, 8);
+        assert!(sb.threads >= 2, "parallel path actually used threads");
+    }
+
+    #[test]
+    fn empty_request_roundtrips() {
+        let engine = InferenceEngine::default();
+        let scorer = CountingScorer::new();
+        let (out, stats) = engine.score(&scorer, &task(), &[]);
+        assert!(out.is_empty());
+        assert_eq!(stats.micro_batches, 0);
+        assert_eq!(stats.threads, 0);
+    }
+
+    #[test]
+    fn distinct_tasks_do_not_share_entries() {
+        let engine = InferenceEngine::default();
+        let scorer = CountingScorer::new();
+        let t1 = task();
+        let t2 = SearchTask::new(
+            Subgraph::new(
+                "d",
+                AnchorOp::Dense {
+                    m: 16,
+                    n: 16,
+                    k: 16,
+                },
+            ),
+            Platform::i7_10510u(),
+        );
+        let seqs = distinct_schedules(6);
+        engine.score(&scorer, &t1, &seqs);
+        let (_, s) = engine.score(&scorer, &t2, &seqs);
+        assert_eq!(
+            s.cache_misses, 6,
+            "different task must not hit t1's entries"
+        );
+    }
+
+    #[test]
+    fn lru_refreshes_on_get() {
+        let mut c = LruCache::new(2);
+        c.insert((0, 1), Some(1.0));
+        c.insert((0, 2), Some(2.0));
+        // Touch (0,1) so (0,2) becomes the eviction victim.
+        assert_eq!(c.get((0, 1)), Some(Some(1.0)));
+        c.insert((0, 3), Some(3.0));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get((0, 2)), None);
+        assert_eq!(c.get((0, 1)), Some(Some(1.0)));
+        assert_eq!(c.get((0, 3)), Some(Some(3.0)));
+    }
+}

@@ -14,6 +14,7 @@ use crate::mtl::MtlTlp;
 use crate::train::{train_tlp, TrainData};
 use tlp_dataset::{generate_dataset_for, Dataset, DatasetConfig, TaskData};
 use tlp_hwsim::Platform;
+use tlp_nn::Workspace;
 use tlp_workload::{test_networks, training_networks, Network};
 
 /// Experiment size knobs.
@@ -175,9 +176,17 @@ pub fn eval_tlp(
     ds: &Dataset,
     platform_idx: usize,
 ) -> (f64, f64) {
+    // One workspace + feature buffer reused across every test task (and
+    // both top-k passes); features are extracted straight into the buffer
+    // instead of cloning each schedule first.
+    let scratch = std::cell::RefCell::new((Workspace::new(), Vec::new()));
     let scorer = |t: &TaskData| {
-        let schedules: Vec<_> = t.programs.iter().map(|r| r.schedule.clone()).collect();
-        model.predict(&extractor.extract_batch(&schedules))
+        let (ws, feats) = &mut *scratch.borrow_mut();
+        feats.clear();
+        for r in &t.programs {
+            extractor.extract_into(&r.schedule, feats);
+        }
+        model.predict_with(ws, feats)
     };
     (
         top_k_score(ds, platform_idx, 1, scorer),
@@ -192,9 +201,14 @@ pub fn eval_mtl(
     ds: &Dataset,
     platform_idx: usize,
 ) -> (f64, f64) {
+    let scratch = std::cell::RefCell::new((Workspace::new(), Vec::new()));
     let scorer = |t: &TaskData| {
-        let schedules: Vec<_> = t.programs.iter().map(|r| r.schedule.clone()).collect();
-        model.predict(&extractor.extract_batch(&schedules))
+        let (ws, feats) = &mut *scratch.borrow_mut();
+        feats.clear();
+        for r in &t.programs {
+            extractor.extract_into(&r.schedule, feats);
+        }
+        model.predict_task_with(ws, feats, 0)
     };
     (
         top_k_score(ds, platform_idx, 1, scorer),
@@ -217,7 +231,8 @@ pub fn train_and_eval_mtl(
     let tasks = capped_train_tasks(ds, scale.max_train_tasks);
     let mut task_data = Vec::with_capacity(1 + aux_idxs.len());
     task_data.push(
-        TrainData::from_tasks(&tasks, &extractor, target_idx).subsample(target_fraction, config.seed),
+        TrainData::from_tasks(&tasks, &extractor, target_idx)
+            .subsample(target_fraction, config.seed),
     );
     for &aux in aux_idxs {
         task_data.push(TrainData::from_tasks(&tasks, &extractor, aux));
@@ -245,12 +260,13 @@ pub fn train_and_eval_tenset_mlp(
 
 /// Top-1/top-5 of a trained TenSet-MLP on test tasks.
 pub fn eval_tenset_mlp(model: &TenSetMlp, ds: &Dataset, platform_idx: usize) -> (f64, f64) {
+    let scratch = std::cell::RefCell::new(Workspace::new());
     let scorer = |t: &TaskData| {
         t.programs
             .iter()
             .map(|r| {
                 crate::baselines::program_features(&t.subgraph, &r.schedule)
-                    .map(|f| model.predict(&f)[0])
+                    .map(|f| model.predict_with(&mut scratch.borrow_mut(), &f)[0])
                     .unwrap_or(f32::NEG_INFINITY)
             })
             .collect()

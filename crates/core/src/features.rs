@@ -74,7 +74,18 @@ impl FeatureExtractor {
     /// Extracts the padded/cropped/normalized feature matrix of one schedule,
     /// flattened row-major (`seq_len` rows of `emb_size`).
     pub fn extract(&self, schedule: &ScheduleSequence) -> Vec<f32> {
-        let mut out = vec![0.0f32; self.feature_size()];
+        let mut out = Vec::with_capacity(self.feature_size());
+        self.extract_into(schedule, &mut out);
+        out
+    }
+
+    /// Appends one schedule's feature matrix to `out`, reusing its capacity.
+    /// The batched scoring path calls this in a loop over one scratch buffer
+    /// so repeated micro-batches allocate nothing.
+    pub fn extract_into(&self, schedule: &ScheduleSequence, out: &mut Vec<f32>) {
+        let base = out.len();
+        out.resize(base + self.feature_size(), 0.0);
+        let out = &mut out[base..];
         for (row, p) in schedule.iter().take(self.seq_len).enumerate() {
             let a = preprocess(p);
             let slot = &mut out[row * self.emb_size..(row + 1) * self.emb_size];
@@ -97,14 +108,13 @@ impl FeatureExtractor {
                 slot[col] = (1.0 + raw.max(0.0)).ln();
             }
         }
-        out
     }
 
     /// Extracts a batch, flattened as `n × feature_size`.
     pub fn extract_batch(&self, schedules: &[ScheduleSequence]) -> Vec<f32> {
         let mut out = Vec::with_capacity(schedules.len() * self.feature_size());
         for s in schedules {
-            out.extend(self.extract(s));
+            self.extract_into(s, &mut out);
         }
         out
     }
@@ -174,9 +184,8 @@ mod tests {
             .with_extras(["parallel"])]
         .into_iter()
         .collect();
-        let d2 = |x: &[f32], y: &[f32]| -> f32 {
-            x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum()
-        };
+        let d2 =
+            |x: &[f32], y: &[f32]| -> f32 { x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum() };
         let (fa, fb, fc) = (ex.extract(&a), ex.extract(&b), ex.extract(&c));
         assert!(d2(&fa, &fb) < d2(&fa, &fc));
     }

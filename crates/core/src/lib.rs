@@ -44,6 +44,7 @@
 
 pub mod baselines;
 pub mod config;
+pub mod engine;
 pub mod experiments;
 pub mod features;
 pub mod metrics;
@@ -55,10 +56,11 @@ pub mod search;
 pub mod train;
 
 pub use config::{Backbone, LossKind, TlpConfig};
+pub use engine::{EngineConfig, EngineStats, InferenceEngine, ScheduleScorer};
 pub use features::FeatureExtractor;
 pub use metrics::top_k_score;
 pub use model::TlpModel;
 pub use mtl::{train_mtl, MtlTlp};
 pub use persist::{snapshot_mtl, snapshot_tlp, SavedTlp};
-pub use search::{AnsorCostModel, MtlTlpCostModel, TenSetMlpCostModel, TlpCostModel};
+pub use search::{AnsorCostModel, FeatureModel, MtlTlpCostModel, TenSetMlpCostModel, TlpCostModel};
 pub use train::{train_tlp, TrainData};

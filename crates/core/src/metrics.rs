@@ -91,7 +91,10 @@ mod tests {
         let ds = ds_with_latencies(&[3e-3, 1e-3, 2e-3]);
         // Score = -latency: perfect ranking.
         let s = top_k_score(&ds, 0, 1, |t| {
-            t.programs.iter().map(|r| -(r.latencies[0] as f32)).collect()
+            t.programs
+                .iter()
+                .map(|r| -(r.latencies[0] as f32))
+                .collect()
         });
         assert!((s - 1.0).abs() < 1e-9);
     }

@@ -12,7 +12,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use tlp_nn::{
     Binding, Fwd, Graph, LayerNorm, Linear, Lstm, MultiHeadSelfAttention, ParamStore,
-    ResidualBlock, Tensor, Var,
+    ResidualBlock, Tensor, Var, Workspace,
 };
 
 /// The shared portion of the network: up-sampling linears + basic module +
@@ -71,8 +71,20 @@ impl TlpBackbone {
                     config.heads,
                 ),
                 ln1: LayerNorm::new(store, "backbone.tx.ln1", config.hidden),
-                ff1: Linear::new(store, rng, "backbone.tx.ff1", config.hidden, config.hidden * 2),
-                ff2: Linear::new(store, rng, "backbone.tx.ff2", config.hidden * 2, config.hidden),
+                ff1: Linear::new(
+                    store,
+                    rng,
+                    "backbone.tx.ff1",
+                    config.hidden,
+                    config.hidden * 2,
+                ),
+                ff2: Linear::new(
+                    store,
+                    rng,
+                    "backbone.tx.ff2",
+                    config.hidden * 2,
+                    config.hidden,
+                ),
                 ln2: LayerNorm::new(store, "backbone.tx.ln2", config.hidden),
             },
         };
@@ -102,7 +114,13 @@ impl TlpBackbone {
                 f.g.add(h, a)
             }
             BackboneModule::Lstm(lstm) => lstm.forward(f, h),
-            BackboneModule::Transformer { attn, ln1, ff1, ff2, ln2 } => {
+            BackboneModule::Transformer {
+                attn,
+                ln1,
+                ff1,
+                ff2,
+                ln2,
+            } => {
                 // Post-norm transformer encoder layer.
                 let a = attn.forward(f, h);
                 let h1 = f.g.add(h, a);
@@ -152,7 +170,7 @@ impl TlpHead {
 }
 
 /// The single-task TLP cost model.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct TlpModel {
     /// Model/training hyper-parameters.
     pub config: TlpConfig,
@@ -197,15 +215,20 @@ impl TlpModel {
 
     /// Inference: scores for a feature batch (higher = predicted faster).
     pub fn predict(&self, features: &[f32]) -> Vec<f32> {
+        self.predict_with(&mut Workspace::new(), features)
+    }
+
+    /// Like [`TlpModel::predict`], but reuses a caller-owned [`Workspace`]
+    /// so repeated calls (engine micro-batches) recycle the tape storage.
+    pub fn predict_with(&self, ws: &mut Workspace, features: &[f32]) -> Vec<f32> {
         let fs = self.config.seq_len * self.config.emb_size;
         if features.is_empty() {
             return Vec::new();
         }
         let n = features.len() / fs;
-        let mut g = Graph::new();
-        let mut bind = Binding::new();
-        let scores = self.forward(&mut g, &mut bind, features, n);
-        g.value(scores).data().to_vec()
+        ws.reset();
+        let scores = self.forward(&mut ws.graph, &mut ws.bind, features, n);
+        ws.graph.value(scores).data().to_vec()
     }
 
     /// Borrow of the shared backbone (for MTL construction/diagnostics).

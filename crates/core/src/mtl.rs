@@ -13,7 +13,10 @@ use crate::train::TrainData;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use tlp_nn::{lambda_rank_loss, mse_loss, Adam, Binding, Fwd, Graph, Optimizer, ParamStore, Tensor, Var};
+use tlp_nn::{
+    lambda_rank_loss, mse_loss, Adam, Binding, Fwd, Graph, Optimizer, ParamStore, Tensor, Var,
+    Workspace,
+};
 
 /// The multi-task TLP cost model.
 #[derive(Debug)]
@@ -75,15 +78,20 @@ impl MtlTlp {
 
     /// Inference through head `task`.
     pub fn predict_task(&self, features: &[f32], task: usize) -> Vec<f32> {
+        self.predict_task_with(&mut Workspace::new(), features, task)
+    }
+
+    /// Like [`MtlTlp::predict_task`], but reuses a caller-owned
+    /// [`Workspace`] so repeated calls recycle the tape storage.
+    pub fn predict_task_with(&self, ws: &mut Workspace, features: &[f32], task: usize) -> Vec<f32> {
         if features.is_empty() {
             return Vec::new();
         }
         let fs = self.config.seq_len * self.config.emb_size;
         let n = features.len() / fs;
-        let mut g = Graph::new();
-        let mut bind = Binding::new();
-        let scores = self.forward_task(&mut g, &mut bind, features, n, task);
-        g.value(scores).data().to_vec()
+        ws.reset();
+        let scores = self.forward_task(&mut ws.graph, &mut ws.bind, features, n, task);
+        ws.graph.value(scores).data().to_vec()
     }
 
     /// Inference through the target-platform head (task 0).

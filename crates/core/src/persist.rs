@@ -167,11 +167,8 @@ mod tests {
     fn mtl_snapshot_roundtrip() {
         let cfg = TlpConfig::test_scale();
         let model = MtlTlp::new(cfg.clone(), 3);
-        let ex = FeatureExtractor::with_vocab(
-            Vocabulary::builder().build(),
-            cfg.seq_len,
-            cfg.emb_size,
-        );
+        let ex =
+            FeatureExtractor::with_vocab(Vocabulary::builder().build(), cfg.seq_len, cfg.emb_size);
         let snap = snapshot_mtl(&model, &ex);
         let json = serde_json::to_string(&snap).unwrap();
         let back: SavedTlp = serde_json::from_str(&json).unwrap();

@@ -136,7 +136,13 @@ impl PretrainedLm {
     pub fn new(kind: PretrainKind, config: PretrainConfig) -> Self {
         let mut store = ParamStore::new();
         let mut rng = SmallRng::seed_from_u64(config.seed);
-        let emb = Embedding::new(&mut store, &mut rng, "lm.emb", config.vocab_size(), config.d_model);
+        let emb = Embedding::new(
+            &mut store,
+            &mut rng,
+            "lm.emb",
+            config.vocab_size(),
+            config.d_model,
+        );
         let pos = store.add(
             "lm.pos",
             tlp_nn::init::uniform(&mut rng, &[config.max_len * config.d_model], 0.05),
@@ -298,11 +304,7 @@ impl PretrainedLm {
 
     /// Fine-tunes the regression head (and encoder) on labelled token groups
     /// with rank loss; returns mean loss per epoch.
-    pub fn fine_tune(
-        &mut self,
-        groups: &[(Vec<usize>, Vec<f32>)],
-        epochs: usize,
-    ) -> Vec<f32> {
+    pub fn fine_tune(&mut self, groups: &[(Vec<usize>, Vec<f32>)], epochs: usize) -> Vec<f32> {
         let mut opt = Adam::new(self.config.learning_rate);
         let mut rng = SmallRng::seed_from_u64(self.config.seed ^ 0xF1);
         let l = self.config.max_len;
@@ -403,7 +405,10 @@ mod tests {
         let corpus: Vec<Vec<usize>> = (0..24).map(|_| tokenize(&seq(), &v, &cfg)).collect();
         let mut lm = PretrainedLm::new(PretrainKind::Gpt, cfg);
         let losses = lm.pretrain(&corpus);
-        assert!(losses.last().unwrap() < losses.first().unwrap(), "{losses:?}");
+        assert!(
+            losses.last().unwrap() < losses.first().unwrap(),
+            "{losses:?}"
+        );
     }
 
     #[test]

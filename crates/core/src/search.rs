@@ -1,172 +1,340 @@
 //! Cost-model adapters plugging TLP, MTL-TLP and the baselines into the
 //! auto-tuner's search loop (paper §6.3).
+//!
+//! All four model families share one adapter: [`FeatureModel`] pairs a
+//! [`ScheduleScorer`] (how this model family turns schedules into scores)
+//! with an [`InferenceEngine`] (batching, threading and score caching) and
+//! implements the `CostModel` trait exactly once. The historical per-model
+//! `impl CostModel` blocks — each duplicating the extract-features-then
+//! predict dance — are gone; model families differ only in their scorer.
 
 use crate::baselines::{program_features, AnsorOnlineModel, TenSetMlp, PROGRAM_FEATURE_DIM};
+use crate::engine::{EngineConfig, InferenceEngine, ScheduleScorer};
 use crate::features::FeatureExtractor;
 use crate::model::TlpModel;
 use crate::mtl::MtlTlp;
-use tlp_autotuner::{CostModel, SearchTask};
+use tlp_autotuner::{
+    check_update_shape, CostModel, PipelineCost, ScoreBatch, ScoreRequest, SearchTask, UpdateError,
+};
+use tlp_nn::Workspace;
 use tlp_schedule::ScheduleSequence;
 
-/// Simulated per-candidate pipeline cost of program-feature models
-/// (seconds): generate the tensor program, extract features, run inference.
-/// Calibrated to the paper's §6.3 observation that five GA rounds take
-/// ~20 s with TenSet-MLP over ~10k candidates.
-pub const PROGRAM_GEN_OVERHEAD_S: f64 = 2.0e-3;
+/// Simulated per-candidate pipeline cost of program-feature models: generate
+/// the tensor program, extract features, run inference. Stage split follows
+/// the paper's §6.3 observation that five GA rounds take ~20 s with
+/// TenSet-MLP over ~10k candidates — dominated by program generation.
+pub const PROGRAM_GEN_COST: PipelineCost = PipelineCost::new(1.5e-3, 0.4e-3, 0.1e-3);
 
-/// Simulated per-candidate pipeline cost of TLP models (seconds): feature
-/// extraction straight from primitives plus batched inference — the same GA
-/// rounds take ~6 s (paper §6.3).
-pub const TLP_PIPELINE_OVERHEAD_S: f64 = 0.6e-3;
+/// Simulated per-candidate pipeline cost of TLP models: feature extraction
+/// straight from primitives plus batched inference — the same GA rounds take
+/// ~6 s with no program generation at all (paper §6.3).
+pub const TLP_PIPELINE_COST: PipelineCost = PipelineCost::new(0.0, 0.5e-3, 0.1e-3);
 
-/// TLP as a search cost model: features come straight from the schedule
-/// primitives, so no program generation is charged.
+/// A cost model assembled from a [`ScheduleScorer`] and an
+/// [`InferenceEngine`]. This is the only `CostModel` implementation in the
+/// crate — every model family plugs in as a scorer.
 #[derive(Debug)]
-pub struct TlpCostModel {
+pub struct FeatureModel<S: ScheduleScorer> {
+    scorer: S,
+    engine: InferenceEngine,
+}
+
+impl<S: ScheduleScorer> FeatureModel<S> {
+    /// Wraps `scorer` with a default-sized engine.
+    pub fn from_scorer(scorer: S) -> Self {
+        FeatureModel {
+            scorer,
+            engine: InferenceEngine::default(),
+        }
+    }
+
+    /// Wraps `scorer` with an explicitly sized engine.
+    pub fn with_engine(scorer: S, config: EngineConfig) -> Self {
+        FeatureModel {
+            scorer,
+            engine: InferenceEngine::new(config),
+        }
+    }
+
+    /// The underlying scorer.
+    pub fn scorer(&self) -> &S {
+        &self.scorer
+    }
+
+    /// The engine (for cumulative statistics).
+    pub fn engine(&self) -> &InferenceEngine {
+        &self.engine
+    }
+
+    /// Unwraps the scorer, dropping the engine and its cache.
+    pub fn into_scorer(self) -> S {
+        self.scorer
+    }
+}
+
+impl<S: ScheduleScorer> CostModel for FeatureModel<S> {
+    fn predict(&self, request: ScoreRequest<'_>) -> ScoreBatch {
+        let (scores, stats) = self
+            .engine
+            .score(&self.scorer, request.task, request.candidates);
+        let mut batch = ScoreBatch::masked(scores, self.scorer.pipeline_cost());
+        batch.stats = stats;
+        batch
+    }
+
+    fn update(
+        &mut self,
+        task: &SearchTask,
+        schedules: &[ScheduleSequence],
+        latencies: &[f64],
+    ) -> Result<(), UpdateError> {
+        check_update_shape(schedules, latencies)?;
+        if self.scorer.absorb(task, schedules, latencies)? {
+            self.engine.invalidate();
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        self.scorer.name()
+    }
+
+    fn pipeline_cost(&self) -> PipelineCost {
+        self.scorer.pipeline_cost()
+    }
+}
+
+/// Per-thread scratch shared by the primitive-feature scorers: one autodiff
+/// workspace plus one feature buffer, both reused across micro-batches.
+#[derive(Debug, Default)]
+pub struct FeatureScratch {
+    ws: Workspace,
+    feats: Vec<f32>,
+}
+
+/// TLP scoring: features come straight from the schedule primitives, so no
+/// program generation is charged.
+#[derive(Debug)]
+pub struct TlpScorer {
     /// The pre-trained model.
     pub model: TlpModel,
     /// The frozen feature extractor.
     pub extractor: FeatureExtractor,
 }
 
-impl TlpCostModel {
-    /// Wraps a pre-trained TLP model.
-    pub fn new(model: TlpModel, extractor: FeatureExtractor) -> Self {
-        TlpCostModel { model, extractor }
-    }
-}
-
-impl CostModel for TlpCostModel {
-    fn predict(&self, _task: &SearchTask, schedules: &[ScheduleSequence]) -> Vec<f32> {
-        let feats = self.extractor.extract_batch(schedules);
-        self.model.predict(&feats)
-    }
+impl ScheduleScorer for TlpScorer {
+    type Scratch = FeatureScratch;
 
     fn name(&self) -> &str {
         "tlp"
     }
 
-    fn per_candidate_overhead_s(&self) -> f64 {
-        TLP_PIPELINE_OVERHEAD_S
+    fn pipeline_cost(&self) -> PipelineCost {
+        TLP_PIPELINE_COST
+    }
+
+    fn score_micro_batch(
+        &self,
+        scratch: &mut FeatureScratch,
+        _task: &SearchTask,
+        schedules: &[ScheduleSequence],
+        idx: &[usize],
+    ) -> Vec<Option<f32>> {
+        scratch.feats.clear();
+        for &i in idx {
+            self.extractor
+                .extract_into(&schedules[i], &mut scratch.feats);
+        }
+        self.model
+            .predict_with(&mut scratch.ws, &scratch.feats)
+            .into_iter()
+            .map(Some)
+            .collect()
     }
 }
 
-/// MTL-TLP (target head) as a search cost model.
+/// MTL-TLP scoring through the target-platform head (task 0).
 #[derive(Debug)]
-pub struct MtlTlpCostModel {
+pub struct MtlTlpScorer {
     /// The pre-trained multi-task model.
     pub model: MtlTlp,
     /// The frozen feature extractor.
     pub extractor: FeatureExtractor,
 }
 
-impl MtlTlpCostModel {
-    /// Wraps a pre-trained MTL-TLP model.
-    pub fn new(model: MtlTlp, extractor: FeatureExtractor) -> Self {
-        MtlTlpCostModel { model, extractor }
-    }
-}
-
-impl CostModel for MtlTlpCostModel {
-    fn predict(&self, _task: &SearchTask, schedules: &[ScheduleSequence]) -> Vec<f32> {
-        let feats = self.extractor.extract_batch(schedules);
-        self.model.predict(&feats)
-    }
+impl ScheduleScorer for MtlTlpScorer {
+    type Scratch = FeatureScratch;
 
     fn name(&self) -> &str {
         "mtl-tlp"
     }
 
-    fn per_candidate_overhead_s(&self) -> f64 {
-        TLP_PIPELINE_OVERHEAD_S
+    fn pipeline_cost(&self) -> PipelineCost {
+        TLP_PIPELINE_COST
+    }
+
+    fn score_micro_batch(
+        &self,
+        scratch: &mut FeatureScratch,
+        _task: &SearchTask,
+        schedules: &[ScheduleSequence],
+        idx: &[usize],
+    ) -> Vec<Option<f32>> {
+        scratch.feats.clear();
+        for &i in idx {
+            self.extractor
+                .extract_into(&schedules[i], &mut scratch.feats);
+        }
+        self.model
+            .predict_task_with(&mut scratch.ws, &scratch.feats, 0)
+            .into_iter()
+            .map(Some)
+            .collect()
     }
 }
 
-/// TenSet-MLP as a search cost model: must lower every candidate to a tensor
-/// program before extracting features.
+/// TenSet-MLP scoring: every candidate must lower to a tensor program before
+/// feature extraction; candidates that fail to lower are reported as
+/// unscoreable (`None`) rather than silently mis-ranked.
 #[derive(Debug)]
-pub struct TenSetMlpCostModel {
+pub struct TenSetMlpScorer {
     /// The pre-trained MLP.
     pub model: TenSetMlp,
 }
 
-impl TenSetMlpCostModel {
-    /// Wraps a pre-trained TenSet-MLP.
-    pub fn new(model: TenSetMlp) -> Self {
-        TenSetMlpCostModel { model }
-    }
-}
-
-impl CostModel for TenSetMlpCostModel {
-    fn predict(&self, task: &SearchTask, schedules: &[ScheduleSequence]) -> Vec<f32> {
-        let mut feats = Vec::with_capacity(schedules.len() * PROGRAM_FEATURE_DIM);
-        let mut ok = Vec::with_capacity(schedules.len());
-        for s in schedules {
-            match program_features(&task.subgraph, s) {
-                Some(f) => {
-                    feats.extend(f);
-                    ok.push(true);
-                }
-                None => ok.push(false),
-            }
-        }
-        let scores = self.model.predict(&feats);
-        let mut it = scores.into_iter();
-        ok.into_iter()
-            .map(|lowered| {
-                if lowered {
-                    it.next().unwrap_or(f32::NEG_INFINITY)
-                } else {
-                    f32::NEG_INFINITY
-                }
-            })
-            .collect()
-    }
+impl ScheduleScorer for TenSetMlpScorer {
+    type Scratch = FeatureScratch;
 
     fn name(&self) -> &str {
         "tenset-mlp"
     }
 
-    fn per_candidate_overhead_s(&self) -> f64 {
-        PROGRAM_GEN_OVERHEAD_S
+    fn pipeline_cost(&self) -> PipelineCost {
+        PROGRAM_GEN_COST
     }
-}
 
-/// Ansor's online GBDT as a search cost model (learns during tuning only).
-#[derive(Debug, Default)]
-pub struct AnsorCostModel {
-    model: AnsorOnlineModel,
-}
-
-impl AnsorCostModel {
-    /// Creates an empty online model.
-    pub fn new() -> Self {
-        AnsorCostModel {
-            model: AnsorOnlineModel::new(),
+    fn score_micro_batch(
+        &self,
+        scratch: &mut FeatureScratch,
+        task: &SearchTask,
+        schedules: &[ScheduleSequence],
+        idx: &[usize],
+    ) -> Vec<Option<f32>> {
+        scratch.feats.clear();
+        let mut lowered = Vec::with_capacity(idx.len());
+        for &i in idx {
+            match program_features(&task.subgraph, &schedules[i]) {
+                Some(f) => {
+                    debug_assert_eq!(f.len(), PROGRAM_FEATURE_DIM);
+                    scratch.feats.extend(f);
+                    lowered.push(true);
+                }
+                None => lowered.push(false),
+            }
         }
-    }
-
-    /// Number of measurements absorbed so far.
-    pub fn num_records(&self) -> usize {
-        self.model.num_records()
+        let scores = self.model.predict_with(&mut scratch.ws, &scratch.feats);
+        let mut it = scores.into_iter();
+        lowered
+            .into_iter()
+            .map(|ok| if ok { it.next() } else { None })
+            .collect()
     }
 }
 
-impl CostModel for AnsorCostModel {
-    fn predict(&self, task: &SearchTask, schedules: &[ScheduleSequence]) -> Vec<f32> {
-        self.model.score(&task.subgraph, schedules)
-    }
+/// Ansor's online GBDT: learns during tuning, invalidating the score cache
+/// on every refit.
+#[derive(Debug, Default)]
+pub struct AnsorScorer {
+    /// The online model.
+    pub model: AnsorOnlineModel,
+}
 
-    fn update(&mut self, task: &SearchTask, schedules: &[ScheduleSequence], latencies: &[f64]) {
-        self.model.absorb(&task.subgraph, schedules, latencies);
-    }
+impl ScheduleScorer for AnsorScorer {
+    /// Clone buffer for gathering scattered candidates into one slice.
+    type Scratch = Vec<ScheduleSequence>;
 
     fn name(&self) -> &str {
         "ansor"
     }
 
-    fn per_candidate_overhead_s(&self) -> f64 {
-        PROGRAM_GEN_OVERHEAD_S
+    fn pipeline_cost(&self) -> PipelineCost {
+        PROGRAM_GEN_COST
+    }
+
+    fn score_micro_batch(
+        &self,
+        scratch: &mut Vec<ScheduleSequence>,
+        task: &SearchTask,
+        schedules: &[ScheduleSequence],
+        idx: &[usize],
+    ) -> Vec<Option<f32>> {
+        scratch.clear();
+        scratch.extend(idx.iter().map(|&i| schedules[i].clone()));
+        self.model
+            .score(&task.subgraph, scratch)
+            .into_iter()
+            .map(Some)
+            .collect()
+    }
+
+    fn absorb(
+        &mut self,
+        task: &SearchTask,
+        schedules: &[ScheduleSequence],
+        latencies: &[f64],
+    ) -> Result<bool, UpdateError> {
+        Ok(self.model.absorb(&task.subgraph, schedules, latencies))
+    }
+}
+
+/// TLP as a search cost model.
+pub type TlpCostModel = FeatureModel<TlpScorer>;
+
+impl TlpCostModel {
+    /// Wraps a pre-trained TLP model.
+    pub fn new(model: TlpModel, extractor: FeatureExtractor) -> Self {
+        FeatureModel::from_scorer(TlpScorer { model, extractor })
+    }
+}
+
+/// MTL-TLP (target head) as a search cost model.
+pub type MtlTlpCostModel = FeatureModel<MtlTlpScorer>;
+
+impl MtlTlpCostModel {
+    /// Wraps a pre-trained MTL-TLP model.
+    pub fn new(model: MtlTlp, extractor: FeatureExtractor) -> Self {
+        FeatureModel::from_scorer(MtlTlpScorer { model, extractor })
+    }
+}
+
+/// TenSet-MLP as a search cost model.
+pub type TenSetMlpCostModel = FeatureModel<TenSetMlpScorer>;
+
+impl TenSetMlpCostModel {
+    /// Wraps a pre-trained TenSet-MLP.
+    pub fn new(model: TenSetMlp) -> Self {
+        FeatureModel::from_scorer(TenSetMlpScorer { model })
+    }
+}
+
+/// Ansor's online GBDT as a search cost model (learns during tuning only).
+pub type AnsorCostModel = FeatureModel<AnsorScorer>;
+
+impl AnsorCostModel {
+    /// Creates an empty online model.
+    pub fn new() -> Self {
+        FeatureModel::from_scorer(AnsorScorer::default())
+    }
+
+    /// Number of measurements absorbed so far.
+    pub fn num_records(&self) -> usize {
+        self.scorer().model.num_records()
+    }
+}
+
+impl Default for AnsorCostModel {
+    fn default() -> Self {
+        AnsorCostModel::new()
     }
 }
 
@@ -183,7 +351,14 @@ mod tests {
 
     fn task() -> SearchTask {
         SearchTask::new(
-            Subgraph::new("d", AnchorOp::Dense { m: 64, n: 64, k: 64 }),
+            Subgraph::new(
+                "d",
+                AnchorOp::Dense {
+                    m: 64,
+                    n: 64,
+                    k: 64,
+                },
+            ),
             Platform::i7_10510u(),
         )
     }
@@ -191,39 +366,88 @@ mod tests {
     fn schedules(n: usize) -> Vec<ScheduleSequence> {
         let mut rng = SmallRng::seed_from_u64(4);
         (0..n)
-            .map(|_| {
-                Candidate::random(&SketchPolicy::cpu(), &task().subgraph, &mut rng).sequence
-            })
+            .map(|_| Candidate::random(&SketchPolicy::cpu(), &task().subgraph, &mut rng).sequence)
             .collect()
     }
 
     #[test]
     fn tlp_pipeline_cheaper_than_program_gen() {
         let cfg = TlpConfig::test_scale();
-        let ex = FeatureExtractor::with_vocab(Vocabulary::builder().build(), cfg.seq_len, cfg.emb_size);
+        let ex =
+            FeatureExtractor::with_vocab(Vocabulary::builder().build(), cfg.seq_len, cfg.emb_size);
         let m = TlpCostModel::new(TlpModel::new(cfg), ex);
-        assert!(m.per_candidate_overhead_s() < PROGRAM_GEN_OVERHEAD_S / 2.0);
-        let scores = m.predict(&task(), &schedules(4));
-        assert_eq!(scores.len(), 4);
+        assert!(m.pipeline_cost().per_candidate_s() < PROGRAM_GEN_COST.per_candidate_s() / 2.0);
+        assert_eq!(m.pipeline_cost().program_gen_s, 0.0);
+        let t = task();
+        let seqs = schedules(4);
+        let batch = m.predict(ScoreRequest::new(&t, &seqs));
+        assert_eq!(batch.len(), 4);
+        assert_eq!(batch.num_invalid(), 0);
     }
 
     #[test]
     fn tenset_model_charges_program_gen() {
         let m = TenSetMlpCostModel::new(TenSetMlp::new(TlpConfig::test_scale()));
-        assert!(m.per_candidate_overhead_s() > 0.0);
-        let scores = m.predict(&task(), &schedules(4));
-        assert_eq!(scores.len(), 4);
+        assert!(m.pipeline_cost().program_gen_s > 0.0);
+        let t = task();
+        let seqs = schedules(4);
+        let batch = m.predict(ScoreRequest::new(&t, &seqs));
+        assert_eq!(batch.len(), 4);
     }
 
     #[test]
-    fn ansor_model_updates_online() {
+    fn tenset_masks_unlowerable_candidates() {
+        use tlp_schedule::{ConcretePrimitive, PrimitiveKind};
+        let m = TenSetMlpCostModel::new(TenSetMlp::new(TlpConfig::test_scale()));
+        let t = task();
+        let mut seqs = schedules(3);
+        // A schedule annotating a loop variable that does not exist fails
+        // lowering; it must surface as invalid, not as a sneaky low score.
+        seqs.insert(
+            1,
+            [ConcretePrimitive::new(PrimitiveKind::Annotation, "C")
+                .with_loops(["no_such_loop"])
+                .with_extras(["parallel"])]
+            .into_iter()
+            .collect(),
+        );
+        let batch = m.predict(ScoreRequest::new(&t, &seqs));
+        assert_eq!(batch.len(), 4);
+        assert_eq!(batch.num_invalid(), 1);
+        assert!(!batch.valid[1]);
+        assert_eq!(batch.scores[1], f32::NEG_INFINITY);
+        assert!(batch.valid[0] && batch.valid[2] && batch.valid[3]);
+    }
+
+    #[test]
+    fn ansor_model_updates_online_and_invalidates_cache() {
         let mut m = AnsorCostModel::new();
         let t = task();
         let ss = schedules(12);
+        let before = m.predict(ScoreRequest::new(&t, &ss));
+        assert_eq!(before.len(), 12);
         let lats: Vec<f64> = (0..12).map(|i| 1e-3 * (i + 1) as f64).collect();
-        m.update(&t, &ss, &lats);
+        m.update(&t, &ss, &lats).expect("update");
         assert!(m.num_records() > 0);
-        let scores = m.predict(&t, &ss);
-        assert_eq!(scores.len(), 12);
+        // The refit invalidated the cache: the next predict re-scores.
+        assert_eq!(m.engine().stats().invalidations, 1);
+        let batch = m.predict(ScoreRequest::new(&t, &ss));
+        assert_eq!(batch.stats.cache_hits, 0);
+        assert_eq!(batch.stats.cache_misses, 12);
+    }
+
+    #[test]
+    fn repeat_scoring_hits_cache() {
+        let cfg = TlpConfig::test_scale();
+        let ex =
+            FeatureExtractor::with_vocab(Vocabulary::builder().build(), cfg.seq_len, cfg.emb_size);
+        let m = TlpCostModel::new(TlpModel::new(cfg), ex);
+        let t = task();
+        let seqs = schedules(6);
+        let first = m.predict(ScoreRequest::new(&t, &seqs));
+        assert_eq!(first.stats.cache_misses, 6);
+        let second = m.predict(ScoreRequest::new(&t, &seqs).with_generation(1));
+        assert_eq!(second.stats.cache_hits, 6);
+        assert_eq!(first.scores, second.scores, "cached scores bit-identical");
     }
 }

@@ -1,0 +1,223 @@
+//! Inference-engine equivalence suite: parallel micro-batched scoring must
+//! return exactly what single-threaded scoring would, for every backbone;
+//! the score cache must be bit-identical and capacity-bounded; empty and
+//! ragged batches must round-trip without panicking.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tlp::baselines::TenSetMlp;
+use tlp::engine::EngineConfig;
+use tlp::features::FeatureExtractor;
+use tlp::search::{TenSetMlpScorer, TlpScorer};
+use tlp::{Backbone, FeatureModel, TlpConfig, TlpModel};
+use tlp_autotuner::{Candidate, CostModel, ScoreRequest, SearchTask, SketchPolicy};
+use tlp_hwsim::Platform;
+use tlp_schedule::{ConcretePrimitive, PrimitiveKind, ScheduleSequence, Vocabulary};
+use tlp_workload::{AnchorOp, Subgraph};
+
+fn task() -> SearchTask {
+    SearchTask::new(
+        Subgraph::new(
+            "d",
+            AnchorOp::Dense {
+                m: 128,
+                n: 128,
+                k: 128,
+            },
+        ),
+        Platform::i7_10510u(),
+    )
+}
+
+fn candidates(n: usize, seed: u64) -> Vec<ScheduleSequence> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let t = task();
+    (0..n)
+        .map(|_| Candidate::random(&SketchPolicy::cpu(), &t.subgraph, &mut rng).sequence)
+        .collect()
+}
+
+fn extractor_for(seqs: &[ScheduleSequence], cfg: &TlpConfig) -> FeatureExtractor {
+    let mut vb = Vocabulary::builder();
+    for s in seqs {
+        for p in s.iter() {
+            vb.observe(&p.stage);
+            for v in &p.loop_vars {
+                vb.observe(v);
+            }
+            for e in &p.extras {
+                vb.observe(e);
+            }
+        }
+    }
+    FeatureExtractor::with_vocab(vb.build(), cfg.seq_len, cfg.emb_size)
+}
+
+fn tlp_model(backbone: Backbone) -> (TlpModel, FeatureExtractor, Vec<ScheduleSequence>) {
+    let cfg = TlpConfig {
+        backbone,
+        ..TlpConfig::test_scale()
+    };
+    let seqs = candidates(40, 0xE0_u64 + backbone as u64);
+    let ex = extractor_for(&seqs, &cfg);
+    (TlpModel::new(cfg), ex, seqs)
+}
+
+/// Parallel engine scoring equals sequential scoring (and the plain
+/// extract-then-predict reference path) for every backbone.
+#[test]
+fn parallel_matches_sequential_all_backbones() {
+    for backbone in [Backbone::Attention, Backbone::Lstm, Backbone::Transformer] {
+        let (model, ex, seqs) = tlp_model(backbone);
+        let reference = model.predict(&ex.extract_batch(&seqs));
+
+        let sequential = FeatureModel::with_engine(
+            TlpScorer {
+                model: model.clone(),
+                extractor: ex.clone(),
+            },
+            EngineConfig {
+                micro_batch: 7,
+                threads: 1,
+                cache_capacity: 0,
+            },
+        );
+        // Force a real pool even on single-core machines.
+        let parallel = FeatureModel::with_engine(
+            TlpScorer {
+                model: model.clone(),
+                extractor: ex.clone(),
+            },
+            EngineConfig {
+                micro_batch: 7,
+                threads: 4,
+                cache_capacity: 0,
+            },
+        );
+
+        let t = task();
+        let seq_batch = sequential.predict(ScoreRequest::new(&t, &seqs));
+        let par_batch = parallel.predict(ScoreRequest::new(&t, &seqs));
+        assert!(par_batch.stats.threads >= 2, "{backbone:?}: pool unused");
+        assert_eq!(seq_batch.len(), seqs.len());
+        for (i, &r) in reference.iter().enumerate() {
+            assert!(
+                (r - seq_batch.scores[i]).abs() < 1e-6,
+                "{backbone:?} candidate {i}: engine {} vs reference {}",
+                seq_batch.scores[i],
+                r
+            );
+            assert!(
+                (seq_batch.scores[i] - par_batch.scores[i]).abs() < 1e-6,
+                "{backbone:?} candidate {i}: parallel {} vs sequential {}",
+                par_batch.scores[i],
+                seq_batch.scores[i]
+            );
+        }
+    }
+}
+
+/// Cache hits return bit-identical scores and the cache never exceeds its
+/// configured capacity.
+#[test]
+fn cache_hits_bit_identical_and_bounded() {
+    let (model, ex, seqs) = tlp_model(Backbone::Attention);
+    let m = FeatureModel::with_engine(
+        TlpScorer {
+            model,
+            extractor: ex,
+        },
+        EngineConfig {
+            micro_batch: 8,
+            threads: 2,
+            cache_capacity: 16,
+        },
+    );
+    let t = task();
+    let cold = m.predict(ScoreRequest::new(&t, &seqs[..16]));
+    assert_eq!(cold.stats.cache_misses, 16);
+    let warm = m.predict(ScoreRequest::new(&t, &seqs[..16]));
+    assert_eq!(warm.stats.cache_hits, 16);
+    assert_eq!(warm.stats.cache_misses, 0);
+    assert_eq!(cold.scores, warm.scores, "hits must be bit-identical");
+
+    // Push well past capacity; the cache stays bounded.
+    m.predict(ScoreRequest::new(&t, &seqs));
+    assert!(
+        m.engine().stats().cache_len <= 16,
+        "cache grew past capacity: {}",
+        m.engine().stats().cache_len
+    );
+}
+
+/// An empty request round-trips as an empty batch — no panic, no work.
+#[test]
+fn empty_batch_roundtrips() {
+    let (model, ex, _) = tlp_model(Backbone::Attention);
+    let m = FeatureModel::with_engine(
+        TlpScorer {
+            model,
+            extractor: ex,
+        },
+        EngineConfig::default(),
+    );
+    let t = task();
+    let batch = m.predict(ScoreRequest::new(&t, &[]));
+    assert!(batch.is_empty());
+    assert_eq!(batch.stats.micro_batches, 0);
+    assert_eq!(batch.num_invalid(), 0);
+}
+
+/// A ragged batch — some schedules valid, some empty, some unlowerable —
+/// keeps request order and marks only the truly unscoreable entries.
+#[test]
+fn ragged_batch_keeps_order_and_masks() {
+    let cfg = TlpConfig::test_scale();
+    let mut seqs = candidates(6, 0xAB);
+    // An empty schedule is featurizable (all-padding) for TLP but must
+    // still flow through without panicking.
+    seqs.insert(2, ScheduleSequence::new());
+    // An unlowerable schedule for the program-feature path.
+    let broken: ScheduleSequence = [ConcretePrimitive::new(PrimitiveKind::Annotation, "C")
+        .with_loops(["no_such_loop"])
+        .with_extras(["parallel"])]
+    .into_iter()
+    .collect();
+    seqs.insert(5, broken);
+
+    let tenset = FeatureModel::with_engine(
+        TenSetMlpScorer {
+            model: TenSetMlp::new(cfg.clone()),
+        },
+        EngineConfig {
+            micro_batch: 3,
+            threads: 2,
+            cache_capacity: 32,
+        },
+    );
+    let t = task();
+    let batch = tenset.predict(ScoreRequest::new(&t, &seqs));
+    assert_eq!(batch.len(), seqs.len());
+    assert!(!batch.valid[5], "unlowerable schedule must be masked");
+    assert_eq!(batch.scores[5], f32::NEG_INFINITY);
+    let n_valid = batch.valid.iter().filter(|v| **v).count();
+    assert!(n_valid >= 6, "valid candidates still scored: {n_valid}");
+
+    // Warm pass: identical mask and scores straight from the cache.
+    let warm = tenset.predict(ScoreRequest::new(&t, &seqs));
+    assert_eq!(warm.valid, batch.valid);
+    assert_eq!(warm.scores, batch.scores);
+}
+
+/// The engine path and the CostModel trait agree on reported pipeline cost.
+#[test]
+fn score_batch_carries_pipeline_cost() {
+    let (model, ex, seqs) = tlp_model(Backbone::Lstm);
+    let m = tlp::TlpCostModel::new(model, ex);
+    let t = task();
+    let batch = m.predict(ScoreRequest::new(&t, &seqs[..4]));
+    assert_eq!(batch.cost, m.pipeline_cost());
+    assert_eq!(batch.cost.program_gen_s, 0.0, "TLP never lowers programs");
+    assert!(batch.cost.per_candidate_s() > 0.0);
+    assert!(batch.stats.wall_s >= 0.0);
+}

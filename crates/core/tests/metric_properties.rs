@@ -36,10 +36,7 @@ fn dataset_from(lats: Vec<Vec<f64>>) -> Dataset {
 }
 
 fn arb_latencies() -> impl Strategy<Value = Vec<Vec<f64>>> {
-    prop::collection::vec(
-        prop::collection::vec(1e-6f64..1.0, 2..20),
-        1..6,
-    )
+    prop::collection::vec(prop::collection::vec(1e-6f64..1.0, 2..20), 1..6)
 }
 
 proptest! {

@@ -13,26 +13,25 @@ fn cfg(n: usize) -> DatasetConfig {
 
 #[test]
 fn per_task_program_counts_respect_budget() {
-    let ds = generate_dataset_for(
-        &[bert_tiny(1, 64)],
-        &[],
-        &[Platform::i7_10510u()],
-        &cfg(20),
-    );
+    let ds = generate_dataset_for(&[bert_tiny(1, 64)], &[], &[Platform::i7_10510u()], &cfg(20));
     for t in &ds.tasks {
-        assert!(t.programs.len() <= 20, "{}: {}", t.subgraph.name, t.programs.len());
-        assert!(t.programs.len() >= 4, "{}: too few programs", t.subgraph.name);
+        assert!(
+            t.programs.len() <= 20,
+            "{}: {}",
+            t.subgraph.name,
+            t.programs.len()
+        );
+        assert!(
+            t.programs.len() >= 4,
+            "{}: too few programs",
+            t.subgraph.name
+        );
     }
 }
 
 #[test]
 fn schedules_unique_within_each_task() {
-    let ds = generate_dataset_for(
-        &[bert_tiny(1, 64)],
-        &[],
-        &[Platform::i7_10510u()],
-        &cfg(24),
-    );
+    let ds = generate_dataset_for(&[bert_tiny(1, 64)], &[], &[Platform::i7_10510u()], &cfg(24));
     for t in &ds.tasks {
         let mut seen = std::collections::HashSet::new();
         for r in &t.programs {

@@ -70,8 +70,7 @@ impl Gbdt {
     /// Panics if `x.len() != dim`.
     pub fn predict(&self, x: &[f32]) -> f32 {
         assert_eq!(x.len(), self.dim, "feature width mismatch");
-        self.base
-            + self.learning_rate * self.trees.iter().map(|t| t.predict(x)).sum::<f32>()
+        self.base + self.learning_rate * self.trees.iter().map(|t| t.predict(x)).sum::<f32>()
     }
 
     /// Predicts for a row-major batch.

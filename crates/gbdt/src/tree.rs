@@ -121,7 +121,11 @@ impl RegressionTree {
                     left,
                     right,
                 } => {
-                    at = if x[*feature] < *threshold { *left } else { *right };
+                    at = if x[*feature] < *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -177,7 +181,8 @@ fn best_split(
             }
             let right_sum = total_sum - left_sum;
             let right_sq = total_sq - left_sq;
-            let sse = (left_sq - left_sum * left_sum / nl) + (right_sq - right_sum * right_sum / nr);
+            let sse =
+                (left_sq - left_sum * left_sum / nl) + (right_sq - right_sum * right_sum / nr);
             let gain = parent_sse - sse;
             if best.map(|(_, _, g)| gain > g).unwrap_or(gain > 0.0) {
                 best = Some((f, (here + next) * 0.5, gain));
@@ -195,7 +200,10 @@ mod tests {
     fn fits_a_step_function_exactly() {
         // y = 1 if x0 > 0.5 else 0.
         let xs: Vec<f32> = (0..100).map(|i| i as f32 / 100.0).collect();
-        let ys: Vec<f32> = xs.iter().map(|&x| if x > 0.5 { 1.0 } else { 0.0 }).collect();
+        let ys: Vec<f32> = xs
+            .iter()
+            .map(|&x| if x > 0.5 { 1.0 } else { 0.0 })
+            .collect();
         let tree = RegressionTree::fit(&xs, 1, &ys, &TreeParams::default());
         assert_eq!(tree.predict(&[0.2]), 0.0);
         assert_eq!(tree.predict(&[0.9]), 1.0);

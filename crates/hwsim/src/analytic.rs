@@ -163,7 +163,11 @@ impl Simulator {
             // Never bound to threads: effectively serial on one CUDA core.
             return flops / (p.freq_ghz * 1e9 * 2.0) + p.launch_overhead_us * 1e-6;
         }
-        let warp_eff = if spec.block_threads % 32 == 0 { 1.0 } else { 0.7 };
+        let warp_eff = if spec.block_threads % 32 == 0 {
+            1.0
+        } else {
+            0.7
+        };
         // Sweet spot around 128–256 threads/block.
         let eff_t = (1.0 / (1.0 + 0.3 * (threads / 192.0).log2().abs())).clamp(0.3, 1.0);
 
@@ -267,7 +271,14 @@ mod tests {
     use tlp_schedule::{ConcretePrimitive, PrimitiveKind, ScheduleSequence};
 
     fn dense_sg() -> Subgraph {
-        Subgraph::new("d", AnchorOp::Dense { m: 512, n: 512, k: 512 })
+        Subgraph::new(
+            "d",
+            AnchorOp::Dense {
+                m: 512,
+                n: 512,
+                k: 512,
+            },
+        )
     }
 
     /// A reasonable CPU schedule for the dense subgraph.

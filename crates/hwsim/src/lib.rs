@@ -43,5 +43,5 @@ pub mod render;
 pub use analytic::{preferred_unroll, Simulator};
 pub use clock::{MeasureCost, SimClock};
 pub use lower::{lower, AxisTiles, LowerError, ProgramSpec};
-pub use render::render_program;
 pub use platform::{Arch, DeviceKind, Platform};
+pub use render::render_program;

@@ -136,10 +136,7 @@ pub fn lower(subgraph: &Subgraph, schedule: &ScheduleSequence) -> Result<Program
 
     // Live loop variables → (axis index, extent). Sub-loops of axis `i` are
     // named `i.0` (outer) … `i.k` (inner); fused vars join names with `@`.
-    let mut live: HashMap<String, i64> = axes
-        .iter()
-        .map(|a| (a.name.clone(), a.extent))
-        .collect();
+    let mut live: HashMap<String, i64> = axes.iter().map(|a| (a.name.clone(), a.extent)).collect();
 
     let mut spec = ProgramSpec {
         axes: Vec::new(),
@@ -198,13 +195,14 @@ pub fn lower(subgraph: &Subgraph, schedule: &ScheduleSequence) -> Result<Program
                     match ann.as_str() {
                         "parallel" => spec.parallel_extent = spec.parallel_extent.max(extent),
                         "vectorize" => spec.vector_len = extent,
-                        "unroll" => spec.unroll_product = spec.unroll_product.saturating_mul(extent),
+                        "unroll" => {
+                            spec.unroll_product = spec.unroll_product.saturating_mul(extent)
+                        }
                         "blockIdx.x" | "blockIdx.y" => {
                             spec.grid_blocks = spec.grid_blocks.max(1).saturating_mul(extent)
                         }
                         "threadIdx.x" | "threadIdx.y" => {
-                            spec.block_threads =
-                                spec.block_threads.max(1).saturating_mul(extent)
+                            spec.block_threads = spec.block_threads.max(1).saturating_mul(extent)
                         }
                         "vthread" => {}
                         _ => {}
@@ -224,7 +222,9 @@ pub fn lower(subgraph: &Subgraph, schedule: &ScheduleSequence) -> Result<Program
             // multi-level-tiling order, which the analytical model assumes.
             // Compute-at/compute-root placement is reflected through the
             // cache-stage flags above.
-            PrimitiveKind::Reorder | PrimitiveKind::ComputeAt | PrimitiveKind::ComputeRoot
+            PrimitiveKind::Reorder
+            | PrimitiveKind::ComputeAt
+            | PrimitiveKind::ComputeRoot
             | PrimitiveKind::StorageAlign => {}
         }
     }
@@ -278,7 +278,14 @@ mod tests {
     use tlp_workload::AnchorOp;
 
     fn dense() -> Subgraph {
-        Subgraph::new("d", AnchorOp::Dense { m: 64, n: 128, k: 256 })
+        Subgraph::new(
+            "d",
+            AnchorOp::Dense {
+                m: 64,
+                n: 128,
+                k: 256,
+            },
+        )
     }
 
     fn seq(prims: Vec<ConcretePrimitive>) -> ScheduleSequence {
@@ -355,9 +362,12 @@ mod tests {
 
     #[test]
     fn unknown_var_is_an_error() {
-        let s = seq(vec![ConcretePrimitive::new(PrimitiveKind::Annotation, "dense")
-            .with_loops(["zz"])
-            .with_extras(["parallel"])]);
+        let s = seq(vec![ConcretePrimitive::new(
+            PrimitiveKind::Annotation,
+            "dense",
+        )
+        .with_loops(["zz"])
+        .with_extras(["parallel"])]);
         assert!(matches!(
             lower(&dense(), &s),
             Err(LowerError::UnknownLoopVar(_))
@@ -369,7 +379,10 @@ mod tests {
         let s = seq(vec![ConcretePrimitive::new(PrimitiveKind::Split, "dense")
             .with_loops(["i"])
             .with_ints([64, 0])]);
-        assert!(matches!(lower(&dense(), &s), Err(LowerError::BadFactor(_, 0))));
+        assert!(matches!(
+            lower(&dense(), &s),
+            Err(LowerError::BadFactor(_, 0))
+        ));
     }
 
     #[test]

@@ -45,16 +45,17 @@ pub fn render_program(subgraph: &Subgraph, spec: &ProgramSpec) -> String {
         .map(|a| a.tiles.first().copied().unwrap_or(1))
         .product();
     let outer_ann = if gpu {
-        format!("bind(blockIdx.x)  // {} blocks", spec.grid_blocks.max(outer_extent))
+        format!(
+            "bind(blockIdx.x)  // {} blocks",
+            spec.grid_blocks.max(outer_extent)
+        )
     } else if spec.parallel_extent > 1 {
         format!("parallel  // {} chunks", spec.parallel_extent)
     } else {
         "serial".to_string()
     };
     out += &emit(
-        &format!(
-            "for fused_outer in 0..{outer_extent} @{outer_ann}"
-        ),
+        &format!("for fused_outer in 0..{outer_extent} @{outer_ann}"),
         depth,
     );
     depth += 1;
@@ -76,10 +77,7 @@ pub fn render_program(subgraph: &Subgraph, spec: &ProgramSpec) -> String {
         if level == 3 {
             for a in spec.reduction_axes() {
                 if a.tiles.len() > 1 {
-                    out += &emit(
-                        &format!("for {}_i in 0..{}", a.name, a.inner()),
-                        depth,
-                    );
+                    out += &emit(&format!("for {}_i in 0..{}", a.name, a.inner()), depth);
                     depth += 1;
                 }
             }
@@ -92,17 +90,18 @@ pub fn render_program(subgraph: &Subgraph, spec: &ProgramSpec) -> String {
                 } else if level + 1 == levels && spec.vector_len == t {
                     ann = "  @vectorize".to_string();
                 }
-                out += &emit(
-                    &format!("for {}.{level} in 0..{t}{ann}", a.name),
-                    depth,
-                );
+                out += &emit(&format!("for {}.{level} in 0..{t}{ann}", a.name), depth);
                 depth += 1;
             }
         }
     }
 
     // Innermost statement.
-    let stmt = match subgraph.loops().iter().find(|l| l.kind == LoopKind::Reduction) {
+    let stmt = match subgraph
+        .loops()
+        .iter()
+        .find(|l| l.kind == LoopKind::Reduction)
+    {
         Some(_) => format!("{}[out_idx] += lhs[...] * rhs[...]", subgraph.anchor.name()),
         None => format!("{}[out_idx] = f(in[...])", subgraph.anchor.name()),
     };
@@ -121,8 +120,15 @@ mod tests {
     use tlp_workload::{AnchorOp, FusedOp};
 
     fn dense() -> Subgraph {
-        Subgraph::new("d", AnchorOp::Dense { m: 64, n: 128, k: 256 })
-            .with_fused([FusedOp::Relu])
+        Subgraph::new(
+            "d",
+            AnchorOp::Dense {
+                m: 64,
+                n: 128,
+                k: 256,
+            },
+        )
+        .with_fused([FusedOp::Relu])
     }
 
     fn schedule() -> ScheduleSequence {
@@ -164,7 +170,10 @@ mod tests {
         // Deeper lines are further indented.
         let lines: Vec<&str> = text.lines().collect();
         let indent = |l: &str| l.len() - l.trim_start().len();
-        let first_for = lines.iter().position(|l| l.trim_start().starts_with("for")).unwrap();
+        let first_for = lines
+            .iter()
+            .position(|l| l.trim_start().starts_with("for"))
+            .unwrap();
         let stmt = lines.iter().position(|l| l.contains("+=")).unwrap();
         assert!(indent(lines[stmt]) > indent(lines[first_for]));
     }

@@ -10,7 +10,13 @@ fn dense(m: i64, n: i64, k: i64) -> Subgraph {
 }
 
 /// A parameterized well-formed CPU schedule for a dense subgraph.
-fn cpu_schedule(sg: &Subgraph, fi: [i64; 3], fj: [i64; 3], fk: i64, unroll: i64) -> ScheduleSequence {
+fn cpu_schedule(
+    sg: &Subgraph,
+    fi: [i64; 3],
+    fj: [i64; 3],
+    fk: i64,
+    unroll: i64,
+) -> ScheduleSequence {
     let loops = sg.loops();
     let (m, n, k) = (loops[0].extent, loops[1].extent, loops[2].extent);
     let mut prims = vec![
@@ -95,7 +101,13 @@ fn unroll_preference_changes_ranking_between_platforms() {
 
 #[test]
 fn memory_bound_op_insensitive_to_reduction_tiling() {
-    let sg = Subgraph::new("s", AnchorOp::Softmax { rows: 4096, cols: 512 });
+    let sg = Subgraph::new(
+        "s",
+        AnchorOp::Softmax {
+            rows: 4096,
+            cols: 512,
+        },
+    );
     let p = Platform::i7_10510u();
     let seq_a: ScheduleSequence = vec![
         ConcretePrimitive::new(PrimitiveKind::Split, "softmax")
@@ -112,7 +124,10 @@ fn memory_bound_op_insensitive_to_reduction_tiling() {
     // Roofline: softmax is bandwidth-bound; its latency should be within a
     // small factor of pure streaming time.
     let stream = (sg.bytes_read() + sg.bytes_written()) / (p.dram_gbps * 1e9);
-    assert!(la > stream * 0.5 && la < stream * 20.0, "la {la} stream {stream}");
+    assert!(
+        la > stream * 0.5 && la < stream * 20.0,
+        "la {la} stream {stream}"
+    );
 }
 
 #[test]

@@ -105,6 +105,15 @@ impl Graph {
         self.nodes.is_empty()
     }
 
+    /// Clears the tape for reuse, keeping the node storage allocated.
+    ///
+    /// Every `Var` handed out before the reset is invalidated; in particular
+    /// any [`crate::params::Binding`] built against this tape must be reset
+    /// alongside it (see [`crate::workspace::Workspace`]).
+    pub fn reset(&mut self) {
+        self.nodes.clear();
+    }
+
     /// The forward value of a node.
     pub fn value(&self, v: Var) -> &Tensor {
         &self.nodes[v.0].value
@@ -283,7 +292,11 @@ impl Graph {
             .filter(|&(i, _)| i != axis)
             .map(|(_, &d)| d)
             .collect();
-        let out_shape = if out_shape.is_empty() { vec![1] } else { out_shape };
+        let out_shape = if out_shape.is_empty() {
+            vec![1]
+        } else {
+            out_shape
+        };
         let mut out = Tensor::zeros(&out_shape);
         let axis_len = shape[axis];
         let outer: usize = shape[..axis].iter().product();
@@ -323,14 +336,21 @@ impl Graph {
     pub fn select(&mut self, a: Var, axis: usize, idx: usize) -> Var {
         let av = self.value(a);
         let shape = av.shape().to_vec();
-        assert!(axis < shape.len() && idx < shape[axis], "select out of range");
+        assert!(
+            axis < shape.len() && idx < shape[axis],
+            "select out of range"
+        );
         let outer: usize = shape[..axis].iter().product();
         let inner: usize = shape[axis + 1..].iter().product();
         let axis_len = shape[axis];
         let mut out_shape: Vec<usize> = Vec::with_capacity(shape.len() - 1);
         out_shape.extend_from_slice(&shape[..axis]);
         out_shape.extend_from_slice(&shape[axis + 1..]);
-        let out_shape = if out_shape.is_empty() { vec![1] } else { out_shape };
+        let out_shape = if out_shape.is_empty() {
+            vec![1]
+        } else {
+            out_shape
+        };
         let mut out = Tensor::zeros(&out_shape);
         {
             let od = out.data_mut();
@@ -393,7 +413,16 @@ impl Graph {
             }
         }
         let ng = self.needs(x) || self.needs(gamma) || self.needs(beta);
-        self.push(Op::LayerNorm { x, gamma, beta, eps }, out, ng)
+        self.push(
+            Op::LayerNorm {
+                x,
+                gamma,
+                beta,
+                eps,
+            },
+            out,
+            ng,
+        )
     }
 
     /// Gathers rows `ids` from an embedding matrix `[vocab, d]`, producing `[ids.len(), d]`.
@@ -593,7 +622,10 @@ impl Graph {
             }
             Op::Relu(a) => {
                 if self.needs(*a) {
-                    out.push((*a, g.zip(&node.value, |gx, y| if y > 0.0 { gx } else { 0.0 })));
+                    out.push((
+                        *a,
+                        g.zip(&node.value, |gx, y| if y > 0.0 { gx } else { 0.0 }),
+                    ));
                 }
             }
             Op::Sigmoid(a) => {
@@ -710,7 +742,12 @@ impl Graph {
                     out.push((v, dv));
                 }
             }
-            Op::LayerNorm { x, gamma, beta, eps } => {
+            Op::LayerNorm {
+                x,
+                gamma,
+                beta,
+                eps,
+            } => {
                 let xv = self.value(*x);
                 let d = *xv.shape().last().unwrap();
                 let gv = self.value(*gamma).data();
@@ -794,9 +831,9 @@ impl Graph {
                 }
             }
         }
-        debug_assert!(out.iter().all(|(p, t)| {
-            numel(t.shape()) == self.value(*p).len()
-        }));
+        debug_assert!(out
+            .iter()
+            .all(|(p, t)| { numel(t.shape()) == self.value(*p).len() }));
         out
     }
 }
@@ -819,11 +856,7 @@ mod tests {
     use super::*;
 
     /// Central-difference check of `d loss / d input[i]` for every element.
-    fn grad_check(
-        build: impl Fn(&mut Graph, Var) -> Var,
-        input: Tensor,
-        tol: f32,
-    ) {
+    fn grad_check(build: impl Fn(&mut Graph, Var) -> Var, input: Tensor, tol: f32) {
         let mut g = Graph::new();
         let x = g.leaf(input.clone(), true);
         let loss = build(&mut g, x);
@@ -852,7 +885,12 @@ mod tests {
 
     fn arange(shape: &[usize], scale: f32) -> Tensor {
         let n = numel(shape);
-        Tensor::from_vec((0..n).map(|i| (i as f32 - n as f32 / 2.0) * scale).collect(), shape)
+        Tensor::from_vec(
+            (0..n)
+                .map(|i| (i as f32 - n as f32 / 2.0) * scale)
+                .collect(),
+            shape,
+        )
     }
 
     #[test]

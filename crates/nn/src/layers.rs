@@ -117,7 +117,10 @@ impl MultiHeadSelfAttention {
         dim: usize,
         heads: usize,
     ) -> Self {
-        assert!(heads > 0 && dim % heads == 0, "dim must be divisible by heads");
+        assert!(
+            heads > 0 && dim.is_multiple_of(heads),
+            "dim must be divisible by heads"
+        );
         MultiHeadSelfAttention {
             q: Linear::new(store, rng, &format!("{name}.q"), dim, dim),
             k: Linear::new(store, rng, &format!("{name}.k"), dim, dim),
@@ -210,8 +213,14 @@ impl Lstm {
         let mut wh = Vec::new();
         let mut b = Vec::new();
         for gn in gate_names {
-            wx.push(store.add(format!("{name}.wx_{gn}"), xavier_uniform(rng, in_dim, hidden)));
-            wh.push(store.add(format!("{name}.wh_{gn}"), xavier_uniform(rng, hidden, hidden)));
+            wx.push(store.add(
+                format!("{name}.wx_{gn}"),
+                xavier_uniform(rng, in_dim, hidden),
+            ));
+            wh.push(store.add(
+                format!("{name}.wh_{gn}"),
+                xavier_uniform(rng, hidden, hidden),
+            ));
             // Forget gate bias starts positive to encourage gradient flow.
             let bias = if gn == "f" {
                 Tensor::full(&[hidden], 1.0)
@@ -364,7 +373,13 @@ impl Dropout {
         let n: usize = shape.iter().product();
         let mask = Tensor::from_vec(
             (0..n)
-                .map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
+                .map(|_| {
+                    if rng.gen::<f32>() < keep {
+                        1.0 / keep
+                    } else {
+                        0.0
+                    }
+                })
                 .collect(),
             &shape,
         );

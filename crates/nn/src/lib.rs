@@ -44,6 +44,7 @@ pub mod loss;
 pub mod optim;
 pub mod params;
 pub mod tensor;
+pub mod workspace;
 
 pub use graph::{Graph, Var};
 pub use layers::{
@@ -53,3 +54,4 @@ pub use loss::{lambda_rank, lambda_rank_loss, mse_loss};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use params::{Binding, ParamId, ParamStore};
 pub use tensor::Tensor;
+pub use workspace::Workspace;

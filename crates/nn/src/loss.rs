@@ -39,12 +39,19 @@ pub fn lambda_rank(scores: &[f32], labels: &[f32]) -> (f32, Vec<f32>) {
         return (0.0, grad);
     }
     let sigma = 1.0f32;
-    let gain: Vec<f32> = labels.iter().map(|&y| (2.0f32).powf(y * 4.0) - 1.0).collect();
+    let gain: Vec<f32> = labels
+        .iter()
+        .map(|&y| (2.0f32).powf(y * 4.0) - 1.0)
+        .collect();
 
     // Ranks under the current model scores (0-based position after sorting
     // by score descending).
     let mut by_score: Vec<usize> = (0..n).collect();
-    by_score.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    by_score.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut rank = vec![0usize; n];
     for (pos, &i) in by_score.iter().enumerate() {
         rank[i] = pos;
@@ -53,7 +60,11 @@ pub fn lambda_rank(scores: &[f32], labels: &[f32]) -> (f32, Vec<f32>) {
 
     // Ideal DCG from sorting by label descending.
     let mut by_label: Vec<usize> = (0..n).collect();
-    by_label.sort_by(|&a, &b| labels[b].partial_cmp(&labels[a]).unwrap_or(std::cmp::Ordering::Equal));
+    by_label.sort_by(|&a, &b| {
+        labels[b]
+            .partial_cmp(&labels[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let ideal_dcg: f32 = by_label
         .iter()
         .enumerate()
@@ -70,9 +81,8 @@ pub fn lambda_rank(scores: &[f32], labels: &[f32]) -> (f32, Vec<f32>) {
                 continue;
             }
             // i should be ranked above j.
-            let delta_ndcg = ((gain[i] - gain[j]) * (discount(rank[i]) - discount(rank[j])))
-                .abs()
-                / ideal_dcg;
+            let delta_ndcg =
+                ((gain[i] - gain[j]) * (discount(rank[i]) - discount(rank[j]))).abs() / ideal_dcg;
             if delta_ndcg == 0.0 {
                 continue;
             }
@@ -124,7 +134,10 @@ mod tests {
         let p = g.leaf(Tensor::from_vec(vec![1.0], &[1]), true);
         let loss = mse_loss(&mut g, p, &[0.0]);
         g.backward(loss);
-        assert!(g.grad(p).unwrap().item() > 0.0, "should push prediction down");
+        assert!(
+            g.grad(p).unwrap().item() > 0.0,
+            "should push prediction down"
+        );
     }
 
     #[test]

@@ -111,7 +111,11 @@ impl ParamStore {
 
     /// Global L2 norm of all gradients (used for clipping diagnostics).
     pub fn grad_norm(&self) -> f32 {
-        self.params.iter().map(|p| p.grad.sq_norm()).sum::<f32>().sqrt()
+        self.params
+            .iter()
+            .map(|p| p.grad.sq_norm())
+            .sum::<f32>()
+            .sqrt()
     }
 
     /// Scales all gradients so their global norm is at most `max_norm`.
@@ -147,6 +151,11 @@ impl Binding {
         Binding {
             bound: HashMap::new(),
         }
+    }
+
+    /// Clears cached leaves so the binding can serve a fresh (or reset) tape.
+    pub fn reset(&mut self) {
+        self.bound.clear();
     }
 
     /// Returns the tape variable for `id`, creating the leaf on first use.

@@ -143,7 +143,10 @@ impl Tensor {
         assert_eq!(index.len(), self.shape.len(), "index rank mismatch");
         let mut flat = 0;
         for (i, (&idx, &dim)) in index.iter().zip(&self.shape).enumerate() {
-            assert!(idx < dim, "index {idx} out of bounds for axis {i} (dim {dim})");
+            assert!(
+                idx < dim,
+                "index {idx} out of bounds for axis {i} (dim {dim})"
+            );
             flat = flat * dim + idx;
         }
         flat
@@ -155,7 +158,12 @@ impl Tensor {
     ///
     /// Panics if the tensor does not hold exactly one element.
     pub fn item(&self) -> f32 {
-        assert_eq!(self.data.len(), 1, "item() on tensor with {} elements", self.data.len());
+        assert_eq!(
+            self.data.len(),
+            1,
+            "item() on tensor with {} elements",
+            self.data.len()
+        );
         self.data[0]
     }
 
@@ -165,7 +173,11 @@ impl Tensor {
     ///
     /// Panics if the element counts differ.
     pub fn reshape(&self, shape: &[usize]) -> Tensor {
-        assert_eq!(numel(shape), self.data.len(), "reshape element count mismatch");
+        assert_eq!(
+            numel(shape),
+            self.data.len(),
+            "reshape element count mismatch"
+        );
         Tensor {
             shape: shape.to_vec(),
             data: self.data.clone(),

@@ -1,0 +1,72 @@
+//! Reusable forward-pass buffers for repeated inference.
+
+use crate::graph::Graph;
+use crate::params::Binding;
+
+/// A reusable (tape, binding) pair for repeated forward passes.
+///
+/// Allocating a fresh [`Graph`] and [`Binding`] per predict call rebuilds the
+/// node tape and the parameter-leaf map from scratch every time. A
+/// `Workspace` keeps both alive between calls so their backing storage is
+/// reused; [`Workspace::reset`] clears contents without releasing capacity.
+///
+/// A `Workspace` holds no parameters itself — models stay shareable across
+/// threads (`&self`) while each worker thread owns one workspace and passes
+/// it by `&mut` into `predict_with`-style entry points.
+///
+/// ```
+/// use tlp_nn::{Tensor, Workspace};
+/// let mut ws = Workspace::new();
+/// for _ in 0..3 {
+///     ws.reset();
+///     let x = ws.graph.constant(Tensor::from_vec(vec![1.0, 2.0], &[1, 2]));
+///     let y = ws.graph.sum_all(x);
+///     assert_eq!(ws.graph.value(y).data(), &[3.0]);
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// The operation tape.
+    pub graph: Graph,
+    /// Parameter-leaf cache tied to the tape.
+    pub bind: Binding,
+}
+
+impl Workspace {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// Clears the tape and the binding together.
+    ///
+    /// A binding caches `Var` handles into its tape, so the two must never
+    /// reset independently — a stale binding would hand out dangling node
+    /// indices.
+    pub fn reset(&mut self) {
+        self.graph.reset();
+        self.bind.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn reset_clears_tape_and_binding() {
+        let mut ws = Workspace::new();
+        let x = ws.graph.constant(Tensor::from_vec(vec![1.0], &[1]));
+        assert_eq!(ws.graph.len(), 1);
+        let _ = x;
+        ws.reset();
+        assert!(ws.graph.is_empty());
+    }
+
+    #[test]
+    fn workspace_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Workspace>();
+    }
+}

@@ -4,7 +4,11 @@ use tlp_nn::{Adam, Binding, Graph, Optimizer, ParamStore, Sgd, Tensor};
 
 /// One gradient step of the Rosenbrock-ish ill-conditioned quadratic
 /// `f(x, y) = x² + 25·y²`.
-fn quad_step(store: &mut ParamStore, ids: (tlp_nn::ParamId, tlp_nn::ParamId), opt: &mut dyn Optimizer) -> f32 {
+fn quad_step(
+    store: &mut ParamStore,
+    ids: (tlp_nn::ParamId, tlp_nn::ParamId),
+    opt: &mut dyn Optimizer,
+) -> f32 {
     let (xid, yid) = ids;
     let mut g = Graph::new();
     let mut bind = Binding::new();
@@ -38,7 +42,10 @@ fn adam_handles_ill_conditioning_better_than_sgd() {
     let sgd_loss = run(&mut Sgd::new(0.015, 0.0));
     let adam_loss = run(&mut Adam::new(0.1));
     assert!(adam_loss < sgd_loss, "adam {adam_loss} vs sgd {sgd_loss}");
-    assert!(adam_loss < 1e-2, "adam should essentially solve it: {adam_loss}");
+    assert!(
+        adam_loss < 1e-2,
+        "adam should essentially solve it: {adam_loss}"
+    );
 }
 
 #[test]

@@ -96,7 +96,10 @@ pub fn parse_primitive(line: &str) -> Result<ConcretePrimitive, ParsePrimitiveEr
         }
     }
     if depth != 0 || in_quote {
-        return Err(ParsePrimitiveError::new("unbalanced brackets or quotes", line_trim));
+        return Err(ParsePrimitiveError::new(
+            "unbalanced brackets or quotes",
+            line_trim,
+        ));
     }
     if !cur.trim().is_empty() {
         parts.push(cur.trim().to_string());

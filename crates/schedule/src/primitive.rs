@@ -174,35 +174,59 @@ pub fn recover(a: &AbstractPrimitive) -> Result<ConcretePrimitive, RecoverPrimit
     let mut it = a.elements.iter();
     let stage = match it.next() {
         Some(Element::Name(s)) => s.clone(),
-        other => return Err(RecoverPrimitiveError(format!("expected stage name, got {other:?}"))),
+        other => {
+            return Err(RecoverPrimitiveError(format!(
+                "expected stage name, got {other:?}"
+            )))
+        }
     };
     let n_vars = match it.next() {
         Some(Element::Num(n)) => *n as usize,
-        other => return Err(RecoverPrimitiveError(format!("expected var count, got {other:?}"))),
+        other => {
+            return Err(RecoverPrimitiveError(format!(
+                "expected var count, got {other:?}"
+            )))
+        }
     };
     let mut loop_vars = Vec::with_capacity(n_vars);
     for _ in 0..n_vars {
         match it.next() {
             Some(Element::Name(v)) => loop_vars.push(v.clone()),
-            other => return Err(RecoverPrimitiveError(format!("expected loop var, got {other:?}"))),
+            other => {
+                return Err(RecoverPrimitiveError(format!(
+                    "expected loop var, got {other:?}"
+                )))
+            }
         }
     }
     let n_ints = match it.next() {
         Some(Element::Num(n)) => *n as usize,
-        other => return Err(RecoverPrimitiveError(format!("expected int count, got {other:?}"))),
+        other => {
+            return Err(RecoverPrimitiveError(format!(
+                "expected int count, got {other:?}"
+            )))
+        }
     };
     let mut ints = Vec::with_capacity(n_ints);
     for _ in 0..n_ints {
         match it.next() {
             Some(Element::Num(n)) => ints.push(*n as i64),
-            other => return Err(RecoverPrimitiveError(format!("expected int, got {other:?}"))),
+            other => {
+                return Err(RecoverPrimitiveError(format!(
+                    "expected int, got {other:?}"
+                )))
+            }
         }
     }
     let mut extras = Vec::new();
     for e in it {
         match e {
             Element::Name(s) => extras.push(s.clone()),
-            other => return Err(RecoverPrimitiveError(format!("expected extra, got {other:?}"))),
+            other => {
+                return Err(RecoverPrimitiveError(format!(
+                    "expected extra, got {other:?}"
+                )))
+            }
         }
     }
     Ok(ConcretePrimitive {

@@ -59,7 +59,17 @@ impl ScheduleSequence {
     /// A stable 64-bit fingerprint of the sequence, used for uniqueness
     /// statistics (paper §4.3) and deterministic noise seeding.
     pub fn fingerprint(&self) -> u64 {
+        self.salted_fingerprint(0)
+    }
+
+    /// Like [`ScheduleSequence::fingerprint`], but mixed with a caller-chosen
+    /// salt. Score caches key entries by `(context salt, sequence)` so the
+    /// same schedule scored under different tasks or model versions never
+    /// collides; salting the hasher directly avoids a second hashing pass
+    /// over the primitives.
+    pub fn salted_fingerprint(&self, salt: u64) -> u64 {
         let mut h = std::collections::hash_map::DefaultHasher::new();
+        salt.hash(&mut h);
         for p in &self.primitives {
             p.kind.index().hash(&mut h);
             p.stage.hash(&mut h);

@@ -85,6 +85,7 @@ fn conv(n: i64, cin: i64, hw: i64, cout: i64, khw: i64, stride: i64, pad: i64) -
     }
 }
 
+#[allow(clippy::too_many_arguments)] // mirrors the AnchorOp::Conv2d field list
 fn gconv(
     n: i64,
     cin: i64,
@@ -169,7 +170,11 @@ fn resnet_like(
                     format!("s{stage}b{blk}_expand"),
                     conv(batch, mid, hw, cout, 1, 1, 0),
                 )
-                .with_fused([FusedOp::BiasAdd, FusedOp::ResidualAdd, FusedOp::Relu]),
+                .with_fused([
+                    FusedOp::BiasAdd,
+                    FusedOp::ResidualAdd,
+                    FusedOp::Relu,
+                ]),
             );
             if blk == 0 {
                 // Projection shortcut.
@@ -259,8 +264,8 @@ pub fn mobilenet_v2(batch: i64, image: i64) -> Network {
                 )
                 .with_fused([FusedOp::BiasAdd, FusedOp::Relu]),
             );
-            let mut proj =
-                Subgraph::new("project", conv(batch, mid, hw, cout, 1, 1, 0)).with_fused([FusedOp::BiasAdd]);
+            let mut proj = Subgraph::new("project", conv(batch, mid, hw, cout, 1, 1, 0))
+                .with_fused([FusedOp::BiasAdd]);
             if stride == 1 && cin == cout {
                 proj = proj.with_fused([FusedOp::ResidualAdd]);
             }
@@ -539,12 +544,18 @@ fn inception_like(name: &str, batch: i64, image: i64) -> Network {
                 .with_fused([FusedOp::BiasAdd, FusedOp::Relu]),
         );
         b.add(
-            Subgraph::new(format!("s{stage}_b3"), conv(batch, cin, hw, c1 * 2, 3, 1, 1))
-                .with_fused([FusedOp::BiasAdd, FusedOp::Relu]),
+            Subgraph::new(
+                format!("s{stage}_b3"),
+                conv(batch, cin, hw, c1 * 2, 3, 1, 1),
+            )
+            .with_fused([FusedOp::BiasAdd, FusedOp::Relu]),
         );
         b.add(
-            Subgraph::new(format!("s{stage}_b5"), conv(batch, cin, hw, c1 / 2, 5, 1, 2))
-                .with_fused([FusedOp::BiasAdd, FusedOp::Relu]),
+            Subgraph::new(
+                format!("s{stage}_b5"),
+                conv(batch, cin, hw, c1 / 2, 5, 1, 2),
+            )
+            .with_fused([FusedOp::BiasAdd, FusedOp::Relu]),
         );
         cin = c1 + c1 * 2 + c1 / 2;
         b.add(Subgraph::new(
@@ -600,16 +611,25 @@ fn squeezenet_like(name: &str, batch: i64, image: i64) -> Network {
             hw = (hw - 3) / 2 + 1;
         }
         b.add(
-            Subgraph::new(format!("fire{i}_squeeze"), conv(batch, cin, hw, squeeze, 1, 1, 0))
-                .with_fused([FusedOp::BiasAdd, FusedOp::Relu]),
+            Subgraph::new(
+                format!("fire{i}_squeeze"),
+                conv(batch, cin, hw, squeeze, 1, 1, 0),
+            )
+            .with_fused([FusedOp::BiasAdd, FusedOp::Relu]),
         );
         b.add(
-            Subgraph::new(format!("fire{i}_e1"), conv(batch, squeeze, hw, expand, 1, 1, 0))
-                .with_fused([FusedOp::BiasAdd, FusedOp::Relu]),
+            Subgraph::new(
+                format!("fire{i}_e1"),
+                conv(batch, squeeze, hw, expand, 1, 1, 0),
+            )
+            .with_fused([FusedOp::BiasAdd, FusedOp::Relu]),
         );
         b.add(
-            Subgraph::new(format!("fire{i}_e3"), conv(batch, squeeze, hw, expand, 3, 1, 1))
-                .with_fused([FusedOp::BiasAdd, FusedOp::Relu]),
+            Subgraph::new(
+                format!("fire{i}_e3"),
+                conv(batch, squeeze, hw, expand, 3, 1, 1),
+            )
+            .with_fused([FusedOp::BiasAdd, FusedOp::Relu]),
         );
         cin = expand * 2;
     }
@@ -659,11 +679,8 @@ pub fn training_networks() -> Vec<Network> {
         let mut b = NetBuilder::default();
         for l in 0..4 {
             b.add(
-                Subgraph::new(
-                    format!("fc{l}"),
-                    AnchorOp::Dense { m: 16, n: w, k: w },
-                )
-                .with_fused([FusedOp::BiasAdd, FusedOp::Relu]),
+                Subgraph::new(format!("fc{l}"), AnchorOp::Dense { m: 16, n: w, k: w })
+                    .with_fused([FusedOp::BiasAdd, FusedOp::Relu]),
             );
         }
         nets.push(b.build(&format!("mlp-{i}")));
@@ -703,7 +720,13 @@ mod tests {
         let names: Vec<&str> = nets.iter().map(|n| n.name.as_str()).collect();
         assert_eq!(
             names,
-            ["resnet-50", "mobilenet-v2", "resnext-50", "bert-tiny", "bert-base"]
+            [
+                "resnet-50",
+                "mobilenet-v2",
+                "resnext-50",
+                "bert-tiny",
+                "bert-base"
+            ]
         );
     }
 
@@ -711,7 +734,11 @@ mod tests {
     fn resnet50_task_count_and_flops() {
         let net = resnet50(1, 224);
         // Distinct tuning tasks: dozens, not hundreds (dedup works).
-        assert!(net.num_tasks() > 20 && net.num_tasks() < 80, "{}", net.num_tasks());
+        assert!(
+            net.num_tasks() > 20 && net.num_tasks() < 80,
+            "{}",
+            net.num_tasks()
+        );
         // ~4 GFLOPs plus epilogues/projections for one 224x224 inference.
         let gflops = net.total_flops() / 1e9;
         assert!(gflops > 3.0 && gflops < 10.0, "got {gflops} GFLOPs");
@@ -761,8 +788,14 @@ mod tests {
         assert!(total > 150, "want a rich pool, got {total} tasks");
         // The pool must not contain the exact held-out networks.
         for n in &pool {
-            assert!(!["resnet-50", "mobilenet-v2", "resnext-50", "bert-tiny", "bert-base"]
-                .contains(&n.name.as_str()));
+            assert!(![
+                "resnet-50",
+                "mobilenet-v2",
+                "resnext-50",
+                "bert-tiny",
+                "bert-base"
+            ]
+            .contains(&n.name.as_str()));
         }
     }
 

@@ -195,10 +195,9 @@ impl AnchorOp {
                     LoopSpec::reduction("kw", khw),
                 ]
             }
-            AnchorOp::Softmax { rows, cols } | AnchorOp::LayerNorm { rows, cols } => vec![
-                LoopSpec::spatial("r", rows),
-                LoopSpec::reduction("c", cols),
-            ],
+            AnchorOp::Softmax { rows, cols } | AnchorOp::LayerNorm { rows, cols } => {
+                vec![LoopSpec::spatial("r", rows), LoopSpec::reduction("c", cols)]
+            }
         }
     }
 
@@ -206,9 +205,7 @@ impl AnchorOp {
     pub fn flops(&self) -> f64 {
         match *self {
             AnchorOp::Dense { m, n, k } => 2.0 * m as f64 * n as f64 * k as f64,
-            AnchorOp::BatchMatmul { b, m, n, k } => {
-                2.0 * b as f64 * m as f64 * n as f64 * k as f64
-            }
+            AnchorOp::BatchMatmul { b, m, n, k } => 2.0 * b as f64 * m as f64 * n as f64 * k as f64,
             AnchorOp::Conv2d {
                 n,
                 cin,
@@ -338,7 +335,11 @@ mod tests {
 
     #[test]
     fn dense_loops_and_flops() {
-        let op = AnchorOp::Dense { m: 64, n: 128, k: 256 };
+        let op = AnchorOp::Dense {
+            m: 64,
+            n: 128,
+            k: 256,
+        };
         let loops = op.loops();
         assert_eq!(loops.len(), 3);
         assert_eq!(loops[2].kind, LoopKind::Reduction);
@@ -382,10 +383,24 @@ mod tests {
     #[test]
     fn group_conv_reduces_flops() {
         let dense = AnchorOp::Conv2d {
-            n: 1, cin: 128, hw: 56, cout: 128, khw: 3, stride: 1, pad: 1, groups: 1,
+            n: 1,
+            cin: 128,
+            hw: 56,
+            cout: 128,
+            khw: 3,
+            stride: 1,
+            pad: 1,
+            groups: 1,
         };
         let grouped = AnchorOp::Conv2d {
-            n: 1, cin: 128, hw: 56, cout: 128, khw: 3, stride: 1, pad: 1, groups: 32,
+            n: 1,
+            cin: 128,
+            hw: 56,
+            cout: 128,
+            khw: 3,
+            stride: 1,
+            pad: 1,
+            groups: 32,
         };
         assert!((dense.flops() / grouped.flops() - 32.0).abs() < 1e-9);
     }

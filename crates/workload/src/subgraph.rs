@@ -55,7 +55,10 @@ impl Subgraph {
 
     /// Number of output elements.
     pub fn output_elems(&self) -> f64 {
-        self.spatial_loops().iter().map(|l| l.extent as f64).product()
+        self.spatial_loops()
+            .iter()
+            .map(|l| l.extent as f64)
+            .product()
     }
 
     /// Total floating-point operations (anchor + fused stages).
@@ -116,14 +119,25 @@ mod tests {
     fn sg() -> Subgraph {
         Subgraph::new(
             "dense_relu",
-            AnchorOp::Dense { m: 128, n: 128, k: 512 },
+            AnchorOp::Dense {
+                m: 128,
+                n: 128,
+                k: 512,
+            },
         )
         .with_fused([FusedOp::BiasAdd, FusedOp::Relu])
     }
 
     #[test]
     fn fused_ops_add_flops() {
-        let bare = Subgraph::new("d", AnchorOp::Dense { m: 128, n: 128, k: 512 });
+        let bare = Subgraph::new(
+            "d",
+            AnchorOp::Dense {
+                m: 128,
+                n: 128,
+                k: 512,
+            },
+        );
         let fused = sg();
         assert!(fused.flops() > bare.flops());
         assert_eq!(
@@ -138,7 +152,14 @@ mod tests {
         let mut b = sg();
         b.name = "renamed".into();
         assert_eq!(a.key(), b.key());
-        let c = Subgraph::new("other", AnchorOp::Dense { m: 128, n: 128, k: 256 });
+        let c = Subgraph::new(
+            "other",
+            AnchorOp::Dense {
+                m: 128,
+                n: 128,
+                k: 256,
+            },
+        );
         assert_ne!(a.key(), c.key());
     }
 

@@ -9,7 +9,9 @@ use tlp::features::FeatureExtractor;
 use tlp::search::{AnsorCostModel, TlpCostModel};
 use tlp::train::{train_tlp, TrainData};
 use tlp::{TlpConfig, TlpModel};
-use tlp_autotuner::{tune_network, CostModel, EvolutionConfig, RandomModel, TuningOptions, TuningReport};
+use tlp_autotuner::{
+    tune_network, CostModel, EvolutionConfig, RandomModel, TuningOptions, TuningReport,
+};
 use tlp_dataset::generate_dataset_for;
 use tlp_hwsim::Platform;
 use tlp_workload::{bert, bert_tiny};
@@ -57,7 +59,12 @@ fn main() {
         bert("bert-train-a", 1, 64, 2, 128, 2),
         bert("bert-train-b", 1, 64, 4, 256, 4),
     ];
-    let ds = generate_dataset_for(&pool, &[], &[platform.clone()], &scale.dataset_config());
+    let ds = generate_dataset_for(
+        &pool,
+        &[],
+        std::slice::from_ref(&platform),
+        &scale.dataset_config(),
+    );
     let config = TlpConfig {
         epochs: 6,
         ..TlpConfig::test_scale()

@@ -19,11 +19,20 @@ fn main() {
     ];
     let test_pool = [bert_tiny(1, 64)];
     let platform = Platform::i7_10510u();
-    println!("target platform: {} ({:.0} peak GFLOP/s)", platform.name, platform.peak_gflops());
+    println!(
+        "target platform: {} ({:.0} peak GFLOP/s)",
+        platform.name,
+        platform.peak_gflops()
+    );
 
     // 2. Generate a TenSet-like dataset on the simulated platform.
     let scale = Scale::test();
-    let ds = generate_dataset_for(&training_pool, &test_pool, &[platform], &scale.dataset_config());
+    let ds = generate_dataset_for(
+        &training_pool,
+        &test_pool,
+        &[platform],
+        &scale.dataset_config(),
+    );
     println!(
         "dataset: {} tasks, {} programs",
         ds.tasks.len(),

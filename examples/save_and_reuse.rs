@@ -48,7 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (model2, extractor2) = SavedTlp::load(&path)?.restore_tlp();
     let (r1, r5) = eval_tlp(&model2, &extractor2, &ds, 0);
     println!("restored model: top-1 {r1:.4}, top-5 {r5:.4}");
-    assert_eq!((t1, t5), (r1, r5), "snapshot must preserve behaviour exactly");
+    assert_eq!(
+        (t1, t5),
+        (r1, r5),
+        "snapshot must preserve behaviour exactly"
+    );
     println!("=> byte-identical predictions after reload");
     std::fs::remove_file(path)?;
     Ok(())

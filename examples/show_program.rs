@@ -14,7 +14,11 @@ fn main() {
     // The paper's Figure 2 subgraph: a fused dense + ReLU.
     let sg = Subgraph::new(
         "dense_relu",
-        AnchorOp::Dense { m: 128, n: 128, k: 512 },
+        AnchorOp::Dense {
+            m: 128,
+            n: 128,
+            k: 512,
+        },
     )
     .with_fused([FusedOp::BiasAdd, FusedOp::Relu]);
     let platform = Platform::i7_10510u();

@@ -42,11 +42,17 @@ fn main() {
     for epoch in 0..15 {
         let loss = train_tlp(&mut model, &data);
         let (t1, t5) = eval_tlp(&model, &ex, &ds, 0);
-        println!("epoch {epoch:>2}  loss {:.4}  top-1 {t1:.4}  top-5 {t5:.4}", loss[0]);
+        println!(
+            "epoch {epoch:>2}  loss {:.4}  top-1 {t1:.4}  top-5 {t5:.4}",
+            loss[0]
+        );
     }
 
     let oracle = tlp::top_k_score(&ds, 0, 1, |t| {
-        t.programs.iter().map(|r| -(r.latencies[0] as f32)).collect()
+        t.programs
+            .iter()
+            .map(|r| -(r.latencies[0] as f32))
+            .collect()
     });
     let mut x = 0x12345u64;
     let random = tlp::top_k_score(&ds, 0, 1, |t| {

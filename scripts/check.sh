@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Repo-wide check gate: formatting, lints, and the tier-1 build/test suite.
+#
+# Usage: scripts/check.sh
+#
+# Everything runs offline against the vendored dependency stubs. fmt and
+# clippy are skipped (with a notice) when the toolchain components are not
+# installed, so the script still gates tier-1 on minimal containers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+
+if cargo fmt --version >/dev/null 2>&1; then
+    echo "==> cargo fmt --all -- --check"
+    cargo fmt --all -- --check || status=1
+else
+    echo "==> cargo fmt not installed; skipping format check"
+fi
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy --workspace --all-targets (offline, -D warnings)"
+    cargo clippy --workspace --all-targets --offline -- -D warnings || status=1
+else
+    echo "==> cargo clippy not installed; skipping lint check"
+fi
+
+echo "==> tier-1: cargo build --release (offline)"
+cargo build --release --offline
+
+echo "==> tier-1: cargo test -q (offline)"
+cargo test -q --offline
+
+echo "==> full workspace tests"
+cargo test -q --offline --workspace
+
+if [ "$status" -ne 0 ]; then
+    echo "check.sh: fmt/clippy reported problems" >&2
+    exit "$status"
+fi
+echo "check.sh: all checks passed"

@@ -6,15 +6,22 @@ use rand::SeedableRng;
 use std::collections::HashSet;
 use tlp::search::AnsorCostModel;
 use tlp_autotuner::{
-    evolutionary_search, tune_network, CostModel, EvolutionConfig, RandomModel, SearchTask,
-    SketchPolicy, TuningOptions,
+    evolutionary_search, tune_network, EvolutionConfig, RandomModel, SearchTask, SketchPolicy,
+    TuningOptions,
 };
 use tlp_hwsim::Platform;
 use tlp_workload::{bert_tiny, AnchorOp, Subgraph};
 
 fn dense_task() -> SearchTask {
     SearchTask::new(
-        Subgraph::new("d", AnchorOp::Dense { m: 256, n: 256, k: 256 }),
+        Subgraph::new(
+            "d",
+            AnchorOp::Dense {
+                m: 256,
+                n: 256,
+                k: 256,
+            },
+        ),
         Platform::i7_10510u(),
     )
 }
@@ -103,7 +110,14 @@ fn ansor_online_model_improves_search_over_random() {
     // With enough rounds on one subgraph, learning from measurements should
     // find an equal-or-better schedule than blind random search at equal
     // measurement budget.
-    let sg = Subgraph::new("d", AnchorOp::Dense { m: 512, n: 512, k: 512 });
+    let sg = Subgraph::new(
+        "d",
+        AnchorOp::Dense {
+            m: 512,
+            n: 512,
+            k: 512,
+        },
+    );
     let platform = Platform::e5_2673();
     let mut net = tlp_workload::Network {
         name: "single-task".into(),
@@ -135,5 +149,8 @@ fn ansor_online_model_improves_search_over_random() {
         ansor_report.final_latency_s(),
         random_report.final_latency_s()
     );
-    assert!(ansor.num_records() > 0, "online model absorbed measurements");
+    assert!(
+        ansor.num_records() > 0,
+        "online model absorbed measurements"
+    );
 }

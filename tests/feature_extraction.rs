@@ -63,7 +63,14 @@ fn features_separate_good_from_bad_schedules_linearly_somewhat() {
     // Sanity: even a trivial linear probe on TLP features must beat chance
     // at classifying fastest-vs-slowest schedules; otherwise the features
     // carry no signal and no model could learn.
-    let sg = Subgraph::new("d", AnchorOp::Dense { m: 256, n: 256, k: 256 });
+    let sg = Subgraph::new(
+        "d",
+        AnchorOp::Dense {
+            m: 256,
+            n: 256,
+            k: 256,
+        },
+    );
     let platform = Platform::i7_10510u();
     let policy = SketchPolicy::cpu();
     let sim = tlp_hwsim::Simulator::new();

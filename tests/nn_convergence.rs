@@ -55,7 +55,7 @@ fn attention_learns_content_based_lookup() {
     let out = Linear::new(&mut store, &mut rng, "out", d, 1);
     let mut opt = Adam::new(3e-3);
 
-    let mut batch = |rng: &mut SmallRng| -> (Vec<f32>, Vec<f32>) {
+    let batch = |rng: &mut SmallRng| -> (Vec<f32>, Vec<f32>) {
         let n = 16;
         let mut xs = Vec::with_capacity(n * l * 2);
         let mut ys = Vec::with_capacity(n);
@@ -121,7 +121,11 @@ fn lstm_learns_recency() {
         for _ in 0..n {
             let mut target = 0.0f32;
             for _pos in 0..l {
-                let v: f32 = if rng.gen_bool(0.5) { rng.gen_range(-1.0..1.0) } else { 0.0 };
+                let v: f32 = if rng.gen_bool(0.5) {
+                    rng.gen_range(-1.0..1.0)
+                } else {
+                    0.0
+                };
                 if v != 0.0 {
                     target = v;
                 }

@@ -53,14 +53,17 @@ fn full_pipeline_gpu() {
     let mut model = TlpModel::new(cfg);
     train_tlp(&mut model, &data);
     let (top1, top5) = eval_tlp(&model, &extractor, &ds, 0);
-    assert!(top1 > 0.0, "GPU pipeline produces a usable model, top1 {top1}");
+    assert!(
+        top1 > 0.0,
+        "GPU pipeline produces a usable model, top1 {top1}"
+    );
     assert!(top5 >= top1);
 }
 
 #[test]
 fn trained_tlp_guides_search_at_least_as_well_as_random() {
     let platform = Platform::i7_10510u();
-    let ds = toy_dataset(&[platform.clone()]);
+    let ds = toy_dataset(std::slice::from_ref(&platform));
     let cfg = TlpConfig {
         epochs: 6,
         ..TlpConfig::test_scale()

@@ -28,7 +28,14 @@ fn best_random_latency(platform: &Platform, sg: &Subgraph, n: usize, seed: u64) 
 #[test]
 fn schedule_choice_matters_an_order_of_magnitude() {
     // The premise of tuning: good schedules are much faster than bad ones.
-    let sg = Subgraph::new("d", AnchorOp::Dense { m: 512, n: 512, k: 512 });
+    let sg = Subgraph::new(
+        "d",
+        AnchorOp::Dense {
+            m: 512,
+            n: 512,
+            k: 512,
+        },
+    );
     let platform = Platform::i7_10510u();
     let policy = SketchPolicy::cpu();
     let sim = Simulator::new();
@@ -50,7 +57,14 @@ fn schedule_choice_matters_an_order_of_magnitude() {
 fn platforms_disagree_on_schedule_ranking() {
     // The cross-hardware domain gap (paper §5.1): the same schedules rank
     // differently on different platforms.
-    let sg = Subgraph::new("d", AnchorOp::Dense { m: 256, n: 256, k: 256 });
+    let sg = Subgraph::new(
+        "d",
+        AnchorOp::Dense {
+            m: 256,
+            n: 256,
+            k: 256,
+        },
+    );
     let policy = SketchPolicy::cpu();
     let sim = Simulator::new();
     let mut rng = SmallRng::seed_from_u64(11);
@@ -68,7 +82,7 @@ fn platforms_disagree_on_schedule_ranking() {
     };
     let a = latencies(&Platform::platinum_8272()); // AVX-512, 16 cores
     let b = latencies(&Platform::graviton2()); // NEON, 16 cores
-    // Count pairwise ranking disagreements.
+                                               // Count pairwise ranking disagreements.
     let mut disagree = 0usize;
     let mut total = 0usize;
     for i in 0..a.len() {
@@ -89,7 +103,14 @@ fn platforms_disagree_on_schedule_ranking() {
 #[test]
 fn same_isa_platforms_rank_more_alike_than_cross_isa() {
     // Basis of Table 9: Intel↔Intel transfer beats Intel↔ARM.
-    let sg = Subgraph::new("d", AnchorOp::Dense { m: 256, n: 256, k: 256 });
+    let sg = Subgraph::new(
+        "d",
+        AnchorOp::Dense {
+            m: 256,
+            n: 256,
+            k: 256,
+        },
+    );
     let policy = SketchPolicy::cpu();
     let sim = Simulator::new();
     let mut rng = SmallRng::seed_from_u64(13);

@@ -54,7 +54,14 @@ fn network_roundtrips() {
 fn candidate_and_decision_roundtrip() {
     use rand::SeedableRng;
     let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
-    let sg = Subgraph::new("d", AnchorOp::Dense { m: 64, n: 64, k: 64 });
+    let sg = Subgraph::new(
+        "d",
+        AnchorOp::Dense {
+            m: 64,
+            n: 64,
+            k: 64,
+        },
+    );
     let c = Candidate::random(&SketchPolicy::cpu(), &sg, &mut rng);
     let back: Candidate = roundtrip(&c);
     assert_eq!(back, c);

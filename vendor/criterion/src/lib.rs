@@ -1,0 +1,223 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A minimal wall-clock benchmark harness exposing the API shape this
+//! workspace's benches use: [`Criterion`], [`Criterion::benchmark_group`],
+//! `bench_function`, [`Bencher::iter`] / [`Bencher::iter_batched`],
+//! [`BatchSize`], [`black_box`], and the `criterion_group!` /
+//! `criterion_main!` macros. It runs a short calibration pass, then measures
+//! for a fixed budget and prints mean time per iteration — no statistics,
+//! plots, or saved baselines.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup; the stub treats all variants alike.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small routine input: batch many per measurement.
+    SmallInput,
+    /// Large routine input: fewer per batch.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Measurement settings and sink for results.
+pub struct Criterion {
+    /// Wall-clock budget per benchmark.
+    measurement_time: Duration,
+    /// Warm-up budget per benchmark.
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(400),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the measurement budget (builder-style, like the real crate).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(self, name, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing the parent's settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{name}", self.name);
+        run_bench(self.criterion, &full, f);
+        self
+    }
+
+    /// Finishes the group (the stub has no end-of-group work).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures to drive timed iterations.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    /// Filled in by `iter`/`iter_batched`: (total time, iterations).
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: run until the warm-up budget is spent, counting iters.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < self.measurement_time {
+            let t = Instant::now();
+            black_box(routine());
+            total += t.elapsed();
+            iters += 1;
+        }
+        self.result = Some((total, iters));
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            let input = setup();
+            black_box(routine(input));
+            warm_iters += 1;
+        }
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < self.measurement_time {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            total += t.elapsed();
+            iters += 1;
+        }
+        self.result = Some((total, iters));
+    }
+}
+
+fn run_bench(criterion: &mut Criterion, name: &str, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        warm_up_time: criterion.warm_up_time,
+        measurement_time: criterion.measurement_time,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some((total, iters)) if iters > 0 => {
+            let per_iter = total.as_nanos() as f64 / iters as f64;
+            println!("{name:<48} {:>12}   ({iters} iterations)", fmt_ns(per_iter));
+        }
+        _ => println!("{name:<48} (no measurement)"),
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function running each listed bench.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_and_reports() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        c.bench_function("smoke/iter", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut group = c.benchmark_group("smoke");
+        group.bench_function("iter_batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(12.0), "12.0 ns");
+        assert_eq!(fmt_ns(12_500.0), "12.50 us");
+        assert_eq!(fmt_ns(2_500_000.0), "2.50 ms");
+    }
+}

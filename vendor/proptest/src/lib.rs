@@ -1,0 +1,593 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Provides the property-testing surface this workspace uses: the
+//! [`proptest!`] block macro, `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assert_ne!`, a [`Strategy`] trait implemented for numeric ranges and
+//! regex-like string patterns, and `prop::collection::{vec, hash_set}`.
+//! Unlike the real crate there is no shrinking — failures report the case
+//! seed so a run can be reproduced deterministically.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::ops::Range;
+
+/// The RNG handed to strategies.
+pub type TestRng = SmallRng;
+
+/// A failed property-test case.
+#[derive(Debug)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+/// Runner configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Generates random values of an associated type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// A strategy applying `f` to every generated value.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { source: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// Strategy built from a generation closure; backs [`prop_compose!`].
+pub struct Compose<F> {
+    f: F,
+}
+
+impl<F> Compose<F> {
+    /// Wraps a closure drawing one value per call.
+    pub fn new<T>(f: F) -> Self
+    where
+        F: Fn(&mut TestRng) -> T,
+    {
+        Compose { f }
+    }
+}
+
+impl<T, F> Strategy for Compose<F>
+where
+    F: Fn(&mut TestRng) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// String patterns act as strategies via a small regex-subset generator:
+/// literals, `\x` escapes, `[a-z_]` classes, `( ... )` groups, and the
+/// repetitions `{n}`, `{m,n}`, and `?`.
+impl Strategy for str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        gen_atoms(&atoms, rng, &mut out);
+        out
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Atom {
+    Literal(char),
+    Class(Vec<char>),
+    Group(Vec<(Atom, usize, usize)>),
+}
+
+fn parse_pattern(pat: &str) -> Vec<(Atom, usize, usize)> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut pos = 0;
+    let atoms = parse_seq(&chars, &mut pos, pat);
+    assert!(pos == chars.len(), "unbalanced pattern `{pat}`");
+    atoms
+}
+
+fn parse_seq(chars: &[char], pos: &mut usize, pat: &str) -> Vec<(Atom, usize, usize)> {
+    let mut atoms = Vec::new();
+    while *pos < chars.len() && chars[*pos] != ')' {
+        let atom = match chars[*pos] {
+            '[' => {
+                *pos += 1;
+                let mut class = Vec::new();
+                while *pos < chars.len() && chars[*pos] != ']' {
+                    let c = chars[*pos];
+                    if *pos + 2 < chars.len() && chars[*pos + 1] == '-' && chars[*pos + 2] != ']' {
+                        let end = chars[*pos + 2];
+                        class.extend(c..=end);
+                        *pos += 3;
+                    } else {
+                        class.push(c);
+                        *pos += 1;
+                    }
+                }
+                assert!(*pos < chars.len(), "unterminated class in `{pat}`");
+                *pos += 1; // ']'
+                Atom::Class(class)
+            }
+            '(' => {
+                *pos += 1;
+                let inner = parse_seq(chars, pos, pat);
+                assert!(
+                    *pos < chars.len() && chars[*pos] == ')',
+                    "unterminated group in `{pat}`"
+                );
+                *pos += 1; // ')'
+                Atom::Group(inner)
+            }
+            '\\' => {
+                assert!(*pos + 1 < chars.len(), "dangling escape in `{pat}`");
+                *pos += 2;
+                Atom::Literal(chars[*pos - 1])
+            }
+            c => {
+                *pos += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = parse_repeat(chars, pos, pat);
+        atoms.push((atom, min, max));
+    }
+    atoms
+}
+
+fn parse_repeat(chars: &[char], pos: &mut usize, pat: &str) -> (usize, usize) {
+    match chars.get(*pos) {
+        Some('?') => {
+            *pos += 1;
+            (0, 1)
+        }
+        Some('{') => {
+            *pos += 1;
+            let mut min = 0usize;
+            while let Some(d) = chars.get(*pos).and_then(|c| c.to_digit(10)) {
+                min = min * 10 + d as usize;
+                *pos += 1;
+            }
+            let max = if chars.get(*pos) == Some(&',') {
+                *pos += 1;
+                let mut m = 0usize;
+                while let Some(d) = chars.get(*pos).and_then(|c| c.to_digit(10)) {
+                    m = m * 10 + d as usize;
+                    *pos += 1;
+                }
+                m
+            } else {
+                min
+            };
+            assert!(
+                chars.get(*pos) == Some(&'}'),
+                "unterminated repetition in `{pat}`"
+            );
+            *pos += 1;
+            (min, max)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn gen_atoms(atoms: &[(Atom, usize, usize)], rng: &mut TestRng, out: &mut String) {
+    for (atom, min, max) in atoms {
+        let reps = if min == max {
+            *min
+        } else {
+            rng.gen_range(*min..=*max)
+        };
+        for _ in 0..reps {
+            match atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(set) => out.push(set[rng.gen_range(0..set.len())]),
+                Atom::Group(inner) => gen_atoms(inner, rng, out),
+            }
+        }
+    }
+}
+
+/// Collection sizes: a fixed length or a half-open range.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    min: usize,
+    max_excl: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            min: n,
+            max_excl: n + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max_excl: r.end,
+        }
+    }
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.min..self.max_excl)
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+    use std::collections::HashSet;
+    use std::hash::Hash;
+
+    /// Strategy for `Vec<S::Value>`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// A vector whose length is drawn from `size` and whose elements are
+    /// drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet<S::Value>`.
+    pub struct HashSetStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// A hash set whose size is drawn from `size`; duplicate draws are
+    /// retried (bounded), so small domains may yield smaller sets.
+    pub fn hash_set<S>(elem: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.sample(rng);
+            let mut out = HashSet::with_capacity(target);
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target * 100 + 100 {
+                out.insert(self.elem.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Runs a property's cases with per-case deterministic seeds.
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// Creates a runner.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config }
+    }
+
+    /// Runs `f` once per case, panicking (with the case seed) on failure.
+    pub fn run<F>(&mut self, name: &str, mut f: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let base = fingerprint_name(name);
+        for case in 0..self.config.cases {
+            let seed = base ^ (case as u64).wrapping_mul(0x9e3779b97f4a7c15);
+            let mut rng = TestRng::seed_from_u64(seed);
+            if let Err(e) = f(&mut rng) {
+                panic!("proptest property `{name}` failed on case {case} (seed {seed:#x}): {e}");
+            }
+        }
+    }
+}
+
+fn fingerprint_name(name: &str) -> u64 {
+    // FNV-1a: stable across runs and platforms, unlike DefaultHasher's docs
+    // guarantee (which we nevertheless also get in practice).
+    let mut h = 0xcbf29ce484222325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, proptest, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+
+    /// Mirror of the real crate's `prop` namespace.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Declares deterministic property tests over strategies.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop(x in 0usize..10, v in prop::collection::vec(0f32..1.0, 3)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@items ($cfg); $($rest)*);
+    };
+    (@items ($cfg:expr); ) => {};
+    (@items ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __runner = $crate::TestRunner::new(__cfg);
+            __runner.run(concat!(module_path!(), "::", stringify!($name)), |__rng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                $body
+                Ok(())
+            });
+        }
+        $crate::proptest!(@items ($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@items ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Declares a function returning a strategy composed from sub-strategies.
+///
+/// ```ignore
+/// prop_compose! {
+///     fn arb_point()(x in 0i64..10, y in 0i64..10) -> (i64, i64) {
+///         (x, y)
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($outer:tt)*)(
+            $($arg:ident in $strat:expr),+ $(,)?
+        ) -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($outer)*) -> impl $crate::Strategy<Value = $ret> {
+            $crate::Compose::new(move |__rng: &mut $crate::TestRng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                $body
+            })
+        }
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` == `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            __l,
+            __r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fails the current case if both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{:?}` != `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            __l,
+            __r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn regex_patterns_generate_expected_shapes() {
+        let mut rng = <crate::TestRng as rand::SeedableRng>::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = Strategy::generate("[a-z]{1,6}", &mut rng);
+            assert!((1..=6).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let v = Strategy::generate("[a-z]{1,3}(\\.[0-9])?", &mut rng);
+            let head: String = v.chars().take_while(|c| c.is_ascii_lowercase()).collect();
+            assert!((1..=3).contains(&head.len()), "{v:?}");
+            let tail = &v[head.len()..];
+            assert!(
+                tail.is_empty()
+                    || (tail.len() == 2
+                        && tail.starts_with('.')
+                        && tail.chars().nth(1).unwrap().is_ascii_digit()),
+                "{v:?}"
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_collections(
+            x in 0usize..10,
+            f in -1.0f32..1.0,
+            v in prop::collection::vec(0u32..5, 2..6),
+            s in prop::collection::hash_set("[a-z]{1,4}", 1..8),
+        ) {
+            prop_assert!(x < 10);
+            prop_assert!((-1.0..1.0).contains(&f));
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 5));
+            prop_assert!(!s.is_empty() && s.len() < 8);
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(x, x + 1);
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The real crates.io registry is unreachable in this build environment, so
+//! this crate re-implements the slice of serde's surface the workspace uses:
+//! `Serialize` / `Deserialize` traits (derivable via the sibling
+//! `serde_derive` proc macro) and `de::DeserializeOwned`. Instead of serde's
+//! visitor-based data model, values round-trip through a single [`Value`]
+//! tree that `serde_json` renders to and parses from JSON text. The public
+//! behavior relied on by the workspace — `#[derive(Serialize, Deserialize)]`
+//! plus `serde_json::{to_string, to_string_pretty, from_str}` round-trips —
+//! is preserved.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// The self-describing value tree every type serializes through.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer (kept separate so u64::MAX survives).
+    U64(u64),
+    /// Floating point (non-finite values are emitted as bare literals).
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object; insertion-ordered.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in a map value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an f64, coercing integer representations.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(x) => Some(*x),
+            Value::I64(x) => Some(*x as f64),
+            Value::U64(x) => Some(*x as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as an i64, coercing exact unsigned/float representations.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(x) => Some(*x),
+            Value::U64(x) => i64::try_from(*x).ok(),
+            Value::F64(x) if x.fract() == 0.0 => Some(*x as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as a u64, coercing exact signed/float representations.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(x) => Some(*x),
+            Value::I64(x) => u64::try_from(*x).ok(),
+            Value::F64(x) if x.fract() == 0.0 && *x >= 0.0 => Some(*x as u64),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization failure: what was expected and a short context string.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error with a message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error { msg: m.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialization into the [`Value`] tree.
+pub trait Serialize {
+    /// The value representation of `self`.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Deserialization from the [`Value`] tree. The lifetime parameter mirrors
+/// serde's signature so `for<'de> Deserialize<'de>` bounds keep compiling.
+pub trait Deserialize<'de>: Sized {
+    /// Rebuilds `Self` from a value.
+    fn deserialize_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// The `serde::de` module: owned deserialization marker.
+pub mod de {
+    /// Types deserializable without borrowing from the input.
+    pub trait DeserializeOwned: for<'de> crate::Deserialize<'de> {}
+    impl<T> DeserializeOwned for T where T: for<'de> crate::Deserialize<'de> {}
+}
+
+/// The `serde::ser` module (alias surface only).
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+fn expected(what: &str, got: &Value) -> Error {
+    Error::msg(format!("expected {what}, got {got:?}"))
+}
+
+macro_rules! int_impl {
+    ($($t:ty => $as:ident / $var:ident),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::$var(*self as _)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                v.$as()
+                    .and_then(|x| <$t>::try_from(x).ok())
+                    .ok_or_else(|| expected(stringify!($t), v))
+            }
+        }
+    )*};
+}
+
+int_impl!(
+    u8 => as_u64 / U64,
+    u16 => as_u64 / U64,
+    u32 => as_u64 / U64,
+    u64 => as_u64 / U64,
+    usize => as_u64 / U64,
+    i8 => as_i64 / I64,
+    i16 => as_i64 / I64,
+    i32 => as_i64 / I64,
+    i64 => as_i64 / I64,
+    isize => as_i64 / I64,
+);
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| expected("f64", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .map(|x| x as f32)
+            .ok_or_else(|| expected("f32", v))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(expected("bool", v)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(expected("string", v)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(expected("char", v)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::deserialize_value).collect(),
+            _ => Err(expected("array", v)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + fmt::Debug, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::deserialize_value(v)?;
+        <[T; N]>::try_from(items).map_err(|_| Error::msg(format!("expected array of {N}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(x) => x.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize_value(&self) -> Value {
+        let mut pairs: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.serialize_value()))
+            .collect();
+        // Sorted output keeps serialization deterministic across runs.
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(pairs)
+    }
+}
+
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for HashMap<String, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Map(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::deserialize_value(v)?)))
+                .collect(),
+            _ => Err(expected("object", v)),
+        }
+    }
+}
+
+macro_rules! tuple_impl {
+    ($(($($name:ident . $idx:tt),+)),* $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.serialize_value()),+])
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Seq(items) if items.len() == [$($idx),+].len() => {
+                        Ok(($($name::deserialize_value(&items[$idx])?,)+))
+                    }
+                    _ => Err(expected("tuple", v)),
+                }
+            }
+        }
+    )*};
+}
+
+tuple_impl!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3),);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        assert_eq!(u64::deserialize_value(&42u64.serialize_value()), Ok(42));
+        assert_eq!(i32::deserialize_value(&(-7i32).serialize_value()), Ok(-7));
+        assert_eq!(
+            String::deserialize_value(&"hi".to_string().serialize_value()),
+            Ok("hi".to_string())
+        );
+        let v: Vec<(usize, f32)> = vec![(1, 2.5), (3, -0.5)];
+        assert_eq!(
+            <Vec<(usize, f32)>>::deserialize_value(&v.serialize_value()),
+            Ok(v)
+        );
+    }
+
+    #[test]
+    fn option_null_roundtrip() {
+        let some: Option<u32> = Some(5);
+        let none: Option<u32> = None;
+        assert_eq!(Option::deserialize_value(&some.serialize_value()), Ok(some));
+        assert_eq!(Option::deserialize_value(&none.serialize_value()), Ok(none));
+    }
+}

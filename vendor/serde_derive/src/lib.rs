@@ -1,0 +1,410 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `serde::Serialize` / `serde::Deserialize` impls against the
+//! vendored value-tree `serde` crate (see `vendor/serde`). Supports the item
+//! shapes used across this workspace: structs with named fields, tuple
+//! structs, unit structs, and enums whose variants are unit, tuple, or
+//! struct-like. Generics and serde attributes are not supported — the
+//! workspace does not use them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    // Skip outer attributes (`#[...]`) and visibility.
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            panic!("derive(Serialize/Deserialize) stub does not support generic type `{name}`");
+        }
+    }
+    match kind.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("expected enum body for `{name}`, got {other:?}"),
+        },
+        other => panic!("cannot derive for item kind `{other}`"),
+    }
+}
+
+/// Field names of a `{ a: T, b: U }` body, skipping attrs/vis and type
+/// tokens (tracking `<...>` depth so generic-argument commas don't split).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tree) = toks.next() else { break };
+        let TokenTree::Ident(field) = tree else {
+            panic!("expected field name, got {tree:?}");
+        };
+        fields.push(field.to_string());
+        // Skip `:` then the type up to a top-level comma.
+        let mut angle = 0i32;
+        for t in toks.by_ref() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Number of fields in a tuple-struct/tuple-variant `( ... )` body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut angle = 0i32;
+    let mut saw_tokens = false;
+    for t in stream {
+        saw_tokens = true;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => count += 1,
+            _ => {}
+        }
+    }
+    if saw_tokens {
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        // Skip attributes before the variant.
+        while let Some(TokenTree::Punct(p)) = toks.peek() {
+            if p.as_char() == '#' {
+                toks.next();
+                toks.next();
+            } else {
+                break;
+            }
+        }
+        let Some(tree) = toks.next() else { break };
+        let TokenTree::Ident(vname) = tree else {
+            panic!("expected variant name, got {tree:?}");
+        };
+        let kind = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                toks.next();
+                VariantKind::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                toks.next();
+                VariantKind::Tuple(arity)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant {
+            name: vname.to_string(),
+            kind,
+        });
+        // Skip to (and past) the separating comma; tolerates `= discriminant`.
+        for t in toks.by_ref() {
+            if matches!(&t, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("(\"{f}\".to_string(), serde::Serialize::serialize_value(&self.{f}))")
+                })
+                .collect();
+            impl_serialize(
+                name,
+                &format!("serde::Value::Map(vec![{}])", entries.join(", ")),
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let entries: Vec<String> = (0..*arity)
+                .map(|i| format!("serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            let body = if *arity == 1 {
+                entries.into_iter().next().unwrap()
+            } else {
+                format!("serde::Value::Seq(vec![{}])", entries.join(", "))
+            };
+            impl_serialize(name, &body)
+        }
+        Item::UnitStruct { name } => impl_serialize(name, "serde::Value::Null"),
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => serde::Value::Str(\"{vn}\".to_string()),"
+                        ),
+                        VariantKind::Tuple(arity) => {
+                            let binds: Vec<String> =
+                                (0..*arity).map(|i| format!("__f{i}")).collect();
+                            let sers: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::serialize_value({b})"))
+                                .collect();
+                            let payload = if *arity == 1 {
+                                sers.into_iter().next().unwrap()
+                            } else {
+                                format!("serde::Value::Seq(vec![{}])", sers.join(", "))
+                            };
+                            format!(
+                                "{name}::{vn}({binds}) => serde::Value::Map(vec![(\"{vn}\".to_string(), {payload})]),",
+                                binds = binds.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), serde::Serialize::serialize_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => serde::Value::Map(vec![(\"{vn}\".to_string(), serde::Value::Map(vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            impl_serialize(name, &format!("match self {{ {} }}", arms.join(" ")))
+        }
+    }
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let body = match item {
+        Item::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields.iter().map(|f| named_field_init(name, f)).collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Item::TupleStruct { name, arity } => tuple_de(name, &format!("{name}"), *arity, "__v"),
+        Item::UnitStruct { name } => format!("Ok({name})"),
+        Item::Enum { name, variants } => {
+            let mut unit_arms = Vec::new();
+            let mut payload_arms = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push(format!(
+                        "serde::Value::Str(__s) if __s == \"{vn}\" => return Ok({name}::{vn}),"
+                    )),
+                    VariantKind::Tuple(arity) => payload_arms.push(format!(
+                        "\"{vn}\" => return {},",
+                        tuple_de(name, &format!("{name}::{vn}"), *arity, "__inner")
+                    )),
+                    VariantKind::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: serde::Deserialize::deserialize_value(__inner.get(\"{f}\").ok_or_else(|| serde::Error::msg(\"missing field `{f}` in {name}::{vn}\"))?)?"
+                                )
+                            })
+                            .collect();
+                        payload_arms.push(format!(
+                            "\"{vn}\" => return Ok({name}::{vn} {{ {} }}),",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                     {unit}\n\
+                     serde::Value::Map(__pairs) if __pairs.len() == 1 => {{\n\
+                         let (__k, __inner) = &__pairs[0];\n\
+                         let _ = __inner;\n\
+                         match __k.as_str() {{ {payload} _ => {{}} }}\n\
+                     }}\n\
+                     _ => {{}}\n\
+                 }}\n\
+                 Err(serde::Error::msg(format!(\"no variant of {name} matches {{__v:?}}\")))",
+                unit = unit_arms.join("\n"),
+                payload = payload_arms.join("\n"),
+            )
+        }
+    };
+    let name = item_name(item);
+    format!(
+        "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize_value(__v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn named_field_init(name: &str, field: &str) -> String {
+    format!(
+        "{field}: serde::Deserialize::deserialize_value(__v.get(\"{field}\").ok_or_else(|| serde::Error::msg(\"missing field `{field}` in {name}\"))?)?"
+    )
+}
+
+/// Deserialization expression for a tuple payload: newtype (arity 1) takes
+/// the value directly; larger arities expect a sequence of that length.
+fn tuple_de(type_name: &str, ctor: &str, arity: usize, source: &str) -> String {
+    if arity == 1 {
+        return format!("Ok({ctor}(serde::Deserialize::deserialize_value({source})?))");
+    }
+    let items: Vec<String> = (0..arity)
+        .map(|i| format!("serde::Deserialize::deserialize_value(&__items[{i}])?"))
+        .collect();
+    format!(
+        "match {source} {{\n\
+             serde::Value::Seq(__items) if __items.len() == {arity} => Ok({ctor}({})),\n\
+             __other => Err(serde::Error::msg(format!(\"expected {arity}-tuple for {type_name}, got {{__other:?}}\"))),\n\
+         }}",
+        items.join(", ")
+    )
+}
+
+fn item_name(item: &Item) -> &str {
+    match item {
+        Item::NamedStruct { name, .. }
+        | Item::TupleStruct { name, .. }
+        | Item::UnitStruct { name }
+        | Item::Enum { name, .. } => name,
+    }
+}
