@@ -15,7 +15,8 @@ use tlp_dataset::{Dataset, TaskData};
 use tlp_gbdt::{Gbdt, GbdtParams};
 use tlp_hwsim::lower;
 use tlp_nn::{
-    lambda_rank_loss, Adam, Binding, Graph, Mlp, Optimizer, ParamStore, Tensor, Workspace,
+    lambda_rank_loss, Adam, Binding, Graph, LrSchedule, Mlp, Optimizer, ParamStore, Tensor,
+    Workspace,
 };
 use tlp_schedule::ScheduleSequence;
 use tlp_workload::Subgraph;
@@ -218,8 +219,9 @@ impl TenSetMlp {
         let mut rng = SmallRng::seed_from_u64(self.config.seed ^ 0x515);
         let bs = self.config.batch_size.max(2);
         let mut epoch_losses = Vec::new();
+        let schedule = LrSchedule::paper_decay();
         for epoch in 0..self.config.epochs {
-            opt.set_learning_rate(self.config.learning_rate * 0.9f32.powi(epoch as i32));
+            opt.set_learning_rate(schedule.lr_at(self.config.learning_rate, epoch));
             let mut order: Vec<usize> = (0..data.groups.len()).collect();
             order.shuffle(&mut rng);
             let mut total = 0.0f64;

@@ -102,8 +102,15 @@ fn cmd_train(path: Option<&str>) -> i32 {
     );
     println!("training on {} samples…", data.num_samples());
     let mut model = TlpModel::new(cfg);
-    let losses = train_tlp(&mut model, &data);
-    println!("epoch losses: {losses:?}");
+    let report = train_tlp(&mut model, &data);
+    println!("epoch losses: {:?}", report.epoch_losses());
+    println!(
+        "trained {} samples in {:.2}s ({:.0} samples/s, {} workers)",
+        report.samples,
+        report.wall_s,
+        report.samples_per_s(),
+        report.workers
+    );
     let (t1, t5) = eval_tlp(&model, &extractor, &ds, target);
     println!("top-1 {t1:.4}  top-5 {t5:.4}");
     match snapshot_tlp(&model, &extractor).save(path) {

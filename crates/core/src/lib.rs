@@ -11,7 +11,9 @@
 //! - [`features`]: the TLP feature extractor (Fig. 4/5): one-hot primitive
 //!   type + numeric params + tokenized name params, cropped to 25×22;
 //! - [`model`] / [`mtl`]: the TLP network (Fig. 7) and MTL-TLP (Fig. 8);
-//! - [`train`]: task-grouped training with LambdaRank or MSE loss;
+//! - [`train`]: task-grouped training data with LambdaRank or MSE loss;
+//! - [`trainer`]: the generic synchronous data-parallel training engine
+//!   (`Trainer`/`TrainOptions`/`TrainReport`) behind every training loop;
 //! - [`metrics`]: the paper's top-k score (§6.1);
 //! - [`baselines`]: TenSet-MLP and Ansor's online GBDT over hand-extracted
 //!   program features;
@@ -54,13 +56,15 @@ pub mod persist;
 pub mod pretrain;
 pub mod search;
 pub mod train;
+pub mod trainer;
 
 pub use config::{Backbone, LossKind, TlpConfig};
 pub use engine::{EngineConfig, EngineStats, InferenceEngine, ScheduleScorer};
 pub use features::FeatureExtractor;
 pub use metrics::top_k_score;
 pub use model::TlpModel;
-pub use mtl::{train_mtl, MtlTlp};
-pub use persist::{snapshot_mtl, snapshot_tlp, SavedTlp};
+pub use mtl::{train_mtl, train_mtl_with, MtlTlp};
+pub use persist::{snapshot_mtl, snapshot_tlp, ParamCheckpoint, SavedTlp};
 pub use search::{AnsorCostModel, FeatureModel, MtlTlpCostModel, TenSetMlpCostModel, TlpCostModel};
-pub use train::{train_tlp, TrainData};
+pub use train::{train_tlp, train_tlp_with, TrainData};
+pub use trainer::{EpochReport, StopReason, TrainOptions, TrainReport, Trainable, Trainer};

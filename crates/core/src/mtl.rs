@@ -10,13 +10,13 @@
 use crate::config::TlpConfig;
 use crate::model::{TlpBackbone, TlpHead};
 use crate::train::TrainData;
+use crate::trainer::{
+    gather_rows, scored_loss, split_group_indices, TrainOptions, TrainReport, Trainable, Trainer,
+};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use tlp_nn::{
-    lambda_rank_loss, mse_loss, Adam, Binding, Fwd, Graph, Optimizer, ParamStore, Tensor, Var,
-    Workspace,
-};
+use tlp_nn::{Binding, Fwd, Graph, ParamStore, Tensor, Var, Workspace};
 
 /// The multi-task TLP cost model.
 #[derive(Debug)]
@@ -100,83 +100,155 @@ impl MtlTlp {
     }
 }
 
-/// Trains MTL-TLP on per-task training sets (`task_data[i]` feeds head `i`),
-/// returning mean loss per epoch (summed over tasks as in the paper's loss).
+/// One micro-batch routed to a specific head.
+#[derive(Clone, Debug)]
+struct MtlBatch {
+    feats: Vec<f32>,
+    labels: Vec<f32>,
+    task: usize,
+}
+
+/// [`Trainable`] adapter for MTL-TLP: `(task, group)` slots interleaved so
+/// backbone gradients mix platforms, exactly like the historical `train_mtl`
+/// loop. A validation split (when enabled) holds out groups of the *target*
+/// task (head 0) — the platform whose ranking quality matters.
+struct MtlTask<'a> {
+    model: &'a mut MtlTlp,
+    task_data: &'a [TrainData],
+    /// Target-task group indices held out for validation.
+    valid_target_groups: Vec<usize>,
+    batch_size: usize,
+}
+
+impl MtlTask<'_> {
+    fn group_batches(&self, ti: usize, gi: usize, order: &[usize], out: &mut Vec<MtlBatch>) {
+        let data = &self.task_data[ti];
+        let group = &data.groups[gi];
+        for chunk in order.chunks(self.batch_size) {
+            if chunk.len() < 2 {
+                continue;
+            }
+            let (feats, labels) =
+                gather_rows(&group.features, &group.labels, data.feature_size, chunk);
+            out.push(MtlBatch {
+                feats,
+                labels,
+                task: ti,
+            });
+        }
+    }
+}
+
+impl Trainable for MtlTask<'_> {
+    type Batch = MtlBatch;
+
+    fn store(&self) -> &ParamStore {
+        &self.model.store
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.model.store
+    }
+
+    fn epoch_batches(&self, _epoch: usize, rng: &mut SmallRng) -> Vec<Self::Batch> {
+        // Interleave (task, group) pairs so backbone gradients mix platforms.
+        let mut slots: Vec<(usize, usize)> = Vec::new();
+        for (ti, data) in self.task_data.iter().enumerate() {
+            for gi in 0..data.groups.len() {
+                if ti == 0 && self.valid_target_groups.binary_search(&gi).is_ok() {
+                    continue;
+                }
+                slots.push((ti, gi));
+            }
+        }
+        slots.shuffle(rng);
+        let mut out = Vec::new();
+        for (ti, gi) in slots {
+            let n = self.task_data[ti].groups[gi].labels.len();
+            if n < 2 {
+                continue;
+            }
+            let mut order: Vec<usize> = (0..n).collect();
+            order.shuffle(rng);
+            self.group_batches(ti, gi, &order, &mut out);
+        }
+        out
+    }
+
+    fn batch_samples(&self, batch: &Self::Batch) -> usize {
+        batch.labels.len()
+    }
+
+    fn loss(&self, ws: &mut Workspace, batch: &Self::Batch) -> Var {
+        let scores = self.model.forward_task(
+            &mut ws.graph,
+            &mut ws.bind,
+            &batch.feats,
+            batch.labels.len(),
+            batch.task,
+        );
+        scored_loss(
+            &mut ws.graph,
+            scores,
+            &batch.labels,
+            self.model.config.loss,
+            self.model.config.seq_len,
+        )
+    }
+
+    fn valid_batches(&self) -> Vec<Self::Batch> {
+        let mut out = Vec::new();
+        for &gi in &self.valid_target_groups {
+            let n = self.task_data[0].groups[gi].labels.len();
+            if n < 2 {
+                continue;
+            }
+            let order: Vec<usize> = (0..n).collect();
+            self.group_batches(0, gi, &order, &mut out);
+        }
+        out
+    }
+}
+
+/// Trains MTL-TLP on per-task training sets (`task_data[i]` feeds head `i`)
+/// with options derived from the model's config — the historical loop's
+/// exact behaviour and batch stream. The per-epoch loss is the mean over all
+/// heads' micro-batches (the paper's summed multi-task loss, normalized).
 ///
 /// # Panics
 ///
 /// Panics if `task_data.len()` differs from the model's head count.
-pub fn train_mtl(model: &mut MtlTlp, task_data: &[TrainData]) -> Vec<f32> {
+pub fn train_mtl(model: &mut MtlTlp, task_data: &[TrainData]) -> TrainReport {
+    let options = TrainOptions::from_config(&model.config).with_seed(model.config.seed ^ 0x171);
+    train_mtl_with(model, task_data, &options)
+}
+
+/// Trains MTL-TLP with explicit [`TrainOptions`]. `valid_frac` holds out
+/// target-task (head 0) groups for the validation metric.
+///
+/// # Panics
+///
+/// Panics if `task_data.len()` differs from the model's head count.
+pub fn train_mtl_with(
+    model: &mut MtlTlp,
+    task_data: &[TrainData],
+    options: &TrainOptions,
+) -> TrainReport {
     assert_eq!(
         task_data.len(),
         model.num_tasks(),
         "one training set per head"
     );
-    let mut opt = Adam::new(model.config.learning_rate);
-    let mut rng = SmallRng::seed_from_u64(model.config.seed ^ 0x171);
-    let bs = model.config.batch_size.max(2);
-    let mut epoch_losses = Vec::with_capacity(model.config.epochs);
-
-    for _epoch in 0..model.config.epochs {
-        // Exponential learning-rate decay stabilizes the small-batch rank loss.
-        opt.set_learning_rate(model.config.learning_rate * 0.9f32.powi(_epoch as i32));
-        // Interleave (task, group) pairs so backbone gradients mix platforms.
-        let mut slots: Vec<(usize, usize)> = Vec::new();
-        for (ti, data) in task_data.iter().enumerate() {
-            for gi in 0..data.groups.len() {
-                slots.push((ti, gi));
-            }
-        }
-        slots.shuffle(&mut rng);
-
-        let mut total_loss = 0.0f64;
-        let mut batches = 0usize;
-        for (ti, gi) in slots {
-            let data = &task_data[ti];
-            let fs = data.feature_size;
-            let group = &data.groups[gi];
-            let n = group.labels.len();
-            if n < 2 {
-                continue;
-            }
-            let mut order: Vec<usize> = (0..n).collect();
-            order.shuffle(&mut rng);
-            for chunk in order.chunks(bs) {
-                if chunk.len() < 2 {
-                    continue;
-                }
-                let mut feats = Vec::with_capacity(chunk.len() * fs);
-                let mut labels = Vec::with_capacity(chunk.len());
-                for &i in chunk {
-                    feats.extend_from_slice(&group.features[i * fs..(i + 1) * fs]);
-                    labels.push(group.labels[i]);
-                }
-                let mut g = Graph::new();
-                let mut bind = Binding::new();
-                let scores = model.forward_task(&mut g, &mut bind, &feats, chunk.len(), ti);
-                let loss = match model.config.loss {
-                    crate::config::LossKind::Rank => lambda_rank_loss(&mut g, scores, &labels),
-                    crate::config::LossKind::Mse => {
-                        let scaled = g.scale(scores, 1.0 / model.config.seq_len as f32);
-                        let squashed = g.sigmoid(scaled);
-                        mse_loss(&mut g, squashed, &labels)
-                    }
-                };
-                g.backward(loss);
-                bind.harvest(&g, &mut model.store);
-                model.store.clip_grad_norm(5.0);
-                opt.step(&mut model.store);
-                total_loss += g.value(loss).item() as f64;
-                batches += 1;
-            }
-        }
-        epoch_losses.push(if batches > 0 {
-            (total_loss / batches as f64) as f32
-        } else {
-            0.0
-        });
-    }
-    epoch_losses
+    let (_, valid_target_groups) =
+        split_group_indices(task_data[0].groups.len(), options.valid_frac, options.seed);
+    let batch_size = options.batch_size.max(2);
+    let mut task = MtlTask {
+        model,
+        task_data,
+        valid_target_groups,
+        batch_size,
+    };
+    Trainer::new(options.clone()).fit(&mut task)
 }
 
 #[cfg(test)]
@@ -220,7 +292,7 @@ mod tests {
         let target = TrainData::from_dataset(&ds, &ex, 0).subsample(0.5, 1);
         let aux = TrainData::from_dataset(&ds, &ex, 1);
         let mut model = MtlTlp::new(cfg, 2);
-        let losses = train_mtl(&mut model, &[target, aux]);
+        let losses = train_mtl(&mut model, &[target, aux]).epoch_losses();
         assert_eq!(losses.len(), 6);
         assert!(losses.last().unwrap() < losses.first().unwrap());
     }

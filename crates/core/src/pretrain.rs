@@ -11,12 +11,13 @@
 //! next-token prediction, BERT with masked-token prediction (the full-token
 //! prediction variant: every position is predicted, 15% are corrupted).
 
+use crate::trainer::{TrainOptions, TrainReport, Trainable, Trainer};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use tlp_nn::{
-    Adam, Binding, Embedding, Fwd, Graph, Linear, MultiHeadSelfAttention, Optimizer, ParamId,
-    ParamStore, Tensor, Var,
+    Binding, Embedding, Fwd, Graph, Linear, LrSchedule, MultiHeadSelfAttention, ParamId,
+    ParamStore, Tensor, Var, Workspace,
 };
 use tlp_schedule::{preprocess, Element, ScheduleSequence, Vocabulary};
 
@@ -214,63 +215,40 @@ impl PretrainedLm {
         h
     }
 
-    /// Pretrains on unlabeled token sequences; returns mean loss per epoch.
-    pub fn pretrain(&mut self, corpus: &[Vec<usize>]) -> Vec<f32> {
-        let mut opt = Adam::new(self.config.learning_rate);
-        let mut rng = SmallRng::seed_from_u64(self.config.seed ^ 0x9e);
-        let l = self.config.max_len;
-        let bs = self.config.batch_size.max(1);
-        let mut epoch_losses = Vec::new();
-        for _ in 0..self.config.epochs {
-            let mut order: Vec<usize> = (0..corpus.len()).collect();
-            order.shuffle(&mut rng);
-            let mut total = 0.0f64;
-            let mut batches = 0usize;
-            for chunk in order.chunks(bs) {
-                let mut inputs = Vec::with_capacity(chunk.len() * l);
-                let mut targets = Vec::with_capacity(chunk.len() * l);
-                for &ci in chunk {
-                    let toks = &corpus[ci];
-                    match self.kind {
-                        PretrainKind::Gpt => {
-                            // Input t predicts token t+1 (last predicts PAD).
-                            inputs.extend_from_slice(toks);
-                            targets.extend_from_slice(&toks[1..]);
-                            targets.push(PAD);
-                        }
-                        PretrainKind::Bert => {
-                            // Corrupt 15%; predict the original everywhere.
-                            for &t in toks {
-                                inputs.push(if rng.gen_bool(0.15) { MASK } else { t });
-                                targets.push(t);
-                            }
-                        }
-                    }
-                }
-                let mut g = Graph::new();
-                let mut bind = Binding::new();
-                let h = self.encode(&mut g, &mut bind, &inputs, chunk.len());
-                let h2 = g.reshape(h, &[chunk.len() * l, self.config.d_model]);
-                let logits = {
-                    let mut f = Fwd::new(&mut g, &self.store, &mut bind);
-                    self.lm_head.forward(&mut f, h2)
-                };
-                let logp = g.log_softmax(logits);
-                let loss = g.nll_loss(logp, &targets);
-                g.backward(loss);
-                bind.harvest(&g, &mut self.store);
-                self.store.clip_grad_norm(5.0);
-                opt.step(&mut self.store);
-                total += g.value(loss).item() as f64;
-                batches += 1;
-            }
-            epoch_losses.push(if batches > 0 {
-                (total / batches as f64) as f32
-            } else {
-                0.0
-            });
+    /// Options equivalent to the historical `pretrain`/`fine_tune` loops:
+    /// constant learning rate, per-batch stepping.
+    fn legacy_options(&self, seed_salt: u64) -> TrainOptions {
+        TrainOptions {
+            epochs: self.config.epochs,
+            batch_size: self.config.batch_size,
+            learning_rate: self.config.learning_rate,
+            lr_schedule: LrSchedule::Constant,
+            grad_clip: 5.0,
+            workers: 0,
+            grad_accum: 1,
+            patience: 0,
+            valid_frac: 0.0,
+            seed: self.config.seed ^ seed_salt,
         }
-        epoch_losses
+    }
+
+    /// Pretrains on unlabeled token sequences with the historical loop's
+    /// options and batch stream.
+    pub fn pretrain(&mut self, corpus: &[Vec<usize>]) -> TrainReport {
+        let options = self.legacy_options(0x9e);
+        self.pretrain_with(corpus, &options)
+    }
+
+    /// Pretrains with explicit [`TrainOptions`] (`valid_frac` is ignored —
+    /// the LM objective has no held-out rank metric).
+    pub fn pretrain_with(&mut self, corpus: &[Vec<usize>], options: &TrainOptions) -> TrainReport {
+        let batch_size = options.batch_size.max(1);
+        let mut task = LmPretrainTask {
+            lm: self,
+            corpus,
+            batch_size,
+        };
+        Trainer::new(options.clone()).fit(&mut task)
     }
 
     /// Regression scores via mean-pooled encoder output (the downstream
@@ -303,55 +281,176 @@ impl PretrainedLm {
     }
 
     /// Fine-tunes the regression head (and encoder) on labelled token groups
-    /// with rank loss; returns mean loss per epoch.
-    pub fn fine_tune(&mut self, groups: &[(Vec<usize>, Vec<f32>)], epochs: usize) -> Vec<f32> {
-        let mut opt = Adam::new(self.config.learning_rate);
-        let mut rng = SmallRng::seed_from_u64(self.config.seed ^ 0xF1);
-        let l = self.config.max_len;
-        let bs = self.config.batch_size.max(2);
-        let mut epoch_losses = Vec::new();
-        for _ in 0..epochs {
-            let mut order: Vec<usize> = (0..groups.len()).collect();
-            order.shuffle(&mut rng);
-            let mut total = 0.0f64;
-            let mut batches = 0usize;
-            for &gi in &order {
-                let (tokens, labels) = &groups[gi];
-                let n = labels.len();
-                if n < 2 {
-                    continue;
-                }
-                let mut sample_order: Vec<usize> = (0..n).collect();
-                sample_order.shuffle(&mut rng);
-                for chunk in sample_order.chunks(bs) {
-                    if chunk.len() < 2 {
-                        continue;
+    /// with rank loss, using the historical loop's options and batch stream.
+    pub fn fine_tune(&mut self, groups: &[(Vec<usize>, Vec<f32>)], epochs: usize) -> TrainReport {
+        let options = self.legacy_options(0xF1).with_epochs(epochs);
+        self.fine_tune_with(groups, &options)
+    }
+
+    /// Fine-tunes with explicit [`TrainOptions`].
+    pub fn fine_tune_with(
+        &mut self,
+        groups: &[(Vec<usize>, Vec<f32>)],
+        options: &TrainOptions,
+    ) -> TrainReport {
+        let batch_size = options.batch_size.max(2);
+        let mut task = FineTuneTask {
+            lm: self,
+            groups,
+            batch_size,
+        };
+        Trainer::new(options.clone()).fit(&mut task)
+    }
+}
+
+/// One LM-objective micro-batch: flat `n × max_len` input/target tokens.
+#[derive(Clone, Debug)]
+struct LmBatch {
+    inputs: Vec<usize>,
+    targets: Vec<usize>,
+    n: usize,
+}
+
+/// [`Trainable`] adapter for LM pretraining: shuffled corpus chunks; BERT
+/// corruption is drawn while batches are built so the RNG stream matches the
+/// historical loop.
+struct LmPretrainTask<'a> {
+    lm: &'a mut PretrainedLm,
+    corpus: &'a [Vec<usize>],
+    batch_size: usize,
+}
+
+impl Trainable for LmPretrainTask<'_> {
+    type Batch = LmBatch;
+
+    fn store(&self) -> &ParamStore {
+        &self.lm.store
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.lm.store
+    }
+
+    fn epoch_batches(&self, _epoch: usize, rng: &mut SmallRng) -> Vec<Self::Batch> {
+        let l = self.lm.config.max_len;
+        let mut order: Vec<usize> = (0..self.corpus.len()).collect();
+        order.shuffle(rng);
+        let mut out = Vec::new();
+        for chunk in order.chunks(self.batch_size) {
+            let mut inputs = Vec::with_capacity(chunk.len() * l);
+            let mut targets = Vec::with_capacity(chunk.len() * l);
+            for &ci in chunk {
+                let toks = &self.corpus[ci];
+                match self.lm.kind {
+                    PretrainKind::Gpt => {
+                        // Input t predicts token t+1 (last predicts PAD).
+                        inputs.extend_from_slice(toks);
+                        targets.extend_from_slice(&toks[1..]);
+                        targets.push(PAD);
                     }
-                    let mut toks = Vec::with_capacity(chunk.len() * l);
-                    let mut labs = Vec::with_capacity(chunk.len());
-                    for &i in chunk {
-                        toks.extend_from_slice(&tokens[i * l..(i + 1) * l]);
-                        labs.push(labels[i]);
+                    PretrainKind::Bert => {
+                        // Corrupt 15%; predict the original everywhere.
+                        for &t in toks {
+                            inputs.push(if rng.gen_bool(0.15) { MASK } else { t });
+                            targets.push(t);
+                        }
                     }
-                    let mut g = Graph::new();
-                    let mut bind = Binding::new();
-                    let scores = self.forward_regression(&mut g, &mut bind, &toks, chunk.len());
-                    let loss = tlp_nn::lambda_rank_loss(&mut g, scores, &labs);
-                    g.backward(loss);
-                    bind.harvest(&g, &mut self.store);
-                    self.store.clip_grad_norm(5.0);
-                    opt.step(&mut self.store);
-                    total += g.value(loss).item() as f64;
-                    batches += 1;
                 }
             }
-            epoch_losses.push(if batches > 0 {
-                (total / batches as f64) as f32
-            } else {
-                0.0
+            out.push(LmBatch {
+                inputs,
+                targets,
+                n: chunk.len(),
             });
         }
-        epoch_losses
+        out
+    }
+
+    fn batch_samples(&self, batch: &Self::Batch) -> usize {
+        batch.n
+    }
+
+    fn loss(&self, ws: &mut Workspace, batch: &Self::Batch) -> Var {
+        let l = self.lm.config.max_len;
+        let h = self
+            .lm
+            .encode(&mut ws.graph, &mut ws.bind, &batch.inputs, batch.n);
+        let h2 = ws.graph.reshape(h, &[batch.n * l, self.lm.config.d_model]);
+        let logits = {
+            let mut f = Fwd::new(&mut ws.graph, &self.lm.store, &mut ws.bind);
+            self.lm.lm_head.forward(&mut f, h2)
+        };
+        let logp = ws.graph.log_softmax(logits);
+        ws.graph.nll_loss(logp, &batch.targets)
+    }
+}
+
+/// One rank-loss fine-tuning micro-batch: flat tokens + aligned labels.
+#[derive(Clone, Debug)]
+struct FtBatch {
+    toks: Vec<usize>,
+    labels: Vec<f32>,
+}
+
+/// [`Trainable`] adapter for rank fine-tuning over labelled token groups.
+struct FineTuneTask<'a> {
+    lm: &'a mut PretrainedLm,
+    groups: &'a [(Vec<usize>, Vec<f32>)],
+    batch_size: usize,
+}
+
+impl Trainable for FineTuneTask<'_> {
+    type Batch = FtBatch;
+
+    fn store(&self) -> &ParamStore {
+        &self.lm.store
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.lm.store
+    }
+
+    fn epoch_batches(&self, _epoch: usize, rng: &mut SmallRng) -> Vec<Self::Batch> {
+        let l = self.lm.config.max_len;
+        let mut order: Vec<usize> = (0..self.groups.len()).collect();
+        order.shuffle(rng);
+        let mut out = Vec::new();
+        for &gi in &order {
+            let (tokens, labels) = &self.groups[gi];
+            let n = labels.len();
+            if n < 2 {
+                continue;
+            }
+            let mut sample_order: Vec<usize> = (0..n).collect();
+            sample_order.shuffle(rng);
+            for chunk in sample_order.chunks(self.batch_size) {
+                if chunk.len() < 2 {
+                    continue;
+                }
+                let mut toks = Vec::with_capacity(chunk.len() * l);
+                let mut labs = Vec::with_capacity(chunk.len());
+                for &i in chunk {
+                    toks.extend_from_slice(&tokens[i * l..(i + 1) * l]);
+                    labs.push(labels[i]);
+                }
+                out.push(FtBatch { toks, labels: labs });
+            }
+        }
+        out
+    }
+
+    fn batch_samples(&self, batch: &Self::Batch) -> usize {
+        batch.labels.len()
+    }
+
+    fn loss(&self, ws: &mut Workspace, batch: &Self::Batch) -> Var {
+        let scores = self.lm.forward_regression(
+            &mut ws.graph,
+            &mut ws.bind,
+            &batch.toks,
+            batch.labels.len(),
+        );
+        tlp_nn::lambda_rank_loss(&mut ws.graph, scores, &batch.labels)
     }
 }
 
@@ -404,7 +503,7 @@ mod tests {
         let v = vocab();
         let corpus: Vec<Vec<usize>> = (0..24).map(|_| tokenize(&seq(), &v, &cfg)).collect();
         let mut lm = PretrainedLm::new(PretrainKind::Gpt, cfg);
-        let losses = lm.pretrain(&corpus);
+        let losses = lm.pretrain(&corpus).epoch_losses();
         assert!(
             losses.last().unwrap() < losses.first().unwrap(),
             "{losses:?}"
@@ -424,7 +523,7 @@ mod tests {
         let v = vocab();
         let corpus: Vec<Vec<usize>> = (0..16).map(|_| tokenize(&seq(), &v, &cfg)).collect();
         let mut lm = PretrainedLm::new(PretrainKind::Bert, cfg);
-        let losses = lm.pretrain(&corpus);
+        let losses = lm.pretrain(&corpus).epoch_losses();
         assert_eq!(losses.len(), 2);
         assert!(losses.iter().all(|l| l.is_finite()));
     }
@@ -447,7 +546,9 @@ mod tests {
         }
         let labels: Vec<f32> = (0..8).map(|i| (i + 1) as f32 / 8.0).collect();
         let mut lm = PretrainedLm::new(PretrainKind::Gpt, cfg.clone());
-        let losses = lm.fine_tune(&[(group_tokens.clone(), labels)], 3);
+        let losses = lm
+            .fine_tune(&[(group_tokens.clone(), labels)], 3)
+            .epoch_losses();
         assert_eq!(losses.len(), 3);
         let preds = lm.predict(&group_tokens);
         assert_eq!(preds.len(), 8);

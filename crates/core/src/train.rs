@@ -3,15 +3,20 @@
 //! Rank-loss training groups samples by tuning task: LambdaRank compares
 //! programs of the *same* subgraph (their labels share a `min_latency`
 //! normalizer), so each mini-batch is drawn from one task's programs.
+//!
+//! The actual epoch/step loop lives in [`crate::trainer`]; this module
+//! contributes the task-grouped batch provider and the data containers.
 
-use crate::config::LossKind;
 use crate::features::FeatureExtractor;
 use crate::model::TlpModel;
+use crate::trainer::{
+    gather_rows, scored_loss, split_group_indices, TrainOptions, TrainReport, Trainable, Trainer,
+};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use tlp_dataset::Dataset;
-use tlp_nn::{lambda_rank_loss, mse_loss, Adam, Binding, Graph, Optimizer};
+use tlp_nn::{ParamStore, Var, Workspace};
 
 /// One task's training samples: features and labels, row-aligned.
 #[derive(Clone, Debug, Default)]
@@ -129,73 +134,135 @@ impl TrainData {
     }
 }
 
-/// Trains a TLP model in place, returning the mean loss per epoch.
-pub fn train_tlp(model: &mut TlpModel, data: &TrainData) -> Vec<f32> {
+/// One task-grouped feature micro-batch.
+#[derive(Clone, Debug)]
+pub(crate) struct FeatureBatch {
+    pub(crate) feats: Vec<f32>,
+    pub(crate) labels: Vec<f32>,
+}
+
+/// [`Trainable`] adapter for the single-task TLP model: shuffled task groups
+/// chunked into rank-loss micro-batches, exactly like the historical
+/// `train_tlp` loop.
+struct TlpTask<'a> {
+    model: &'a mut TlpModel,
+    data: &'a TrainData,
+    train_groups: Vec<usize>,
+    valid_groups: Vec<usize>,
+    batch_size: usize,
+}
+
+impl TlpTask<'_> {
+    fn group_batches(&self, gi: usize, order: &[usize], out: &mut Vec<FeatureBatch>) {
+        let group = &self.data.groups[gi];
+        for chunk in order.chunks(self.batch_size) {
+            // A singleton carries no ranking signal.
+            if chunk.len() < 2 {
+                continue;
+            }
+            let (feats, labels) = gather_rows(
+                &group.features,
+                &group.labels,
+                self.data.feature_size,
+                chunk,
+            );
+            out.push(FeatureBatch { feats, labels });
+        }
+    }
+}
+
+impl Trainable for TlpTask<'_> {
+    type Batch = FeatureBatch;
+
+    fn store(&self) -> &ParamStore {
+        &self.model.store
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.model.store
+    }
+
+    fn epoch_batches(&self, _epoch: usize, rng: &mut SmallRng) -> Vec<Self::Batch> {
+        let mut order = self.train_groups.clone();
+        order.shuffle(rng);
+        let mut out = Vec::new();
+        for &gi in &order {
+            let n = self.data.groups[gi].labels.len();
+            if n < 2 {
+                continue;
+            }
+            let mut sample_order: Vec<usize> = (0..n).collect();
+            sample_order.shuffle(rng);
+            self.group_batches(gi, &sample_order, &mut out);
+        }
+        out
+    }
+
+    fn batch_samples(&self, batch: &Self::Batch) -> usize {
+        batch.labels.len()
+    }
+
+    fn loss(&self, ws: &mut Workspace, batch: &Self::Batch) -> Var {
+        let scores = self.model.forward(
+            &mut ws.graph,
+            &mut ws.bind,
+            &batch.feats,
+            batch.labels.len(),
+        );
+        scored_loss(
+            &mut ws.graph,
+            scores,
+            &batch.labels,
+            self.model.config.loss,
+            self.model.config.seq_len,
+        )
+    }
+
+    fn valid_batches(&self) -> Vec<Self::Batch> {
+        let mut out = Vec::new();
+        for &gi in &self.valid_groups {
+            let n = self.data.groups[gi].labels.len();
+            if n < 2 {
+                continue;
+            }
+            let order: Vec<usize> = (0..n).collect();
+            self.group_batches(gi, &order, &mut out);
+        }
+        out
+    }
+}
+
+/// Trains a TLP model in place with options derived from its config
+/// (per-batch stepping, exponential LR decay — the historical loop's exact
+/// behaviour and batch stream).
+pub fn train_tlp(model: &mut TlpModel, data: &TrainData) -> TrainReport {
+    // The salt preserves the historical shuffle stream of this entry point.
+    let options = TrainOptions::from_config(&model.config).with_seed(model.config.seed ^ 0x7e41);
+    train_tlp_with(model, data, &options)
+}
+
+/// Trains a TLP model in place with explicit [`TrainOptions`].
+pub fn train_tlp_with(
+    model: &mut TlpModel,
+    data: &TrainData,
+    options: &TrainOptions,
+) -> TrainReport {
     assert_eq!(
         data.feature_size,
         model.config.seq_len * model.config.emb_size,
         "extractor shape must match model config"
     );
-    let mut opt = Adam::new(model.config.learning_rate);
-    let mut rng = SmallRng::seed_from_u64(model.config.seed ^ 0x7e41);
-    let mut epoch_losses = Vec::with_capacity(model.config.epochs);
-    let fs = data.feature_size;
-    let bs = model.config.batch_size.max(2);
-
-    for _epoch in 0..model.config.epochs {
-        // Exponential learning-rate decay stabilizes the small-batch rank loss.
-        opt.set_learning_rate(model.config.learning_rate * 0.9f32.powi(_epoch as i32));
-        let mut order: Vec<usize> = (0..data.groups.len()).collect();
-        order.shuffle(&mut rng);
-        let mut total_loss = 0.0f64;
-        let mut batches = 0usize;
-        for &gi in &order {
-            let group = &data.groups[gi];
-            let n = group.labels.len();
-            if n < 2 {
-                continue;
-            }
-            let mut sample_order: Vec<usize> = (0..n).collect();
-            sample_order.shuffle(&mut rng);
-            for chunk in sample_order.chunks(bs) {
-                if chunk.len() < 2 {
-                    continue;
-                }
-                let mut feats = Vec::with_capacity(chunk.len() * fs);
-                let mut labels = Vec::with_capacity(chunk.len());
-                for &i in chunk {
-                    feats.extend_from_slice(&group.features[i * fs..(i + 1) * fs]);
-                    labels.push(group.labels[i]);
-                }
-                let mut g = Graph::new();
-                let mut bind = Binding::new();
-                let scores = model.forward(&mut g, &mut bind, &feats, chunk.len());
-                let loss = match model.config.loss {
-                    LossKind::Rank => lambda_rank_loss(&mut g, scores, &labels),
-                    LossKind::Mse => {
-                        // The labels live in (0, 1]; squash the scores with a
-                        // sigmoid so MSE regression is well-posed (monotone,
-                        // so prediction-time rankings are unaffected).
-                        let scaled = g.scale(scores, 1.0 / model.config.seq_len as f32);
-                        let squashed = g.sigmoid(scaled);
-                        mse_loss(&mut g, squashed, &labels)
-                    }
-                };
-                g.backward(loss);
-                bind.harvest(&g, &mut model.store);
-                model.store.clip_grad_norm(5.0);
-                opt.step(&mut model.store);
-                total_loss += g.value(loss).item() as f64;
-                batches += 1;
-            }
-        }
-        epoch_losses.push(if batches > 0 {
-            (total_loss / batches as f64) as f32
-        } else {
-            0.0
-        });
-    }
-    epoch_losses
+    let (train_groups, valid_groups) =
+        split_group_indices(data.groups.len(), options.valid_frac, options.seed);
+    let batch_size = options.batch_size.max(2);
+    let mut task = TlpTask {
+        model,
+        data,
+        train_groups,
+        valid_groups,
+        batch_size,
+    };
+    Trainer::new(options.clone()).fit(&mut task)
 }
 
 #[cfg(test)]
@@ -231,7 +298,7 @@ mod tests {
         let data = TrainData::from_dataset(&ds, &ex, 0);
         assert!(data.num_samples() > 50);
         let mut model = TlpModel::new(cfg);
-        let losses = train_tlp(&mut model, &data);
+        let losses = train_tlp(&mut model, &data).epoch_losses();
         // Single-epoch losses are noisy on a tiny set; compare the first and
         // last thirds.
         let head: f32 = losses[..3].iter().sum::<f32>() / 3.0;

@@ -51,7 +51,7 @@ pub use layers::{
     Dropout, Embedding, Fwd, LayerNorm, Linear, Lstm, Mlp, MultiHeadSelfAttention, ResidualBlock,
 };
 pub use loss::{lambda_rank, lambda_rank_loss, mse_loss};
-pub use optim::{Adam, Optimizer, Sgd};
-pub use params::{Binding, ParamId, ParamStore};
+pub use optim::{Adam, LrSchedule, Optimizer, Sgd};
+pub use params::{Binding, GradBuffer, ParamId, ParamStore};
 pub use tensor::Tensor;
 pub use workspace::Workspace;

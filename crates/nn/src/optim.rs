@@ -17,6 +17,38 @@ pub trait Optimizer {
     fn set_learning_rate(&mut self, lr: f32);
 }
 
+/// Per-epoch learning-rate schedule applied on top of a base rate.
+///
+/// The TLP training loops all use exponential decay (`lr · 0.9^epoch`);
+/// pretraining and fine-tuning keep the rate constant. The schedule lives
+/// here so every loop shares one implementation instead of re-deriving
+/// `0.9f32.powi(epoch)` in place.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum LrSchedule {
+    /// The base learning rate for every epoch.
+    Constant,
+    /// `base · decay^epoch`.
+    Exponential {
+        /// Multiplicative decay per epoch (0.9 in the TLP loops).
+        decay: f32,
+    },
+}
+
+impl LrSchedule {
+    /// The decay used by the TLP/MTL/TenSet training loops.
+    pub const fn paper_decay() -> Self {
+        LrSchedule::Exponential { decay: 0.9 }
+    }
+
+    /// Learning rate for `epoch` (0-based) given the base rate.
+    pub fn lr_at(&self, base_lr: f32, epoch: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant => base_lr,
+            LrSchedule::Exponential { decay } => base_lr * decay.powi(epoch as i32),
+        }
+    }
+}
+
 /// Plain stochastic gradient descent with optional momentum.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Sgd {
@@ -179,6 +211,16 @@ mod tests {
     fn adam_converges_to_minimum() {
         let w = converges(Adam::new(0.05));
         assert!((w - 3.0).abs() < 1e-2, "got {w}");
+    }
+
+    #[test]
+    fn lr_schedule_matches_legacy_decay() {
+        let s = LrSchedule::paper_decay();
+        for epoch in 0..8 {
+            let legacy = 1e-3 * 0.9f32.powi(epoch as i32);
+            assert_eq!(s.lr_at(1e-3, epoch), legacy);
+        }
+        assert_eq!(LrSchedule::Constant.lr_at(0.5, 7), 0.5);
     }
 
     #[test]

@@ -52,8 +52,8 @@ fn main() {
 
     // 4. Train TLP (self-attention backbone + LambdaRank loss).
     let mut model = TlpModel::new(config);
-    let losses = train_tlp(&mut model, &data);
-    println!("epoch losses: {losses:?}");
+    let report = train_tlp(&mut model, &data);
+    println!("epoch losses: {:?}", report.epoch_losses());
 
     // 5. Evaluate with the paper's top-k metric on the held-out network.
     let (top1, top5) = eval_tlp(&model, &extractor, &ds, 0);

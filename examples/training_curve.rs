@@ -40,11 +40,11 @@ fn main() {
 
     let mut model = TlpModel::new(cfg);
     for epoch in 0..15 {
-        let loss = train_tlp(&mut model, &data);
+        let report = train_tlp(&mut model, &data);
         let (t1, t5) = eval_tlp(&model, &ex, &ds, 0);
         println!(
             "epoch {epoch:>2}  loss {:.4}  top-1 {t1:.4}  top-5 {t5:.4}",
-            loss[0]
+            report.final_loss()
         );
     }
 

@@ -34,8 +34,10 @@ fn full_pipeline_cpu() {
     let extractor = FeatureExtractor::fit(&ds, cfg.seq_len, cfg.emb_size);
     let data = TrainData::from_tasks(&capped_train_tasks(&ds, 50), &extractor, 0);
     let mut model = TlpModel::new(cfg);
-    let losses = train_tlp(&mut model, &data);
-    assert!(losses.last().unwrap().is_finite());
+    let report = train_tlp(&mut model, &data);
+    assert!(report.final_loss().is_finite());
+    assert_eq!(report.epochs.len(), 6);
+    assert_eq!(report.stop, tlp::StopReason::Completed);
     let (top1, top5) = eval_tlp(&model, &extractor, &ds, 0);
     assert!(top1 > 0.0 && top1 <= 1.0 + 1e-9);
     assert!(top5 >= top1);
@@ -116,7 +118,7 @@ fn multi_platform_dataset_feeds_mtl() {
     let target = TrainData::from_tasks(&tasks, &extractor, 0).subsample(0.3, 3);
     let aux = TrainData::from_tasks(&tasks, &extractor, 1);
     let mut mtl = MtlTlp::new(cfg, 2);
-    let losses = train_mtl(&mut mtl, &[target, aux]);
+    let losses = train_mtl(&mut mtl, &[target, aux]).epoch_losses();
     assert!(losses.iter().all(|l| l.is_finite()));
     let (t1, t5) = tlp::experiments::eval_mtl(&mtl, &extractor, &ds, 0);
     assert!(t1 > 0.0 && t5 >= t1);
