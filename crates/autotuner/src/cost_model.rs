@@ -272,6 +272,32 @@ pub trait CostModel {
     }
 }
 
+// Boxed models are cost models too, so call sites that pick a backend at
+// runtime (the CLI, serving clients) can pass `Box<dyn CostModel>` anywhere
+// a concrete model is expected.
+impl<T: CostModel + ?Sized> CostModel for Box<T> {
+    fn predict(&self, request: ScoreRequest<'_>) -> ScoreBatch {
+        (**self).predict(request)
+    }
+
+    fn update(
+        &mut self,
+        task: &SearchTask,
+        schedules: &[ScheduleSequence],
+        latencies: &[f64],
+    ) -> Result<(), UpdateError> {
+        (**self).update(task, schedules, latencies)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn pipeline_cost(&self) -> PipelineCost {
+        (**self).pipeline_cost()
+    }
+}
+
 /// A model that scores uniformly at random — the "no cost model" baseline.
 ///
 /// The xorshift state lives in an [`AtomicU64`] so concurrent `predict`
@@ -399,6 +425,20 @@ mod tests {
                 latencies: 1
             }
         );
+    }
+
+    #[test]
+    fn boxed_model_delegates() {
+        let t = task();
+        let seqs = vec![ScheduleSequence::new(); 4];
+        let direct = RandomModel::new(9).predict(ScoreRequest::new(&t, &seqs));
+        let mut boxed: Box<dyn CostModel> = Box::new(RandomModel::new(9));
+        let via_box = boxed.predict(ScoreRequest::new(&t, &seqs));
+        assert_eq!(direct.scores, via_box.scores);
+        assert_eq!(boxed.name(), "random");
+        assert_eq!(boxed.pipeline_cost(), PipelineCost::ZERO);
+        assert!(boxed.update(&t, &seqs, &[1e-3; 4]).is_ok());
+        assert!(boxed.update(&t, &seqs, &[1e-3]).is_err());
     }
 
     #[test]

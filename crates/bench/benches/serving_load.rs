@@ -1,0 +1,182 @@
+//! Serving-layer load benchmark: closed-loop multi-client throughput
+//! through `tlp-serve` vs a single unbatched client scoring directly on the
+//! cost model, writing `BENCH_serving.json`.
+//!
+//! The acceptance shape: with ≥8 concurrent clients, batched serving
+//! sustains at least the throughput of the single-client unbatched baseline
+//! (one candidate scored per call, private model, no coalescing, no cache
+//! reuse across clients), while reporting p50/p95/p99 request latency. The
+//! serving side wins on two axes the baseline forgoes: jobs for the same
+//! task coalesce into engine batches (amortizing micro-batch dispatch), and
+//! all clients share one score cache instead of each paying cold-miss
+//! inference for the same candidates.
+//!
+//! Run with `cargo bench -p tlp-bench --bench serving_load`.
+
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+use tlp::engine::EngineConfig;
+use tlp::features::FeatureExtractor;
+use tlp::search::TlpScorer;
+use tlp::{FeatureModel, TlpConfig, TlpModel};
+use tlp_autotuner::{CostModel, ScoreRequest, SearchTask};
+use tlp_bench::write_json;
+use tlp_hwsim::Platform;
+use tlp_schedule::{ScheduleSequence, Vocabulary};
+use tlp_serve::{
+    random_pool, run_closed_loop, HistogramSnapshot, LoadgenOptions, ModelRegistry, ServeConfig,
+    Server,
+};
+use tlp_workload::{AnchorOp, Subgraph};
+
+const CLIENTS: usize = 8;
+const REQUESTS_PER_CLIENT: usize = 50;
+const BATCH: usize = 16;
+const POOL: usize = 256;
+
+fn task() -> SearchTask {
+    SearchTask::new(
+        Subgraph::new(
+            "d",
+            AnchorOp::Dense {
+                m: 128,
+                n: 128,
+                k: 128,
+            },
+        ),
+        Platform::i7_10510u(),
+    )
+}
+
+fn model_and_extractor() -> (TlpModel, FeatureExtractor) {
+    let cfg = TlpConfig::test_scale();
+    let ex = FeatureExtractor::with_vocab(Vocabulary::builder().build(), cfg.seq_len, cfg.emb_size);
+    (TlpModel::new(cfg), ex)
+}
+
+/// Single client, no serving layer, no batching: one candidate per
+/// `predict` call against a private engine-backed model, over the same
+/// total candidate count one serving client issues.
+fn unbatched_baseline(t: &SearchTask, pool: &[ScheduleSequence]) -> BaselineReport {
+    let (model, ex) = model_and_extractor();
+    let local = FeatureModel::with_engine(
+        TlpScorer {
+            model,
+            extractor: ex,
+        },
+        EngineConfig {
+            threads: 1,
+            ..EngineConfig::default()
+        },
+    );
+    let total = REQUESTS_PER_CLIENT * BATCH;
+    let start = Instant::now();
+    let mut scored = 0usize;
+    for i in 0..total {
+        let one = std::slice::from_ref(&pool[i % pool.len()]);
+        let batch = local.predict(ScoreRequest::new(t, one));
+        scored += batch.len();
+    }
+    let wall_s = start.elapsed().as_secs_f64().max(1e-9);
+    BaselineReport {
+        candidates: scored,
+        wall_s,
+        candidates_per_s: scored as f64 / wall_s,
+    }
+}
+
+#[derive(Serialize)]
+struct BaselineReport {
+    candidates: usize,
+    wall_s: f64,
+    candidates_per_s: f64,
+}
+
+#[derive(Serialize)]
+struct ServingSummary {
+    clients: usize,
+    requests_per_client: usize,
+    batch: usize,
+    pool: usize,
+    serving_candidates_per_s: f64,
+    serving_requests_per_s: f64,
+    serving_errors: u64,
+    latency_us: HistogramSnapshot,
+    mean_jobs_per_batch: f64,
+    baseline: BaselineReport,
+    speedup_vs_unbatched_single_client: f64,
+    server: tlp_serve::ServeSnapshot,
+}
+
+fn main() {
+    let t = task();
+    let pool = random_pool(&t, POOL, 0xBE7C);
+
+    println!("single-client unbatched baseline…");
+    let baseline = unbatched_baseline(&t, &pool);
+    println!(
+        "baseline: {:.0} candidates/s over {} candidates",
+        baseline.candidates_per_s, baseline.candidates
+    );
+
+    println!("\nserving: {CLIENTS} closed-loop clients…");
+    let registry = Arc::new(ModelRegistry::new(EngineConfig::default()));
+    let (model, ex) = model_and_extractor();
+    registry.install_tlp("tlp", model, ex);
+    let server = Server::start(registry, ServeConfig::default());
+    let report = run_closed_loop(
+        &server.client(),
+        "tlp",
+        &t,
+        &pool,
+        &LoadgenOptions {
+            clients: CLIENTS,
+            requests_per_client: REQUESTS_PER_CLIENT,
+            batch: BATCH,
+            deadline: None,
+        },
+    );
+    server.shutdown();
+    assert_eq!(
+        report.errors, 0,
+        "serving under load must not fail requests"
+    );
+
+    let summary = ServingSummary {
+        clients: CLIENTS,
+        requests_per_client: REQUESTS_PER_CLIENT,
+        batch: BATCH,
+        pool: POOL,
+        serving_candidates_per_s: report.candidates_per_s,
+        serving_requests_per_s: report.requests_per_s,
+        serving_errors: report.errors,
+        latency_us: report.client_latency_us,
+        mean_jobs_per_batch: report.server.mean_jobs_per_batch,
+        speedup_vs_unbatched_single_client: report.candidates_per_s / baseline.candidates_per_s,
+        baseline,
+        server: report.server.clone(),
+    };
+    println!(
+        "serving: {:.0} candidates/s ({:.2}x baseline) | p50 {:.0}µs p95 {:.0}µs p99 {:.0}µs | {:.1} jobs/batch",
+        summary.serving_candidates_per_s,
+        summary.speedup_vs_unbatched_single_client,
+        summary.latency_us.p50_us,
+        summary.latency_us.p95_us,
+        summary.latency_us.p99_us,
+        summary.mean_jobs_per_batch,
+    );
+    assert!(
+        summary.speedup_vs_unbatched_single_client >= 1.0,
+        "batched serving ({:.0}/s) fell below the single-client unbatched baseline ({:.0}/s)",
+        summary.serving_candidates_per_s,
+        summary.baseline.candidates_per_s,
+    );
+
+    write_json("BENCH_serving", &summary);
+    // Also drop a copy at the repo root so the acceptance record travels
+    // with the source tree, not just the target directory.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serving.json");
+    let body = serde_json::to_string_pretty(&summary).expect("serialize summary");
+    std::fs::write(&root, body).expect("write BENCH_serving.json");
+}

@@ -117,7 +117,8 @@ impl EngineConfig {
 }
 
 /// Cumulative engine counters since construction (or the last reset).
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+/// Serializable so serving-layer stats snapshots can embed them verbatim.
+#[derive(Clone, Copy, Debug, Default, PartialEq, serde::Serialize)]
 pub struct EngineStats {
     /// Total `score` calls served.
     pub requests: u64,
@@ -487,7 +488,10 @@ impl InferenceEngine {
 /// Stable fingerprint of a search task for cache keying. Covers the
 /// subgraph (which scoring depends on) and the platform's debug rendering
 /// (so identical subgraphs tuned for different targets never share entries).
-fn task_fingerprint(task: &SearchTask) -> u64 {
+///
+/// Public so layers above the engine (the serving batcher) can group work by
+/// the same task identity the score cache uses.
+pub fn task_fingerprint(task: &SearchTask) -> u64 {
     let mut h = std::collections::hash_map::DefaultHasher::new();
     task.subgraph.hash(&mut h);
     format!("{:?}", task.platform).hash(&mut h);

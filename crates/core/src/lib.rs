@@ -64,7 +64,9 @@ pub use features::FeatureExtractor;
 pub use metrics::top_k_score;
 pub use model::TlpModel;
 pub use mtl::{train_mtl, train_mtl_with, MtlTlp};
-pub use persist::{snapshot_mtl, snapshot_tlp, ParamCheckpoint, SavedTlp};
+pub use persist::{
+    snapshot_mtl, snapshot_tlp, ParamCheckpoint, PersistError, SavedTlp, SAVED_TLP_FORMAT_VERSION,
+};
 pub use search::{AnsorCostModel, FeatureModel, MtlTlpCostModel, TenSetMlpCostModel, TlpCostModel};
 pub use train::{train_tlp, train_tlp_with, TrainData};
 pub use trainer::{EpochReport, StopReason, TrainOptions, TrainReport, Trainable, Trainer};

@@ -14,9 +14,19 @@ use std::path::Path;
 use tlp_nn::ParamStore;
 use tlp_schedule::Vocabulary;
 
+/// The snapshot format this build writes and accepts.
+///
+/// Bumped whenever the serialized layout of [`SavedTlp`] changes
+/// incompatibly. Snapshots written before the field existed probe as
+/// version 0 and are rejected with [`PersistError::Version`] — a model
+/// server must never hot-swap in a snapshot it may silently misinterpret.
+pub const SAVED_TLP_FORMAT_VERSION: u32 = 1;
+
 /// A serializable snapshot of a trained TLP model + its feature extractor.
 #[derive(Serialize, Deserialize)]
 pub struct SavedTlp {
+    /// Snapshot format tag; see [`SAVED_TLP_FORMAT_VERSION`].
+    format_version: u32,
     config: TlpConfig,
     vocab: Vocabulary,
     seq_len: usize,
@@ -33,6 +43,21 @@ pub enum PersistError {
     Io(std::io::Error),
     /// Malformed snapshot.
     Format(serde_json::Error),
+    /// The snapshot's format version does not match this build's.
+    Version {
+        /// Version tag found in the snapshot (0 when absent — a pre-version
+        /// or foreign file).
+        found: u32,
+        /// Version this build reads and writes.
+        expected: u32,
+    },
+    /// The snapshot's head count does not fit the requested model shape.
+    HeadCount {
+        /// Heads recorded in the snapshot.
+        found: usize,
+        /// Minimum (MTL) or exact (single-task) head count required.
+        expected: usize,
+    },
 }
 
 impl std::fmt::Display for PersistError {
@@ -40,6 +65,13 @@ impl std::fmt::Display for PersistError {
         match self {
             PersistError::Io(e) => write!(f, "model snapshot io error: {e}"),
             PersistError::Format(e) => write!(f, "model snapshot format error: {e}"),
+            PersistError::Version { found, expected } => write!(
+                f,
+                "model snapshot format version {found} (this build reads {expected})"
+            ),
+            PersistError::HeadCount { found, expected } => {
+                write!(f, "model snapshot has {found} head(s), expected {expected}")
+            }
         }
     }
 }
@@ -93,6 +125,7 @@ impl ParamCheckpoint {
 /// Snapshots a single-task model.
 pub fn snapshot_tlp(model: &TlpModel, extractor: &FeatureExtractor) -> SavedTlp {
     SavedTlp {
+        format_version: SAVED_TLP_FORMAT_VERSION,
         config: model.config.clone(),
         vocab: extractor.vocab().clone(),
         seq_len: extractor.seq_len,
@@ -105,6 +138,7 @@ pub fn snapshot_tlp(model: &TlpModel, extractor: &FeatureExtractor) -> SavedTlp 
 /// Snapshots an MTL model (all heads included; head 0 is the target).
 pub fn snapshot_mtl(model: &MtlTlp, extractor: &FeatureExtractor) -> SavedTlp {
     SavedTlp {
+        format_version: SAVED_TLP_FORMAT_VERSION,
         config: model.config.clone(),
         vocab: extractor.vocab().clone(),
         seq_len: extractor.seq_len,
@@ -128,36 +162,80 @@ impl SavedTlp {
 
     /// Reads a snapshot from JSON.
     ///
+    /// The format version is probed on the parsed value tree *before* the
+    /// full decode, so a stale or foreign file fails with the typed
+    /// [`PersistError::Version`] instead of a field-by-field deserialize
+    /// error deep inside the parameter store.
+    ///
     /// # Errors
     ///
-    /// Returns [`PersistError`] on filesystem or deserialization failure.
+    /// Returns [`PersistError`] on filesystem failure, version mismatch, or
+    /// deserialization failure.
     pub fn load(path: impl AsRef<Path>) -> Result<SavedTlp, PersistError> {
         let body = std::fs::read_to_string(path)?;
-        Ok(serde_json::from_str(&body)?)
+        let tree: serde::Value = serde_json::from_str(&body)?;
+        let found = tree
+            .get("format_version")
+            .and_then(serde::Value::as_u64)
+            .unwrap_or(0) as u32;
+        if found != SAVED_TLP_FORMAT_VERSION {
+            return Err(PersistError::Version {
+                found,
+                expected: SAVED_TLP_FORMAT_VERSION,
+            });
+        }
+        serde::Deserialize::deserialize_value(&tree)
+            .map_err(|e| PersistError::Format(serde_json::Error::from(e)))
+    }
+
+    /// The snapshot's format version tag.
+    pub fn format_version(&self) -> u32 {
+        self.format_version
+    }
+
+    /// Number of MTL heads the snapshot carries (1 = single-task model).
+    pub fn heads(&self) -> usize {
+        self.heads
     }
 
     /// Rebuilds the single-task model and extractor.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the snapshot was taken from an MTL model (use
-    /// [`SavedTlp::restore_mtl`]).
-    pub fn restore_tlp(&self) -> (TlpModel, FeatureExtractor) {
-        assert_eq!(self.heads, 1, "snapshot holds an MTL model");
+    /// Returns [`PersistError::HeadCount`] if the snapshot was taken from an
+    /// MTL model (use [`SavedTlp::restore_mtl`]).
+    pub fn restore_tlp(&self) -> Result<(TlpModel, FeatureExtractor), PersistError> {
+        if self.heads != 1 {
+            return Err(PersistError::HeadCount {
+                found: self.heads,
+                expected: 1,
+            });
+        }
         let mut model = TlpModel::new(self.config.clone());
         model.store = self.store.clone();
         let extractor =
             FeatureExtractor::with_vocab(self.vocab.clone(), self.seq_len, self.emb_size);
-        (model, extractor)
+        Ok((model, extractor))
     }
 
     /// Rebuilds an MTL model and extractor.
-    pub fn restore_mtl(&self) -> (MtlTlp, FeatureExtractor) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::HeadCount`] if the snapshot records no heads
+    /// at all (a corrupt or hand-edited file).
+    pub fn restore_mtl(&self) -> Result<(MtlTlp, FeatureExtractor), PersistError> {
+        if self.heads == 0 {
+            return Err(PersistError::HeadCount {
+                found: 0,
+                expected: 1,
+            });
+        }
         let mut model = MtlTlp::new(self.config.clone(), self.heads);
         model.store = self.store.clone();
         let extractor =
             FeatureExtractor::with_vocab(self.vocab.clone(), self.seq_len, self.emb_size);
-        (model, extractor)
+        Ok((model, extractor))
     }
 }
 
@@ -189,7 +267,9 @@ mod tests {
         let dir = std::env::temp_dir().join("tlp_snapshot_test.json");
         snapshot_tlp(&model, &ex).save(&dir).expect("save");
         let loaded = SavedTlp::load(&dir).expect("load");
-        let (model2, ex2) = loaded.restore_tlp();
+        assert_eq!(loaded.format_version(), SAVED_TLP_FORMAT_VERSION);
+        assert_eq!(loaded.heads(), 1);
+        let (model2, ex2) = loaded.restore_tlp().expect("single-task snapshot");
         let after = model2.predict(&sample_features(&ex2));
         assert_eq!(before, after);
         let _ = std::fs::remove_file(dir);
@@ -204,7 +284,7 @@ mod tests {
         let snap = snapshot_mtl(&model, &ex);
         let json = serde_json::to_string(&snap).unwrap();
         let back: SavedTlp = serde_json::from_str(&json).unwrap();
-        let (model2, _) = back.restore_mtl();
+        let (model2, _) = back.restore_mtl().expect("mtl snapshot");
         assert_eq!(model2.num_tasks(), 3);
         let feats = sample_features(&ex);
         for head in 0..3 {
@@ -220,6 +300,75 @@ mod tests {
         assert!(matches!(
             SavedTlp::load("/nonexistent/path/model.json"),
             Err(PersistError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn load_rejects_unversioned_snapshot() {
+        // A pre-versioning or foreign JSON file probes as version 0 and must
+        // fail with the typed error, not a deep deserialize failure.
+        let path = std::env::temp_dir().join("tlp_snapshot_unversioned.json");
+        std::fs::write(&path, r#"{"config": {}, "heads": 1}"#).unwrap();
+        match SavedTlp::load(&path) {
+            Err(PersistError::Version { found, expected }) => {
+                assert_eq!(found, 0);
+                assert_eq!(expected, SAVED_TLP_FORMAT_VERSION);
+            }
+            other => panic!(
+                "expected Version error, got {:?}",
+                other.map(|s| s.format_version())
+            ),
+        }
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn load_rejects_future_version() {
+        let cfg = TlpConfig::test_scale();
+        let model = TlpModel::new(cfg.clone());
+        let ex =
+            FeatureExtractor::with_vocab(Vocabulary::builder().build(), cfg.seq_len, cfg.emb_size);
+        let mut snap = snapshot_tlp(&model, &ex);
+        snap.format_version = SAVED_TLP_FORMAT_VERSION + 1;
+        let path = std::env::temp_dir().join("tlp_snapshot_future.json");
+        snap.save(&path).expect("save");
+        assert!(matches!(
+            SavedTlp::load(&path),
+            Err(PersistError::Version { found, .. }) if found == SAVED_TLP_FORMAT_VERSION + 1
+        ));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn restore_tlp_rejects_mtl_snapshot() {
+        let cfg = TlpConfig::test_scale();
+        let model = MtlTlp::new(cfg.clone(), 3);
+        let ex =
+            FeatureExtractor::with_vocab(Vocabulary::builder().build(), cfg.seq_len, cfg.emb_size);
+        let snap = snapshot_mtl(&model, &ex);
+        match snap.restore_tlp() {
+            Err(PersistError::HeadCount { found, expected }) => {
+                assert_eq!(found, 3);
+                assert_eq!(expected, 1);
+            }
+            Ok(_) => panic!("restoring an MTL snapshot as single-task must fail"),
+            Err(other) => panic!("expected HeadCount error, got {other:?}"),
+        }
+        // The same snapshot restores fine through the MTL path.
+        assert!(snap.restore_mtl().is_ok());
+    }
+
+    #[test]
+    fn restore_mtl_rejects_zero_heads() {
+        let cfg = TlpConfig::test_scale();
+        let model = TlpModel::new(cfg.clone());
+        let ex =
+            FeatureExtractor::with_vocab(Vocabulary::builder().build(), cfg.seq_len, cfg.emb_size);
+        let mut snap = snapshot_tlp(&model, &ex);
+        snap.heads = 0;
+        assert!(matches!(
+            snap.restore_mtl(),
+            Err(PersistError::HeadCount { found: 0, .. })
         ));
     }
 }

@@ -1,0 +1,86 @@
+//! The serving layer as an autotuner scoring backend.
+//!
+//! [`RemoteCostModel`] wraps a [`ServeClient`] in the [`CostModel`] trait,
+//! so `tune_network` can score through the shared server — coalescing its
+//! batches with other concurrent tuners — instead of owning a private
+//! engine. Serving failures degrade to an all-invalid batch rather than
+//! panicking: the tuner's existing invalid-candidate handling (rank-last
+//! fallback scores) absorbs a transient overload or deadline miss without
+//! aborting the search.
+
+use crate::error::ServeError;
+use crate::server::ServeClient;
+use std::time::Duration;
+use tlp::search::TLP_PIPELINE_COST;
+use tlp_autotuner::{CostModel, PipelineCost, ScoreBatch, ScoreRequest};
+
+/// A [`CostModel`] scoring through a serving client.
+pub struct RemoteCostModel {
+    client: ServeClient,
+    model: String,
+    label: String,
+    deadline: Option<Duration>,
+    errors: std::cell::Cell<u64>,
+}
+
+impl RemoteCostModel {
+    /// A backend scoring against the model named `model` on the server
+    /// behind `client`.
+    pub fn new(client: ServeClient, model: impl Into<String>) -> Self {
+        let model = model.into();
+        RemoteCostModel {
+            label: format!("serve:{model}"),
+            client,
+            model,
+            deadline: None,
+            errors: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Attaches a per-request deadline; requests exceeding it come back as
+    /// all-invalid batches instead of blocking the tuner.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Number of requests that failed with a [`ServeError`] and were
+    /// degraded to all-invalid batches.
+    pub fn errors(&self) -> u64 {
+        self.errors.get()
+    }
+}
+
+impl CostModel for RemoteCostModel {
+    fn predict(&self, request: ScoreRequest<'_>) -> ScoreBatch {
+        let result = match self.deadline {
+            None => self
+                .client
+                .score(&self.model, request.task, request.candidates),
+            Some(d) => {
+                self.client
+                    .score_with_deadline(&self.model, request.task, request.candidates, d)
+            }
+        };
+        match result {
+            Ok(reply) => {
+                let mut batch = ScoreBatch::masked(reply.scores, TLP_PIPELINE_COST);
+                batch.stats = reply.stats;
+                batch
+            }
+            Err(err) => {
+                debug_assert!(!matches!(err, ServeError::UnknownModel(_)));
+                self.errors.set(self.errors.get() + 1);
+                ScoreBatch::masked(vec![None; request.len()], TLP_PIPELINE_COST)
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn pipeline_cost(&self) -> PipelineCost {
+        TLP_PIPELINE_COST
+    }
+}

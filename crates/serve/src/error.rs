@@ -1,0 +1,49 @@
+//! Typed serving failures.
+//!
+//! Every way a score request can fail without a score is a variant here, so
+//! clients can program against overload and deadline expiry instead of
+//! parsing strings or blocking forever.
+
+use std::fmt;
+
+/// Why a serving request did not produce scores.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The admission queue was at capacity; the request was rejected
+    /// immediately (never enqueued) so server memory stays bounded under
+    /// overload. Back off and retry.
+    Overloaded {
+        /// The queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The request's deadline expired before scoring completed — either in
+    /// the queue (the server dropped it unscored) or while the client waited
+    /// for the reply.
+    DeadlineExceeded,
+    /// No model with this name is installed in the registry.
+    UnknownModel(String),
+    /// The server is shutting down and no longer admits new work.
+    ShuttingDown,
+    /// The server dropped the reply channel without answering (it was torn
+    /// down non-gracefully). Treated as a request failure, never a hang.
+    Disconnected,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { capacity } => {
+                write!(
+                    f,
+                    "serving queue full (capacity {capacity}); request rejected"
+                )
+            }
+            ServeError::DeadlineExceeded => write!(f, "request deadline expired before scoring"),
+            ServeError::UnknownModel(name) => write!(f, "no model named `{name}` is installed"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Disconnected => write!(f, "server dropped the request without a reply"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

@@ -1,0 +1,299 @@
+//! Named, versioned cost models, hot-swappable under live traffic.
+//!
+//! The registry maps model names to [`ModelVersion`]s — an immutable bundle
+//! of (restored scorer, private [`InferenceEngine`], monotonic version tag)
+//! behind an `Arc`. Lookups clone the `Arc`, so a batch that resolved a
+//! model keeps scoring on exactly that version even if an
+//! [`ModelRegistry::install`] swaps the name mid-flight; the old version is
+//! freed when its last in-flight batch drops it. Each version owns its own
+//! engine (and score cache), so a swap can never serve version-N scores to
+//! version-N+1 requests; the displaced engine is additionally
+//! [`InferenceEngine::invalidate`]d at swap time so its cache memory is
+//! released immediately rather than when the last straggler finishes.
+
+use crate::error::ServeError;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use tlp::engine::{EngineConfig, InferenceEngine, ScheduleScorer};
+use tlp::persist::{PersistError, SavedTlp};
+use tlp::search::{FeatureScratch, MtlTlpScorer, TlpScorer, TLP_PIPELINE_COST};
+use tlp::FeatureExtractor;
+use tlp::{MtlTlp, TlpModel};
+use tlp_autotuner::{BatchStats, PipelineCost, SearchTask};
+use tlp_schedule::ScheduleSequence;
+
+/// A scorer restored from a [`SavedTlp`] snapshot: single-task TLP or the
+/// target head of an MTL model.
+#[derive(Debug)]
+pub enum LoadedScorer {
+    /// Single-task TLP.
+    Tlp(TlpScorer),
+    /// MTL-TLP scored through head 0 (the target platform).
+    Mtl(MtlTlpScorer),
+}
+
+impl ScheduleScorer for LoadedScorer {
+    type Scratch = FeatureScratch;
+
+    fn name(&self) -> &str {
+        match self {
+            LoadedScorer::Tlp(s) => s.name(),
+            LoadedScorer::Mtl(s) => s.name(),
+        }
+    }
+
+    fn pipeline_cost(&self) -> PipelineCost {
+        TLP_PIPELINE_COST
+    }
+
+    fn score_micro_batch(
+        &self,
+        scratch: &mut FeatureScratch,
+        task: &SearchTask,
+        schedules: &[ScheduleSequence],
+        idx: &[usize],
+    ) -> Vec<Option<f32>> {
+        match self {
+            LoadedScorer::Tlp(s) => s.score_micro_batch(scratch, task, schedules, idx),
+            LoadedScorer::Mtl(s) => s.score_micro_batch(scratch, task, schedules, idx),
+        }
+    }
+}
+
+/// One immutable installed model: scorer + private engine + version tag.
+#[derive(Debug)]
+pub struct ModelVersion {
+    name: String,
+    version: u64,
+    scorer: LoadedScorer,
+    engine: InferenceEngine,
+}
+
+impl ModelVersion {
+    /// Registry name this version is (or was) installed under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Monotonic version tag, unique across the registry's lifetime.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// This version's engine (for stats snapshots).
+    pub fn engine(&self) -> &InferenceEngine {
+        &self.engine
+    }
+
+    /// Scores `schedules` for `task` through this version's engine
+    /// (batched, cached, parallel — identical semantics to direct
+    /// [`InferenceEngine::score`] calls).
+    pub fn score(
+        &self,
+        task: &SearchTask,
+        schedules: &[ScheduleSequence],
+    ) -> (Vec<Option<f32>>, BatchStats) {
+        self.engine.score(&self.scorer, task, schedules)
+    }
+}
+
+/// Thread-safe name → current-[`ModelVersion`] map.
+#[derive(Debug)]
+pub struct ModelRegistry {
+    models: RwLock<HashMap<String, Arc<ModelVersion>>>,
+    next_version: AtomicU64,
+    engine_config: EngineConfig,
+}
+
+impl Default for ModelRegistry {
+    fn default() -> Self {
+        ModelRegistry::new(EngineConfig::default())
+    }
+}
+
+impl ModelRegistry {
+    /// An empty registry; every installed version gets an engine sized by
+    /// `engine_config`.
+    pub fn new(engine_config: EngineConfig) -> Self {
+        ModelRegistry {
+            models: RwLock::new(HashMap::new()),
+            next_version: AtomicU64::new(1),
+            engine_config,
+        }
+    }
+
+    /// Installs (or hot-swaps) a model restored from a snapshot. Single-task
+    /// snapshots load as TLP, multi-head snapshots as MTL-TLP (target head).
+    ///
+    /// Returns the new version tag.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PersistError`] from the restore (zero-head snapshots).
+    pub fn install(&self, name: &str, snapshot: &SavedTlp) -> Result<u64, PersistError> {
+        let scorer = if snapshot.heads() == 1 {
+            let (model, extractor) = snapshot.restore_tlp()?;
+            LoadedScorer::Tlp(TlpScorer { model, extractor })
+        } else {
+            let (model, extractor) = snapshot.restore_mtl()?;
+            LoadedScorer::Mtl(MtlTlpScorer { model, extractor })
+        };
+        Ok(self.install_scorer(name, scorer))
+    }
+
+    /// Installs (or hot-swaps) an in-memory single-task model.
+    pub fn install_tlp(&self, name: &str, model: TlpModel, extractor: FeatureExtractor) -> u64 {
+        self.install_scorer(name, LoadedScorer::Tlp(TlpScorer { model, extractor }))
+    }
+
+    /// Installs (or hot-swaps) an in-memory MTL model (scored via head 0).
+    pub fn install_mtl(&self, name: &str, model: MtlTlp, extractor: FeatureExtractor) -> u64 {
+        self.install_scorer(name, LoadedScorer::Mtl(MtlTlpScorer { model, extractor }))
+    }
+
+    /// Installs a scorer under `name`, atomically replacing any previous
+    /// version. In-flight batches holding the old `Arc` finish on the old
+    /// version; its cache is invalidated immediately so the displaced
+    /// entries stop occupying memory.
+    pub fn install_scorer(&self, name: &str, scorer: LoadedScorer) -> u64 {
+        let version = self.next_version.fetch_add(1, Ordering::Relaxed);
+        let entry = Arc::new(ModelVersion {
+            name: name.to_string(),
+            version,
+            scorer,
+            engine: InferenceEngine::new(self.engine_config),
+        });
+        let old = self
+            .models
+            .write()
+            .expect("registry poisoned")
+            .insert(name.to_string(), entry);
+        if let Some(old) = old {
+            old.engine.invalidate();
+        }
+        version
+    }
+
+    /// The current version under `name`, if any.
+    pub fn resolve(&self, name: &str) -> Option<Arc<ModelVersion>> {
+        self.models
+            .read()
+            .expect("registry poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// Like [`ModelRegistry::resolve`] but with the serving-layer error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownModel`] when `name` is not installed.
+    pub fn resolve_required(&self, name: &str) -> Result<Arc<ModelVersion>, ServeError> {
+        self.resolve(name)
+            .ok_or_else(|| ServeError::UnknownModel(name.to_string()))
+    }
+
+    /// Uninstalls `name`. In-flight batches on the removed version finish
+    /// normally.
+    pub fn remove(&self, name: &str) -> bool {
+        self.models
+            .write()
+            .expect("registry poisoned")
+            .remove(name)
+            .is_some()
+    }
+
+    /// Installed model names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .models
+            .read()
+            .expect("registry poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Current (name, version, engine-stats) rows for stats snapshots.
+    pub fn stats(&self) -> Vec<crate::stats::ModelStatsSnapshot> {
+        let mut rows: Vec<_> = self
+            .models
+            .read()
+            .expect("registry poisoned")
+            .values()
+            .map(|m| crate::stats::ModelStatsSnapshot {
+                name: m.name.clone(),
+                version: m.version,
+                engine: m.engine.stats(),
+            })
+            .collect();
+        rows.sort_by(|a, b| a.name.cmp(&b.name));
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlp::persist::snapshot_tlp;
+    use tlp::TlpConfig;
+    use tlp_schedule::Vocabulary;
+
+    fn model_and_extractor() -> (TlpModel, FeatureExtractor) {
+        let cfg = TlpConfig::test_scale();
+        let ex =
+            FeatureExtractor::with_vocab(Vocabulary::builder().build(), cfg.seq_len, cfg.emb_size);
+        (TlpModel::new(cfg), ex)
+    }
+
+    #[test]
+    fn install_resolve_remove_roundtrip() {
+        let reg = ModelRegistry::default();
+        assert!(reg.resolve("m").is_none());
+        assert_eq!(
+            reg.resolve_required("m").err(),
+            Some(ServeError::UnknownModel("m".to_string())),
+        );
+        let (model, ex) = model_and_extractor();
+        let v1 = reg.install_tlp("m", model, ex);
+        let resolved = reg.resolve("m").expect("installed");
+        assert_eq!(resolved.version(), v1);
+        assert_eq!(resolved.name(), "m");
+        assert_eq!(reg.names(), vec!["m".to_string()]);
+        assert!(reg.remove("m"));
+        assert!(!reg.remove("m"));
+        assert!(reg.resolve("m").is_none());
+    }
+
+    #[test]
+    fn hot_swap_bumps_version_and_keeps_old_arc_alive() {
+        let reg = ModelRegistry::default();
+        let (m1, e1) = model_and_extractor();
+        let (m2, e2) = model_and_extractor();
+        let v1 = reg.install_tlp("m", m1, e1);
+        let held = reg.resolve("m").expect("v1");
+        let v2 = reg.install_tlp("m", m2, e2);
+        assert!(v2 > v1);
+        // The held Arc still answers as the old version.
+        assert_eq!(held.version(), v1);
+        assert_eq!(reg.resolve("m").expect("v2").version(), v2);
+        // Swap invalidated the displaced engine.
+        assert_eq!(held.engine().stats().invalidations, 1);
+    }
+
+    #[test]
+    fn snapshot_install_picks_model_family() {
+        let reg = ModelRegistry::default();
+        let (model, ex) = model_and_extractor();
+        let snap = snapshot_tlp(&model, &ex);
+        let v = reg.install("from-disk", &snap).expect("install");
+        let resolved = reg.resolve("from-disk").expect("installed");
+        assert_eq!(resolved.version(), v);
+        let rows = reg.stats();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].name, "from-disk");
+    }
+}

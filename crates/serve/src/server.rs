@@ -1,0 +1,481 @@
+//! The serving front end: bounded admission queue, dynamic batcher threads,
+//! and the client handle.
+//!
+//! Clients submit `(model name, task, candidates)` jobs through a
+//! [`ServeClient`]. Admission is bounded: a full queue rejects with
+//! [`ServeError::Overloaded`] *before* enqueueing, so rejected load costs
+//! O(1) and server memory never grows with it. Batcher threads pull the
+//! oldest job, then coalesce every queued job for the same `(model, task)`
+//! into one engine batch — topping up for at most
+//! [`BatchPolicy::max_wait`] while the batch is below
+//! [`BatchPolicy::max_batch`] candidates — so many small tuner requests
+//! amortize into the engine's micro-batched parallel path. Each batch scores
+//! on the [`ModelVersion`] resolved at execution time and carries that
+//! version tag back to the client; a hot-swap between two batches is
+//! invisible to in-flight work.
+//!
+//! Shutdown is graceful: new submissions fail with
+//! [`ServeError::ShuttingDown`] while batchers keep flushing (without the
+//! coalescing wait) until the queue is empty, so every admitted request gets
+//! an answer.
+
+use crate::error::ServeError;
+use crate::registry::ModelRegistry;
+use crate::stats::{ServeSnapshot, ServeStats};
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tlp::engine::task_fingerprint;
+use tlp_autotuner::{BatchStats, SearchTask};
+use tlp_schedule::ScheduleSequence;
+
+/// Dynamic-batching policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Stop coalescing once a batch holds this many candidates. Not a hard
+    /// split: a single oversized job still runs whole (the engine
+    /// micro-batches internally).
+    pub max_batch: usize,
+    /// How long a batch below `max_batch` may wait for more jobs, measured
+    /// from the oldest job's enqueue time. Zero flushes immediately.
+    pub max_wait: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch: 512,
+            max_wait: Duration::from_micros(200),
+        }
+    }
+}
+
+/// Server sizing knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Admission-queue capacity; submission `capacity + 1` while the queue
+    /// is full gets [`ServeError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Batcher threads. `0` starts a paused server that admits but never
+    /// executes jobs — useful for tests exercising admission control;
+    /// [`Server::shutdown`] then answers leftovers with
+    /// [`ServeError::ShuttingDown`].
+    pub batchers: usize,
+    /// Coalescing policy.
+    pub policy: BatchPolicy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_capacity: 1024,
+            batchers: 2,
+            policy: BatchPolicy::default(),
+        }
+    }
+}
+
+/// A completed score request.
+#[derive(Clone, Debug)]
+pub struct ScoreReply {
+    /// Per-candidate optional scores, parallel to the submitted schedules
+    /// (`None` = unscoreable candidate).
+    pub scores: Vec<Option<f32>>,
+    /// The model version that produced the scores.
+    pub model_version: u64,
+    /// Engine accounting for the *coalesced* batch this job rode in (shared
+    /// by all jobs in the batch).
+    pub stats: BatchStats,
+    /// Time this job spent queued before its batch executed, µs.
+    pub queue_us: u64,
+    /// Number of client jobs coalesced into the engine batch.
+    pub batch_jobs: usize,
+}
+
+struct Job {
+    model: String,
+    task_fp: u64,
+    task: SearchTask,
+    schedules: Vec<ScheduleSequence>,
+    deadline: Option<Instant>,
+    enqueued: Instant,
+    reply: mpsc::Sender<Result<ScoreReply, ServeError>>,
+}
+
+struct QueueState {
+    queue: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    capacity: usize,
+    stats: ServeStats,
+    registry: Arc<ModelRegistry>,
+}
+
+impl Shared {
+    fn snapshot(&self) -> ServeSnapshot {
+        let depth = self.state.lock().expect("serve queue poisoned").queue.len();
+        self.stats.snapshot(depth, self.registry.stats())
+    }
+}
+
+/// The serving layer: owns the queue and the batcher threads.
+///
+/// Create with [`Server::start`], hand out [`ServeClient`]s via
+/// [`Server::client`], and stop with [`Server::shutdown`] (dropping the
+/// server shuts it down too).
+pub struct Server {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts `config.batchers` batcher threads over `registry`.
+    pub fn start(registry: Arc<ModelRegistry>, config: ServeConfig) -> Server {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::with_capacity(config.queue_capacity.min(1 << 16)),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            capacity: config.queue_capacity,
+            stats: ServeStats::default(),
+            registry,
+        });
+        let handles = (0..config.batchers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let policy = config.policy;
+                std::thread::Builder::new()
+                    .name(format!("tlp-serve-batcher-{i}"))
+                    .spawn(move || batcher_loop(&shared, policy))
+                    .expect("spawn batcher thread")
+            })
+            .collect();
+        Server { shared, handles }
+    }
+
+    /// A cloneable client handle for this server.
+    pub fn client(&self) -> ServeClient {
+        ServeClient {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// The registry this server scores through.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.shared.registry
+    }
+
+    /// Point-in-time serving stats (counters, queue depth, latency
+    /// percentiles, per-model engine stats).
+    pub fn stats(&self) -> ServeSnapshot {
+        self.shared.snapshot()
+    }
+
+    /// Graceful shutdown: stops admitting, lets batchers drain every queued
+    /// job, joins them, and returns the final stats snapshot. With zero
+    /// batchers, leftover jobs are answered [`ServeError::ShuttingDown`].
+    pub fn shutdown(mut self) -> ServeSnapshot {
+        self.stop();
+        self.shared.snapshot()
+    }
+
+    fn stop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("serve queue poisoned");
+            st.shutdown = true;
+        }
+        self.shared.cv.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        // Only reachable with zero batchers: nobody will drain the queue.
+        let leftovers: Vec<Job> = {
+            let mut st = self.shared.state.lock().expect("serve queue poisoned");
+            st.queue.drain(..).collect()
+        };
+        for job in leftovers {
+            let _ = job.reply.send(Err(ServeError::ShuttingDown));
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// A cheap, cloneable handle submitting score requests to a [`Server`].
+#[derive(Clone)]
+pub struct ServeClient {
+    shared: Arc<Shared>,
+}
+
+impl ServeClient {
+    /// Scores `schedules` for `task` on the model named `model`, blocking
+    /// until the reply arrives.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServeError`]: unknown model, full queue, shutdown, or a dropped
+    /// reply channel.
+    pub fn score(
+        &self,
+        model: &str,
+        task: &SearchTask,
+        schedules: &[ScheduleSequence],
+    ) -> Result<ScoreReply, ServeError> {
+        self.submit(model, task, schedules, None)?.wait()
+    }
+
+    /// Like [`ServeClient::score`] with a deadline: the request fails with
+    /// [`ServeError::DeadlineExceeded`] if scoring has not completed within
+    /// `deadline` of submission (checked both server-side before scoring and
+    /// client-side while waiting).
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServeError`].
+    pub fn score_with_deadline(
+        &self,
+        model: &str,
+        task: &SearchTask,
+        schedules: &[ScheduleSequence],
+        deadline: Duration,
+    ) -> Result<ScoreReply, ServeError> {
+        self.submit(model, task, schedules, Some(deadline))?.wait()
+    }
+
+    /// Submits without waiting, returning a [`PendingScore`] to collect
+    /// later. Lets one client pipeline several requests.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`], [`ServeError::Overloaded`], or
+    /// [`ServeError::ShuttingDown`] — all admission-time failures.
+    pub fn submit(
+        &self,
+        model: &str,
+        task: &SearchTask,
+        schedules: &[ScheduleSequence],
+        deadline: Option<Duration>,
+    ) -> Result<PendingScore, ServeError> {
+        // Fast-fail before paying for the clone: an unknown model can never
+        // become scoreable by queueing (installs race admission either way).
+        if self.shared.registry.resolve(model).is_none() {
+            ServeStats::bump(&self.shared.stats.unknown_model);
+            return Err(ServeError::UnknownModel(model.to_string()));
+        }
+        let now = Instant::now();
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            model: model.to_string(),
+            task_fp: task_fingerprint(task),
+            task: task.clone(),
+            schedules: schedules.to_vec(),
+            deadline: deadline.map(|d| now + d),
+            enqueued: now,
+            reply: tx,
+        };
+        {
+            let mut st = self.shared.state.lock().expect("serve queue poisoned");
+            if st.shutdown {
+                return Err(ServeError::ShuttingDown);
+            }
+            if st.queue.len() >= self.shared.capacity {
+                ServeStats::bump(&self.shared.stats.rejected_overload);
+                return Err(ServeError::Overloaded {
+                    capacity: self.shared.capacity,
+                });
+            }
+            st.queue.push_back(job);
+        }
+        ServeStats::bump(&self.shared.stats.submitted);
+        self.shared.cv.notify_one();
+        Ok(PendingScore {
+            rx,
+            deadline: deadline.map(|d| now + d),
+        })
+    }
+
+    /// Current serving stats.
+    pub fn stats(&self) -> ServeSnapshot {
+        self.shared.snapshot()
+    }
+}
+
+/// An in-flight request; consume with [`PendingScore::wait`].
+pub struct PendingScore {
+    rx: mpsc::Receiver<Result<ScoreReply, ServeError>>,
+    deadline: Option<Instant>,
+}
+
+impl PendingScore {
+    /// Blocks until the reply arrives (or the deadline passes).
+    ///
+    /// # Errors
+    ///
+    /// The server's reply error, [`ServeError::DeadlineExceeded`] if the
+    /// deadline passes first, or [`ServeError::Disconnected`] if the server
+    /// was torn down without answering.
+    pub fn wait(self) -> Result<ScoreReply, ServeError> {
+        match self.deadline {
+            None => self.rx.recv().unwrap_or(Err(ServeError::Disconnected)),
+            Some(deadline) => {
+                let timeout = deadline.saturating_duration_since(Instant::now());
+                match self.rx.recv_timeout(timeout) {
+                    Ok(reply) => reply,
+                    Err(mpsc::RecvTimeoutError::Timeout) => Err(ServeError::DeadlineExceeded),
+                    Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServeError::Disconnected),
+                }
+            }
+        }
+    }
+}
+
+/// One coalesced unit of work: jobs sharing a `(model, task)` key.
+struct Group {
+    model: String,
+    task_fp: u64,
+    jobs: Vec<Job>,
+    candidates: usize,
+    first_enqueued: Instant,
+}
+
+impl Group {
+    fn seed(job: Job) -> Group {
+        Group {
+            model: job.model.clone(),
+            task_fp: job.task_fp,
+            candidates: job.schedules.len(),
+            first_enqueued: job.enqueued,
+            jobs: vec![job],
+        }
+    }
+
+    /// Moves matching queued jobs into the group until `max_batch`.
+    fn top_up(&mut self, queue: &mut VecDeque<Job>, max_batch: usize) {
+        let mut i = 0;
+        while i < queue.len() && self.candidates < max_batch {
+            if queue[i].model == self.model && queue[i].task_fp == self.task_fp {
+                let job = queue.remove(i).expect("index in bounds");
+                self.candidates += job.schedules.len();
+                self.jobs.push(job);
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+fn batcher_loop(shared: &Shared, policy: BatchPolicy) {
+    loop {
+        let mut st = shared.state.lock().expect("serve queue poisoned");
+        // Sleep until there is work (or we are told to exit).
+        loop {
+            if !st.queue.is_empty() {
+                break;
+            }
+            if st.shutdown {
+                return;
+            }
+            st = shared.cv.wait(st).expect("serve queue poisoned");
+        }
+        let first = st.queue.pop_front().expect("non-empty queue");
+        let mut group = Group::seed(first);
+        group.top_up(&mut st.queue, policy.max_batch);
+        // Below target size: hold the batch open for stragglers, measured
+        // from the oldest job so no request waits more than max_wait here.
+        // Shutdown flushes immediately.
+        let wait_until = group.first_enqueued + policy.max_wait;
+        while group.candidates < policy.max_batch && !st.shutdown {
+            let now = Instant::now();
+            if now >= wait_until {
+                break;
+            }
+            let (guard, timed_out) = shared
+                .cv
+                .wait_timeout(st, wait_until - now)
+                .expect("serve queue poisoned");
+            st = guard;
+            group.top_up(&mut st.queue, policy.max_batch);
+            if timed_out.timed_out() {
+                break;
+            }
+        }
+        drop(st);
+        execute(shared, group);
+    }
+}
+
+fn execute(shared: &Shared, group: Group) {
+    let model = match shared.registry.resolve(&group.model) {
+        Some(m) => m,
+        None => {
+            // Uninstalled between admission and execution.
+            for job in group.jobs {
+                ServeStats::bump(&shared.stats.unknown_model);
+                let _ = job
+                    .reply
+                    .send(Err(ServeError::UnknownModel(group.model.clone())));
+            }
+            return;
+        }
+    };
+    let now = Instant::now();
+    let mut live: Vec<Job> = Vec::with_capacity(group.jobs.len());
+    for job in group.jobs {
+        if job.deadline.is_some_and(|d| now >= d) {
+            ServeStats::bump(&shared.stats.expired);
+            let _ = job.reply.send(Err(ServeError::DeadlineExceeded));
+        } else {
+            live.push(job);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+    let all: Vec<ScheduleSequence> = live
+        .iter()
+        .flat_map(|j| j.schedules.iter().cloned())
+        .collect();
+    let (scores, stats) = model.score(&live[0].task, &all);
+    let done = Instant::now();
+    let batch_jobs = live.len();
+    shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+    shared
+        .stats
+        .coalesced_jobs
+        .fetch_add(batch_jobs as u64, Ordering::Relaxed);
+    shared
+        .stats
+        .candidates
+        .fetch_add(all.len() as u64, Ordering::Relaxed);
+    let mut offset = 0;
+    for job in live {
+        let n = job.schedules.len();
+        let queue_us = done
+            .saturating_duration_since(job.enqueued)
+            .as_micros()
+            .min(u64::MAX as u128) as u64;
+        let reply = ScoreReply {
+            scores: scores[offset..offset + n].to_vec(),
+            model_version: model.version(),
+            stats,
+            queue_us,
+            batch_jobs,
+        };
+        offset += n;
+        ServeStats::bump(&shared.stats.completed);
+        shared.stats.latency.record(done - job.enqueued);
+        let _ = job.reply.send(Ok(reply));
+    }
+}

@@ -45,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("snapshot written to {} ({bytes} bytes)", path.display());
 
     // Reload in a "new process" and verify identical behaviour.
-    let (model2, extractor2) = SavedTlp::load(&path)?.restore_tlp();
+    let (model2, extractor2) = SavedTlp::load(&path)?.restore_tlp()?;
     let (r1, r5) = eval_tlp(&model2, &extractor2, &ds, 0);
     println!("restored model: top-1 {r1:.4}, top-5 {r5:.4}");
     assert_eq!(

@@ -31,6 +31,9 @@ cargo build --release --offline
 echo "==> tier-1: cargo test -q (offline)"
 cargo test -q --offline
 
+echo "==> workspace release build (covers every crate, incl. tlp-serve)"
+cargo build --release --offline --workspace
+
 echo "==> full workspace tests"
 cargo test -q --offline --workspace
 

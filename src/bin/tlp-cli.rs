@@ -5,19 +5,28 @@
 //! tlp-cli train <model.json>            train TLP and snapshot it
 //! tlp-cli eval <model.json>             top-k of a snapshot on the test set
 //! tlp-cli tune <network> [model.json]   tune a workload (random or TLP-guided)
+//! tlp-cli serve-bench [c] [r] [b]       closed-loop load against tlp-serve
 //! tlp-cli platforms                     list simulated platforms
 //! ```
 //!
 //! Sizes follow `TLP_SCALE` (test|small|medium|paper; default small).
+//!
+//! Lives in the root package (not `crates/core`) because `serve-bench`
+//! pulls in `tlp-serve`, which itself depends on the core crate.
 
+use std::sync::Arc;
+use tlp::engine::EngineConfig;
 use tlp::experiments::{capped_train_tasks, eval_tlp, Scale};
 use tlp::features::FeatureExtractor;
 use tlp::persist::{snapshot_tlp, SavedTlp};
 use tlp::search::TlpCostModel;
 use tlp::train::{train_tlp, TrainData};
-use tlp::TlpModel;
+use tlp::{TlpConfig, TlpModel};
 use tlp_autotuner::{tune_network, CostModel, EvolutionConfig, RandomModel, TuningOptions};
 use tlp_hwsim::Platform;
+use tlp_schedule::Vocabulary;
+use tlp_serve::{random_pool, run_closed_loop, LoadgenOptions, ModelRegistry, ServeConfig, Server};
+use tlp_workload::{AnchorOp, Subgraph};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,16 +38,21 @@ fn main() {
             args.get(1).map(String::as_str),
             args.get(2).map(String::as_str),
         ),
+        Some("serve-bench") => cmd_serve_bench(&args[1..]),
         Some("platforms") => cmd_platforms(),
         _ => {
             eprintln!(
-                "usage: tlp-cli <stats|train|eval|tune|platforms> [args]\n\
+                "usage: tlp-cli <stats|train|eval|tune|serve-bench|platforms> [args]\n\
                  \n\
                  stats                        dataset statistics\n\
                  train <model.json>           train TLP on the CPU dataset (i7 target)\n\
                  eval <model.json>            evaluate a snapshot's top-k\n\
                  tune <network> [model.json]  tune a workload (resnet-50, mobilenet-v2,\n\
                  \x20                            resnext-50, bert-tiny, bert-base)\n\
+                 serve-bench [c] [r] [b]      drive c closed-loop clients (default 8),\n\
+                 \x20                            r requests each (default 40) of b\n\
+                 \x20                            candidates (default 16) against a\n\
+                 \x20                            tlp-serve server; prints a JSON report\n\
                  platforms                    list simulated platforms"
             );
             2
@@ -137,7 +151,13 @@ fn cmd_eval(path: Option<&str>) -> i32 {
             return 1;
         }
     };
-    let (model, extractor) = snap.restore_tlp();
+    let (model, extractor) = match snap.restore_tlp() {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("eval: {e}");
+            return 1;
+        }
+    };
     let scale = Scale::from_env();
     let ds = scale.cpu_dataset();
     let target = ds.platform_index("i7-10510u").expect("platform");
@@ -171,11 +191,16 @@ fn cmd_tune(network: Option<&str>, model_path: Option<&str>) -> i32 {
     };
     let mut model: Box<dyn CostModel> = match model_path {
         Some(p) => match SavedTlp::load(p) {
-            Ok(snap) => {
-                let (m, ex) = snap.restore_tlp();
-                println!("tuning with TLP snapshot {p}");
-                Box::new(TlpCostModel::new(m, ex))
-            }
+            Ok(snap) => match snap.restore_tlp() {
+                Ok((m, ex)) => {
+                    println!("tuning with TLP snapshot {p}");
+                    Box::new(TlpCostModel::new(m, ex))
+                }
+                Err(e) => {
+                    eprintln!("tune: {e}");
+                    return 1;
+                }
+            },
             Err(e) => {
                 eprintln!("tune: {e}");
                 return 1;
@@ -195,4 +220,62 @@ fn cmd_tune(network: Option<&str>, model_path: Option<&str>) -> i32 {
         report.measurements
     );
     0
+}
+
+fn cmd_serve_bench(args: &[String]) -> i32 {
+    let parse = |i: usize, default: usize| -> Option<usize> {
+        match args.get(i) {
+            None => Some(default),
+            Some(s) => s.parse().ok(),
+        }
+    };
+    let (Some(clients), Some(requests), Some(batch)) = (parse(0, 8), parse(1, 40), parse(2, 16))
+    else {
+        eprintln!("serve-bench: arguments must be positive integers");
+        return 2;
+    };
+    if clients == 0 || requests == 0 || batch == 0 {
+        eprintln!("serve-bench: arguments must be positive integers");
+        return 2;
+    }
+
+    let cfg = TlpConfig::test_scale();
+    let extractor =
+        FeatureExtractor::with_vocab(Vocabulary::builder().build(), cfg.seq_len, cfg.emb_size);
+    let model = TlpModel::new(cfg);
+    let registry = Arc::new(ModelRegistry::new(EngineConfig::default()));
+    registry.install_tlp("tlp", model, extractor);
+
+    let task = tlp_autotuner::SearchTask::new(
+        Subgraph::new(
+            "d",
+            AnchorOp::Dense {
+                m: 128,
+                n: 128,
+                k: 128,
+            },
+        ),
+        Platform::i7_10510u(),
+    );
+    let pool = random_pool(&task, 256, 0xBE7C);
+    let server = Server::start(registry, ServeConfig::default());
+    let report = run_closed_loop(
+        &server.client(),
+        "tlp",
+        &task,
+        &pool,
+        &LoadgenOptions {
+            clients,
+            requests_per_client: requests,
+            batch,
+            deadline: None,
+        },
+    );
+    server.shutdown();
+    println!("{}", report.to_json());
+    if report.errors == 0 {
+        0
+    } else {
+        1
+    }
 }

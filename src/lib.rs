@@ -3,7 +3,8 @@
 //! Re-exports the public crates so examples and integration tests can use a
 //! single dependency. See the individual crates for documentation:
 //! [`tlp`] (core models), [`tlp_nn`], [`tlp_schedule`], [`tlp_workload`],
-//! [`tlp_hwsim`], [`tlp_gbdt`], [`tlp_autotuner`], [`tlp_dataset`].
+//! [`tlp_hwsim`], [`tlp_gbdt`], [`tlp_autotuner`], [`tlp_dataset`],
+//! [`tlp_serve`] (concurrent model serving).
 pub use tlp;
 pub use tlp_autotuner;
 pub use tlp_dataset;
@@ -11,4 +12,5 @@ pub use tlp_gbdt;
 pub use tlp_hwsim;
 pub use tlp_nn;
 pub use tlp_schedule;
+pub use tlp_serve;
 pub use tlp_workload;

@@ -198,6 +198,23 @@ impl<'de> Deserialize<'de> for bool {
     }
 }
 
+// `Value` serializes to itself, so callers can deserialize arbitrary JSON
+// into a `Value`, inspect it (e.g. probe a format-version field before
+// committing to a full struct decode), and then decode the struct from the
+// same tree via `Deserialize::deserialize_value` — mirroring how real
+// `serde_json::Value` is both a source and a target.
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for String {
     fn serialize_value(&self) -> Value {
         Value::Str(self.clone())
