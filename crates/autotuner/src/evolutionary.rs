@@ -10,6 +10,7 @@ use crate::sketch::{Candidate, SketchPolicy};
 use crate::task::SearchTask;
 use rand::rngs::SmallRng;
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 /// Evolutionary-search knobs.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -23,6 +24,12 @@ pub struct EvolutionConfig {
     pub mutation_rate: f64,
     /// Fraction of the returned top-k replaced with random candidates.
     pub epsilon: f64,
+    /// Statically verify offspring before they enter the scored population
+    /// ([`tlp_verify::verify`]) and regenerate the ones carrying verifier
+    /// errors. On by default: pruning a doomed candidate costs one linear
+    /// analyzer pass instead of a cost-model forward pass plus a guaranteed
+    /// lowering rejection at measurement time.
+    pub static_prune: bool,
 }
 
 impl Default for EvolutionConfig {
@@ -32,9 +39,39 @@ impl Default for EvolutionConfig {
             generations: 4,
             mutation_rate: 0.85,
             epsilon: 0.1,
+            static_prune: true,
         }
     }
 }
+
+/// Candidate-generation accounting for one [`evolutionary_search_with_stats`]
+/// run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// Candidates generated (initial population + offspring + ε-greedy
+    /// randoms), including ones later pruned.
+    pub generated: u64,
+    /// Candidates rejected by the static verifier before scoring.
+    pub pruned: u64,
+}
+
+impl SearchStats {
+    /// The fraction of generated candidates pruned before scoring (0 with no
+    /// candidates).
+    pub fn pruned_fraction(&self) -> f64 {
+        if self.generated == 0 {
+            0.0
+        } else {
+            self.pruned as f64 / self.generated as f64
+        }
+    }
+}
+
+/// How many times a single population slot is regenerated before the gate
+/// gives up and admits the candidate anyway (the scorer and measurer still
+/// reject it independently). Bounds search time when a policy emits mostly
+/// invalid schedules.
+const MAX_PRUNE_RETRIES: usize = 8;
 
 /// Runs evolutionary search, returning `k` candidates ranked best-first by
 /// the cost model.
@@ -46,8 +83,29 @@ pub fn evolutionary_search(
     k: usize,
     rng: &mut SmallRng,
 ) -> Vec<Candidate> {
+    evolutionary_search_with_stats(task, policy, model, config, k, rng).0
+}
+
+/// Like [`evolutionary_search`], also returning candidate-generation
+/// accounting (how many candidates were generated and how many the static
+/// verifier pruned before scoring).
+pub fn evolutionary_search_with_stats(
+    task: &SearchTask,
+    policy: &SketchPolicy,
+    model: &dyn CostModel,
+    config: &EvolutionConfig,
+    k: usize,
+    rng: &mut SmallRng,
+) -> (Vec<Candidate>, SearchStats) {
+    let gate = Gate::new(task, policy, config.static_prune);
+    let mut stats = SearchStats::default();
+
     let mut population: Vec<Candidate> = (0..config.population)
-        .map(|_| Candidate::random(policy, &task.subgraph, rng))
+        .map(|_| {
+            gate.admit(&mut stats, rng, |rng| {
+                Candidate::random(policy, &task.subgraph, rng)
+            })
+        })
         .collect();
 
     for generation in 0..config.generations {
@@ -61,25 +119,24 @@ pub fn evolutionary_search(
             .collect();
         let mut next = elite.clone();
         while next.len() < config.population {
-            if rng.gen_bool(config.mutation_rate) {
-                let parent = &elite[rng.gen_range(0..elite.len())];
-                let mut d = parent.decision.clone();
-                policy.mutate(&task.subgraph, &mut d, rng);
+            let offspring = gate.admit(&mut stats, rng, |rng| {
+                let d = if rng.gen_bool(config.mutation_rate) {
+                    let parent = &elite[rng.gen_range(0..elite.len())];
+                    let mut d = parent.decision.clone();
+                    policy.mutate(&task.subgraph, &mut d, rng);
+                    d
+                } else {
+                    let a = &elite[rng.gen_range(0..elite.len())];
+                    let b = &elite[rng.gen_range(0..elite.len())];
+                    policy.crossover(&a.decision, &b.decision, rng)
+                };
                 let sequence = policy.emit(&task.subgraph, &d);
-                next.push(Candidate {
+                Candidate {
                     decision: d,
                     sequence,
-                });
-            } else {
-                let a = &elite[rng.gen_range(0..elite.len())];
-                let b = &elite[rng.gen_range(0..elite.len())];
-                let d = policy.crossover(&a.decision, &b.decision, rng);
-                let sequence = policy.emit(&task.subgraph, &d);
-                next.push(Candidate {
-                    decision: d,
-                    sequence,
-                });
-            }
+                }
+            });
+            next.push(offspring);
         }
         population = next;
     }
@@ -94,9 +151,60 @@ pub fn evolutionary_search(
     // ε-greedy exploration.
     let n_random = ((k as f64) * config.epsilon).round() as usize;
     for slot in picked.iter_mut().rev().take(n_random) {
-        *slot = Candidate::random(policy, &task.subgraph, rng);
+        *slot = gate.admit(&mut stats, rng, |rng| {
+            Candidate::random(policy, &task.subgraph, rng)
+        });
     }
-    picked
+    (picked, stats)
+}
+
+/// The static-verification gate in front of the scored population.
+struct Gate<'a> {
+    task: &'a SearchTask,
+    opts: tlp_verify::VerifyOptions,
+    enabled: bool,
+}
+
+impl<'a> Gate<'a> {
+    fn new(task: &'a SearchTask, policy: &SketchPolicy, enabled: bool) -> Self {
+        Gate {
+            task,
+            opts: tlp_verify::VerifyOptions {
+                gpu: Some(policy.gpu),
+                ..tlp_verify::VerifyOptions::default()
+            },
+            enabled,
+        }
+    }
+
+    /// Generates candidates with `generate` until one passes verification
+    /// (or the retry budget runs out — then the last one is admitted and the
+    /// downstream scorer/measurer deal with it).
+    fn admit(
+        &self,
+        stats: &mut SearchStats,
+        rng: &mut SmallRng,
+        mut generate: impl FnMut(&mut SmallRng) -> Candidate,
+    ) -> Candidate {
+        let mut candidate = generate(rng);
+        stats.generated += 1;
+        if !self.enabled {
+            return candidate;
+        }
+        let mut retries = 0;
+        while tlp_verify::verify_with(&self.task.subgraph, &candidate.sequence, &self.opts)
+            .has_errors()
+        {
+            stats.pruned += 1;
+            if retries >= MAX_PRUNE_RETRIES {
+                break;
+            }
+            retries += 1;
+            candidate = generate(rng);
+            stats.generated += 1;
+        }
+        candidate
+    }
 }
 
 fn score(model: &dyn CostModel, task: &SearchTask, pop: &[Candidate], generation: u32) -> Vec<f32> {
@@ -163,6 +271,86 @@ mod tests {
         fn name(&self) -> &str {
             "oracle"
         }
+    }
+
+    #[test]
+    fn emitted_candidates_are_never_pruned() {
+        // Everything the sketch policy emits is statically valid, so the
+        // verification gate must be a no-op on an uncorrupted search.
+        let mut rng = SmallRng::seed_from_u64(11);
+        let t = task();
+        let (got, stats) = evolutionary_search_with_stats(
+            &t,
+            &SketchPolicy::cpu(),
+            &RandomModel::new(3),
+            &EvolutionConfig {
+                population: 24,
+                generations: 2,
+                ..EvolutionConfig::default()
+            },
+            6,
+            &mut rng,
+        );
+        assert_eq!(got.len(), 6);
+        assert_eq!(stats.pruned, 0);
+        assert!(stats.generated >= 24);
+        assert_eq!(stats.pruned_fraction(), 0.0);
+    }
+
+    #[test]
+    fn pruning_does_not_change_results_on_valid_streams() {
+        // With zero prunes the gate consumes no extra randomness, so the
+        // gated and ungated searches walk identical RNG streams.
+        let t = task();
+        let config = |prune| EvolutionConfig {
+            population: 16,
+            generations: 2,
+            static_prune: prune,
+            ..EvolutionConfig::default()
+        };
+        let run = |prune| {
+            let mut rng = SmallRng::seed_from_u64(13);
+            evolutionary_search(
+                &t,
+                &SketchPolicy::cpu(),
+                &RandomModel::new(7),
+                &config(prune),
+                5,
+                &mut rng,
+            )
+        };
+        let gated = run(true);
+        let ungated = run(false);
+        let fp =
+            |c: &[Candidate]| -> Vec<u64> { c.iter().map(|x| x.sequence.fingerprint()).collect() };
+        assert_eq!(fp(&gated), fp(&ungated));
+    }
+
+    #[test]
+    fn gate_prunes_invalid_candidates_with_bounded_retries() {
+        use tlp_schedule::{ConcretePrimitive, PrimitiveKind};
+
+        let t = task();
+        let policy = SketchPolicy::cpu();
+        let gate = Gate::new(&t, &policy, true);
+        let mut stats = SearchStats::default();
+        let mut rng = SmallRng::seed_from_u64(17);
+        // A generator that only ever produces invalid schedules (dangling
+        // fuse operands): the gate must give up after the retry budget
+        // instead of looping forever.
+        let admitted = gate.admit(&mut stats, &mut rng, |rng| {
+            let mut c = Candidate::random(&policy, &t.subgraph, rng);
+            c.sequence.push(
+                ConcretePrimitive::new(PrimitiveKind::Fuse, "d").with_loops(["ghost_a", "ghost_b"]),
+            );
+            c
+        });
+        assert_eq!(stats.generated, 1 + MAX_PRUNE_RETRIES as u64);
+        assert_eq!(stats.pruned, stats.generated);
+        assert!(stats.pruned_fraction() > 0.99);
+        // The hopeless candidate is still admitted; downstream layers
+        // (scorer masking, measurer) reject it independently.
+        assert!(tlp_verify::verify(&t.subgraph, &admitted.sequence).has_errors());
     }
 
     #[test]

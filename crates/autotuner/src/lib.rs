@@ -35,6 +35,7 @@
 //! assert!(report.final_latency_s().is_finite());
 //! ```
 
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
 #![warn(missing_docs)]
 
 pub mod cost_model;
@@ -48,7 +49,9 @@ pub use cost_model::{
     check_update_shape, BatchStats, CostModel, PipelineCost, RandomModel, ScoreBatch, ScoreRequest,
     UpdateError,
 };
-pub use evolutionary::{evolutionary_search, EvolutionConfig};
+pub use evolutionary::{
+    evolutionary_search, evolutionary_search_with_stats, EvolutionConfig, SearchStats,
+};
 pub use measure::{MeasureRecord, Measurer};
 pub use sketch::{Candidate, ScheduleDecision, SketchPolicy, UNROLL_STEPS};
 pub use task::SearchTask;

@@ -7,7 +7,7 @@
 //! rounds × 10 measured programs.
 
 use crate::cost_model::CostModel;
-use crate::evolutionary::{evolutionary_search, EvolutionConfig};
+use crate::evolutionary::{evolutionary_search_with_stats, EvolutionConfig, SearchStats};
 use crate::measure::{MeasureRecord, Measurer};
 use crate::sketch::SketchPolicy;
 use crate::task::SearchTask;
@@ -83,6 +83,10 @@ pub struct TuningReport {
     /// All measurement records, tagged with their task index (reusable as a
     /// dataset).
     pub records: Vec<(usize, MeasureRecord)>,
+    /// Candidates generated across all rounds, including pruned ones.
+    pub candidates_generated: u64,
+    /// Candidates the static verifier pruned before scoring.
+    pub candidates_pruned: u64,
 }
 
 impl TuningReport {
@@ -106,6 +110,16 @@ impl TuningReport {
             .iter()
             .find(|r| r.seeded && r.workload_latency_s <= target)
             .map(|r| r.search_time_s)
+    }
+
+    /// The fraction of generated candidates the static verifier pruned
+    /// before scoring (0 with no candidates).
+    pub fn pruned_fraction(&self) -> f64 {
+        if self.candidates_generated == 0 {
+            0.0
+        } else {
+            self.candidates_pruned as f64 / self.candidates_generated as f64
+        }
     }
 }
 
@@ -132,6 +146,7 @@ pub fn tune_network(
     let mut seen: Vec<HashSet<u64>> = vec![HashSet::new(); tasks.len()];
     let mut rounds = Vec::with_capacity(opts.rounds);
     let mut records = Vec::new();
+    let mut search_stats = SearchStats::default();
 
     for round in 1..=opts.rounds {
         // Task scheduler: seed every task once, then chase weighted impact.
@@ -149,7 +164,7 @@ pub fn tune_network(
         let task = &tasks[ti];
 
         let wall = Instant::now();
-        let candidates = evolutionary_search(
+        let (candidates, round_stats) = evolutionary_search_with_stats(
             task,
             &policy,
             model,
@@ -157,6 +172,8 @@ pub fn tune_network(
             opts.programs_per_round * 2,
             &mut rng,
         );
+        search_stats.generated += round_stats.generated;
+        search_stats.pruned += round_stats.pruned;
         measurer.clock.charge_real(wall.elapsed().as_secs_f64());
         // Charge the cost model's per-candidate pipeline cost for the
         // reference-scale candidate pool (the reduced evolution population
@@ -219,6 +236,8 @@ pub fn tune_network(
         best_per_task: best,
         measurements: measurer.count,
         records,
+        candidates_generated: search_stats.generated,
+        candidates_pruned: search_stats.pruned,
     }
 }
 

@@ -1,6 +1,8 @@
 //! Coverage invariants of the sketch policy: which primitive kinds appear,
 //! and structural well-formedness of every emitted sequence.
 
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::HashSet;

@@ -10,6 +10,8 @@
 //!
 //! Run with `cargo bench -p tlp-bench --bench criterion_inference`.
 
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+
 use criterion::{criterion_group, BatchSize, Criterion};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;

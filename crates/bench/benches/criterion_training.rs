@@ -5,6 +5,8 @@
 //!
 //! Run with `cargo bench -p tlp-bench --bench criterion_training`.
 
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+
 use serde::Serialize;
 use std::time::Instant;
 use tlp::train::{train_tlp_with, GroupData, TrainData};

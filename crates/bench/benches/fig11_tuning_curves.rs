@@ -9,6 +9,8 @@
 //!
 //! Run with `cargo bench -p tlp-bench --bench fig11_tuning_curves`.
 
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+
 use tlp_bench::{bench_scale, search_runs};
 
 fn main() {

@@ -7,6 +7,8 @@
 //! Run with `cargo bench -p tlp-bench --bench fig13_speedup_vs_ansor` (reuses the cached
 //! search suite produced by `fig11_tuning_curves` when present).
 
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+
 use serde::Serialize;
 use tlp_bench::{bench_scale, print_table, search_runs, write_json};
 

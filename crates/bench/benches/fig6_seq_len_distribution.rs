@@ -3,6 +3,8 @@
 //!
 //! Run with `cargo bench -p tlp-bench --bench fig6_seq_len_distribution`.
 
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+
 use tlp_bench::{bench_scale, write_json};
 use tlp_dataset::{max_sequence_length, sequence_length_distribution};
 

@@ -6,6 +6,8 @@
 //!
 //! Run with `cargo bench -p tlp-bench --bench fig9_mtl_data_size`.
 
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+
 use serde::Serialize;
 use tlp::experiments::train_and_eval_mtl;
 use tlp_bench::{bench_scale, print_table, write_json};

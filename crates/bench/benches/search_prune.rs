@@ -1,0 +1,246 @@
+//! Static-pruning gate: search-quality and throughput accounting
+//! (ISSUE 4 acceptance — pruned fraction + unchanged-or-better best latency).
+//!
+//! Two experiments:
+//!
+//! 1. **Seed search benchmark**: run the evolutionary search gated
+//!    (`static_prune: true`, the default) and ungated with identical seeds
+//!    over a pool of representative subgraphs, and compare the pruned
+//!    fraction, wall-clock candidate throughput, and the best *simulated*
+//!    latency each arm found. The sketch policy only emits statically valid
+//!    schedules, so on an uncorrupted stream the pruned fraction must be 0
+//!    and the best latency bit-identical — the gate's cost is pure verifier
+//!    overhead, which this bench quantifies.
+//! 2. **Verifier throughput**: how many schedules/second the analyzer
+//!    classifies, on emitted (valid) and corrupted (invalid) inputs. This is
+//!    the per-candidate price of the gate on the search hot path, and the
+//!    per-request price of serve admission.
+//!
+//! Run with `cargo bench -p tlp-bench --bench search_prune`.
+
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::time::Instant;
+use tlp_autotuner::{
+    evolutionary_search_with_stats, Candidate, EvolutionConfig, RandomModel, SearchTask,
+    SketchPolicy,
+};
+use tlp_bench::{print_table, write_json};
+use tlp_hwsim::{lower, Platform, Simulator};
+use tlp_schedule::{PrimitiveKind, ScheduleSequence};
+use tlp_workload::{AnchorOp, Subgraph};
+
+#[derive(Serialize)]
+struct SearchRow {
+    subgraph: String,
+    generated_gated: u64,
+    pruned_gated: u64,
+    pruned_fraction: f64,
+    candidates_per_s_gated: f64,
+    candidates_per_s_ungated: f64,
+    gate_overhead_pct: f64,
+    best_latency_ms_gated: f64,
+    best_latency_ms_ungated: f64,
+}
+
+#[derive(Serialize)]
+struct ThroughputRow {
+    input: String,
+    schedules_per_s: f64,
+    error_fraction: f64,
+}
+
+#[derive(Serialize)]
+struct Results {
+    search: Vec<SearchRow>,
+    verifier_throughput: Vec<ThroughputRow>,
+}
+
+fn pool() -> Vec<Subgraph> {
+    vec![
+        Subgraph::new(
+            "dense_256",
+            AnchorOp::Dense {
+                m: 256,
+                n: 256,
+                k: 256,
+            },
+        ),
+        Subgraph::new(
+            "bmm_12x64",
+            AnchorOp::BatchMatmul {
+                b: 12,
+                m: 64,
+                n: 64,
+                k: 64,
+            },
+        ),
+        Subgraph::new(
+            "conv_56x64_k3",
+            AnchorOp::Conv2d {
+                n: 1,
+                cin: 64,
+                hw: 56,
+                cout: 64,
+                khw: 3,
+                stride: 1,
+                pad: 1,
+                groups: 1,
+            },
+        ),
+    ]
+}
+
+fn best_latency_ms(sim: &Simulator, platform: &Platform, sg: &Subgraph, top: &[Candidate]) -> f64 {
+    top.iter()
+        .filter_map(|c| {
+            let spec = lower(sg, &c.sequence).ok()?;
+            Some(sim.latency(platform, sg, &spec, c.sequence.fingerprint()) * 1e3)
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn run_arm(
+    task: &SearchTask,
+    policy: &SketchPolicy,
+    static_prune: bool,
+    seed: u64,
+) -> (Vec<Candidate>, tlp_autotuner::SearchStats, f64) {
+    let model = RandomModel::new(17);
+    let config = EvolutionConfig {
+        population: 64,
+        generations: 6,
+        static_prune,
+        ..EvolutionConfig::default()
+    };
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let start = Instant::now();
+    let (top, stats) = evolutionary_search_with_stats(task, policy, &model, &config, 10, &mut rng);
+    (top, stats, start.elapsed().as_secs_f64())
+}
+
+fn corrupted(seq: &ScheduleSequence) -> ScheduleSequence {
+    let mut steps: Vec<_> = seq.iter().cloned().collect();
+    for s in &mut steps {
+        if s.kind == PrimitiveKind::Split && !s.ints.is_empty() {
+            s.ints[0] = 0; // non-positive tile factor: a hard verifier error
+            break;
+        }
+    }
+    steps.into_iter().collect()
+}
+
+fn main() {
+    let platform = Platform::i7_10510u();
+    let policy = SketchPolicy::cpu();
+    let sim = Simulator::new();
+
+    let mut search_rows = Vec::new();
+    for sg in pool() {
+        let task = SearchTask::new(sg.clone(), platform.clone());
+        let (top_g, stats_g, secs_g) = run_arm(&task, &policy, true, 0x5EED);
+        let (top_u, stats_u, secs_u) = run_arm(&task, &policy, false, 0x5EED);
+        let best_g = best_latency_ms(&sim, &platform, &sg, &top_g);
+        let best_u = best_latency_ms(&sim, &platform, &sg, &top_u);
+        assert!(
+            best_g <= best_u,
+            "{}: gated best latency regressed ({best_g:.4} ms vs {best_u:.4} ms)",
+            sg.name
+        );
+        search_rows.push(SearchRow {
+            subgraph: sg.name.clone(),
+            generated_gated: stats_g.generated,
+            pruned_gated: stats_g.pruned,
+            pruned_fraction: stats_g.pruned_fraction(),
+            candidates_per_s_gated: stats_g.generated as f64 / secs_g.max(1e-9),
+            candidates_per_s_ungated: stats_u.generated as f64 / secs_u.max(1e-9),
+            gate_overhead_pct: (secs_g / secs_u.max(1e-9) - 1.0) * 100.0,
+            best_latency_ms_gated: best_g,
+            best_latency_ms_ungated: best_u,
+        });
+    }
+
+    print_table(
+        "static-pruning gate on the seed search benchmark",
+        &[
+            "subgraph",
+            "generated",
+            "pruned",
+            "pruned %",
+            "cand/s gated",
+            "cand/s ungated",
+            "overhead %",
+            "best ms gated",
+            "best ms ungated",
+        ],
+        &search_rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.subgraph.clone(),
+                    r.generated_gated.to_string(),
+                    r.pruned_gated.to_string(),
+                    format!("{:.2}%", r.pruned_fraction * 100.0),
+                    format!("{:.0}", r.candidates_per_s_gated),
+                    format!("{:.0}", r.candidates_per_s_ungated),
+                    format!("{:+.1}%", r.gate_overhead_pct),
+                    format!("{:.4}", r.best_latency_ms_gated),
+                    format!("{:.4}", r.best_latency_ms_ungated),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    // Verifier throughput on valid and corrupted streams.
+    let sg = &pool()[0];
+    let mut rng = SmallRng::seed_from_u64(0xC0DE);
+    let valid: Vec<ScheduleSequence> = (0..512)
+        .map(|_| Candidate::random(&policy, sg, &mut rng).sequence)
+        .collect();
+    let invalid: Vec<ScheduleSequence> = valid.iter().map(corrupted).collect();
+    let opts = tlp_verify::VerifyOptions {
+        gpu: Some(false),
+        ..tlp_verify::VerifyOptions::default()
+    };
+    let mut throughput_rows = Vec::new();
+    for (name, batch) in [("emitted (valid)", &valid), ("corrupted", &invalid)] {
+        let start = Instant::now();
+        let mut errors = 0usize;
+        for seq in batch {
+            if tlp_verify::verify_with(sg, seq, &opts).has_errors() {
+                errors += 1;
+            }
+        }
+        let secs = start.elapsed().as_secs_f64();
+        throughput_rows.push(ThroughputRow {
+            input: name.to_string(),
+            schedules_per_s: batch.len() as f64 / secs.max(1e-9),
+            error_fraction: errors as f64 / batch.len() as f64,
+        });
+    }
+    print_table(
+        "verifier throughput (per-candidate gate cost)",
+        &["input", "schedules/s", "error fraction"],
+        &throughput_rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.input.clone(),
+                    format!("{:.0}", r.schedules_per_s),
+                    format!("{:.3}", r.error_fraction),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    write_json(
+        "search_prune",
+        &Results {
+            search: search_rows,
+            verifier_throughput: throughput_rows,
+        },
+    );
+}

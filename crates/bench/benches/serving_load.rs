@@ -13,6 +13,8 @@
 //!
 //! Run with `cargo bench -p tlp-bench --bench serving_load`.
 
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+
 use serde::Serialize;
 use std::sync::Arc;
 use std::time::Instant;

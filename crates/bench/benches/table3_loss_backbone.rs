@@ -6,6 +6,8 @@
 //!
 //! Run with `cargo bench -p tlp-bench --bench table3_loss_backbone`.
 
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+
 use serde::Serialize;
 use tlp::experiments::train_and_eval_tlp;
 use tlp::{Backbone, LossKind};

@@ -7,6 +7,8 @@
 //!
 //! Run with `cargo bench -p tlp-bench --bench table6_mtl_cpu`.
 
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+
 use serde::Serialize;
 use tlp::experiments::{train_and_eval_mtl, train_and_eval_tlp};
 use tlp_bench::{bench_scale, print_table, write_json};

@@ -6,6 +6,8 @@
 //!
 //! Run with `cargo bench -p tlp-bench --bench table8_transfer`.
 
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+
 use serde::Serialize;
 use tlp::experiments::{capped_train_tasks, eval_tlp, train_and_eval_mtl};
 use tlp::features::FeatureExtractor;

@@ -6,6 +6,8 @@
 //!
 //! Run with `cargo bench -p tlp-bench --bench table9_cross_arch`.
 
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+
 use serde::Serialize;
 use tlp::experiments::train_and_eval_mtl;
 use tlp_bench::{bench_scale, print_table, write_json};

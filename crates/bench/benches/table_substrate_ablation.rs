@@ -11,6 +11,8 @@
 //!
 //! Run with `cargo bench -p tlp-bench --bench table_substrate_ablation`.
 
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+
 use serde::Serialize;
 use tlp::baselines::{
     program_features, program_features_oracle, ORACLE_FEATURE_DIM, PROGRAM_FEATURE_DIM,

@@ -3,6 +3,8 @@
 //!
 //! Run with `cargo bench -p tlp-bench --bench table_uniqueness`.
 
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+
 use serde::Serialize;
 use tlp_bench::{bench_scale, print_table, write_json};
 use tlp_dataset::uniqueness;

@@ -4,6 +4,8 @@
 //! the TLP paper (see DESIGN.md §4 for the index), prints the rows, and
 //! writes a JSON record under `target/tlp-results/` for EXPERIMENTS.md.
 
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+
 use serde::Serialize;
 use std::path::PathBuf;
 use tlp::experiments::Scale;

@@ -80,6 +80,7 @@ mod tests {
                     .map(|&l| ProgramRecord {
                         schedule: ScheduleSequence::new(),
                         latencies: vec![l],
+                        validity: Default::default(),
                     })
                     .collect(),
             }],

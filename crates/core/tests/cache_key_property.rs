@@ -8,6 +8,8 @@
 //! extras) or *only* in primitive order must never share a key, and the
 //! engine must never cross-serve cached scores between them.
 
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+
 use proptest::prelude::*;
 use tlp::engine::{task_fingerprint, EngineConfig, InferenceEngine, ScheduleScorer};
 use tlp_autotuner::{PipelineCost, SearchTask};

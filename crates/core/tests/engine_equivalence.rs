@@ -3,6 +3,8 @@
 //! the score cache must be bit-identical and capacity-bounded; empty and
 //! ragged batches must round-trip without panicking.
 
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use tlp::baselines::TenSetMlp;

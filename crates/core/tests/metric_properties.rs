@@ -1,5 +1,7 @@
 //! Property-based tests of the top-k metric (paper §6.1).
 
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+
 use proptest::prelude::*;
 use tlp::top_k_score;
 use tlp_dataset::{Dataset, ProgramRecord, TaskData};
@@ -28,6 +30,7 @@ fn dataset_from(lats: Vec<Vec<f64>>) -> Dataset {
                     .map(|l| ProgramRecord {
                         schedule: ScheduleSequence::new(),
                         latencies: vec![l],
+                        validity: Default::default(),
                     })
                     .collect(),
             })

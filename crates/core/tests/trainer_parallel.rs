@@ -2,6 +2,8 @@
 //! parallel == sequential gradients, bitwise determinism across worker
 //! counts, and the `TrainReport`/early-stopping contract.
 
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+
 use tlp::mtl::{train_mtl_with, MtlTlp};
 use tlp::train::{train_tlp_with, GroupData, TrainData};
 use tlp::{StopReason, TlpConfig, TlpModel, TrainOptions};

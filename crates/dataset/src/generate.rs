@@ -138,7 +138,7 @@ fn sample_task_programs(
 
     let mut out: Vec<ProgramRecord> = records
         .iter()
-        .map(|(c, _)| make_record(sim, subgraph, platforms, c))
+        .filter_map(|(c, _)| make_record(sim, subgraph, platforms, c))
         .collect();
 
     let elite = records.len().clamp(1, 8);
@@ -156,8 +156,8 @@ fn sample_task_programs(
             decision: d,
             sequence,
         };
-        if measure_all(sim, subgraph, platforms, &c).is_some() {
-            out.push(make_record(sim, subgraph, platforms, &c));
+        if let Some(record) = make_record(sim, subgraph, platforms, &c) {
+            out.push(record);
         }
     }
     out
@@ -179,16 +179,22 @@ fn make_record(
     subgraph: &tlp_workload::Subgraph,
     platforms: &[Platform],
     c: &Candidate,
-) -> ProgramRecord {
-    let spec = lower(subgraph, &c.sequence).expect("pre-validated candidate");
+) -> Option<ProgramRecord> {
+    let spec = lower(subgraph, &c.sequence).ok()?;
     let latencies = platforms
         .iter()
         .map(|p| sim.latency(p, subgraph, &spec, c.sequence.fingerprint()))
         .collect();
-    ProgramRecord {
+    let opts = tlp_verify::VerifyOptions {
+        gpu: Some(platforms[0].is_gpu()),
+        ..tlp_verify::VerifyOptions::default()
+    };
+    let validity = tlp_verify::verify_with(subgraph, &c.sequence, &opts).summary();
+    Some(ProgramRecord {
         schedule: c.sequence.clone(),
         latencies,
-    }
+        validity,
+    })
 }
 
 #[cfg(test)]
@@ -241,6 +247,36 @@ mod tests {
     fn mixing_device_classes_panics() {
         let platforms = [Platform::i7_10510u(), Platform::tesla_t4()];
         let _ = generate_dataset_for(&[bert_tiny(1, 64)], &[], &platforms, &tiny_config());
+    }
+
+    #[test]
+    fn generated_records_carry_clean_validity_labels() {
+        // Generation only keeps candidates that lower, and everything the
+        // sketch policy emits is statically valid — so the recorded labels
+        // must all be error-free and retain_valid() must drop nothing.
+        let platforms = [Platform::i7_10510u()];
+        let mut ds = generate_dataset_for(&[bert_tiny(1, 64)], &[], &platforms, &tiny_config());
+        let v = crate::stats::validity(&ds);
+        assert_eq!(v.total, ds.num_programs());
+        assert_eq!(v.valid, v.total);
+        assert_eq!(v.valid_fraction(), 1.0);
+        assert_eq!(ds.retain_valid(), 0);
+        assert_eq!(ds.num_programs(), v.total);
+    }
+
+    #[test]
+    fn retain_valid_drops_records_with_error_labels() {
+        let platforms = [Platform::i7_10510u()];
+        let mut ds = generate_dataset_for(&[bert_tiny(1, 64)], &[], &platforms, &tiny_config());
+        let before = ds.num_programs();
+        // Forge one poisoned record, as if it came from a buggy collector.
+        ds.tasks[0].programs[0].validity = tlp_verify::ValiditySummary {
+            errors: 2,
+            warnings: 0,
+            lints: 0,
+        };
+        assert_eq!(ds.retain_valid(), 1);
+        assert_eq!(ds.num_programs(), before - 1);
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! assert!(ds.num_programs() > 0);
 //! ```
 
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
 #![warn(missing_docs)]
 
 pub mod generate;
@@ -39,5 +40,5 @@ pub use generate::{generate_dataset, generate_dataset_for, DatasetConfig};
 pub use record::{Dataset, ProgramRecord, TaskData};
 pub use stats::{
     max_embedding_size, max_embedding_sizes, max_sequence_length, sequence_length_distribution,
-    uniqueness, UniquenessStats,
+    uniqueness, validity, UniquenessStats, ValidityStats,
 };

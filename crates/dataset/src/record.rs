@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 use tlp_hwsim::Platform;
 use tlp_schedule::ScheduleSequence;
+use tlp_verify::ValiditySummary;
 use tlp_workload::Subgraph;
 
 /// One sampled tensor program: its schedule and its measured latency on every
@@ -15,6 +16,10 @@ pub struct ProgramRecord {
     /// Latency in seconds on each dataset platform (same order as
     /// [`Dataset::platforms`](crate::Dataset)).
     pub latencies: Vec<f64>,
+    /// Static-verifier label for the schedule ([`tlp_verify::verify`]),
+    /// recorded at generation time so consumers can filter or stratify
+    /// without re-running the analyzer.
+    pub validity: ValiditySummary,
 }
 
 /// All sampled programs of one tuning task (subgraph).
@@ -80,6 +85,19 @@ impl Dataset {
     pub fn train_tasks(&self) -> impl Iterator<Item = &TaskData> {
         self.tasks.iter().filter(|t| !t.from_test_set)
     }
+
+    /// Drops every program whose recorded validity label carries verifier
+    /// errors, returning how many were removed. Warnings and lints are kept:
+    /// they are legal programs the model should learn to rank.
+    pub fn retain_valid(&mut self) -> usize {
+        let mut removed = 0;
+        for t in &mut self.tasks {
+            let before = t.programs.len();
+            t.programs.retain(|r| r.validity.is_valid());
+            removed += before - t.programs.len();
+        }
+        removed
+    }
 }
 
 #[cfg(test)]
@@ -97,14 +115,17 @@ mod tests {
                 ProgramRecord {
                     schedule: ScheduleSequence::new(),
                     latencies: vec![2.0e-3],
+                    validity: Default::default(),
                 },
                 ProgramRecord {
                     schedule: ScheduleSequence::new(),
                     latencies: vec![1.0e-3],
+                    validity: Default::default(),
                 },
                 ProgramRecord {
                     schedule: ScheduleSequence::new(),
                     latencies: vec![4.0e-3],
+                    validity: Default::default(),
                 },
             ],
         };

@@ -60,6 +60,52 @@ pub fn max_embedding_size(ds: &Dataset) -> usize {
         .unwrap_or(0)
 }
 
+/// Aggregate of the per-record static-verifier labels
+/// ([`ProgramRecord::validity`](crate::ProgramRecord)).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize)]
+pub struct ValidityStats {
+    /// Total programs in the dataset.
+    pub total: usize,
+    /// Programs free of verifier errors (warnings/lints allowed).
+    pub valid: usize,
+    /// Programs with at least one verifier warning.
+    pub with_warnings: usize,
+    /// Programs with at least one lint.
+    pub with_lints: usize,
+}
+
+impl ValidityStats {
+    /// The fraction of programs free of verifier errors (1 for an empty
+    /// dataset: nothing is invalid).
+    pub fn valid_fraction(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.valid as f64 / self.total as f64
+        }
+    }
+}
+
+/// Aggregates the recorded validity labels across the whole dataset.
+pub fn validity(ds: &Dataset) -> ValidityStats {
+    let mut out = ValidityStats::default();
+    for t in &ds.tasks {
+        for r in &t.programs {
+            out.total += 1;
+            if r.validity.is_valid() {
+                out.valid += 1;
+            }
+            if r.validity.warnings > 0 {
+                out.with_warnings += 1;
+            }
+            if r.validity.lints > 0 {
+                out.with_lints += 1;
+            }
+        }
+    }
+    out
+}
+
 /// Uniqueness statistics of schedule sequences (paper §4.3).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct UniquenessStats {

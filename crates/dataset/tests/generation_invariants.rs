@@ -1,5 +1,7 @@
 //! Invariants of TenSet-like dataset generation.
 
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+
 use tlp_dataset::{generate_dataset_for, DatasetConfig};
 use tlp_hwsim::Platform;
 use tlp_workload::{bert_tiny, mobilenet_v2};

@@ -16,6 +16,7 @@
 //! assert!((model.predict(&[1.0]) - 4.0).abs() < 0.3);
 //! ```
 
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
 #![warn(missing_docs)]
 
 pub mod boost;

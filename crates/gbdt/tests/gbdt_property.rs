@@ -1,5 +1,7 @@
 //! Property-based tests for the gradient-boosted trees.
 
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+
 use proptest::prelude::*;
 use tlp_gbdt::{Gbdt, GbdtParams, RegressionTree, TreeParams};
 

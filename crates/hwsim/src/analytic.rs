@@ -266,6 +266,7 @@ fn deterministic_noise(seed: u64, sigma: f64) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::disallowed_methods)]
     use super::*;
     use crate::lower::lower;
     use tlp_schedule::{ConcretePrimitive, PrimitiveKind, ScheduleSequence};

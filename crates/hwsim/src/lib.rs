@@ -33,6 +33,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(clippy::disallowed_methods)]
 
 pub mod analytic;
 pub mod clock;

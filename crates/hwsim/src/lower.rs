@@ -26,9 +26,10 @@ pub struct AxisTiles {
 }
 
 impl AxisTiles {
-    /// The innermost tile extent.
+    /// The innermost tile extent (the full extent if the axis was never
+    /// split; `tiles` always has at least one level by construction).
     pub fn inner(&self) -> i64 {
-        *self.tiles.last().expect("at least one tile level")
+        self.tiles.last().copied().unwrap_or(self.extent)
     }
 
     /// Product of the innermost `levels` tile extents.
@@ -122,6 +123,16 @@ impl std::error::Error for LowerError {}
 /// Returns [`LowerError`] if the schedule references unknown loop variables
 /// or contains malformed splits. The search framework only generates valid
 /// schedules, but mutated/deserialized sequences are validated here.
+///
+/// # Soundness contract with `tlp-verify`
+///
+/// The static analyzer in `tlp-verify` is sound with respect to this
+/// function: every schedule this function rejects carries at least one
+/// error-severity diagnostic, and a schedule the analyzer passes never
+/// returns [`LowerError`]. Changing what this function rejects (new error
+/// conditions, relaxed checks, different live-variable bookkeeping) requires
+/// a matching analyzer change; the root-package `verify_soundness` property
+/// test pins both directions of the contract.
 pub fn lower(subgraph: &Subgraph, schedule: &ScheduleSequence) -> Result<ProgramSpec, LowerError> {
     let mut axes: Vec<AxisTiles> = subgraph
         .loops()
@@ -274,6 +285,7 @@ fn apply_split(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::disallowed_methods)]
     use super::*;
     use tlp_workload::AnchorOp;
 

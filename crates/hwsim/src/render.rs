@@ -114,6 +114,7 @@ pub fn render_program(subgraph: &Subgraph, spec: &ProgramSpec) -> String {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::disallowed_methods)]
     use super::*;
     use crate::lower::lower;
     use tlp_schedule::{ConcretePrimitive, PrimitiveKind, ScheduleSequence};

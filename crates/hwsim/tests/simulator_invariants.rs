@@ -1,6 +1,8 @@
 //! Behavioural invariants of the hardware simulator across platforms and
 //! schedules.
 
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+
 use tlp_hwsim::{lower, Platform, Simulator};
 use tlp_schedule::{ConcretePrimitive, PrimitiveKind, ScheduleSequence};
 use tlp_workload::{AnchorOp, Subgraph};

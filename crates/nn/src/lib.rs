@@ -35,6 +35,7 @@
 //! assert!((store.value(w).item() - 2.0).abs() < 0.05);
 //! ```
 
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
 #![warn(missing_docs)]
 
 pub mod graph;

@@ -1,5 +1,7 @@
 //! Property-based tests of tensor algebra and autograd correctness.
 
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+
 use proptest::prelude::*;
 use tlp_nn::{Graph, Tensor};
 

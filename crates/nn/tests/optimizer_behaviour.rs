@@ -1,5 +1,7 @@
 //! Behavioural tests of the optimizers on classic objectives.
 
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+
 use tlp_nn::{Adam, Binding, Graph, Optimizer, ParamStore, Sgd, Tensor};
 
 /// One gradient step of the Rosenbrock-ish ill-conditioned quadratic

@@ -76,10 +76,22 @@ impl PrimitiveKind {
 
     /// Index of this kind in [`PrimitiveKind::ALL`] (its one-hot slot).
     pub fn index(self) -> usize {
-        PrimitiveKind::ALL
-            .iter()
-            .position(|&k| k == self)
-            .expect("kind present in ALL")
+        match self {
+            PrimitiveKind::Split => 0,
+            PrimitiveKind::Reorder => 1,
+            PrimitiveKind::Fuse => 2,
+            PrimitiveKind::FollowSplit => 3,
+            PrimitiveKind::ComputeAt => 4,
+            PrimitiveKind::Annotation => 5,
+            PrimitiveKind::Rfactor => 6,
+            PrimitiveKind::Pragma => 7,
+            PrimitiveKind::CacheWrite => 8,
+            PrimitiveKind::ComputeRoot => 9,
+            PrimitiveKind::ComputeInline => 10,
+            PrimitiveKind::FollowFusedSplit => 11,
+            PrimitiveKind::CacheRead => 12,
+            PrimitiveKind::StorageAlign => 13,
+        }
     }
 
     /// The paper's two/three-letter abbreviation (Table 1).

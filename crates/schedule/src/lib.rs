@@ -32,6 +32,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(clippy::disallowed_methods)]
 
 pub mod kind;
 pub mod parse;

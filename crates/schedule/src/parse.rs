@@ -15,6 +15,8 @@ pub struct ParsePrimitiveError {
     message: String,
     /// The offending input line.
     pub line: String,
+    /// 1-based source line number, when parsing multi-line schedule text.
+    line_number: Option<usize>,
 }
 
 impl ParsePrimitiveError {
@@ -22,7 +24,20 @@ impl ParsePrimitiveError {
         ParsePrimitiveError {
             message: message.into(),
             line: line.to_string(),
+            line_number: None,
         }
+    }
+
+    fn at_line(mut self, n: usize) -> Self {
+        self.line_number = Some(n);
+        self
+    }
+
+    /// The 1-based line number of the offending line, when known
+    /// (set by [`parse_schedule`]; single-line [`parse_primitive`] calls
+    /// have no line context).
+    pub fn line_number(&self) -> Option<usize> {
+        self.line_number
     }
 }
 
@@ -143,21 +158,23 @@ pub fn parse_primitive(line: &str) -> Result<ConcretePrimitive, ParsePrimitiveEr
 ///
 /// # Errors
 ///
-/// Returns the first line's error.
+/// Returns the first line's error, tagged with its 1-based line number
+/// (see [`ParsePrimitiveError::line_number`]).
 pub fn parse_schedule(text: &str) -> Result<ScheduleSequence, ParsePrimitiveError> {
     let mut seq = ScheduleSequence::new();
-    for line in text.lines() {
+    for (idx, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with("//") {
             continue;
         }
-        seq.push(parse_primitive(line)?);
+        seq.push(parse_primitive(line).map_err(|e| e.at_line(idx + 1))?);
     }
     Ok(seq)
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::disallowed_methods)]
     use super::*;
 
     #[test]
@@ -178,7 +195,7 @@ mod tests {
     }
 
     #[test]
-    fn display_parse_roundtrip() {
+    fn display_parse_roundtrip() -> Result<(), ParsePrimitiveError> {
         let cases = [
             ConcretePrimitive::new(PrimitiveKind::Split, "conv2d")
                 .with_loops(["oc"])
@@ -191,9 +208,19 @@ mod tests {
         ];
         for p in cases {
             let text = p.to_string();
-            let back = parse_primitive(&text).unwrap_or_else(|e| panic!("{e}"));
+            let back = parse_primitive(&text)?;
             assert_eq!(back, p, "roundtrip of `{text}`");
         }
+        Ok(())
+    }
+
+    #[test]
+    fn schedule_errors_carry_line_numbers() {
+        let err = parse_schedule("// header\nSP(dense, i, [64, 8])\nNOPE(x)").unwrap_err();
+        assert_eq!(err.line_number(), Some(3));
+        assert_eq!(err.line, "NOPE(x)");
+        // Single-primitive parsing has no line context.
+        assert_eq!(parse_primitive("NOPE(x)").unwrap_err().line_number(), None);
     }
 
     #[test]

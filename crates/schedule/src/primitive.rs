@@ -240,6 +240,7 @@ pub fn recover(a: &AbstractPrimitive) -> Result<ConcretePrimitive, RecoverPrimit
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::disallowed_methods)]
     use super::*;
 
     fn sample() -> ConcretePrimitive {

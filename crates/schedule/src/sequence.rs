@@ -125,6 +125,7 @@ impl fmt::Display for ScheduleSequence {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::disallowed_methods)]
     use super::*;
     use crate::primitive::recover;
 

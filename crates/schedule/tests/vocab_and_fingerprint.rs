@@ -1,5 +1,7 @@
 //! Property tests for the vocabulary and sequence fingerprinting.
 
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+
 use proptest::prelude::*;
 use tlp_schedule::{
     parse_schedule, ConcretePrimitive, PrimitiveKind, ScheduleSequence, Vocabulary,

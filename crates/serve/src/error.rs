@@ -5,10 +5,21 @@
 //! parsing strings or blocking forever.
 
 use std::fmt;
+use tlp_verify::Diagnostic;
 
 /// Why a serving request did not produce scores.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ServeError {
+    /// A submitted schedule failed static verification at admission
+    /// ([`tlp_verify::verify`]). Carries the diagnostics so clients can
+    /// see *why* without re-running the analyzer; the request was never
+    /// enqueued, so invalid load costs O(verify) and no batcher time.
+    InvalidSchedule {
+        /// Index of the first offending schedule in the submitted batch.
+        index: usize,
+        /// The verifier's findings for that schedule (errors and below).
+        diagnostics: Vec<Diagnostic>,
+    },
     /// The admission queue was at capacity; the request was rejected
     /// immediately (never enqueued) so server memory stays bounded under
     /// overload. Back off and retry.
@@ -32,6 +43,17 @@ pub enum ServeError {
 impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            ServeError::InvalidSchedule { index, diagnostics } => {
+                let errors = diagnostics
+                    .iter()
+                    .filter(|d| d.severity == tlp_verify::Severity::Error)
+                    .count();
+                write!(
+                    f,
+                    "schedule {index} failed static verification ({errors} error(s)); \
+                     rejected at admission"
+                )
+            }
             ServeError::Overloaded { capacity } => {
                 write!(
                     f,

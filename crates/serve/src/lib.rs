@@ -50,6 +50,8 @@
 //! [`InferenceEngine`]: tlp::engine::InferenceEngine
 //! [`SavedTlp`]: tlp::persist::SavedTlp
 
+#![warn(clippy::disallowed_methods)]
+
 pub mod backend;
 pub mod error;
 pub mod loadgen;

@@ -167,7 +167,7 @@ impl ModelRegistry {
         let old = self
             .models
             .write()
-            .expect("registry poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .insert(name.to_string(), entry);
         if let Some(old) = old {
             old.engine.invalidate();
@@ -179,7 +179,7 @@ impl ModelRegistry {
     pub fn resolve(&self, name: &str) -> Option<Arc<ModelVersion>> {
         self.models
             .read()
-            .expect("registry poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .get(name)
             .cloned()
     }
@@ -199,7 +199,7 @@ impl ModelRegistry {
     pub fn remove(&self, name: &str) -> bool {
         self.models
             .write()
-            .expect("registry poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .remove(name)
             .is_some()
     }
@@ -209,7 +209,7 @@ impl ModelRegistry {
         let mut names: Vec<String> = self
             .models
             .read()
-            .expect("registry poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .keys()
             .cloned()
             .collect();
@@ -222,7 +222,7 @@ impl ModelRegistry {
         let mut rows: Vec<_> = self
             .models
             .read()
-            .expect("registry poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .values()
             .map(|m| crate::stats::ModelStatsSnapshot {
                 name: m.name.clone(),
@@ -237,6 +237,7 @@ impl ModelRegistry {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::disallowed_methods)]
     use super::*;
     use tlp::persist::snapshot_tlp;
     use tlp::TlpConfig;

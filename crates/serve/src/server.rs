@@ -66,6 +66,12 @@ pub struct ServeConfig {
     pub batchers: usize,
     /// Coalescing policy.
     pub policy: BatchPolicy,
+    /// Statically verify every submitted schedule at admission
+    /// ([`tlp_verify::verify`]) and reject requests whose schedules carry
+    /// verifier *errors* with [`ServeError::InvalidSchedule`]. Warnings and
+    /// lints never reject. On by default: an invalid schedule would waste a
+    /// batcher slot scoring a program the lowerer rejects anyway.
+    pub validate_admission: bool,
 }
 
 impl Default for ServeConfig {
@@ -74,6 +80,7 @@ impl Default for ServeConfig {
             queue_capacity: 1024,
             batchers: 2,
             policy: BatchPolicy::default(),
+            validate_admission: true,
         }
     }
 }
@@ -114,13 +121,22 @@ struct Shared {
     state: Mutex<QueueState>,
     cv: Condvar,
     capacity: usize,
+    validate_admission: bool,
     stats: ServeStats,
     registry: Arc<ModelRegistry>,
 }
 
 impl Shared {
+    /// Locks the queue state, recovering from poisoning: a batcher that
+    /// panicked mid-batch leaves the queue structurally intact (jobs are
+    /// popped before scoring), so continuing with the inner state is safe
+    /// and keeps the other batchers and clients alive.
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     fn snapshot(&self) -> ServeSnapshot {
-        let depth = self.state.lock().expect("serve queue poisoned").queue.len();
+        let depth = self.lock_state().queue.len();
         self.stats.snapshot(depth, self.registry.stats())
     }
 }
@@ -145,6 +161,7 @@ impl Server {
             }),
             cv: Condvar::new(),
             capacity: config.queue_capacity,
+            validate_admission: config.validate_admission,
             stats: ServeStats::default(),
             registry,
         });
@@ -155,7 +172,7 @@ impl Server {
                 std::thread::Builder::new()
                     .name(format!("tlp-serve-batcher-{i}"))
                     .spawn(move || batcher_loop(&shared, policy))
-                    .expect("spawn batcher thread")
+                    .unwrap_or_else(|e| panic!("spawn batcher thread: {e}"))
             })
             .collect();
         Server { shared, handles }
@@ -189,7 +206,7 @@ impl Server {
 
     fn stop(&mut self) {
         {
-            let mut st = self.shared.state.lock().expect("serve queue poisoned");
+            let mut st = self.shared.lock_state();
             st.shutdown = true;
         }
         self.shared.cv.notify_all();
@@ -198,7 +215,7 @@ impl Server {
         }
         // Only reachable with zero batchers: nobody will drain the queue.
         let leftovers: Vec<Job> = {
-            let mut st = self.shared.state.lock().expect("serve queue poisoned");
+            let mut st = self.shared.lock_state();
             st.queue.drain(..).collect()
         };
         for job in leftovers {
@@ -274,6 +291,24 @@ impl ServeClient {
             ServeStats::bump(&self.shared.stats.unknown_model);
             return Err(ServeError::UnknownModel(model.to_string()));
         }
+        // Static verification gate: reject before cloning or enqueueing, so
+        // an invalid schedule costs O(verify) and never reaches a batcher.
+        if self.shared.validate_admission {
+            let opts = tlp_verify::VerifyOptions {
+                gpu: Some(task.platform.is_gpu()),
+                ..tlp_verify::VerifyOptions::default()
+            };
+            for (index, schedule) in schedules.iter().enumerate() {
+                let report = tlp_verify::verify_with(&task.subgraph, schedule, &opts);
+                if report.has_errors() {
+                    ServeStats::bump(&self.shared.stats.rejected_invalid);
+                    return Err(ServeError::InvalidSchedule {
+                        index,
+                        diagnostics: report.diagnostics,
+                    });
+                }
+            }
+        }
         let now = Instant::now();
         let (tx, rx) = mpsc::channel();
         let job = Job {
@@ -286,7 +321,7 @@ impl ServeClient {
             reply: tx,
         };
         {
-            let mut st = self.shared.state.lock().expect("serve queue poisoned");
+            let mut st = self.shared.lock_state();
             if st.shutdown {
                 return Err(ServeError::ShuttingDown);
             }
@@ -366,9 +401,10 @@ impl Group {
         let mut i = 0;
         while i < queue.len() && self.candidates < max_batch {
             if queue[i].model == self.model && queue[i].task_fp == self.task_fp {
-                let job = queue.remove(i).expect("index in bounds");
-                self.candidates += job.schedules.len();
-                self.jobs.push(job);
+                if let Some(job) = queue.remove(i) {
+                    self.candidates += job.schedules.len();
+                    self.jobs.push(job);
+                }
             } else {
                 i += 1;
             }
@@ -378,7 +414,7 @@ impl Group {
 
 fn batcher_loop(shared: &Shared, policy: BatchPolicy) {
     loop {
-        let mut st = shared.state.lock().expect("serve queue poisoned");
+        let mut st = shared.lock_state();
         // Sleep until there is work (or we are told to exit).
         loop {
             if !st.queue.is_empty() {
@@ -387,9 +423,11 @@ fn batcher_loop(shared: &Shared, policy: BatchPolicy) {
             if st.shutdown {
                 return;
             }
-            st = shared.cv.wait(st).expect("serve queue poisoned");
+            st = shared.cv.wait(st).unwrap_or_else(|e| e.into_inner());
         }
-        let first = st.queue.pop_front().expect("non-empty queue");
+        let Some(first) = st.queue.pop_front() else {
+            continue; // Unreachable: the wait loop guarantees a non-empty queue.
+        };
         let mut group = Group::seed(first);
         group.top_up(&mut st.queue, policy.max_batch);
         // Below target size: hold the batch open for stragglers, measured
@@ -404,7 +442,7 @@ fn batcher_loop(shared: &Shared, policy: BatchPolicy) {
             let (guard, timed_out) = shared
                 .cv
                 .wait_timeout(st, wait_until - now)
-                .expect("serve queue poisoned");
+                .unwrap_or_else(|e| e.into_inner());
             st = guard;
             group.top_up(&mut st.queue, policy.max_batch);
             if timed_out.timed_out() {

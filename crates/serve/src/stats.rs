@@ -132,6 +132,9 @@ pub struct ServeStats {
     pub completed: AtomicU64,
     /// Requests rejected at admission because the queue was full.
     pub rejected_overload: AtomicU64,
+    /// Requests rejected at admission because a schedule failed static
+    /// verification.
+    pub rejected_invalid: AtomicU64,
     /// Requests dropped because their deadline expired before scoring.
     pub expired: AtomicU64,
     /// Requests naming a model the registry does not hold.
@@ -161,6 +164,7 @@ impl ServeStats {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
+            rejected_invalid: self.rejected_invalid.load(Ordering::Relaxed),
             expired: self.expired.load(Ordering::Relaxed),
             unknown_model: self.unknown_model.load(Ordering::Relaxed),
             batches,
@@ -198,6 +202,8 @@ pub struct ServeSnapshot {
     pub completed: u64,
     /// Requests rejected at admission (queue full).
     pub rejected_overload: u64,
+    /// Requests rejected at admission (schedule failed static verification).
+    pub rejected_invalid: u64,
     /// Requests dropped on deadline expiry.
     pub expired: u64,
     /// Requests naming an unknown model.
@@ -221,12 +227,13 @@ pub struct ServeSnapshot {
 impl ServeSnapshot {
     /// Pretty-printed JSON rendering.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("serialize serve snapshot")
+        serde_json::to_string_pretty(self).unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::disallowed_methods)]
     use super::*;
 
     #[test]

@@ -2,6 +2,8 @@
 //! engine path, hot-swap under load, admission control, deadlines,
 //! graceful shutdown, and the autotuner backend adapter.
 
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -112,6 +114,7 @@ fn coalesced_jobs_share_engine_batches() {
                 max_batch: 1024,
                 max_wait: Duration::from_millis(50),
             },
+            validate_admission: true,
         },
     );
     let t = task();
@@ -219,6 +222,7 @@ fn overload_is_typed_bounded_and_immediate() {
             queue_capacity: CAPACITY,
             batchers: 0,
             policy: BatchPolicy::default(),
+            validate_admission: true,
         },
     );
     let t = task();
@@ -285,6 +289,7 @@ fn deadline_expires_client_side_when_server_is_stalled() {
             queue_capacity: 8,
             batchers: 0,
             policy: BatchPolicy::default(),
+            validate_admission: true,
         },
     );
     let t = task();
@@ -307,6 +312,7 @@ fn graceful_shutdown_drains_admitted_work() {
                 max_batch: 8,
                 max_wait: Duration::from_millis(5),
             },
+            validate_admission: true,
         },
     );
     let t = task();
@@ -388,6 +394,7 @@ fn remote_cost_model_degrades_on_serve_errors() {
             queue_capacity: 0,
             batchers: 0,
             policy: BatchPolicy::default(),
+            validate_admission: true,
         },
     );
     let t = task();
@@ -397,4 +404,57 @@ fn remote_cost_model_degrades_on_serve_errors() {
     assert_eq!(batch.len(), pool.len());
     assert_eq!(batch.num_invalid(), pool.len());
     assert_eq!(remote.errors(), 1);
+}
+
+#[test]
+fn invalid_schedule_is_rejected_at_admission() {
+    use tlp_schedule::{ConcretePrimitive, PrimitiveKind};
+
+    let server = Server::start(serving_registry(12), ServeConfig::default());
+    let t = task();
+    let mut pool = candidates(3, 43);
+    // Corrupt the middle candidate: reference a loop var that never existed.
+    pool[1].push(
+        ConcretePrimitive::new(PrimitiveKind::Annotation, "d")
+            .with_loops(["ghost"])
+            .with_extras(["parallel"]),
+    );
+    let err = server.client().score("m", &t, &pool).unwrap_err();
+    match err {
+        ServeError::InvalidSchedule { index, diagnostics } => {
+            assert_eq!(index, 1);
+            assert!(!diagnostics.is_empty());
+        }
+        other => panic!("expected InvalidSchedule, got {other:?}"),
+    }
+    let snap = server.shutdown();
+    assert_eq!(snap.rejected_invalid, 1);
+    assert_eq!(snap.completed, 0, "invalid request must never be scored");
+}
+
+#[test]
+fn admission_validation_can_be_disabled() {
+    // With the gate off, the same corrupted schedule is admitted (a paused
+    // server just queues it — execution would mask it as unscoreable).
+    let server = Server::start(
+        serving_registry(14),
+        ServeConfig {
+            batchers: 0,
+            validate_admission: false,
+            ..ServeConfig::default()
+        },
+    );
+    let t = task();
+    let mut pool = candidates(1, 47);
+    pool[0].push(
+        tlp_schedule::ConcretePrimitive::new(tlp_schedule::PrimitiveKind::Fuse, "d")
+            .with_loops(["ghost_a", "ghost_b"]),
+    );
+    let pending = server
+        .client()
+        .submit("m", &t, &pool, None)
+        .expect("admitted");
+    assert_eq!(server.client().stats().queue_depth, 1);
+    drop(server);
+    assert_eq!(pending.wait().err(), Some(ServeError::ShuttingDown));
 }

@@ -1,0 +1,205 @@
+//! Pass 2 — loop-variable dataflow.
+//!
+//! Threads an environment of live loop variables through the sequence,
+//! mirroring the lowerer's live map: original axes are live initially, an
+//! anchor-stage split consumes its axis and defines `var.0..var.k` sub-loops,
+//! and a fuse defines the `@`-joined variable. References to variables that
+//! were never defined ([`Code::UnknownVar`]) or were already consumed
+//! ([`Code::UseAfterConsume`]) are errors.
+//!
+//! # Soundness contract
+//!
+//! The environment here is a *subset* of the lowerer's live map at every
+//! step: both apply identical definitions, but this pass additionally
+//! consumes the operands of a fuse (the lowerer keeps them live). Therefore
+//! any variable the lowerer rejects is also dead here, and a schedule with no
+//! dataflow errors can never hit `LowerError::UnknownLoopVar`. The converse
+//! strictness (flagging fuse-operand reuse the lowerer tolerates) is
+//! intentional: it marks corrupted schedules.
+
+use crate::diagnostic::{Code, Diagnostic, Severity};
+use crate::Ctx;
+use std::collections::HashMap;
+use tlp_schedule::{PrimitiveKind, ScheduleSequence};
+
+/// A `blockIdx.*` / `threadIdx.*` binding observed while threading the
+/// environment, with the bound loop's extent when it was resolvable.
+pub(crate) struct Bind {
+    pub step: usize,
+    pub axis: String,
+    pub extent: Option<i64>,
+}
+
+/// Facts the GPU pass consumes.
+#[derive(Default)]
+pub(crate) struct Facts {
+    pub binds: Vec<Bind>,
+    /// Steps carrying CPU-only annotations (`parallel`, `vectorize`).
+    pub cpu_annotation_steps: Vec<usize>,
+}
+
+struct Env {
+    live: HashMap<String, i64>,
+    /// Variable → step that consumed it.
+    consumed: HashMap<String, usize>,
+}
+
+impl Env {
+    /// Looks up `var`, emitting V201/V202 at `step` on failure.
+    fn resolve(&self, var: &str, step: usize, out: &mut Vec<Diagnostic>) -> Option<i64> {
+        if let Some(&e) = self.live.get(var) {
+            return Some(e);
+        }
+        let d = match self.consumed.get(var) {
+            Some(&at) => Diagnostic::at(
+                Code::UseAfterConsume,
+                Severity::Error,
+                step,
+                format!("loop variable `{var}` was consumed at step {at}"),
+            ),
+            None => Diagnostic::at(
+                Code::UnknownVar,
+                Severity::Error,
+                step,
+                format!("loop variable `{var}` is not defined"),
+            ),
+        };
+        out.push(d);
+        None
+    }
+
+    fn consume(&mut self, var: &str, step: usize) {
+        self.live.remove(var);
+        self.consumed.entry(var.to_string()).or_insert(step);
+    }
+
+    fn define(&mut self, var: String, extent: i64) {
+        self.consumed.remove(&var);
+        self.live.insert(var, extent);
+    }
+}
+
+pub(crate) fn check(ctx: &Ctx<'_>, schedule: &ScheduleSequence) -> (Vec<Diagnostic>, Facts) {
+    let mut out = Vec::new();
+    let mut facts = Facts::default();
+    let mut env = Env {
+        live: ctx
+            .axes
+            .iter()
+            .map(|a| (a.name.clone(), a.extent))
+            .collect(),
+        consumed: HashMap::new(),
+    };
+    let mut inlined: HashMap<String, usize> = HashMap::new();
+
+    for (step, p) in schedule.iter().enumerate() {
+        if let Some(&at) = inlined.get(&p.stage) {
+            out.push(Diagnostic::at(
+                Code::InlinedStageReuse,
+                Severity::Warn,
+                step,
+                format!("stage `{}` was compute-inlined at step {at}", p.stage),
+            ));
+        }
+        match p.kind {
+            PrimitiveKind::Split | PrimitiveKind::FollowSplit | PrimitiveKind::FollowFusedSplit => {
+                // Mirror-stage splits (cache/shared) replay the anchor's
+                // tiling over the original axis names and never touch the
+                // anchor's environment; only anchor splits restructure it.
+                if p.stage == ctx.anchor {
+                    apply_anchor_split(ctx, &mut env, step, p);
+                }
+            }
+            PrimitiveKind::Fuse => {
+                if p.loop_vars.is_empty() {
+                    out.push(Diagnostic::at(
+                        Code::EmptyFuse,
+                        Severity::Warn,
+                        step,
+                        "fuse of zero loops defines a degenerate variable",
+                    ));
+                }
+                let mut product: i64 = 1;
+                for v in &p.loop_vars {
+                    if let Some(e) = env.resolve(v, step, &mut out) {
+                        product = product.saturating_mul(e);
+                    }
+                }
+                for v in p.loop_vars.clone() {
+                    env.consume(&v, step);
+                }
+                env.define(p.loop_vars.join("@"), product);
+            }
+            PrimitiveKind::Annotation => {
+                // Missing loop var is the well-formedness pass's V101.
+                let extent = p
+                    .loop_vars
+                    .first()
+                    .and_then(|v| env.resolve(v, step, &mut out));
+                for ann in &p.extras {
+                    if ann.starts_with("blockIdx.") || ann.starts_with("threadIdx.") {
+                        facts.binds.push(Bind {
+                            step,
+                            axis: ann.clone(),
+                            extent,
+                        });
+                    } else if ann == "parallel" || ann == "vectorize" {
+                        facts.cpu_annotation_steps.push(step);
+                    }
+                }
+            }
+            PrimitiveKind::Reorder => {
+                for v in &p.loop_vars {
+                    env.resolve(v, step, &mut out);
+                }
+            }
+            PrimitiveKind::ComputeAt | PrimitiveKind::Rfactor => {
+                if let Some(v) = p.loop_vars.first() {
+                    env.resolve(v, step, &mut out);
+                }
+            }
+            PrimitiveKind::ComputeInline => {
+                inlined.entry(p.stage.clone()).or_insert(step);
+            }
+            PrimitiveKind::Pragma
+            | PrimitiveKind::CacheWrite
+            | PrimitiveKind::CacheRead
+            | PrimitiveKind::ComputeRoot
+            | PrimitiveKind::StorageAlign => {}
+        }
+    }
+    (out, facts)
+}
+
+/// Mirrors `tlp_hwsim::lower`'s split handling: valid splits of an original
+/// axis consume the axis name and define `var.0` (outer) through `var.k`.
+/// Invalid splits (wrong arity, non-positive factors, non-axis target) leave
+/// the environment untouched — passes 1 and 3 already reject them.
+fn apply_anchor_split(
+    ctx: &Ctx<'_>,
+    env: &mut Env,
+    step: usize,
+    p: &tlp_schedule::ConcretePrimitive,
+) {
+    let Some(var) = p.loop_vars.first() else {
+        return;
+    };
+    let Some(axis) = ctx.axis(var) else {
+        return;
+    };
+    if p.ints.len() < 2 || p.ints.iter().any(|&f| f <= 0) {
+        return;
+    }
+    let factors = &p.ints[1..];
+    let inner_product = factors
+        .iter()
+        .fold(1i64, |acc, &f| acc.saturating_mul(f))
+        .max(1);
+    let outer = (axis.extent / inner_product + i64::from(axis.extent % inner_product != 0)).max(1);
+    env.consume(var, step);
+    let var = var.clone();
+    env.define(format!("{var}.0"), outer);
+    for (i, &f) in factors.iter().enumerate() {
+        env.define(format!("{var}.{}", i + 1), f);
+    }
+}

@@ -1,0 +1,98 @@
+//! Pass 4 — GPU-binding completeness.
+//!
+//! Consumes the binding facts collected by the dataflow pass. When the
+//! schedule is for a GPU target (declared via [`VerifyOptions::gpu`], or
+//! inferred from the presence of any `blockIdx.*`/`threadIdx.*` binding),
+//! the kernel must bind at least one block axis and one thread axis, must
+//! not bind the same hardware axis twice, and should fit the per-block
+//! thread limit. Occupancy overruns are warnings: the simulator clamps
+//! rather than rejects them, and generated conv2d schedules legitimately
+//! exceed the limit on wide thread tiles.
+
+use crate::dataflow::Facts;
+use crate::diagnostic::{Code, Diagnostic, Severity};
+use crate::VerifyOptions;
+use std::collections::HashMap;
+
+pub(crate) fn check(opts: &VerifyOptions, facts: &Facts) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let thread_binds: Vec<_> = facts
+        .binds
+        .iter()
+        .filter(|b| b.axis.starts_with("threadIdx."))
+        .collect();
+    let block_binds: Vec<_> = facts
+        .binds
+        .iter()
+        .filter(|b| b.axis.starts_with("blockIdx."))
+        .collect();
+    let any_bind = !facts.binds.is_empty();
+    let gpu = opts.gpu.unwrap_or(any_bind);
+
+    if !gpu {
+        if let Some(first) = facts.binds.first() {
+            out.push(Diagnostic::at(
+                Code::MixedDeviceAnnotations,
+                Severity::Warn,
+                first.step,
+                format!("`{}` bound on a CPU target", first.axis),
+            ));
+        }
+        return out;
+    }
+
+    if thread_binds.is_empty() {
+        out.push(Diagnostic::global(
+            Code::MissingThreadBinding,
+            Severity::Error,
+            "GPU schedule binds no threadIdx axis",
+        ));
+    }
+    if block_binds.is_empty() {
+        out.push(Diagnostic::global(
+            Code::MissingBlockBinding,
+            Severity::Error,
+            "GPU schedule binds no blockIdx axis",
+        ));
+    }
+
+    let mut first_bind: HashMap<&str, usize> = HashMap::new();
+    for b in &facts.binds {
+        if let Some(&at) = first_bind.get(b.axis.as_str()) {
+            out.push(Diagnostic::at(
+                Code::DuplicateThreadBinding,
+                Severity::Error,
+                b.step,
+                format!("`{}` already bound at step {at}", b.axis),
+            ));
+        } else {
+            first_bind.insert(b.axis.as_str(), b.step);
+        }
+    }
+
+    let threads: i128 = thread_binds.iter().fold(1i128, |acc, b| {
+        acc.saturating_mul(b.extent.unwrap_or(1) as i128)
+    });
+    if threads > opts.max_threads_per_block as i128 {
+        out.push(Diagnostic::global(
+            Code::OccupancyExceeded,
+            Severity::Warn,
+            format!(
+                "{threads} threads per block exceed the limit of {}",
+                opts.max_threads_per_block
+            ),
+        ));
+    }
+
+    if any_bind {
+        if let Some(&step) = facts.cpu_annotation_steps.first() {
+            out.push(Diagnostic::at(
+                Code::MixedDeviceAnnotations,
+                Severity::Warn,
+                step,
+                "parallel/vectorize annotations mixed with GPU thread bindings",
+            ));
+        }
+    }
+    out
+}

@@ -19,6 +19,7 @@
 //! assert!(net.total_flops() > 3e9);
 //! ```
 
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
 #![warn(missing_docs)]
 
 pub mod network;

@@ -4,6 +4,8 @@
 //!
 //! Run with `cargo run --release --example dataset_statistics`.
 
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+
 use tlp_dataset::{
     generate_dataset_for, max_embedding_sizes, max_sequence_length, sequence_length_distribution,
     uniqueness, DatasetConfig,

@@ -4,6 +4,8 @@
 //!
 //! Run with `cargo run --release --example end_to_end_search`.
 
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+
 use tlp::experiments::{capped_train_tasks, Scale};
 use tlp::features::FeatureExtractor;
 use tlp::search::{AnsorCostModel, TlpCostModel};

@@ -4,6 +4,8 @@
 //!
 //! Run with `cargo run --release --example save_and_reuse`.
 
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+
 use tlp::experiments::{capped_train_tasks, eval_tlp, Scale};
 use tlp::features::FeatureExtractor;
 use tlp::persist::{snapshot_tlp, SavedTlp};

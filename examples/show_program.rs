@@ -4,6 +4,8 @@
 //!
 //! Run with `cargo run --release --example show_program`.
 
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use tlp_autotuner::{Candidate, SketchPolicy};

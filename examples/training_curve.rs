@@ -3,6 +3,8 @@
 //!
 //! Run with `cargo run --release --example training_curve`.
 
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+
 use tlp::experiments::{capped_train_tasks, eval_tlp};
 use tlp::features::FeatureExtractor;
 use tlp::train::{train_tlp, TrainData};

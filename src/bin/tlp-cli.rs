@@ -6,6 +6,7 @@
 //! tlp-cli eval <model.json>             top-k of a snapshot on the test set
 //! tlp-cli tune <network> [model.json]   tune a workload (random or TLP-guided)
 //! tlp-cli serve-bench [c] [r] [b]       closed-loop load against tlp-serve
+//! tlp-cli verify-corpus [out.json]      static-verifier sweep over the dataset
 //! tlp-cli platforms                     list simulated platforms
 //! ```
 //!
@@ -13,6 +14,8 @@
 //!
 //! Lives in the root package (not `crates/core`) because `serve-bench`
 //! pulls in `tlp-serve`, which itself depends on the core crate.
+
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
 
 use std::sync::Arc;
 use tlp::engine::EngineConfig;
@@ -39,10 +42,11 @@ fn main() {
             args.get(2).map(String::as_str),
         ),
         Some("serve-bench") => cmd_serve_bench(&args[1..]),
+        Some("verify-corpus") => cmd_verify_corpus(args.get(1).map(String::as_str)),
         Some("platforms") => cmd_platforms(),
         _ => {
             eprintln!(
-                "usage: tlp-cli <stats|train|eval|tune|serve-bench|platforms> [args]\n\
+                "usage: tlp-cli <stats|train|eval|tune|serve-bench|verify-corpus|platforms> [args]\n\
                  \n\
                  stats                        dataset statistics\n\
                  train <model.json>           train TLP on the CPU dataset (i7 target)\n\
@@ -53,6 +57,9 @@ fn main() {
                  \x20                            r requests each (default 40) of b\n\
                  \x20                            candidates (default 16) against a\n\
                  \x20                            tlp-serve server; prints a JSON report\n\
+                 verify-corpus [out.json]     run the static schedule verifier over a\n\
+                 \x20                            generated dataset sample and print (or\n\
+                 \x20                            write) a JSON diagnostics summary\n\
                  platforms                    list simulated platforms"
             );
             2
@@ -219,7 +226,98 @@ fn cmd_tune(network: Option<&str>, model_path: Option<&str>) -> i32 {
         report.total_search_time_s(),
         report.measurements
     );
+    println!(
+        "static gate: {} candidates generated, {} pruned ({:.2}%)",
+        report.candidates_generated,
+        report.candidates_pruned,
+        report.pruned_fraction() * 100.0
+    );
     0
+}
+
+/// Per-code diagnostic count in the `verify-corpus` report.
+#[derive(serde::Serialize)]
+struct CodeCount {
+    code: String,
+    severity: String,
+    count: u64,
+}
+
+/// JSON report emitted by `verify-corpus`.
+#[derive(serde::Serialize)]
+struct CorpusReport {
+    scale: String,
+    tasks: usize,
+    programs: usize,
+    validity: tlp_dataset::ValidityStats,
+    codes: Vec<CodeCount>,
+}
+
+fn cmd_verify_corpus(out_path: Option<&str>) -> i32 {
+    let scale = Scale::from_env();
+    let ds = scale.cpu_dataset();
+    let opts = tlp_verify::VerifyOptions {
+        gpu: Some(false),
+        ..tlp_verify::VerifyOptions::default()
+    };
+    let mut counts: std::collections::BTreeMap<tlp_verify::Code, u64> =
+        std::collections::BTreeMap::new();
+    let mut severities = std::collections::HashMap::new();
+    for t in &ds.tasks {
+        for r in &t.programs {
+            let report = tlp_verify::verify_with(&t.subgraph, &r.schedule, &opts);
+            for d in &report.diagnostics {
+                *counts.entry(d.code).or_insert(0) += 1;
+                severities.insert(d.code, d.severity);
+            }
+        }
+    }
+    let report = CorpusReport {
+        scale: format!("{scale:?}"),
+        tasks: ds.tasks.len(),
+        programs: ds.num_programs(),
+        validity: tlp_dataset::validity(&ds),
+        codes: counts
+            .into_iter()
+            .map(|(code, count)| CodeCount {
+                code: code.as_str().to_string(),
+                severity: severities
+                    .get(&code)
+                    .map(|s| s.to_string())
+                    .unwrap_or_default(),
+                count,
+            })
+            .collect(),
+    };
+    let json = match serde_json::to_string_pretty(&report) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("verify-corpus: {e}");
+            return 1;
+        }
+    };
+    if report.validity.valid != report.validity.total {
+        eprintln!(
+            "verify-corpus: {} of {} generated programs carry verifier errors",
+            report.validity.total - report.validity.valid,
+            report.validity.total
+        );
+    }
+    match out_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("verify-corpus: write {path}: {e}");
+                return 1;
+            }
+            println!("wrote diagnostics summary to {path}");
+        }
+        None => println!("{json}"),
+    }
+    if report.validity.valid == report.validity.total {
+        0
+    } else {
+        1
+    }
 }
 
 fn cmd_serve_bench(args: &[String]) -> i32 {

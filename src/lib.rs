@@ -5,6 +5,8 @@
 //! [`tlp`] (core models), [`tlp_nn`], [`tlp_schedule`], [`tlp_workload`],
 //! [`tlp_hwsim`], [`tlp_gbdt`], [`tlp_autotuner`], [`tlp_dataset`],
 //! [`tlp_serve`] (concurrent model serving).
+
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
 pub use tlp;
 pub use tlp_autotuner;
 pub use tlp_dataset;

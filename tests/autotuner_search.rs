@@ -1,6 +1,8 @@
 //! Search-framework integration tests: dedup, exploration, the task
 //! scheduler, and the online baseline inside the tuner.
 
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::HashSet;

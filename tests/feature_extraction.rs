@@ -1,6 +1,8 @@
 //! Feature-extraction integration tests on realistic generated schedules
 //! (the unit tests in `tlp::features` use hand-built primitives).
 
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use tlp::features::{FeatureExtractor, ONEHOT};

@@ -1,6 +1,8 @@
 //! Convergence tests for the pure-Rust NN substrate: the layers used by TLP
 //! must actually be able to learn their canonical toy problems.
 
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use tlp_nn::{

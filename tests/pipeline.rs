@@ -1,6 +1,8 @@
 //! End-to-end integration tests spanning every crate: workloads → dataset →
 //! feature extraction → model training → metrics → search.
 
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+
 use tlp::experiments::{capped_train_tasks, eval_tlp, Scale};
 use tlp::features::FeatureExtractor;
 use tlp::search::TlpCostModel;

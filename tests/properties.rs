@@ -1,5 +1,7 @@
 //! Property-based tests over the core data structures and invariants.
 
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+
 use proptest::prelude::*;
 use tlp::features::FeatureExtractor;
 use tlp_hwsim::{lower, Platform, Simulator};
@@ -124,6 +126,7 @@ proptest! {
             programs: lats.iter().map(|&l| ProgramRecord {
                 schedule: ScheduleSequence::new(),
                 latencies: vec![l],
+                validity: Default::default(),
             }).collect(),
         };
         let labels = task.labels(0);

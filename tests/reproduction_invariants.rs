@@ -1,6 +1,8 @@
 //! Semantic invariants of the reproduction: the qualitative facts the
 //! paper's experiments rest on must hold in the simulated substrate.
 
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use tlp_autotuner::{Candidate, SketchPolicy};

@@ -2,6 +2,8 @@
 //! schedules, reports and parameters must survive JSON serialization so
 //! experiment artifacts can be cached and inspected.
 
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+
 use tlp_autotuner::{Candidate, ScheduleDecision, SketchPolicy};
 use tlp_hwsim::Platform;
 use tlp_nn::{ParamStore, Tensor};

@@ -1,0 +1,268 @@
+//! Soundness of the static schedule verifier with respect to the lowerer.
+//!
+//! `tlp_verify` never lowers or simulates, so its only ground truth is
+//! `tlp_hwsim::lower`. Two properties tie the analyzer to that oracle:
+//!
+//! 1. **No false rejects on real schedules**: everything the sketch policy
+//!    emits — the entire distribution that search, dataset generation, and
+//!    serving actually see — verifies error-free and lowers.
+//! 2. **No false accepts**: whenever `lower` rejects a schedule, the verifier
+//!    reports at least one `Error` diagnostic. Equivalently, a passing report
+//!    implies the schedule lowers.
+//!
+//! Corruptions below mimic the realistic failure modes (truncated or zeroed
+//! tile factors, dangling loop variables, renamed stages, stripped
+//! annotations) rather than purely random byte noise, so the second property
+//! is exercised on inputs near the valid manifold where a shallow analyzer
+//! would be most likely to false-accept.
+
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tlp_autotuner::{Candidate, SketchPolicy};
+use tlp_hwsim::lower;
+use tlp_schedule::{ConcretePrimitive, PrimitiveKind, ScheduleSequence};
+use tlp_verify::{verify_with, VerifyOptions};
+use tlp_workload::{AnchorOp, Subgraph};
+
+fn subgraph_pool() -> Vec<Subgraph> {
+    vec![
+        Subgraph::new(
+            "dense",
+            AnchorOp::Dense {
+                m: 64,
+                n: 64,
+                k: 64,
+            },
+        ),
+        Subgraph::new(
+            "bmm",
+            AnchorOp::BatchMatmul {
+                b: 4,
+                m: 32,
+                n: 32,
+                k: 32,
+            },
+        ),
+        Subgraph::new(
+            "conv",
+            AnchorOp::Conv2d {
+                n: 1,
+                cin: 16,
+                hw: 14,
+                cout: 16,
+                khw: 3,
+                stride: 1,
+                pad: 1,
+                groups: 1,
+            },
+        ),
+    ]
+}
+
+fn options_for(policy: &SketchPolicy) -> VerifyOptions {
+    VerifyOptions {
+        gpu: Some(policy.gpu),
+        ..VerifyOptions::default()
+    }
+}
+
+fn emitted(policy: &SketchPolicy, sg: &Subgraph, seed: u64) -> ScheduleSequence {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Candidate::random(policy, sg, &mut rng).sequence
+}
+
+/// Applies one targeted corruption, returning `false` if the schedule had no
+/// step the corruption applies to (the caller then skips the case).
+fn corrupt(seq: &mut ScheduleSequence, strategy: usize, seed: u64) -> bool {
+    fn pick(steps: &[ConcretePrimitive], kind: PrimitiveKind, seed: u64) -> Option<usize> {
+        let hits: Vec<usize> = steps
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.kind == kind)
+            .map(|(i, _)| i)
+            .collect();
+        if hits.is_empty() {
+            None
+        } else {
+            Some(hits[seed as usize % hits.len()])
+        }
+    }
+    let mut steps: Vec<ConcretePrimitive> = seq.iter().cloned().collect();
+    let applied = match strategy {
+        // Zero a tile factor: lower rejects non-positive split extents.
+        0 => match pick(&steps, PrimitiveKind::Split, seed) {
+            Some(i) if !steps[i].ints.is_empty() => {
+                let j = seed as usize % steps[i].ints.len();
+                steps[i].ints[j] = 0;
+                true
+            }
+            _ => false,
+        },
+        // Negative tile factor.
+        1 => match pick(&steps, PrimitiveKind::Split, seed) {
+            Some(i) if !steps[i].ints.is_empty() => {
+                let j = seed as usize % steps[i].ints.len();
+                steps[i].ints[j] = -3;
+                true
+            }
+            _ => false,
+        },
+        // Truncate an anchor split to a single factor (< 2 ints).
+        2 => match pick(&steps, PrimitiveKind::Split, seed) {
+            Some(i) if steps[i].ints.len() >= 2 => {
+                steps[i].ints.truncate(1);
+                true
+            }
+            _ => false,
+        },
+        // Dangling loop variable in a fuse.
+        3 => match pick(&steps, PrimitiveKind::Fuse, seed) {
+            Some(i) if !steps[i].loop_vars.is_empty() => {
+                let j = seed as usize % steps[i].loop_vars.len();
+                steps[i].loop_vars[j] = "ghost".to_string();
+                true
+            }
+            _ => false,
+        },
+        // Dangling loop variable in an annotation.
+        4 => match pick(&steps, PrimitiveKind::Annotation, seed) {
+            Some(i) if !steps[i].loop_vars.is_empty() => {
+                steps[i].loop_vars[0] = "ghost".to_string();
+                true
+            }
+            _ => false,
+        },
+        // Split a name that is not an axis of the anchor stage.
+        5 => match pick(&steps, PrimitiveKind::Split, seed) {
+            Some(i) if !steps[i].loop_vars.is_empty() => {
+                steps[i].loop_vars[0] = "zz".to_string();
+                true
+            }
+            _ => false,
+        },
+        // Strip the loop variables off a split entirely.
+        6 => match pick(&steps, PrimitiveKind::Split, seed) {
+            Some(i) => {
+                steps[i].loop_vars.clear();
+                true
+            }
+            _ => false,
+        },
+        // Append an annotation on a variable no step ever defined.
+        _ => {
+            steps.push(
+                ConcretePrimitive::new(PrimitiveKind::Annotation, "dense")
+                    .with_loops(vec!["never_defined".to_string()])
+                    .with_extras(vec!["parallel".to_string()]),
+            );
+            true
+        }
+    };
+    if applied {
+        *seq = steps.into_iter().collect();
+    }
+    applied
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Property 1: the emitted distribution is verified error-free and
+    /// lowers, on both device classes and every subgraph shape.
+    #[test]
+    fn emitted_schedules_pass_and_lower(seed in 0u64..u64::MAX, sg_idx in 0usize..3, gpu_bit in 0usize..2) {
+        let policy = if gpu_bit == 1 { SketchPolicy::gpu() } else { SketchPolicy::cpu() };
+        let sg = &subgraph_pool()[sg_idx];
+        let seq = emitted(&policy, sg, seed);
+        let report = verify_with(sg, &seq, &options_for(&policy));
+        prop_assert!(
+            report.passes(),
+            "emitted schedule rejected: {:?}",
+            report.diagnostics
+        );
+        prop_assert!(lower(sg, &seq).is_ok(), "emitted schedule does not lower");
+    }
+
+    /// Property 2 on corrupted-but-realistic inputs: a passing report implies
+    /// the schedule lowers (equivalently, lower-rejection implies a verifier
+    /// error). This is the "no false accepts" direction.
+    #[test]
+    fn verifier_catches_everything_lower_rejects(
+        seed in 0u64..u64::MAX,
+        sg_idx in 0usize..3,
+        gpu_bit in 0usize..2,
+        strategy in 0usize..8,
+    ) {
+        let policy = if gpu_bit == 1 { SketchPolicy::gpu() } else { SketchPolicy::cpu() };
+        let sg = &subgraph_pool()[sg_idx];
+        let mut seq = emitted(&policy, sg, seed);
+        if !corrupt(&mut seq, strategy, seed) {
+            return Ok(()); // schedule had no step of the targeted kind
+        }
+        let report = verify_with(sg, &seq, &options_for(&policy));
+        if let Err(e) = lower(sg, &seq) {
+            prop_assert!(
+                report.has_errors(),
+                "lower rejected ({e:?}) but verifier passed: {:?}",
+                report.diagnostics
+            );
+        }
+        if report.passes() {
+            prop_assert!(lower(sg, &seq).is_ok());
+        }
+    }
+
+    /// Property 2 on arbitrary garbage: whatever random primitive soup the
+    /// parser can represent, a passing report still implies lowering.
+    #[test]
+    fn passing_reports_imply_lowering_on_random_soup(
+        kinds in prop::collection::vec(0usize..14, 0..20),
+        seed in 0u64..u64::MAX,
+    ) {
+        let sg = &subgraph_pool()[0];
+        let mut rng_state = seed;
+        let mut next = move || {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            rng_state >> 33
+        };
+        let seq: ScheduleSequence = kinds
+            .iter()
+            .map(|&k| {
+                let kind = PrimitiveKind::ALL[k % PrimitiveKind::ALL.len()];
+                let stages = ["dense", "zz", "dense.rf"];
+                let vars = ["m", "n", "k", "m.0", "ghost"];
+                ConcretePrimitive::new(kind, stages[next() as usize % stages.len()])
+                    .with_loops(vec![vars[next() as usize % vars.len()].to_string()])
+                    .with_ints(vec![(next() as i64 % 64) - 4, (next() as i64 % 16) + 1])
+                    .with_extras(vec!["parallel".to_string()])
+            })
+            .collect();
+        let report = verify_with(sg, &seq, &VerifyOptions::default());
+        if report.passes() {
+            prop_assert!(
+                lower(sg, &seq).is_ok(),
+                "verifier passed a schedule lower rejects: {:?}",
+                seq
+            );
+        }
+    }
+}
+
+/// Deterministic spot check: a zeroed anchor-split factor is rejected by both
+/// the lowerer and the verifier (the canonical "corrupted factor" case).
+#[test]
+fn zeroed_split_factor_rejected_by_both() {
+    let sg = &subgraph_pool()[0];
+    let policy = SketchPolicy::cpu();
+    let mut seq = emitted(&policy, sg, 7);
+    assert!(
+        corrupt(&mut seq, 0, 0),
+        "emitted schedule must contain a split"
+    );
+    assert!(lower(sg, &seq).is_err());
+    let report = verify_with(sg, &seq, &options_for(&policy));
+    assert!(report.has_errors());
+}
