@@ -386,7 +386,7 @@ mod tests {
             let mut m = Measurer::new(false);
             cands
                 .iter()
-                .filter_map(|c| m.measure(&t, &c.sequence))
+                .filter_map(|c| m.measure(&t, &c.sequence).ok())
                 .fold(f64::INFINITY, f64::min)
         };
         let by_oracle =

@@ -11,7 +11,9 @@
 //!   crate);
 //! - [`evolutionary_search`]: cost-model-guided evolution over candidates;
 //! - [`Measurer`]: "hardware" measurement against the simulator, charging
-//!   simulated search time;
+//!   simulated search time — fault-tolerant via typed [`MeasureError`]s,
+//!   bounded retry with backoff, and MAD-median outlier rejection when a
+//!   [`FaultModel`](tlp_hwsim::FaultModel) injects failures;
 //! - [`tune_network`]: the full tuning loop with the task scheduler,
 //!   producing a [`TuningReport`] of tuning curves and best latencies.
 //!
@@ -52,7 +54,7 @@ pub use cost_model::{
 pub use evolutionary::{
     evolutionary_search, evolutionary_search_with_stats, EvolutionConfig, SearchStats,
 };
-pub use measure::{MeasureRecord, Measurer};
+pub use measure::{FailureCounts, MeasureError, MeasurePolicy, MeasureRecord, Measurer};
 pub use sketch::{Candidate, ScheduleDecision, SketchPolicy, UNROLL_STEPS};
 pub use task::SearchTask;
 pub use tuner::{tune_network, RoundLog, TuningOptions, TuningReport};

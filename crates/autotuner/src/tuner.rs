@@ -8,7 +8,7 @@
 
 use crate::cost_model::CostModel;
 use crate::evolutionary::{evolutionary_search_with_stats, EvolutionConfig, SearchStats};
-use crate::measure::{MeasureRecord, Measurer};
+use crate::measure::{FailureCounts, MeasurePolicy, MeasureRecord, Measurer};
 use crate::sketch::SketchPolicy;
 use crate::task::SearchTask;
 use rand::rngs::SmallRng;
@@ -16,8 +16,13 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::time::Instant;
-use tlp_hwsim::Platform;
+use tlp_hwsim::{FaultModel, FaultRates, Platform};
 use tlp_workload::Network;
+
+/// Salt xor-ed into the tuning seed to derive the fault-model seed, so the
+/// fault schedule is decorrelated from (but still determined by) the search
+/// RNG seed.
+const FAULT_SEED_SALT: u64 = 0xFA17_5EED_0BAD_C0DE;
 
 /// Knobs of a tuning run.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -35,6 +40,12 @@ pub struct TuningOptions {
     pub nominal_pool: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Fault-injection rates for the measurement pipeline
+    /// ([`FaultRates::ZERO`] — the default — reproduces the fault-free path
+    /// bit-for-bit).
+    pub faults: FaultRates,
+    /// Retry/backoff and outlier-rejection policy of the measurer.
+    pub measure: MeasurePolicy,
 }
 
 impl Default for TuningOptions {
@@ -45,6 +56,8 @@ impl Default for TuningOptions {
             evolution: EvolutionConfig::default(),
             nominal_pool: 10_000,
             seed: 0x7190,
+            faults: FaultRates::ZERO,
+            measure: MeasurePolicy::default(),
         }
     }
 }
@@ -80,8 +93,17 @@ pub struct TuningReport {
     pub best_per_task: Vec<f64>,
     /// Total hardware measurements.
     pub measurements: u64,
+    /// Measurements that failed after exhausting retries.
+    pub measurements_failed: u64,
+    /// Retry attempts the measurer performed beyond first tries.
+    pub retries: u64,
+    /// Per-class fault events observed during measurement.
+    pub failures: FailureCounts,
+    /// Rounds whose entire measurement batch failed (the tuner skipped the
+    /// model update and continued).
+    pub failed_rounds: u64,
     /// All measurement records, tagged with their task index (reusable as a
-    /// dataset).
+    /// dataset). Failed measurements carry their error class, TenSet-style.
     pub records: Vec<(usize, MeasureRecord)>,
     /// Candidates generated across all rounds, including pruned ones.
     pub candidates_generated: u64,
@@ -141,12 +163,14 @@ pub fn tune_network(
         SketchPolicy::cpu()
     };
     let mut rng = SmallRng::seed_from_u64(opts.seed);
-    let mut measurer = Measurer::new(platform.is_gpu());
+    let fault_model = FaultModel::for_platform(opts.seed ^ FAULT_SEED_SALT, opts.faults, platform);
+    let mut measurer = Measurer::with_faults(platform.is_gpu(), fault_model, opts.measure);
     let mut best: Vec<f64> = vec![f64::INFINITY; tasks.len()];
     let mut seen: Vec<HashSet<u64>> = vec![HashSet::new(); tasks.len()];
     let mut rounds = Vec::with_capacity(opts.rounds);
     let mut records = Vec::new();
     let mut search_stats = SearchStats::default();
+    let mut failed_rounds: u64 = 0;
 
     for round in 1..=opts.rounds {
         // Task scheduler: seed every task once, then chase weighted impact.
@@ -193,18 +217,25 @@ pub fn tune_network(
             }
         }
         let measured = measurer.measure_batch(task, &batch);
-        if !measured.is_empty() {
-            let seqs: Vec<_> = measured.iter().map(|r| r.schedule.clone()).collect();
-            let lats: Vec<f64> = measured.iter().map(|r| r.latency_s).collect();
+        let ok: Vec<&MeasureRecord> = measured.iter().filter(|r| r.is_ok()).collect();
+        if !ok.is_empty() {
+            let seqs: Vec<_> = ok.iter().map(|r| r.schedule.clone()).collect();
+            let lats: Vec<f64> = ok.iter().map(|r| r.latency_s).collect();
             // A mismatch here is a tuner bug (both vectors come from the
             // same measurement batch), so surface it loudly.
             model
                 .update(task, &seqs, &lats)
                 .expect("cost-model update rejected measurement batch");
-            for r in &measured {
+            for r in &ok {
                 best[ti] = best[ti].min(r.latency_s);
-                records.push((ti, r.clone()));
             }
+        } else if !measured.is_empty() {
+            // Whole round lost to faults: skip the model update, keep
+            // tuning (the next round redraws candidates).
+            failed_rounds += 1;
+        }
+        for r in &measured {
+            records.push((ti, r.clone()));
         }
 
         let seeded = best.iter().all(|b| b.is_finite());
@@ -235,6 +266,10 @@ pub fn tune_network(
         rounds,
         best_per_task: best,
         measurements: measurer.count,
+        measurements_failed: measurer.count_failed,
+        retries: measurer.retries,
+        failures: measurer.failures,
+        failed_rounds,
         records,
         candidates_generated: search_stats.generated,
         candidates_pruned: search_stats.pruned,

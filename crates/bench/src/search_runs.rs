@@ -63,6 +63,7 @@ fn tuning_options(num_tasks: usize) -> TuningOptions {
         },
         nominal_pool: 10_000,
         seed: 0x5EA,
+        ..TuningOptions::default()
     }
 }
 

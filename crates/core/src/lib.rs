@@ -69,5 +69,8 @@ pub use persist::{
     snapshot_mtl, snapshot_tlp, ParamCheckpoint, PersistError, SavedTlp, SAVED_TLP_FORMAT_VERSION,
 };
 pub use search::{AnsorCostModel, FeatureModel, MtlTlpCostModel, TenSetMlpCostModel, TlpCostModel};
-pub use train::{train_tlp, train_tlp_with, TrainData};
-pub use trainer::{EpochReport, StopReason, TrainOptions, TrainReport, Trainable, Trainer};
+pub use train::{resume_tlp, train_tlp, train_tlp_checkpointed, train_tlp_with, TrainData};
+pub use trainer::{
+    EpochReport, StopReason, TrainCheckpoint, TrainOptions, TrainReport, Trainable, Trainer,
+    TRAIN_CHECKPOINT_FORMAT_VERSION,
+};

@@ -81,6 +81,7 @@ mod tests {
                         schedule: ScheduleSequence::new(),
                         latencies: vec![l],
                         validity: Default::default(),
+                        error: None,
                     })
                     .collect(),
             }],

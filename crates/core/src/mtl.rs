@@ -282,6 +282,7 @@ mod tests {
                 programs_per_task: 16,
                 refined_fraction: 0.25,
                 seed: 9,
+                ..DatasetConfig::default()
             },
         );
         let cfg = TlpConfig {

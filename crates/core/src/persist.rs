@@ -58,6 +58,15 @@ pub enum PersistError {
         /// Minimum (MTL) or exact (single-task) head count required.
         expected: usize,
     },
+    /// A training checkpoint's recorded shuffle seed differs from the
+    /// resuming trainer's options, which would silently break the
+    /// bit-identical-resume guarantee.
+    SeedMismatch {
+        /// Seed recorded in the checkpoint.
+        found: u64,
+        /// Seed the resuming trainer is configured with.
+        expected: u64,
+    },
 }
 
 impl std::fmt::Display for PersistError {
@@ -72,6 +81,10 @@ impl std::fmt::Display for PersistError {
             PersistError::HeadCount { found, expected } => {
                 write!(f, "model snapshot has {found} head(s), expected {expected}")
             }
+            PersistError::SeedMismatch { found, expected } => write!(
+                f,
+                "training checkpoint seed {found} does not match trainer seed {expected}"
+            ),
         }
     }
 }
@@ -88,6 +101,17 @@ impl From<serde_json::Error> for PersistError {
     fn from(e: serde_json::Error) -> Self {
         PersistError::Format(e)
     }
+}
+
+/// Writes `body` to `path` via a sibling tempfile + atomic rename, so a
+/// crash mid-write can never leave a torn file at `path`: readers see
+/// either the old complete content or the new complete content.
+pub(crate) fn atomic_write(path: &Path, body: &str) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, body)?;
+    std::fs::rename(&tmp, path)
 }
 
 /// An in-memory snapshot of just the learnable parameters.
@@ -149,14 +173,16 @@ pub fn snapshot_mtl(model: &MtlTlp, extractor: &FeatureExtractor) -> SavedTlp {
 }
 
 impl SavedTlp {
-    /// Writes the snapshot as JSON.
+    /// Writes the snapshot as JSON via a sibling tempfile + atomic rename,
+    /// so a crash mid-save can never leave a torn snapshot that
+    /// [`SavedTlp::load`] reports as a confusing decode error.
     ///
     /// # Errors
     ///
     /// Returns [`PersistError`] on filesystem or serialization failure.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
         let body = serde_json::to_string(self)?;
-        std::fs::write(path, body)?;
+        atomic_write(path.as_ref(), &body)?;
         Ok(())
     }
 
@@ -370,5 +396,67 @@ mod tests {
             snap.restore_mtl(),
             Err(PersistError::HeadCount { found: 0, .. })
         ));
+    }
+
+    #[test]
+    fn load_rejects_truncated_snapshot_without_panicking() {
+        // Simulates the torn write that atomic_write prevents: a valid
+        // snapshot cut off mid-JSON must surface as a typed Format error.
+        let cfg = TlpConfig::test_scale();
+        let model = TlpModel::new(cfg.clone());
+        let ex =
+            FeatureExtractor::with_vocab(Vocabulary::builder().build(), cfg.seq_len, cfg.emb_size);
+        let path = std::env::temp_dir().join("tlp_snapshot_truncated.json");
+        snapshot_tlp(&model, &ex).save(&path).expect("save");
+        let body = std::fs::read_to_string(&path).expect("read back");
+        std::fs::write(&path, &body[..body.len() / 2]).expect("truncate");
+        assert!(matches!(
+            SavedTlp::load(&path),
+            Err(PersistError::Format(_))
+        ));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn load_rejects_corrupted_bytes_without_panicking() {
+        // Arbitrary text garbage must fail as a typed Format error.
+        let path = std::env::temp_dir().join("tlp_snapshot_corrupt.json");
+        std::fs::write(&path, "garbage: definitely [not json").expect("write");
+        assert!(matches!(
+            SavedTlp::load(&path),
+            Err(PersistError::Format(_))
+        ));
+        // Binary garbage (invalid UTF-8) fails at the read as a typed Io
+        // error — still no panic.
+        std::fs::write(&path, b"\x00\xffnot utf8\x13\x37").expect("write");
+        assert!(matches!(SavedTlp::load(&path), Err(PersistError::Io(_))));
+        // Valid JSON of the wrong shape (version probe passes, field decode
+        // fails) is a Format error too, never a panic.
+        std::fs::write(
+            &path,
+            format!("{{\"format_version\": {SAVED_TLP_FORMAT_VERSION}}}"),
+        )
+        .expect("write");
+        assert!(matches!(
+            SavedTlp::load(&path),
+            Err(PersistError::Format(_))
+        ));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn atomic_save_leaves_no_tempfile_and_overwrites_in_place() {
+        let cfg = TlpConfig::test_scale();
+        let model = TlpModel::new(cfg.clone());
+        let ex =
+            FeatureExtractor::with_vocab(Vocabulary::builder().build(), cfg.seq_len, cfg.emb_size);
+        let path = std::env::temp_dir().join("tlp_snapshot_atomic.json");
+        let snap = snapshot_tlp(&model, &ex);
+        snap.save(&path).expect("first save");
+        snap.save(&path).expect("overwrite save");
+        let tmp = std::env::temp_dir().join("tlp_snapshot_atomic.json.tmp");
+        assert!(!tmp.exists(), "rename must consume the tempfile");
+        assert!(SavedTlp::load(&path).is_ok());
+        let _ = std::fs::remove_file(path);
     }
 }

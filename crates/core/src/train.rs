@@ -247,6 +247,57 @@ pub fn train_tlp_with(
     data: &TrainData,
     options: &TrainOptions,
 ) -> TrainReport {
+    let mut task = make_task(model, data, options);
+    Trainer::new(options.clone()).fit(&mut task)
+}
+
+/// Trains like [`train_tlp_with`], but spills a crash-safe
+/// [`TrainCheckpoint`](crate::TrainCheckpoint) to `checkpoint_path` every
+/// `every_epochs` epochs (atomic tempfile + rename). An interrupted run can
+/// be continued bit-identically with [`resume_tlp`].
+pub fn train_tlp_checkpointed(
+    model: &mut TlpModel,
+    data: &TrainData,
+    options: &TrainOptions,
+    checkpoint_path: impl Into<std::path::PathBuf>,
+    every_epochs: usize,
+) -> TrainReport {
+    let mut task = make_task(model, data, options);
+    Trainer::new(options.clone())
+        .with_checkpointing(checkpoint_path, every_epochs)
+        .fit(&mut task)
+}
+
+/// Resumes an interrupted [`train_tlp_checkpointed`] run from its
+/// checkpoint and trains to `options.epochs`, continuing to spill to the
+/// same path. `model` must be freshly constructed with the same config and
+/// `options` must match the interrupted run; the result is then
+/// bitwise-identical to a never-interrupted run.
+///
+/// # Errors
+///
+/// Returns [`PersistError`](crate::PersistError) if the checkpoint is
+/// unreadable, has a wrong format version, or records a different seed.
+pub fn resume_tlp(
+    model: &mut TlpModel,
+    data: &TrainData,
+    options: &TrainOptions,
+    checkpoint_path: impl Into<std::path::PathBuf>,
+    every_epochs: usize,
+) -> Result<TrainReport, crate::PersistError> {
+    let path = checkpoint_path.into();
+    let mut task = make_task(model, data, options);
+    Trainer::new(options.clone())
+        .with_checkpointing(path.clone(), every_epochs)
+        .resume_from(&mut task, &path)
+}
+
+/// Builds the task-grouped batch provider shared by every TLP entry point.
+fn make_task<'a>(
+    model: &'a mut TlpModel,
+    data: &'a TrainData,
+    options: &TrainOptions,
+) -> TlpTask<'a> {
     assert_eq!(
         data.feature_size,
         model.config.seq_len * model.config.emb_size,
@@ -255,14 +306,13 @@ pub fn train_tlp_with(
     let (train_groups, valid_groups) =
         split_group_indices(data.groups.len(), options.valid_frac, options.seed);
     let batch_size = options.batch_size.max(2);
-    let mut task = TlpTask {
+    TlpTask {
         model,
         data,
         train_groups,
         valid_groups,
         batch_size,
-    };
-    Trainer::new(options.clone()).fit(&mut task)
+    }
 }
 
 #[cfg(test)]
@@ -283,6 +333,7 @@ mod tests {
                 programs_per_task: 24,
                 refined_fraction: 0.25,
                 seed: 5,
+                ..DatasetConfig::default()
             },
         )
     }

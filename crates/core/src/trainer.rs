@@ -32,11 +32,12 @@
 //! sequential loop: same batch stream, same RNG consumption, same updates.
 
 use crate::config::LossKind;
-use crate::persist::ParamCheckpoint;
+use crate::persist::{atomic_write, ParamCheckpoint, PersistError};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 use tlp_nn::{
     lambda_rank_loss, mse_loss, Adam, GradBuffer, Graph, LrSchedule, Optimizer, ParamStore, Var,
@@ -229,6 +230,9 @@ pub struct TrainReport {
     pub wall_s: f64,
     /// Total training samples consumed across all epochs.
     pub samples: usize,
+    /// Checkpoints spilled to disk during the run (0 unless
+    /// [`Trainer::with_checkpointing`] is configured).
+    pub checkpoints_written: usize,
 }
 
 impl TrainReport {
@@ -286,17 +290,103 @@ pub trait Trainable: Sync {
     }
 }
 
+/// Format tag written into every [`TrainCheckpoint`] file.
+pub const TRAIN_CHECKPOINT_FORMAT_VERSION: u32 = 1;
+
+/// A crash-safe snapshot of a [`Trainer::fit`] run after a whole number of
+/// epochs: parameters, Adam moments, early-stopping state, and epoch
+/// reports. Written periodically by [`Trainer::with_checkpointing`] via a
+/// sibling tempfile + atomic rename (a crash mid-spill can never corrupt
+/// the previous checkpoint), and consumed by [`Trainer::resume_from`].
+///
+/// The shuffling RNG is *not* serialized: `SmallRng` exposes no state
+/// accessors. Resume instead replays [`Trainable::epoch_batches`] for the
+/// completed epochs, which consumes the stream identically — so a resumed
+/// run draws exactly the batches the uninterrupted run would have, and
+/// finishes with bitwise-identical parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrainCheckpoint {
+    /// Snapshot format tag; see [`TRAIN_CHECKPOINT_FORMAT_VERSION`].
+    format_version: u32,
+    /// Epochs fully completed when the snapshot was taken.
+    pub epochs_done: usize,
+    /// Shuffling seed of the interrupted run; [`Trainer::resume_from`]
+    /// refuses a checkpoint whose seed differs from its own options.
+    pub seed: u64,
+    /// The trained parameters after `epochs_done` epochs.
+    pub store: ParamStore,
+    /// Optimizer state (Adam moments and step count).
+    pub optimizer: Adam,
+    /// Best early-stopping checkpoint captured so far, if any.
+    pub best: Option<ParamCheckpoint>,
+    /// Consecutive epochs without metric improvement at snapshot time.
+    pub bad_epochs: usize,
+    /// Per-epoch reports for the completed epochs.
+    pub reports: Vec<EpochReport>,
+    /// Optimizer steps taken so far.
+    pub total_steps: usize,
+    /// Training samples consumed so far.
+    pub total_samples: usize,
+}
+
+impl TrainCheckpoint {
+    /// Writes the checkpoint as JSON via tempfile + atomic rename.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] on filesystem or serialization failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        let body = serde_json::to_string(self)?;
+        atomic_write(path.as_ref(), &body)?;
+        Ok(())
+    }
+
+    /// Reads and version-checks a checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] on filesystem failure, version mismatch, or
+    /// deserialization failure (e.g. a truncated or corrupted file).
+    pub fn load(path: impl AsRef<Path>) -> Result<TrainCheckpoint, PersistError> {
+        let body = std::fs::read_to_string(path)?;
+        let tree: serde::Value = serde_json::from_str(&body)?;
+        let found = tree
+            .get("format_version")
+            .and_then(serde::Value::as_u64)
+            .unwrap_or(0) as u32;
+        if found != TRAIN_CHECKPOINT_FORMAT_VERSION {
+            return Err(PersistError::Version {
+                found,
+                expected: TRAIN_CHECKPOINT_FORMAT_VERSION,
+            });
+        }
+        serde::Deserialize::deserialize_value(&tree)
+            .map_err(|e| PersistError::Format(serde_json::Error::from(e)))
+    }
+
+    /// The checkpoint's format version tag.
+    pub fn format_version(&self) -> u32 {
+        self.format_version
+    }
+}
+
 /// The generic synchronous data-parallel training engine. See the module
 /// docs for the execution model and determinism guarantees.
 #[derive(Clone, Debug)]
 pub struct Trainer {
     options: TrainOptions,
+    checkpoint_path: Option<PathBuf>,
+    checkpoint_every: usize,
 }
 
 impl Trainer {
     /// Creates a trainer with the given options.
     pub fn new(options: TrainOptions) -> Self {
-        Trainer { options }
+        Trainer {
+            options,
+            checkpoint_path: None,
+            checkpoint_every: 1,
+        }
     }
 
     /// The trainer's options.
@@ -304,8 +394,54 @@ impl Trainer {
         &self.options
     }
 
+    /// Enables periodic checkpoint spills: after every `every_epochs`
+    /// completed epochs (and after the final one) a [`TrainCheckpoint`] is
+    /// written to `path` atomically. A spill failure is reported on stderr
+    /// and training continues — crash safety must not break training.
+    pub fn with_checkpointing(mut self, path: impl Into<PathBuf>, every_epochs: usize) -> Self {
+        self.checkpoint_path = Some(path.into());
+        self.checkpoint_every = every_epochs.max(1);
+        self
+    }
+
+    /// Resumes an interrupted run from a [`TrainCheckpoint`] and trains to
+    /// this trainer's configured epoch count. Parameters, optimizer
+    /// moments, early-stopping state, and the shuffle RNG stream are all
+    /// restored, so the continued run is bitwise-identical to one that was
+    /// never interrupted (same options required).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] if the checkpoint cannot be read or its
+    /// recorded seed differs from this trainer's options (which would
+    /// silently break the bit-identical-resume guarantee).
+    pub fn resume_from<T: Trainable>(
+        &self,
+        task: &mut T,
+        path: impl AsRef<Path>,
+    ) -> Result<TrainReport, PersistError> {
+        let ckpt = TrainCheckpoint::load(path)?;
+        if ckpt.seed != self.options.seed {
+            return Err(PersistError::SeedMismatch {
+                found: ckpt.seed,
+                expected: self.options.seed,
+            });
+        }
+        Ok(self.fit_inner(task, Some(ckpt)))
+    }
+
     /// Trains `task` in place and reports per-epoch statistics.
     pub fn fit<T: Trainable>(&self, task: &mut T) -> TrainReport {
+        self.fit_inner(task, None)
+    }
+
+    /// The shared training loop: a fresh run when `resume` is `None`,
+    /// otherwise a continuation that first restores the checkpoint's state.
+    fn fit_inner<T: Trainable>(
+        &self,
+        task: &mut T,
+        resume: Option<TrainCheckpoint>,
+    ) -> TrainReport {
         let o = &self.options;
         let workers = o.effective_workers();
         let accum = o.effective_grad_accum().max(1);
@@ -325,8 +461,27 @@ impl Trainer {
         let mut bad_epochs = 0usize;
         let mut total_steps = 0usize;
         let mut total_samples = 0usize;
+        let mut start_epoch = 0usize;
+        let mut checkpoints_written = 0usize;
 
-        for epoch in 0..o.epochs {
+        if let Some(ckpt) = resume {
+            start_epoch = ckpt.epochs_done.min(o.epochs);
+            *task.store_mut() = ckpt.store;
+            opt = ckpt.optimizer;
+            best = ckpt.best.map(|c| (c.metric, c.epoch, c));
+            bad_epochs = ckpt.bad_epochs;
+            total_steps = ckpt.total_steps;
+            total_samples = ckpt.total_samples;
+            epochs = ckpt.reports;
+            // Replay the shuffle stream for the completed epochs so the
+            // continuation draws exactly the batches an uninterrupted run
+            // would have (SmallRng state itself is not serializable).
+            for e in 0..start_epoch {
+                let _ = task.epoch_batches(e, &mut rng);
+            }
+        }
+
+        for epoch in start_epoch..o.epochs {
             let e0 = Instant::now();
             let lr = o.lr_schedule.lr_at(o.learning_rate, epoch);
             opt.set_learning_rate(lr);
@@ -407,6 +562,31 @@ impl Trainer {
                     }
                 }
             }
+
+            if let Some(path) = &self.checkpoint_path {
+                let done = epoch + 1;
+                if done % self.checkpoint_every == 0 || done == o.epochs {
+                    let ckpt = TrainCheckpoint {
+                        format_version: TRAIN_CHECKPOINT_FORMAT_VERSION,
+                        epochs_done: done,
+                        seed: o.seed,
+                        store: task.store().clone(),
+                        optimizer: opt.clone(),
+                        best: best.as_ref().map(|(_, _, c)| c.clone()),
+                        bad_epochs,
+                        reports: epochs.clone(),
+                        total_steps,
+                        total_samples,
+                    };
+                    match ckpt.save(path) {
+                        Ok(()) => checkpoints_written += 1,
+                        Err(e) => eprintln!(
+                            "trainer: checkpoint spill to {} failed: {e}",
+                            path.display()
+                        ),
+                    }
+                }
+            }
         }
 
         let mut best_epoch = None;
@@ -425,6 +605,7 @@ impl Trainer {
             grad_accum: accum,
             wall_s: t0.elapsed().as_secs_f64(),
             samples: total_samples,
+            checkpoints_written,
         }
     }
 }
@@ -581,6 +762,26 @@ mod tests {
         let o = o.with_workers(3).with_grad_accum(5);
         assert_eq!(o.effective_workers(), 3);
         assert_eq!(o.effective_grad_accum(), 5);
+    }
+
+    #[test]
+    fn checkpoint_load_rejects_corrupt_and_misversioned_files() {
+        let path = std::env::temp_dir().join("tlp_train_ckpt_corrupt.json");
+        std::fs::write(&path, "{\"format_ver").expect("write");
+        assert!(matches!(
+            TrainCheckpoint::load(&path),
+            Err(PersistError::Format(_))
+        ));
+        std::fs::write(&path, "{\"format_version\": 9999}").expect("write");
+        assert!(matches!(
+            TrainCheckpoint::load(&path),
+            Err(PersistError::Version { found: 9999, .. })
+        ));
+        assert!(matches!(
+            TrainCheckpoint::load("/nonexistent/ckpt.json"),
+            Err(PersistError::Io(_))
+        ));
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

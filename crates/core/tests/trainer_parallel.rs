@@ -5,8 +5,8 @@
 #![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
 
 use tlp::mtl::{train_mtl_with, MtlTlp};
-use tlp::train::{train_tlp_with, GroupData, TrainData};
-use tlp::{StopReason, TlpConfig, TlpModel, TrainOptions};
+use tlp::train::{resume_tlp, train_tlp_checkpointed, train_tlp_with, GroupData, TrainData};
+use tlp::{PersistError, StopReason, TlpConfig, TlpModel, TrainCheckpoint, TrainOptions};
 use tlp_nn::ParamStore;
 
 /// Deterministic synthetic task-grouped data (no dataset generation).
@@ -156,6 +156,79 @@ fn report_shape_and_early_stopping() {
     // best-epoch parameters equal a fresh model's.
     let fresh = TlpModel::new(cfg);
     assert_eq!(max_param_diff(&model.store, &fresh.store), 0.0);
+}
+
+#[test]
+fn resumed_training_is_bitwise_identical_to_uninterrupted() {
+    let cfg = tiny_config();
+    let data = synth_data(&cfg, 5, 10, 17);
+    let opts = options(&cfg, 2).with_epochs(6);
+    let path = std::env::temp_dir().join("tlp_trainer_resume_test.json");
+    let _ = std::fs::remove_file(&path);
+
+    // Straight-through run: 6 epochs, no interruption.
+    let mut straight = TlpModel::new(cfg.clone());
+    let straight_report = train_tlp_with(&mut straight, &data, &opts);
+
+    // Interrupted run: 3 epochs with checkpointing, then a fresh model +
+    // resume carries it to 6. The fresh model simulates a process restart
+    // (all in-memory state lost; only the checkpoint file survives).
+    let mut interrupted = TlpModel::new(cfg.clone());
+    let partial = train_tlp_checkpointed(
+        &mut interrupted,
+        &data,
+        &opts.clone().with_epochs(3),
+        &path,
+        3,
+    );
+    assert!(partial.checkpoints_written >= 1, "spill must have happened");
+    let ckpt = TrainCheckpoint::load(&path).expect("checkpoint readable");
+    assert_eq!(ckpt.epochs_done, 3);
+
+    let mut resumed_model = TlpModel::new(cfg.clone());
+    let resumed = resume_tlp(&mut resumed_model, &data, &opts, &path, 3).expect("resume");
+
+    // Bitwise-identical parameters (ParamStore has no PartialEq; tensors do).
+    assert_eq!(max_param_diff(&straight.store, &resumed_model.store), 0.0);
+    // Same per-epoch losses over all 6 epochs, first 3 from the checkpoint.
+    assert_eq!(resumed.epochs.len(), 6);
+    assert_eq!(straight_report.epoch_losses(), resumed.epoch_losses());
+    assert_eq!(resumed.stop, StopReason::Completed);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn resume_rejects_seed_mismatch_and_missing_checkpoint() {
+    let cfg = tiny_config();
+    let data = synth_data(&cfg, 3, 8, 29);
+    let path = std::env::temp_dir().join("tlp_trainer_seed_mismatch_test.json");
+    let _ = std::fs::remove_file(&path);
+
+    // Missing checkpoint -> Io error.
+    let mut model = TlpModel::new(cfg.clone());
+    assert!(matches!(
+        resume_tlp(&mut model, &data, &options(&cfg, 1), &path, 1),
+        Err(PersistError::Io(_))
+    ));
+
+    // Checkpoint written with seed 42, resume configured with seed 43.
+    let mut model = TlpModel::new(cfg.clone());
+    train_tlp_checkpointed(
+        &mut model,
+        &data,
+        &options(&cfg, 1).with_epochs(1),
+        &path,
+        1,
+    );
+    let mut other = TlpModel::new(cfg.clone());
+    assert!(matches!(
+        resume_tlp(&mut other, &data, &options(&cfg, 1).with_seed(43), &path, 1),
+        Err(PersistError::SeedMismatch {
+            found: 42,
+            expected: 43
+        })
+    ));
+    let _ = std::fs::remove_file(&path);
 }
 
 #[test]

@@ -12,8 +12,11 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::HashSet;
 use tlp_autotuner::{Candidate, SketchPolicy};
-use tlp_hwsim::{lower, Platform, Simulator};
+use tlp_hwsim::{lower, FaultModel, FaultRates, Platform, Simulator};
 use tlp_workload::{distinct_subgraphs, test_networks, training_networks, Network};
+
+/// Salt xor-ed into the per-task seed to derive the fault-model seed.
+const FAULT_SEED_SALT: u64 = 0x0C01_1EC7_FA17;
 
 /// Dataset-generation knobs.
 #[derive(Clone, Debug)]
@@ -25,6 +28,10 @@ pub struct DatasetConfig {
     pub refined_fraction: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Fault-injection rates for collection ([`FaultRates::ZERO`] — the
+    /// default — reproduces the fault-free dataset bit-for-bit). Failed
+    /// collections become records with error-class labels, TenSet-style.
+    pub faults: FaultRates,
 }
 
 impl Default for DatasetConfig {
@@ -33,6 +40,7 @@ impl Default for DatasetConfig {
             programs_per_task: 96,
             refined_fraction: 0.3,
             seed: 0xDA7A,
+            faults: FaultRates::ZERO,
         }
     }
 }
@@ -90,8 +98,16 @@ pub fn generate_dataset_for(
             }
             let from_test_set = is_test || test_keys.contains(&key);
             let mut rng = SmallRng::seed_from_u64(config.seed ^ key);
-            let programs =
-                sample_task_programs(&policy, &inst.subgraph, platforms, &sim, config, &mut rng);
+            let mut faults = FaultModel::new(config.seed ^ key ^ FAULT_SEED_SALT, config.faults);
+            let programs = sample_task_programs(
+                &policy,
+                &inst.subgraph,
+                platforms,
+                &sim,
+                config,
+                &mut faults,
+                &mut rng,
+            );
             tasks.push(TaskData {
                 subgraph: inst.subgraph.clone(),
                 weight: inst.weight,
@@ -112,6 +128,7 @@ fn sample_task_programs(
     platforms: &[Platform],
     sim: &Simulator,
     config: &DatasetConfig,
+    faults: &mut FaultModel,
     rng: &mut SmallRng,
 ) -> Vec<ProgramRecord> {
     let total = config.programs_per_task;
@@ -138,7 +155,7 @@ fn sample_task_programs(
 
     let mut out: Vec<ProgramRecord> = records
         .iter()
-        .filter_map(|(c, _)| make_record(sim, subgraph, platforms, c))
+        .filter_map(|(c, _)| make_record(sim, subgraph, platforms, faults, c))
         .collect();
 
     let elite = records.len().clamp(1, 8);
@@ -156,7 +173,7 @@ fn sample_task_programs(
             decision: d,
             sequence,
         };
-        if let Some(record) = make_record(sim, subgraph, platforms, &c) {
+        if let Some(record) = make_record(sim, subgraph, platforms, faults, &c) {
             out.push(record);
         }
     }
@@ -178,22 +195,45 @@ fn make_record(
     sim: &Simulator,
     subgraph: &tlp_workload::Subgraph,
     platforms: &[Platform],
+    faults: &mut FaultModel,
     c: &Candidate,
 ) -> Option<ProgramRecord> {
     let spec = lower(subgraph, &c.sequence).ok()?;
-    let latencies = platforms
-        .iter()
-        .map(|p| sim.latency(p, subgraph, &spec, c.sequence.fingerprint()))
-        .collect();
+    let fp = c.sequence.fingerprint();
     let opts = tlp_verify::VerifyOptions {
         gpu: Some(platforms[0].is_gpu()),
         ..tlp_verify::VerifyOptions::default()
     };
     let validity = tlp_verify::verify_with(subgraph, &c.sequence, &opts).summary();
+    // A TenSet-style collection failure: keep the record, label the error
+    // class, and leave the latencies unusable.
+    if let Some(class) = faults.draw(fp, 0).class() {
+        return Some(ProgramRecord {
+            schedule: c.sequence.clone(),
+            latencies: vec![f64::INFINITY; platforms.len()],
+            validity,
+            error: Some(class),
+        });
+    }
+    let latencies = platforms
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let lat = sim.latency(p, subgraph, &spec, fp);
+            if faults.perturbs_samples() {
+                // Collection records one (noisy) sample per platform; the
+                // platform index stands in for the repeat coordinate.
+                lat * faults.sample_factor(fp, 0, i as u32)
+            } else {
+                lat
+            }
+        })
+        .collect();
     Some(ProgramRecord {
         schedule: c.sequence.clone(),
         latencies,
         validity,
+        error: None,
     })
 }
 
@@ -207,6 +247,7 @@ mod tests {
             programs_per_task: 12,
             refined_fraction: 0.25,
             seed: 42,
+            ..DatasetConfig::default()
         }
     }
 
@@ -277,6 +318,57 @@ mod tests {
         };
         assert_eq!(ds.retain_valid(), 1);
         assert_eq!(ds.num_programs(), before - 1);
+    }
+
+    #[test]
+    fn zero_fault_rates_are_bit_identical_to_default_generation() {
+        let platforms = [Platform::i7_10510u()];
+        let nets = [bert_tiny(1, 64)];
+        let plain = generate_dataset_for(&nets, &[], &platforms, &tiny_config());
+        let zeroed = generate_dataset_for(
+            &nets,
+            &[],
+            &platforms,
+            &DatasetConfig {
+                faults: FaultRates::ZERO,
+                ..tiny_config()
+            },
+        );
+        assert_eq!(plain.tasks, zeroed.tasks);
+    }
+
+    #[test]
+    fn faulty_collection_labels_failures_and_retain_measured_drops_them() {
+        let platforms = [Platform::i7_10510u(), Platform::e5_2673()];
+        let mut ds = generate_dataset_for(
+            &[bert_tiny(1, 64)],
+            &[],
+            &platforms,
+            &DatasetConfig {
+                faults: FaultRates::uniform(0.4),
+                ..tiny_config()
+            },
+        );
+        let failed: Vec<&ProgramRecord> = ds
+            .tasks
+            .iter()
+            .flat_map(|t| t.programs.iter())
+            .filter(|r| !r.is_measured())
+            .collect();
+        assert!(!failed.is_empty(), "40% chaos must fail some collections");
+        for r in &failed {
+            assert!(r.latencies.iter().all(|l| l.is_infinite()));
+            assert!(r.error.is_some());
+        }
+        let n_failed = failed.len();
+        let before = ds.num_programs();
+        assert_eq!(ds.retain_measured(), n_failed);
+        assert_eq!(ds.num_programs(), before - n_failed);
+        assert!(ds
+            .tasks
+            .iter()
+            .flat_map(|t| t.programs.iter())
+            .all(|r| r.is_measured() && r.latencies.iter().all(|l| l.is_finite())));
     }
 
     #[test]

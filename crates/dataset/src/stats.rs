@@ -158,6 +158,7 @@ mod tests {
                 programs_per_task: 16,
                 refined_fraction: 0.25,
                 seed: 3,
+                ..DatasetConfig::default()
             },
         )
     }

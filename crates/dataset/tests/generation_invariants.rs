@@ -61,6 +61,7 @@ fn refinement_skews_toward_fast_programs() {
             programs_per_task: 32,
             refined_fraction: 0.0,
             seed: 9,
+            ..DatasetConfig::default()
         },
     );
     let refined = generate_dataset_for(
@@ -71,6 +72,7 @@ fn refinement_skews_toward_fast_programs() {
             programs_per_task: 32,
             refined_fraction: 0.5,
             seed: 9,
+            ..DatasetConfig::default()
         },
     );
     let near_optimal_share = |ds: &tlp_dataset::Dataset| -> f64 {

@@ -45,6 +45,12 @@ impl MeasureCost {
     pub fn measurement_seconds(&self, lat_s: f64) -> f64 {
         self.compile_s + self.repeats as f64 * (lat_s + self.per_repeat_overhead_s)
     }
+
+    /// Simulated seconds of an attempt that failed before running: only the
+    /// compile + load stage was paid.
+    pub fn compile_only_seconds(&self) -> f64 {
+        self.compile_s
+    }
 }
 
 /// Accumulates simulated and real time during a tuning run.
@@ -66,6 +72,12 @@ impl SimClock {
     /// Charges one hardware measurement.
     pub fn charge_measurement(&mut self, cost: &MeasureCost, latency_s: f64) {
         self.simulated_s += cost.measurement_seconds(latency_s);
+    }
+
+    /// Charges an explicit simulated duration (failed attempts, timeout
+    /// budgets, retry backoff — anything that is not one clean measurement).
+    pub fn charge_simulated(&mut self, seconds: f64) {
+        self.simulated_s += seconds;
     }
 
     /// Charges really-elapsed time (e.g. cost-model inference).

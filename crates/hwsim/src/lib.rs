@@ -9,7 +9,10 @@
 //!   sequences into a structural [`ProgramSpec`];
 //! - [`Simulator`]: an analytical latency model (roofline + SIMD + parallel
 //!   + cache blocking + GPU occupancy + platform idiosyncrasies);
-//! - [`SimClock`] / [`MeasureCost`]: simulated search-time accounting.
+//! - [`SimClock`] / [`MeasureCost`]: simulated search-time accounting;
+//! - [`FaultModel`] / [`FaultRates`]: deterministic fault injection
+//!   (transient build failures, timeouts, device resets, latency outliers)
+//!   reproducing the unreliability of real-hardware measurement.
 //!
 //! # Example
 //!
@@ -37,12 +40,14 @@
 
 pub mod analytic;
 pub mod clock;
+pub mod fault;
 pub mod lower;
 pub mod platform;
 pub mod render;
 
 pub use analytic::{preferred_unroll, Simulator};
 pub use clock::{MeasureCost, SimClock};
+pub use fault::{FaultClass, FaultModel, FaultRates, InjectedFault};
 pub use lower::{lower, AxisTiles, LowerError, ProgramSpec};
 pub use platform::{Arch, DeviceKind, Platform};
 pub use render::render_program;

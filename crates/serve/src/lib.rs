@@ -27,6 +27,11 @@
 //! - **Observability** ([`stats`]): lock-free latency histograms
 //!   (p50/p95/p99), queue/throughput counters, and per-model
 //!   [`EngineStats`](tlp::EngineStats), all serializable to JSON.
+//! - **Fault tolerance** ([`backend`], [`chaos`]): [`RemoteCostModel`]
+//!   retries transient errors with jittered backoff behind a
+//!   [`CircuitBreaker`] (open → half-open probe → closed) and can fall
+//!   back to a local model while the server is sick;
+//!   [`FlakyTransport`] injects deterministic failures for chaos tests.
 //!
 //! Integration points: [`RemoteCostModel`] adapts a [`ServeClient`] to the
 //! autotuner's [`CostModel`](tlp_autotuner::CostModel) trait, and
@@ -53,13 +58,18 @@
 #![warn(clippy::disallowed_methods)]
 
 pub mod backend;
+pub mod chaos;
 pub mod error;
 pub mod loadgen;
 pub mod registry;
 pub mod server;
 pub mod stats;
 
-pub use backend::RemoteCostModel;
+pub use backend::{
+    BreakerConfig, BreakerSnapshot, BreakerState, CircuitBreaker, RemoteCostModel, RetryPolicy,
+    ScoreTransport,
+};
+pub use chaos::FlakyTransport;
 pub use error::ServeError;
 pub use loadgen::{random_pool, run_closed_loop, LoadReport, LoadgenOptions};
 pub use registry::{LoadedScorer, ModelRegistry, ModelVersion};

@@ -376,6 +376,7 @@ fn remote_cost_model_matches_local_scorer_and_tunes() {
             },
             nominal_pool: 100,
             seed: 37,
+            ..TuningOptions::default()
         },
     );
     assert_eq!(report.rounds.len(), net.num_tasks());

@@ -34,6 +34,7 @@ fn run(
         },
         nominal_pool: 10_000,
         seed: 0xE2E,
+        ..TuningOptions::default()
     };
     let report = tune_network(net, platform, model, &opts);
     println!(

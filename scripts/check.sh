@@ -37,6 +37,9 @@ cargo build --release --offline --workspace
 echo "==> full workspace tests"
 cargo test -q --offline --workspace
 
+echo "==> chaos suite (fault injection across tuning, serving, training)"
+cargo test -q --offline --test chaos
+
 if [ "$status" -ne 0 ]; then
     echo "check.sh: fmt/clippy reported problems" >&2
     exit "$status"

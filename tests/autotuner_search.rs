@@ -43,6 +43,7 @@ fn tuner_never_measures_the_same_program_twice_per_task() {
         },
         nominal_pool: 10_000,
         seed: 21,
+        ..TuningOptions::default()
     };
     let report = tune_network(&net, &platform, &mut model, &opts);
     // Per task, fingerprints of measured schedules must be unique.
@@ -91,6 +92,7 @@ fn task_scheduler_prioritizes_heavy_tasks_after_seeding() {
         },
         nominal_pool: 10_000,
         seed: 5,
+        ..TuningOptions::default()
     };
     let report = tune_network(&net, &platform, &mut model, &opts);
     // Seeding phase: rounds 1..=n touch tasks 0..n in order.
@@ -139,6 +141,7 @@ fn ansor_online_model_improves_search_over_random() {
         },
         nominal_pool: 10_000,
         seed: 31,
+        ..TuningOptions::default()
     };
     let mut ansor = AnsorCostModel::new();
     let ansor_report = tune_network(&net, &platform, &mut ansor, &opts);

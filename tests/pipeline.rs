@@ -89,6 +89,7 @@ fn trained_tlp_guides_search_at_least_as_well_as_random() {
         },
         nominal_pool: 10_000,
         seed: 99,
+        ..TuningOptions::default()
     };
     let mut tlp_cm = TlpCostModel::new(model, extractor);
     let tlp_report = tune_network(&workload, &platform, &mut tlp_cm, &opts);

@@ -127,6 +127,7 @@ proptest! {
                 schedule: ScheduleSequence::new(),
                 latencies: vec![l],
                 validity: Default::default(),
+                error: None,
             }).collect(),
         };
         let labels = task.labels(0);

@@ -112,6 +112,7 @@ fn tuning_report_roundtrips() {
         },
         nominal_pool: 10_000,
         seed: 3,
+        ..TuningOptions::default()
     };
     let report = tune_network(&net, &Platform::i7_10510u(), &mut model, &opts);
     let back: TuningReport = roundtrip(&report);
