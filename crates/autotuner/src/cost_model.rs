@@ -115,15 +115,17 @@ pub struct BatchStats {
 
 /// Scores for one [`ScoreRequest`], plus execution accounting.
 ///
-/// `scores` and `valid` are parallel to the request's candidates. A
+/// The scores and `valid` mask are parallel to the request's candidates. A
 /// candidate with `valid[i] == false` could not be scored (typically its
 /// schedule failed to lower to a tensor program); its score slot holds
-/// `f32::NEG_INFINITY` so naive consumers still rank it last, but callers
-/// should prefer [`ScoreBatch::score_or`] over reading `scores` raw.
+/// `f32::NEG_INFINITY` so naive consumers still rank it last. The raw score
+/// storage is private — read through [`ScoreBatch::score_or`] (which
+/// substitutes a fallback for unscoreable candidates) or iterate
+/// [`ScoreBatch::scores`].
 #[derive(Clone, Debug, Default)]
 pub struct ScoreBatch {
     /// Predicted desirability per candidate (higher = better).
-    pub scores: Vec<f32>,
+    scores: Vec<f32>,
     /// Whether each candidate was actually scored by the model.
     pub valid: Vec<bool>,
     /// The model's simulated per-candidate pipeline cost.
@@ -173,6 +175,13 @@ impl ScoreBatch {
     /// Whether the batch is empty.
     pub fn is_empty(&self) -> bool {
         self.scores.is_empty()
+    }
+
+    /// The stored scores in candidate order. Unscoreable candidates yield
+    /// their `f32::NEG_INFINITY` sentinel; use [`ScoreBatch::score_or`] to
+    /// substitute a different fallback per candidate.
+    pub fn scores(&self) -> impl Iterator<Item = f32> + '_ {
+        self.scores.iter().copied()
     }
 
     /// The score of candidate `i`, or `fallback` if it was not scoreable.
@@ -378,7 +387,8 @@ mod tests {
         assert!(batch.valid.iter().all(|&v| v));
         assert_eq!(batch.num_invalid(), 0);
         // Not all equal.
-        assert!(batch.scores.windows(2).any(|w| w[0] != w[1]));
+        let scores: Vec<f32> = batch.scores().collect();
+        assert!(scores.windows(2).any(|w| w[0] != w[1]));
     }
 
     #[test]
@@ -387,7 +397,10 @@ mod tests {
         let model = RandomModel::new(7);
         let task = task();
         let seqs = vec![ScheduleSequence::new(); 3];
-        let got = model.predict(ScoreRequest::new(&task, &seqs)).scores;
+        let got: Vec<f32> = model
+            .predict(ScoreRequest::new(&task, &seqs))
+            .scores()
+            .collect();
         let mut x: u64 = 7 | 1;
         let want: Vec<f32> = (0..3)
             .map(|_| {
@@ -406,7 +419,7 @@ mod tests {
         assert_eq!(b.len(), 3);
         assert_eq!(b.num_invalid(), 1);
         assert!(!b.valid[1]);
-        assert_eq!(b.scores[1], f32::NEG_INFINITY);
+        assert_eq!(b.scores().nth(1), Some(f32::NEG_INFINITY));
         assert_eq!(b.score_or(1, -1.0), -1.0);
         assert_eq!(b.score_or(0, -1.0), 1.0);
     }
@@ -434,7 +447,7 @@ mod tests {
         let direct = RandomModel::new(9).predict(ScoreRequest::new(&t, &seqs));
         let mut boxed: Box<dyn CostModel> = Box::new(RandomModel::new(9));
         let via_box = boxed.predict(ScoreRequest::new(&t, &seqs));
-        assert_eq!(direct.scores, via_box.scores);
+        assert!(direct.scores().eq(via_box.scores()));
         assert_eq!(boxed.name(), "random");
         assert_eq!(boxed.pipeline_cost(), PipelineCost::ZERO);
         assert!(boxed.update(&t, &seqs, &[1e-3; 4]).is_ok());

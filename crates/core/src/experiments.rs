@@ -179,14 +179,13 @@ pub fn eval_tlp(
     // One workspace + feature buffer reused across every test task (and
     // both top-k passes); features are extracted straight into the buffer
     // instead of cloning each schedule first.
-    let scratch = std::cell::RefCell::new((Workspace::new(), Vec::new()));
+    let scratch = std::cell::RefCell::new((Workspace::new(), crate::features::FeatureBuf::new()));
     let scorer = |t: &TaskData| {
         let (ws, feats) = &mut *scratch.borrow_mut();
-        feats.clear();
-        for r in &t.programs {
-            extractor.extract_into(&r.schedule, feats);
-        }
-        model.predict_with(ws, feats)
+        extractor.extract_batch_into(t.programs.iter().map(|r| &r.schedule), feats);
+        let mut out = Vec::new();
+        model.predict_into(ws, feats, &mut out);
+        out
     };
     (
         top_k_score(ds, platform_idx, 1, scorer),
@@ -201,14 +200,13 @@ pub fn eval_mtl(
     ds: &Dataset,
     platform_idx: usize,
 ) -> (f64, f64) {
-    let scratch = std::cell::RefCell::new((Workspace::new(), Vec::new()));
+    let scratch = std::cell::RefCell::new((Workspace::new(), crate::features::FeatureBuf::new()));
     let scorer = |t: &TaskData| {
         let (ws, feats) = &mut *scratch.borrow_mut();
-        feats.clear();
-        for r in &t.programs {
-            extractor.extract_into(&r.schedule, feats);
-        }
-        model.predict_task_with(ws, feats, 0)
+        extractor.extract_batch_into(t.programs.iter().map(|r| &r.schedule), feats);
+        let mut out = Vec::new();
+        model.predict_task_into(ws, feats, 0, &mut out);
+        out
     };
     (
         top_k_score(ds, platform_idx, 1, scorer),

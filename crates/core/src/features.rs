@@ -14,7 +14,7 @@
 //! with nearby parameters small — the synonym-preserving property of §4.1).
 
 use tlp_dataset::Dataset;
-use tlp_schedule::{preprocess, Element, PrimitiveKind, ScheduleSequence, Vocabulary};
+use tlp_schedule::{preprocess_elements, ElementRef, PrimitiveKind, ScheduleSequence, Vocabulary};
 
 /// The one-hot width of the primitive-type field.
 pub const ONEHOT: usize = PrimitiveKind::ALL.len();
@@ -37,9 +37,9 @@ impl FeatureExtractor {
         for task in &dataset.tasks {
             for rec in &task.programs {
                 for p in rec.schedule.iter() {
-                    for e in preprocess(p).elements {
-                        if let Element::Name(n) = e {
-                            builder.observe(&n);
+                    for e in preprocess_elements(p) {
+                        if let ElementRef::Name(n) = e {
+                            builder.observe(n);
                         }
                     }
                 }
@@ -71,52 +71,140 @@ impl FeatureExtractor {
         self.seq_len * self.emb_size
     }
 
-    /// Extracts the padded/cropped/normalized feature matrix of one schedule,
-    /// flattened row-major (`seq_len` rows of `emb_size`).
-    pub fn extract(&self, schedule: &ScheduleSequence) -> Vec<f32> {
-        let mut out = Vec::with_capacity(self.feature_size());
-        self.extract_into(schedule, &mut out);
-        out
-    }
-
-    /// Appends one schedule's feature matrix to `out`, reusing its capacity.
-    /// The batched scoring path calls this in a loop over one scratch buffer
-    /// so repeated micro-batches allocate nothing.
-    pub fn extract_into(&self, schedule: &ScheduleSequence, out: &mut Vec<f32>) {
-        let base = out.len();
-        out.resize(base + self.feature_size(), 0.0);
-        let out = &mut out[base..];
-        for (row, p) in schedule.iter().take(self.seq_len).enumerate() {
-            let a = preprocess(p);
-            let slot = &mut out[row * self.emb_size..(row + 1) * self.emb_size];
-            // F1: one-hot type.
-            let kind_idx = a.kind.index();
-            if kind_idx < self.emb_size {
-                slot[kind_idx] = 1.0;
-            }
-            // F2/F3: parameter elements in source order, cropped at emb_size.
-            for (i, e) in a.elements.iter().enumerate() {
-                let col = ONEHOT + i;
-                if col >= self.emb_size {
-                    break;
+    /// Extracts a batch of schedules into a caller-owned [`FeatureBuf`],
+    /// the single feature-extraction entry point.
+    ///
+    /// The buffer is reset (capacity kept) and refilled with one
+    /// `seq_len × emb_size` dense block per schedule, plus the per-schedule
+    /// real-row count that the fused scoring path uses to skip padding
+    /// arithmetic. Steady-state callers — the engine's per-worker scratch,
+    /// the training loop — re-pass the same buffer and allocate nothing.
+    ///
+    /// Accepts any iterator of schedule references, so the engine can feed
+    /// a cache-miss subset (`idx.iter().map(|&i| &schedules[i])`) without
+    /// first materializing a contiguous slice.
+    pub fn extract_batch_into<'a, I>(&self, schedules: I, buf: &mut FeatureBuf)
+    where
+        I: IntoIterator<Item = &'a ScheduleSequence>,
+    {
+        buf.reset(self.seq_len, self.emb_size);
+        for schedule in schedules {
+            let out = buf.push_candidate(schedule.len().min(self.seq_len));
+            for (row, p) in schedule.iter().take(self.seq_len).enumerate() {
+                let slot = &mut out[row * self.emb_size..(row + 1) * self.emb_size];
+                // F1: one-hot type.
+                let kind_idx = p.kind.index();
+                if kind_idx < self.emb_size {
+                    slot[kind_idx] = 1.0;
                 }
-                let raw = match e {
-                    Element::Num(n) => *n as f32,
-                    Element::Name(n) => self.vocab.token(n) as f32,
-                };
-                // ln(1+x) normalization keeps magnitudes comparable.
-                slot[col] = (1.0 + raw.max(0.0)).ln();
+                // F2/F3: parameter elements in source order, cropped at
+                // emb_size. Streamed straight off the concrete primitive —
+                // no abstract-form materialization, no heap traffic.
+                for (i, e) in preprocess_elements(p).enumerate() {
+                    let col = ONEHOT + i;
+                    if col >= self.emb_size {
+                        break;
+                    }
+                    let raw = match e {
+                        ElementRef::Num(n) => n as f32,
+                        ElementRef::Name(n) => self.vocab.token(n) as f32,
+                    };
+                    // ln(1+x) normalization keeps magnitudes comparable.
+                    slot[col] = (1.0 + raw.max(0.0)).ln();
+                }
             }
         }
     }
+}
 
-    /// Extracts a batch, flattened as `n × feature_size`.
-    pub fn extract_batch(&self, schedules: &[ScheduleSequence]) -> Vec<f32> {
-        let mut out = Vec::with_capacity(schedules.len() * self.feature_size());
-        for s in schedules {
-            self.extract_into(s, &mut out);
-        }
-        out
+/// A reusable dense feature batch: `n × (seq_len · emb_size)` row-major
+/// values plus each candidate's count of real (non-padding) leading rows.
+///
+/// `FeatureBuf` is the hand-off point of the zero-copy scoring pipeline:
+/// [`FeatureExtractor::extract_batch_into`] writes candidates straight into
+/// it, and the model's fused forward pass reads from it — no intermediate
+/// per-candidate `Vec<f32>`, no batch concatenation copy. The engine owns
+/// one per worker; refilling reuses capacity, so steady-state extraction
+/// allocates nothing.
+///
+/// Padding rows are exactly zero, and real rows always form a leading
+/// prefix — the invariant the fused path's compact representation
+/// (see `tlp_nn::infer`) relies on.
+#[derive(Clone, Debug, Default)]
+pub struct FeatureBuf {
+    data: Vec<f32>,
+    rows_used: Vec<usize>,
+    seq_len: usize,
+    emb_size: usize,
+}
+
+impl FeatureBuf {
+    /// Creates an empty buffer; shape is set by the first extraction.
+    pub fn new() -> Self {
+        FeatureBuf::default()
+    }
+
+    /// Clears contents (keeping capacity) and fixes the per-candidate shape.
+    fn reset(&mut self, seq_len: usize, emb_size: usize) {
+        self.data.clear();
+        self.rows_used.clear();
+        self.seq_len = seq_len;
+        self.emb_size = emb_size;
+    }
+
+    /// Appends one zeroed `seq_len × emb_size` block, recording `rows` real
+    /// rows, and returns the block for the extractor to fill.
+    fn push_candidate(&mut self, rows: usize) -> &mut [f32] {
+        let fs = self.seq_len * self.emb_size;
+        let base = self.data.len();
+        self.data.resize(base + fs, 0.0);
+        self.rows_used.push(rows);
+        &mut self.data[base..]
+    }
+
+    /// Number of candidates in the buffer.
+    pub fn len(&self) -> usize {
+        self.rows_used.len()
+    }
+
+    /// Whether the buffer holds no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.rows_used.is_empty()
+    }
+
+    /// Dense `n × (seq_len · emb_size)` feature values, row-major.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Per-candidate count of real (non-padding) leading rows.
+    pub fn rows_used(&self) -> &[usize] {
+        &self.rows_used
+    }
+
+    /// Sequence length each candidate is padded to.
+    pub fn seq_len(&self) -> usize {
+        self.seq_len
+    }
+
+    /// Features per primitive row.
+    pub fn emb_size(&self) -> usize {
+        self.emb_size
+    }
+
+    /// Features per candidate (`seq_len × emb_size`).
+    pub fn feature_size(&self) -> usize {
+        self.seq_len * self.emb_size
+    }
+
+    /// One candidate's dense `seq_len × emb_size` block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn candidate(&self, i: usize) -> &[f32] {
+        let fs = self.feature_size();
+        &self.data[i * fs..(i + 1) * fs]
     }
 }
 
@@ -139,11 +227,17 @@ mod tests {
             .with_ints(factors)
     }
 
+    fn extract_one(ex: &FeatureExtractor, seq: &ScheduleSequence) -> Vec<f32> {
+        let mut buf = FeatureBuf::new();
+        ex.extract_batch_into(std::slice::from_ref(seq), &mut buf);
+        buf.data().to_vec()
+    }
+
     #[test]
     fn onehot_kind_set() {
         let ex = extractor();
         let seq: ScheduleSequence = [split([8, 4])].into_iter().collect();
-        let f = ex.extract(&seq);
+        let f = extract_one(&ex, &seq);
         assert_eq!(f.len(), 4 * 22);
         let row0 = &f[..22];
         assert_eq!(row0[PrimitiveKind::Split.index()], 1.0);
@@ -152,23 +246,28 @@ mod tests {
     }
 
     #[test]
-    fn padding_rows_are_zero() {
+    fn padding_rows_are_zero_and_counted() {
         let ex = extractor();
         let seq: ScheduleSequence = [split([8, 4])].into_iter().collect();
-        let f = ex.extract(&seq);
-        assert!(f[22..].iter().all(|&x| x == 0.0));
+        let mut buf = FeatureBuf::new();
+        ex.extract_batch_into(std::slice::from_ref(&seq), &mut buf);
+        assert!(buf.data()[22..].iter().all(|&x| x == 0.0));
+        assert_eq!(buf.rows_used(), &[1]);
     }
 
     #[test]
     fn cropping_drops_extra_primitives() {
         let ex = extractor();
         let seq: ScheduleSequence = (0..10).map(|_| split([8, 4])).collect();
-        let f = ex.extract(&seq);
+        let mut buf = FeatureBuf::new();
+        ex.extract_batch_into(std::slice::from_ref(&seq), &mut buf);
+        let f = buf.data();
         assert_eq!(f.len(), 4 * 22);
-        // All four rows populated.
+        // All four rows populated; rows_used is cropped at seq_len.
         for r in 0..4 {
             assert!(f[r * 22..(r + 1) * 22].iter().any(|&x| x != 0.0));
         }
+        assert_eq!(buf.rows_used(), &[4]);
     }
 
     #[test]
@@ -186,7 +285,11 @@ mod tests {
         .collect();
         let d2 =
             |x: &[f32], y: &[f32]| -> f32 { x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum() };
-        let (fa, fb, fc) = (ex.extract(&a), ex.extract(&b), ex.extract(&c));
+        let (fa, fb, fc) = (
+            extract_one(&ex, &a),
+            extract_one(&ex, &b),
+            extract_one(&ex, &c),
+        );
         assert!(d2(&fa, &fb) < d2(&fa, &fc));
     }
 
@@ -194,20 +297,43 @@ mod tests {
     fn numeric_values_are_log_scaled() {
         let ex = extractor();
         let seq: ScheduleSequence = [split([512, 1])].into_iter().collect();
-        let f = ex.extract(&seq);
+        let f = extract_one(&ex, &seq);
         let max = f.iter().cloned().fold(0.0f32, f32::max);
         assert!(max < 8.0, "log scaling keeps features small, max {max}");
     }
 
     #[test]
-    fn batch_concatenates() {
+    fn batch_concatenates_and_reuses_capacity() {
         let ex = extractor();
         let seqs: Vec<ScheduleSequence> = vec![
             [split([8, 4])].into_iter().collect(),
             [split([4, 4])].into_iter().collect(),
         ];
-        let b = ex.extract_batch(&seqs);
-        assert_eq!(b.len(), 2 * ex.feature_size());
-        assert_eq!(&b[..ex.feature_size()], ex.extract(&seqs[0]).as_slice());
+        let mut buf = FeatureBuf::new();
+        ex.extract_batch_into(&seqs, &mut buf);
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.data().len(), 2 * ex.feature_size());
+        assert_eq!(buf.candidate(0), &extract_one(&ex, &seqs[0])[..]);
+        assert_eq!(buf.rows_used(), &[1, 1]);
+        // Refilling reuses the allocation.
+        let ptr = buf.data().as_ptr();
+        let cap = buf.data.capacity();
+        ex.extract_batch_into(&seqs, &mut buf);
+        assert_eq!(buf.data().as_ptr(), ptr);
+        assert_eq!(buf.data.capacity(), cap);
+    }
+
+    #[test]
+    fn subset_extraction_via_iterator() {
+        let ex = extractor();
+        let seqs: Vec<ScheduleSequence> = (1..5i64)
+            .map(|i| [split([i, 4])].into_iter().collect())
+            .collect();
+        let idx = [3usize, 0];
+        let mut buf = FeatureBuf::new();
+        ex.extract_batch_into(idx.iter().map(|&i| &seqs[i]), &mut buf);
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.candidate(0), &extract_one(&ex, &seqs[3])[..]);
+        assert_eq!(buf.candidate(1), &extract_one(&ex, &seqs[0])[..]);
     }
 }

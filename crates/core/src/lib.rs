@@ -38,8 +38,9 @@
 //!     .with_ints([8, 4])]
 //! .into_iter()
 //! .collect();
-//! let features = extractor.extract(&seq);
-//! assert_eq!(features.len(), 25 * 22);
+//! let mut buf = tlp::features::FeatureBuf::new();
+//! extractor.extract_batch_into(std::slice::from_ref(&seq), &mut buf);
+//! assert_eq!(buf.data().len(), 25 * 22);
 //! ```
 
 #![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)

@@ -8,11 +8,12 @@
 //! (residual blocks + output linears + sum) is per-task.
 
 use crate::config::{Backbone, TlpConfig};
+use crate::features::FeatureBuf;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use tlp_nn::{
-    Binding, Fwd, Graph, LayerNorm, Linear, Lstm, MultiHeadSelfAttention, ParamStore,
-    ResidualBlock, Tensor, Var, Workspace,
+    ragged_tail_sums, Binding, Epilogue, Fwd, Graph, LayerNorm, Linear, Lstm,
+    MultiHeadSelfAttention, ParamStore, Ragged, ResidualBlock, Tensor, Var, Workspace,
 };
 
 /// The shared portion of the network: up-sampling linears + basic module +
@@ -97,6 +98,15 @@ impl TlpBackbone {
             module,
             res,
             hidden: config.hidden,
+        }
+    }
+
+    /// The attention basic module, when this backbone uses one — the
+    /// precondition for the fused inference path.
+    pub(crate) fn attention_module(&self) -> Option<&MultiHeadSelfAttention> {
+        match &self.module {
+            BackboneModule::Attention(attn) => Some(attn),
+            _ => None,
         }
     }
 
@@ -231,6 +241,48 @@ impl TlpModel {
         ws.graph.value(scores).data().to_vec()
     }
 
+    /// Scores a [`FeatureBuf`] batch into a caller-owned output vector —
+    /// the zero-copy inference entry point the engine's workers use.
+    ///
+    /// For the attention backbone (the paper's default) this runs a fused,
+    /// tape-free forward pass over the buffer's compact real rows: scratch
+    /// comes from the workspace arena, so after warmup a micro-batch
+    /// performs zero heap allocations, and scores are bit-identical to
+    /// [`TlpModel::predict_with`] on the dense features (the fixed
+    /// accumulation-order contract in `tlp_nn::kernels` plus the padding
+    /// tail replay in `tlp_nn::infer`). LSTM and transformer backbones fall
+    /// back to the tape path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer shape disagrees with the model config.
+    pub fn predict_into(&self, ws: &mut Workspace, feats: &FeatureBuf, out: &mut Vec<f32>) {
+        out.clear();
+        if feats.is_empty() {
+            return;
+        }
+        assert_eq!(feats.seq_len(), self.config.seq_len, "seq_len mismatch");
+        assert_eq!(feats.emb_size(), self.config.emb_size, "emb_size mismatch");
+        match self.backbone.attention_module() {
+            Some(attn) => {
+                fused_forward(
+                    &self.store,
+                    &self.backbone,
+                    attn,
+                    &self.head,
+                    ws,
+                    feats,
+                    out,
+                );
+            }
+            None => {
+                ws.reset();
+                let scores = self.forward(&mut ws.graph, &mut ws.bind, feats.data(), feats.len());
+                out.extend_from_slice(ws.graph.value(scores).data());
+            }
+        }
+    }
+
     /// Borrow of the shared backbone (for MTL construction/diagnostics).
     pub fn backbone(&self) -> &TlpBackbone {
         &self.backbone
@@ -240,6 +292,109 @@ impl TlpModel {
     pub fn num_weights(&self) -> usize {
         self.store.num_weights()
     }
+}
+
+/// The fused, tape-free forward pass for attention backbones, operating on
+/// the compact (padding-free) representation of a [`FeatureBuf`].
+///
+/// Stage by stage this replays the dense tape pipeline — up1 → relu → up2 →
+/// relu → attention + residual → residual blocks → head → sequence sum —
+/// with every per-element accumulation in the same order, so scores are
+/// bit-identical (verified by `predict_into_matches_tape_bitwise` below and
+/// the engine equivalence suite). All scratch comes from the workspace
+/// arena; after warmup the whole pass performs zero heap allocations.
+pub(crate) fn fused_forward(
+    store: &ParamStore,
+    backbone: &TlpBackbone,
+    attn: &MultiHeadSelfAttention,
+    head: &TlpHead,
+    ws: &mut Workspace,
+    feats: &FeatureBuf,
+    out: &mut Vec<f32>,
+) {
+    let e = feats.emb_size();
+    let l = feats.seq_len();
+    let hidden = backbone.hidden;
+    let ragged = Ragged::new(feats.rows_used(), l);
+    let r = ragged.total_rows();
+    let c = ragged.candidates();
+    let arena = &mut ws.arena;
+
+    // Gather the real rows, candidate-major. Real rows are a leading
+    // prefix of each candidate's dense block, so this is one copy per
+    // candidate — the only data movement between extraction and GEMM.
+    let mut x = arena.take(r * e);
+    let mut base = 0usize;
+    for (i, &ru) in feats.rows_used().iter().enumerate() {
+        let fs = l * e;
+        x[base * e..(base + ru) * e].copy_from_slice(&feats.data()[i * fs..i * fs + ru * e]);
+        base += ru;
+    }
+    // The padding row is exactly zero; its image through each row-wise
+    // stage (the "pad trace") is shared by every candidate until attention.
+    let mut zero = arena.take(e);
+    zero.fill(0.0);
+
+    // Upsampling: relu(x·W + b), fused epilogue.
+    let mut h1 = arena.take(r * hidden);
+    let mut p1 = arena.take(hidden);
+    backbone
+        .up1
+        .infer_rows(store, &x, r, &mut h1, Epilogue::BiasRelu);
+    backbone
+        .up1
+        .infer_rows(store, &zero, 1, &mut p1, Epilogue::BiasRelu);
+    let mut h2 = arena.take(r * hidden);
+    let mut p2 = arena.take(hidden);
+    backbone
+        .up2
+        .infer_rows(store, &h1, r, &mut h2, Epilogue::BiasRelu);
+    backbone
+        .up2
+        .infer_rows(store, &p1, 1, &mut p2, Epilogue::BiasRelu);
+
+    // Attention over the ragged batch; pad queries mix candidate-specific
+    // keys, so from here on each candidate carries its own pad row (the
+    // last `c` rows).
+    let mut h = arena.take((r + c) * hidden);
+    attn.infer_ragged(store, arena, &h2, &p2, &ragged, &mut h);
+    // Residual connection around the module: h = up2 output + attention.
+    for (dst, &src) in h[..r * hidden].iter_mut().zip(h2.iter()) {
+        *dst += src;
+    }
+    for i in 0..c {
+        for (dst, &src) in h[(r + i) * hidden..(r + i + 1) * hidden]
+            .iter_mut()
+            .zip(p2.iter())
+        {
+            *dst += src;
+        }
+    }
+
+    for block in &backbone.res {
+        block.infer_rows(store, arena, &mut h, r + c);
+    }
+
+    // Head: out1 → relu → out2, then the per-candidate sequence sum with
+    // the padding tail replayed.
+    let mid = head.out1.out_dim();
+    let mut t1 = arena.take((r + c) * mid);
+    head.out1
+        .infer_rows(store, &h, r + c, &mut t1, Epilogue::BiasRelu);
+    let mut y = arena.take(r + c);
+    head.out2
+        .infer_rows(store, &t1, r + c, &mut y, Epilogue::Bias);
+    ragged_tail_sums(&y, &ragged, out);
+
+    arena.give(y);
+    arena.give(t1);
+    arena.give(h);
+    arena.give(p2);
+    arena.give(h2);
+    arena.give(p1);
+    arena.give(h1);
+    arena.give(zero);
+    arena.give(x);
 }
 
 #[cfg(test)]
@@ -305,6 +460,54 @@ mod tests {
     fn predict_empty_is_empty() {
         let model = TlpModel::new(TlpConfig::test_scale());
         assert!(model.predict(&[]).is_empty());
+    }
+
+    #[test]
+    fn predict_into_matches_tape_bitwise() {
+        use crate::features::{FeatureBuf, FeatureExtractor};
+        use tlp_schedule::{ConcretePrimitive, PrimitiveKind, ScheduleSequence, Vocabulary};
+        for backbone in [Backbone::Attention, Backbone::Lstm, Backbone::Transformer] {
+            let cfg = TlpConfig {
+                backbone,
+                ..TlpConfig::test_scale()
+            };
+            let ex = FeatureExtractor::with_vocab(
+                Vocabulary::builder().build(),
+                cfg.seq_len,
+                cfg.emb_size,
+            );
+            // Varying real-row counts, including an empty schedule (all
+            // padding) and one cropped at seq_len.
+            let seqs: Vec<ScheduleSequence> = (0..7usize)
+                .map(|i| {
+                    (0..i)
+                        .map(|j| {
+                            ConcretePrimitive::new(PrimitiveKind::Split, "d")
+                                .with_loops(["i"])
+                                .with_ints([j as i64 + 1, (i + 1) as i64])
+                        })
+                        .collect()
+                })
+                .collect();
+            let mut buf = FeatureBuf::new();
+            ex.extract_batch_into(&seqs, &mut buf);
+            let model = TlpModel::new(cfg);
+            let mut ws = Workspace::new();
+            let dense = model.predict_with(&mut ws, buf.data());
+            let mut fused = Vec::new();
+            // Twice: the second call runs on a warmed arena.
+            for _ in 0..2 {
+                model.predict_into(&mut ws, &buf, &mut fused);
+                assert_eq!(dense.len(), fused.len());
+                for (i, (a, b)) in dense.iter().zip(&fused).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "{backbone:?} score {i} differs: {a} vs {b}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! one platform's labelled pool.
 
 use crate::config::TlpConfig;
-use crate::model::{TlpBackbone, TlpHead};
+use crate::features::FeatureBuf;
+use crate::model::{fused_forward, TlpBackbone, TlpHead};
 use crate::train::TrainData;
 use crate::trainer::{
     gather_rows, scored_loss, split_group_indices, TrainOptions, TrainReport, Trainable, Trainer,
@@ -97,6 +98,49 @@ impl MtlTlp {
     /// Inference through the target-platform head (task 0).
     pub fn predict(&self, features: &[f32]) -> Vec<f32> {
         self.predict_task(features, 0)
+    }
+
+    /// Scores a [`FeatureBuf`] batch through head `task` into a caller-owned
+    /// output vector — the zero-copy counterpart of
+    /// [`MtlTlp::predict_task_with`], bit-identical to it (fused tape-free
+    /// pass for attention backbones, tape fallback otherwise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer shape disagrees with the model config or `task`
+    /// is out of range.
+    pub fn predict_task_into(
+        &self,
+        ws: &mut Workspace,
+        feats: &FeatureBuf,
+        task: usize,
+        out: &mut Vec<f32>,
+    ) {
+        out.clear();
+        if feats.is_empty() {
+            return;
+        }
+        assert_eq!(feats.seq_len(), self.config.seq_len, "seq_len mismatch");
+        assert_eq!(feats.emb_size(), self.config.emb_size, "emb_size mismatch");
+        match self.backbone.attention_module() {
+            Some(attn) => {
+                fused_forward(
+                    &self.store,
+                    &self.backbone,
+                    attn,
+                    &self.heads[task],
+                    ws,
+                    feats,
+                    out,
+                );
+            }
+            None => {
+                ws.reset();
+                let scores =
+                    self.forward_task(&mut ws.graph, &mut ws.bind, feats.data(), feats.len(), task);
+                out.extend_from_slice(ws.graph.value(scores).data());
+            }
+        }
     }
 }
 
@@ -269,6 +313,39 @@ mod tests {
         let s1 = model.predict_task(&feats, 1);
         // Different random head init → different outputs for same input.
         assert!((s0[0] - s1[0]).abs() > 1e-7);
+    }
+
+    #[test]
+    fn predict_task_into_matches_tape_bitwise() {
+        use tlp_nn::Workspace;
+        use tlp_schedule::{ConcretePrimitive, PrimitiveKind, ScheduleSequence, Vocabulary};
+        let cfg = TlpConfig::test_scale();
+        let ex =
+            FeatureExtractor::with_vocab(Vocabulary::builder().build(), cfg.seq_len, cfg.emb_size);
+        let seqs: Vec<ScheduleSequence> = (0..5usize)
+            .map(|i| {
+                (0..i + 1)
+                    .map(|j| {
+                        ConcretePrimitive::new(PrimitiveKind::Split, "d")
+                            .with_loops(["i"])
+                            .with_ints([j as i64 + 2, 4])
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut buf = crate::features::FeatureBuf::new();
+        ex.extract_batch_into(&seqs, &mut buf);
+        let model = MtlTlp::new(cfg, 2);
+        let mut ws = Workspace::new();
+        for task in 0..2 {
+            let dense = model.predict_task_with(&mut ws, buf.data(), task);
+            let mut fused = Vec::new();
+            model.predict_task_into(&mut ws, &buf, task, &mut fused);
+            assert_eq!(dense.len(), fused.len());
+            for (a, b) in dense.iter().zip(&fused) {
+                assert_eq!(a.to_bits(), b.to_bits(), "head {task} differs");
+            }
+        }
     }
 
     #[test]

@@ -276,7 +276,9 @@ mod tests {
             .with_ints([64, 8])]
         .into_iter()
         .collect();
-        ex.extract(&seq)
+        let mut buf = crate::features::FeatureBuf::new();
+        ex.extract_batch_into(std::slice::from_ref(&seq), &mut buf);
+        buf.data().to_vec()
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use crate::baselines::{program_features, AnsorOnlineModel, TenSetMlp, PROGRAM_FEATURE_DIM};
 use crate::engine::{EngineConfig, InferenceEngine, ScheduleScorer};
-use crate::features::FeatureExtractor;
+use crate::features::{FeatureBuf, FeatureExtractor};
 use crate::model::TlpModel;
 use crate::mtl::MtlTlp;
 use tlp_autotuner::{
@@ -105,11 +105,14 @@ impl<S: ScheduleScorer> CostModel for FeatureModel<S> {
 }
 
 /// Per-thread scratch shared by the primitive-feature scorers: one autodiff
-/// workspace plus one feature buffer, both reused across micro-batches.
+/// workspace, one engine-owned feature buffer, and one score buffer, all
+/// reused across micro-batches — the steady-state scoring loop allocates
+/// nothing.
 #[derive(Debug, Default)]
 pub struct FeatureScratch {
     ws: Workspace,
-    feats: Vec<f32>,
+    feats: FeatureBuf,
+    scores: Vec<f32>,
 }
 
 /// TLP scoring: features come straight from the schedule primitives, so no
@@ -133,23 +136,19 @@ impl ScheduleScorer for TlpScorer {
         TLP_PIPELINE_COST
     }
 
-    fn score_micro_batch(
+    fn score_micro_batch_into(
         &self,
         scratch: &mut FeatureScratch,
         _task: &SearchTask,
         schedules: &[ScheduleSequence],
         idx: &[usize],
-    ) -> Vec<Option<f32>> {
-        scratch.feats.clear();
-        for &i in idx {
-            self.extractor
-                .extract_into(&schedules[i], &mut scratch.feats);
-        }
+        out: &mut Vec<Option<f32>>,
+    ) {
+        self.extractor
+            .extract_batch_into(idx.iter().map(|&i| &schedules[i]), &mut scratch.feats);
         self.model
-            .predict_with(&mut scratch.ws, &scratch.feats)
-            .into_iter()
-            .map(Some)
-            .collect()
+            .predict_into(&mut scratch.ws, &scratch.feats, &mut scratch.scores);
+        out.extend(scratch.scores.iter().copied().map(Some));
     }
 }
 
@@ -173,23 +172,19 @@ impl ScheduleScorer for MtlTlpScorer {
         TLP_PIPELINE_COST
     }
 
-    fn score_micro_batch(
+    fn score_micro_batch_into(
         &self,
         scratch: &mut FeatureScratch,
         _task: &SearchTask,
         schedules: &[ScheduleSequence],
         idx: &[usize],
-    ) -> Vec<Option<f32>> {
-        scratch.feats.clear();
-        for &i in idx {
-            self.extractor
-                .extract_into(&schedules[i], &mut scratch.feats);
-        }
+        out: &mut Vec<Option<f32>>,
+    ) {
+        self.extractor
+            .extract_batch_into(idx.iter().map(|&i| &schedules[i]), &mut scratch.feats);
         self.model
-            .predict_task_with(&mut scratch.ws, &scratch.feats, 0)
-            .into_iter()
-            .map(Some)
-            .collect()
+            .predict_task_into(&mut scratch.ws, &scratch.feats, 0, &mut scratch.scores);
+        out.extend(scratch.scores.iter().copied().map(Some));
     }
 }
 
@@ -202,8 +197,18 @@ pub struct TenSetMlpScorer {
     pub model: TenSetMlp,
 }
 
+/// Per-thread scratch for the program-feature baseline: one autodiff
+/// workspace, the flat program-feature rows, and the per-candidate
+/// lowering mask.
+#[derive(Debug, Default)]
+pub struct ProgramFeatureScratch {
+    ws: Workspace,
+    feats: Vec<f32>,
+    lowered: Vec<bool>,
+}
+
 impl ScheduleScorer for TenSetMlpScorer {
-    type Scratch = FeatureScratch;
+    type Scratch = ProgramFeatureScratch;
 
     fn name(&self) -> &str {
         "tenset-mlp"
@@ -213,31 +218,34 @@ impl ScheduleScorer for TenSetMlpScorer {
         PROGRAM_GEN_COST
     }
 
-    fn score_micro_batch(
+    fn score_micro_batch_into(
         &self,
-        scratch: &mut FeatureScratch,
+        scratch: &mut ProgramFeatureScratch,
         task: &SearchTask,
         schedules: &[ScheduleSequence],
         idx: &[usize],
-    ) -> Vec<Option<f32>> {
+        out: &mut Vec<Option<f32>>,
+    ) {
         scratch.feats.clear();
-        let mut lowered = Vec::with_capacity(idx.len());
+        scratch.lowered.clear();
         for &i in idx {
             match program_features(&task.subgraph, &schedules[i]) {
                 Some(f) => {
                     debug_assert_eq!(f.len(), PROGRAM_FEATURE_DIM);
                     scratch.feats.extend(f);
-                    lowered.push(true);
+                    scratch.lowered.push(true);
                 }
-                None => lowered.push(false),
+                None => scratch.lowered.push(false),
             }
         }
         let scores = self.model.predict_with(&mut scratch.ws, &scratch.feats);
         let mut it = scores.into_iter();
-        lowered
-            .into_iter()
-            .map(|ok| if ok { it.next() } else { None })
-            .collect()
+        out.extend(
+            scratch
+                .lowered
+                .iter()
+                .map(|&ok| if ok { it.next() } else { None }),
+        );
     }
 }
 
@@ -261,20 +269,22 @@ impl ScheduleScorer for AnsorScorer {
         PROGRAM_GEN_COST
     }
 
-    fn score_micro_batch(
+    fn score_micro_batch_into(
         &self,
         scratch: &mut Vec<ScheduleSequence>,
         task: &SearchTask,
         schedules: &[ScheduleSequence],
         idx: &[usize],
-    ) -> Vec<Option<f32>> {
+        out: &mut Vec<Option<f32>>,
+    ) {
         scratch.clear();
         scratch.extend(idx.iter().map(|&i| schedules[i].clone()));
-        self.model
-            .score(&task.subgraph, scratch)
-            .into_iter()
-            .map(Some)
-            .collect()
+        out.extend(
+            self.model
+                .score(&task.subgraph, scratch)
+                .into_iter()
+                .map(Some),
+        );
     }
 
     fn absorb(
@@ -415,7 +425,7 @@ mod tests {
         assert_eq!(batch.len(), 4);
         assert_eq!(batch.num_invalid(), 1);
         assert!(!batch.valid[1]);
-        assert_eq!(batch.scores[1], f32::NEG_INFINITY);
+        assert_eq!(batch.scores().nth(1), Some(f32::NEG_INFINITY));
         assert!(batch.valid[0] && batch.valid[2] && batch.valid[3]);
     }
 
@@ -448,6 +458,9 @@ mod tests {
         assert_eq!(first.stats.cache_misses, 6);
         let second = m.predict(ScoreRequest::new(&t, &seqs).with_generation(1));
         assert_eq!(second.stats.cache_hits, 6);
-        assert_eq!(first.scores, second.scores, "cached scores bit-identical");
+        assert!(
+            first.scores().eq(second.scores()),
+            "cached scores bit-identical"
+        );
     }
 }

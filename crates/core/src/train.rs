@@ -53,13 +53,14 @@ impl TrainData {
         extractor: &FeatureExtractor,
         platform_idx: usize,
     ) -> Self {
+        let mut buf = crate::features::FeatureBuf::new();
         let groups = tasks
             .iter()
             .filter(|t| !t.programs.is_empty())
             .map(|t| {
-                let schedules: Vec<_> = t.programs.iter().map(|r| r.schedule.clone()).collect();
+                extractor.extract_batch_into(t.programs.iter().map(|r| &r.schedule), &mut buf);
                 GroupData {
-                    features: extractor.extract_batch(&schedules),
+                    features: buf.data().to_vec(),
                     labels: t.labels(platform_idx),
                 }
             })

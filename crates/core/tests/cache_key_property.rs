@@ -72,16 +72,18 @@ impl ScheduleScorer for FingerprintScorer {
         PipelineCost::ZERO
     }
 
-    fn score_micro_batch(
+    fn score_micro_batch_into(
         &self,
         _scratch: &mut (),
         _task: &SearchTask,
         schedules: &[ScheduleSequence],
         idx: &[usize],
-    ) -> Vec<Option<f32>> {
-        idx.iter()
-            .map(|&i| Some((schedules[i].fingerprint() % 0xFFFF) as f32))
-            .collect()
+        out: &mut Vec<Option<f32>>,
+    ) {
+        out.extend(
+            idx.iter()
+                .map(|&i| Some((schedules[i].fingerprint() % 0xFFFF) as f32)),
+        );
     }
 }
 

@@ -71,7 +71,9 @@ fn tlp_model(backbone: Backbone) -> (TlpModel, FeatureExtractor, Vec<ScheduleSeq
 fn parallel_matches_sequential_all_backbones() {
     for backbone in [Backbone::Attention, Backbone::Lstm, Backbone::Transformer] {
         let (model, ex, seqs) = tlp_model(backbone);
-        let reference = model.predict(&ex.extract_batch(&seqs));
+        let mut buf = tlp::features::FeatureBuf::new();
+        ex.extract_batch_into(&seqs, &mut buf);
+        let reference = model.predict(buf.data());
 
         let sequential = FeatureModel::with_engine(
             TlpScorer {
@@ -102,18 +104,20 @@ fn parallel_matches_sequential_all_backbones() {
         let par_batch = parallel.predict(ScoreRequest::new(&t, &seqs));
         assert!(par_batch.stats.threads >= 2, "{backbone:?}: pool unused");
         assert_eq!(seq_batch.len(), seqs.len());
+        let seq_scores: Vec<f32> = seq_batch.scores().collect();
+        let par_scores: Vec<f32> = par_batch.scores().collect();
         for (i, &r) in reference.iter().enumerate() {
             assert!(
-                (r - seq_batch.scores[i]).abs() < 1e-6,
+                (r - seq_scores[i]).abs() < 1e-6,
                 "{backbone:?} candidate {i}: engine {} vs reference {}",
-                seq_batch.scores[i],
+                seq_scores[i],
                 r
             );
             assert!(
-                (seq_batch.scores[i] - par_batch.scores[i]).abs() < 1e-6,
+                (seq_scores[i] - par_scores[i]).abs() < 1e-6,
                 "{backbone:?} candidate {i}: parallel {} vs sequential {}",
-                par_batch.scores[i],
-                seq_batch.scores[i]
+                par_scores[i],
+                seq_scores[i]
             );
         }
     }
@@ -141,7 +145,10 @@ fn cache_hits_bit_identical_and_bounded() {
     let warm = m.predict(ScoreRequest::new(&t, &seqs[..16]));
     assert_eq!(warm.stats.cache_hits, 16);
     assert_eq!(warm.stats.cache_misses, 0);
-    assert_eq!(cold.scores, warm.scores, "hits must be bit-identical");
+    assert!(
+        cold.scores().eq(warm.scores()),
+        "hits must be bit-identical"
+    );
 
     // Push well past capacity; the cache stays bounded.
     m.predict(ScoreRequest::new(&t, &seqs));
@@ -201,14 +208,14 @@ fn ragged_batch_keeps_order_and_masks() {
     let batch = tenset.predict(ScoreRequest::new(&t, &seqs));
     assert_eq!(batch.len(), seqs.len());
     assert!(!batch.valid[5], "unlowerable schedule must be masked");
-    assert_eq!(batch.scores[5], f32::NEG_INFINITY);
+    assert_eq!(batch.scores().nth(5), Some(f32::NEG_INFINITY));
     let n_valid = batch.valid.iter().filter(|v| **v).count();
     assert!(n_valid >= 6, "valid candidates still scored: {n_valid}");
 
     // Warm pass: identical mask and scores straight from the cache.
     let warm = tenset.predict(ScoreRequest::new(&t, &seqs));
     assert_eq!(warm.valid, batch.valid);
-    assert_eq!(warm.scores, batch.scores);
+    assert!(warm.scores().eq(batch.scores()));
 }
 
 /// The engine path and the CostModel trait agree on reported pipeline cost.

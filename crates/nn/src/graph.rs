@@ -16,6 +16,7 @@
 //! assert_eq!(g.grad(w).unwrap().data(), &[1.0, 2.0]);
 //! ```
 
+use crate::kernels::{self, softmax_row};
 use crate::tensor::{numel, Tensor};
 
 /// Handle to a node in a [`Graph`].
@@ -42,6 +43,8 @@ enum Op {
     Tanh(Var),
     /// Softmax over the last axis.
     Softmax(Var),
+    /// Fused `softmax(x * s)` over the last axis (attention score path).
+    ScaledSoftmax(Var, f32),
     /// Log-softmax over the last axis.
     LogSoftmax(Var),
     Reshape(Var),
@@ -251,6 +254,21 @@ impl Graph {
         self.push(Op::Softmax(a), out, ng)
     }
 
+    /// Fused scale-then-softmax over the last axis: `softmax(a * s)`.
+    ///
+    /// One tape node instead of the `scale` + `softmax` pair the attention
+    /// layer used to emit; the per-element arithmetic (multiply by `s`,
+    /// then the same row softmax) is unchanged, so values are bitwise
+    /// identical to the unfused sequence.
+    pub fn scaled_softmax(&mut self, a: Var, s: f32) -> Var {
+        let av = self.value(a);
+        let d = *av.shape().last().expect("scaled_softmax on rank-0 tensor");
+        let mut out = av.clone();
+        kernels::scaled_softmax_rows(out.data_mut(), d, s);
+        let ng = self.needs(a);
+        self.push(Op::ScaledSoftmax(a, s), out, ng)
+    }
+
     /// Numerically stable log-softmax over the last axis.
     pub fn log_softmax(&mut self, a: Var) -> Var {
         let av = self.value(a);
@@ -405,12 +423,7 @@ impl Graph {
         let bv = self.value(beta).data().to_vec();
         let mut out = xv.clone();
         for row in out.data_mut().chunks_mut(d) {
-            let mean = row.iter().sum::<f32>() / d as f32;
-            let var = row.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / d as f32;
-            let inv = 1.0 / (var + eps).sqrt();
-            for (i, x) in row.iter_mut().enumerate() {
-                *x = (*x - mean) * inv * gv[i] + bv[i];
-            }
+            kernels::layer_norm_row(row, &gv, &bv, eps);
         }
         let ng = self.needs(x) || self.needs(gamma) || self.needs(beta);
         self.push(
@@ -651,6 +664,21 @@ impl Graph {
                     out.push((*a, dx));
                 }
             }
+            Op::ScaledSoftmax(a, s) => {
+                if self.needs(*a) {
+                    // y = softmax(s·x) ⇒ dx = s · softmax-backward(y, g).
+                    let d = *node.value.shape().last().unwrap();
+                    let s = *s;
+                    let mut dx = g.clone();
+                    for (gr, yr) in dx.data_mut().chunks_mut(d).zip(node.value.data().chunks(d)) {
+                        let dot: f32 = gr.iter().zip(yr).map(|(&gx, &y)| gx * y).sum();
+                        for (gx, &y) in gr.iter_mut().zip(yr) {
+                            *gx = s * (y * (*gx - dot));
+                        }
+                    }
+                    out.push((*a, dx));
+                }
+            }
             Op::LogSoftmax(a) => {
                 if self.needs(*a) {
                     let d = *node.value.shape().last().unwrap();
@@ -838,19 +866,6 @@ impl Graph {
     }
 }
 
-fn softmax_row(row: &mut [f32]) {
-    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-    let mut sum = 0.0;
-    for x in row.iter_mut() {
-        *x = (*x - max).exp();
-        sum += *x;
-    }
-    let inv = 1.0 / sum;
-    for x in row.iter_mut() {
-        *x *= inv;
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -947,6 +962,37 @@ mod tests {
             arange(&[2, 4], 0.3),
             1e-2,
         );
+    }
+
+    #[test]
+    fn scaled_softmax_grad() {
+        grad_check(
+            |g, x| {
+                let s = g.scaled_softmax(x, 0.7);
+                let s2 = g.mul(s, s);
+                g.sum_all(s2)
+            },
+            arange(&[2, 4], 0.3),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn scaled_softmax_matches_unfused_pair() {
+        let x = arange(&[3, 5], 0.21);
+        let s = 1.0 / 2.0f32.sqrt();
+        let mut g = Graph::new();
+        let a = g.constant(x.clone());
+        let fused = g.scaled_softmax(a, s);
+        let scaled = g.scale(a, s);
+        let unfused = g.softmax(scaled);
+        for (p, q) in g.value(fused).data().iter().zip(g.value(unfused).data()) {
+            assert_eq!(
+                p.to_bits(),
+                q.to_bits(),
+                "fused softmax must be bit-identical"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! Compact (ragged) micro-batch descriptors for the fused inference path.
+//!
+//! TLP feature tensors are `[n, l, f]` with a fixed sequence length `l`
+//! (25 in the paper), but real schedules rarely fill all `l` rows: unused
+//! tail rows are exactly zero. The dense tape path pays for every padding
+//! row; the fused inference path instead works on a *compact*
+//! representation:
+//!
+//! - a compact matrix holding only the `R = Σᵢ rowsᵢ` real rows,
+//!   candidate-major (candidate `i`'s rows are contiguous);
+//! - a single shared *pad trace* row, the image of the all-zero padding
+//!   row under each row-wise stage (padding rows are identical across
+//!   candidates until attention mixes them with candidate rows).
+//!
+//! After attention the pad trace becomes per-candidate (pad queries attend
+//! over candidate-specific keys), so post-attention stages operate on an
+//! `[(R + C), dim]` matrix whose last `C` rows are the per-candidate pad
+//! rows. Because padding is a contiguous *tail*, every reduction the dense
+//! path performs over the `l` axis visits real rows first and then
+//! `l - rowsᵢ` copies of the pad row; replaying the identical floating-point
+//! operation on the (precomputed) pad value once per padding position keeps
+//! results bit-identical to the dense computation while skipping all the
+//! redundant arithmetic that produces those values.
+
+/// Shape descriptor for a tail-padded micro-batch in compact form.
+///
+/// Borrows the per-candidate real-row counts; `seq_len` is the dense
+/// sequence length `l` every candidate is padded to.
+#[derive(Clone, Copy, Debug)]
+pub struct Ragged<'a> {
+    rows_used: &'a [usize],
+    seq_len: usize,
+}
+
+impl<'a> Ragged<'a> {
+    /// Creates a descriptor over per-candidate real-row counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count exceeds `seq_len`.
+    pub fn new(rows_used: &'a [usize], seq_len: usize) -> Self {
+        assert!(
+            rows_used.iter().all(|&r| r <= seq_len),
+            "rows_used entry exceeds seq_len"
+        );
+        Ragged { rows_used, seq_len }
+    }
+
+    /// Number of candidates `C` in the micro-batch.
+    pub fn candidates(&self) -> usize {
+        self.rows_used.len()
+    }
+
+    /// Dense sequence length `l` candidates are padded to.
+    pub fn seq_len(&self) -> usize {
+        self.seq_len
+    }
+
+    /// Per-candidate real-row counts.
+    pub fn rows_used(&self) -> &[usize] {
+        self.rows_used
+    }
+
+    /// Total number of real rows `R` across the micro-batch.
+    pub fn total_rows(&self) -> usize {
+        self.rows_used.iter().sum()
+    }
+}
+
+/// Per-candidate sums over the padded sequence axis, bit-identical to the
+/// dense `reshape([n, l]) → sum_axis(1)` epilogue.
+///
+/// `y` holds `R + C` per-row scalars (real rows first, candidate-major,
+/// then one pad-row scalar per candidate). The dense reduction starts each
+/// accumulator at `+0.0` and adds the `l` row values in sequence order;
+/// padding rows sit at the tail, so the compact replay adds the real values
+/// first and then the pad value `seq_len - rowsᵢ` times — each addition is
+/// the same f32 operation the dense path performs.
+///
+/// # Panics
+///
+/// Panics if `y` is shorter than `R + C`.
+pub fn ragged_tail_sums(y: &[f32], ragged: &Ragged<'_>, out: &mut Vec<f32>) {
+    let total = ragged.total_rows();
+    assert!(
+        y.len() >= total + ragged.candidates(),
+        "ragged_tail_sums input too short"
+    );
+    out.clear();
+    let mut base = 0usize;
+    for (i, &ru) in ragged.rows_used().iter().enumerate() {
+        let pad = y[total + i];
+        let mut acc = 0.0f32;
+        for &v in &y[base..base + ru] {
+            acc += v;
+        }
+        for _ in ru..ragged.seq_len() {
+            acc += pad;
+        }
+        out.push(acc);
+        base += ru;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptor_counts() {
+        let rows = [3usize, 0, 5];
+        let r = Ragged::new(&rows, 5);
+        assert_eq!(r.candidates(), 3);
+        assert_eq!(r.total_rows(), 8);
+        assert_eq!(r.seq_len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds seq_len")]
+    fn descriptor_rejects_overflow() {
+        let rows = [6usize];
+        let _ = Ragged::new(&rows, 5);
+    }
+
+    #[test]
+    fn tail_sums_match_dense_reduction() {
+        // Candidate 0: rows [1.5, -2.25], pad 0.125, l = 4.
+        // Candidate 1: no real rows, pad -0.5.
+        let rows = [2usize, 0];
+        let r = Ragged::new(&rows, 4);
+        let y = [1.5f32, -2.25, 0.125, -0.5];
+        let mut out = Vec::new();
+        ragged_tail_sums(&y, &r, &mut out);
+
+        let dense0 = [1.5f32, -2.25, 0.125, 0.125];
+        let dense1 = [-0.5f32, -0.5, -0.5, -0.5];
+        let sum = |row: &[f32]| row.iter().fold(0.0f32, |a, &v| a + v);
+        assert_eq!(out[0].to_bits(), sum(&dense0).to_bits());
+        assert_eq!(out[1].to_bits(), sum(&dense1).to_bits());
+    }
+}

@@ -1,0 +1,388 @@
+//! Low-level `f32` compute kernels with a fixed accumulation-order contract.
+//!
+//! Every kernel in this module obeys one rule, which is what makes the
+//! fast scoring path bit-identical to the autograd tape and to older
+//! builds of this crate:
+//!
+//! > **Fixed accumulation order.** Each output element is a sum over the
+//! > inner (`k`) dimension accumulated in ascending `k` order, one
+//! > `mul` followed by one `add` per term, starting from `+0.0`. No FMA,
+//! > no reassociation, no pairwise/tree reductions.
+//!
+//! Register blocking (the `2×24` panels in [`gemm`]) changes which output
+//! elements are computed *together*, never the order of operations *within*
+//! one element's accumulation chain, so results are bitwise identical
+//! across block shapes — including the scalar tails used for odd sizes.
+//! The autovectorizer keeps IEEE semantics (Rust never enables FP
+//! contraction or reassociation), so vector width does not affect bits
+//! either.
+//!
+//! One deliberate divergence from the historical naive kernel: the old
+//! loop skipped `a == 0.0` terms. For finite `b` this is bitwise
+//! neutral — the skipped term contributes `±0.0`, accumulators never
+//! become `-0.0` (they start at `+0.0`, `+0.0 + ±0.0 = +0.0`, and IEEE
+//! round-to-nearest exact cancellation yields `+0.0`) — so
+//! `acc + ±0.0 == acc` bit-for-bit. The property tests in this module
+//! pin that equivalence on inputs with explicit zeros.
+
+/// Columns per register block. Two j-panels cover the default hidden
+/// size (48) exactly; tails fall back to 8-wide then scalar columns.
+const NR: usize = 24;
+/// Narrow column block for tails (e.g. the `hidden = 16` test scale).
+const NR2: usize = 8;
+
+/// `out[m,n] = a[m,k] × b[k,n]`, overwriting `out`.
+///
+/// Cache-blocked, autovectorization-friendly: 2-row × 24-column register
+/// panels with the per-element accumulation chain in ascending `k` order
+/// (see the module docs for the bit-identity contract).
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match `m×k`, `k×n`, `m×n`.
+pub fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "gemm lhs length mismatch");
+    assert_eq!(b.len(), k * n, "gemm rhs length mismatch");
+    assert_eq!(out.len(), m * n, "gemm out length mismatch");
+    let mut i = 0;
+    while i + 2 <= m {
+        gemm_rows::<2>(a, b, out, i, k, n);
+        i += 2;
+    }
+    if i < m {
+        gemm_rows::<1>(a, b, out, i, k, n);
+    }
+}
+
+/// One `R`-row band of [`gemm`] starting at row `i`.
+fn gemm_rows<const R: usize>(a: &[f32], b: &[f32], out: &mut [f32], i: usize, k: usize, n: usize) {
+    let mut j = 0;
+    while j + NR <= n {
+        let mut acc = [[0.0f32; NR]; R];
+        for l in 0..k {
+            let br: &[f32; NR] = b[l * n + j..l * n + j + NR]
+                .try_into()
+                .unwrap_or(&[0.0; NR]); // length is NR by construction
+            for (r, accr) in acc.iter_mut().enumerate() {
+                let av = a[(i + r) * k + l];
+                for (o, &bv) in accr.iter_mut().zip(br) {
+                    *o += av * bv;
+                }
+            }
+        }
+        for (r, accr) in acc.iter().enumerate() {
+            out[(i + r) * n + j..(i + r) * n + j + NR].copy_from_slice(accr);
+        }
+        j += NR;
+    }
+    while j + NR2 <= n {
+        let mut acc = [[0.0f32; NR2]; R];
+        for l in 0..k {
+            let br: &[f32; NR2] = b[l * n + j..l * n + j + NR2]
+                .try_into()
+                .unwrap_or(&[0.0; NR2]); // length is NR2 by construction
+            for (r, accr) in acc.iter_mut().enumerate() {
+                let av = a[(i + r) * k + l];
+                for (o, &bv) in accr.iter_mut().zip(br) {
+                    *o += av * bv;
+                }
+            }
+        }
+        for (r, accr) in acc.iter().enumerate() {
+            out[(i + r) * n + j..(i + r) * n + j + NR2].copy_from_slice(accr);
+        }
+        j += NR2;
+    }
+    while j < n {
+        for r in 0..R {
+            let mut acc = 0.0f32;
+            for l in 0..k {
+                acc += a[(i + r) * k + l] * b[l * n + j];
+            }
+            out[(i + r) * n + j] = acc;
+        }
+        j += 1;
+    }
+}
+
+/// Per-row epilogue applied after a GEMM accumulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Epilogue {
+    /// `out = acc + bias` (bias broadcast over rows).
+    Bias,
+    /// `out = max(acc + bias, 0)` — the fused `Linear → ReLU` step.
+    BiasRelu,
+}
+
+/// `out[m,n] = epilogue(a[m,k] × b[k,n] + bias[n])`, overwriting `out`.
+///
+/// Bitwise identical to `gemm` followed by a separate broadcast bias add
+/// (and ReLU): the epilogue runs after each element's accumulation chain
+/// completes, in the same `+ bias` / `max(x, 0)` order the unfused ops
+/// use.
+///
+/// # Panics
+///
+/// Panics on slice length mismatches.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_bias(
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    ep: Epilogue,
+) {
+    assert_eq!(bias.len(), n, "gemm_bias bias length mismatch");
+    gemm(a, b, out, m, k, n);
+    match ep {
+        Epilogue::Bias => {
+            for row in out.chunks_exact_mut(n) {
+                for (o, &bv) in row.iter_mut().zip(bias) {
+                    *o += bv;
+                }
+            }
+        }
+        Epilogue::BiasRelu => {
+            for row in out.chunks_exact_mut(n) {
+                for (o, &bv) in row.iter_mut().zip(bias) {
+                    *o = (*o + bv).max(0.0);
+                }
+            }
+        }
+    }
+}
+
+/// In-place numerically-stable softmax of one row.
+///
+/// Shared by the tape [`Softmax`](crate::graph::Graph::softmax) op and the
+/// fused inference path so both produce identical bits: subtract the row
+/// max, exponentiate left to right while accumulating the sum, then
+/// multiply by the reciprocal.
+pub fn softmax_row(row: &mut [f32]) {
+    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for x in row.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    let inv = 1.0 / sum;
+    for x in row.iter_mut() {
+        *x *= inv;
+    }
+}
+
+/// Fused scale-then-softmax over each `width`-sized row of `x`.
+///
+/// Bitwise identical to a full `x * s` elementwise pass followed by
+/// [`softmax_row`] per row — the scale multiply per element happens
+/// before any softmax arithmetic, exactly as the unfused op pair does.
+///
+/// # Panics
+///
+/// Panics if `x.len()` is not a multiple of `width` (with `width > 0`).
+pub fn scaled_softmax_rows(x: &mut [f32], width: usize, s: f32) {
+    assert!(width > 0, "scaled_softmax_rows width must be positive");
+    assert_eq!(
+        x.len() % width,
+        0,
+        "scaled_softmax_rows length not a multiple of width"
+    );
+    for row in x.chunks_exact_mut(width) {
+        for v in row.iter_mut() {
+            *v *= s;
+        }
+        softmax_row(row);
+    }
+}
+
+/// In-place layer normalization of one row with affine parameters.
+///
+/// Single source of truth for the arithmetic sequence (mean, biased
+/// variance, `(x - mean) * inv * gamma + beta` left to right) shared by
+/// the tape `LayerNorm` op and the fused inference path, so both produce
+/// identical bits.
+///
+/// # Panics
+///
+/// Panics if `gamma`/`beta` lengths differ from the row length.
+pub fn layer_norm_row(row: &mut [f32], gamma: &[f32], beta: &[f32], eps: f32) {
+    let d = row.len();
+    assert_eq!(gamma.len(), d, "layer_norm gamma length mismatch");
+    assert_eq!(beta.len(), d, "layer_norm beta length mismatch");
+    let mean = row.iter().sum::<f32>() / d as f32;
+    let var = row.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / d as f32;
+    let inv = 1.0 / (var + eps).sqrt();
+    for (i, x) in row.iter_mut().enumerate() {
+        *x = (*x - mean) * inv * gamma[i] + beta[i];
+    }
+}
+
+/// The historical naive `ikj` kernel, kept as the bit-identity reference:
+/// `out[m,n] += a[m,k] × b[k,n]` over a zeroed `out`, with the `a == 0`
+/// skip. Property tests assert [`gemm`] matches it bit-for-bit.
+#[cfg(test)]
+pub(crate) fn matmul_reference(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let o = &mut out[i * n..(i + 1) * n];
+        for (l, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[l * n..(l + 1) * n];
+            for (oj, &bj) in o.iter_mut().zip(b_row) {
+                *oj += av * bj;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Deterministic pseudo-random finite values including exact zeros,
+    /// so the reference kernel's zero-skip path is exercised.
+    fn fill(seed: u64, len: usize) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                if state.is_multiple_of(7) {
+                    0.0
+                } else {
+                    ((state % 2048) as f32 - 1024.0) * 9.77e-3
+                }
+            })
+            .collect()
+    }
+
+    fn assert_bits_eq(a: &[f32], b: &[f32], what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{what}: bit mismatch at {i}: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_matches_reference_on_model_shapes() {
+        // The shapes the cost model actually runs: up1/up2/projections,
+        // the half-width head, a single-column head, and tiny bmm slices.
+        for &(m, k, n) in &[
+            (832, 22, 48),
+            (832, 48, 48),
+            (832, 48, 24),
+            (832, 24, 1),
+            (25, 6, 25),
+            (25, 25, 6),
+            (1, 48, 48),
+            (13, 16, 16),
+        ] {
+            let a = fill(m as u64 * 31 + n as u64, m * k);
+            let b = fill(k as u64 * 17 + 3, k * n);
+            let mut fast = vec![0.0f32; m * n];
+            let mut slow = vec![0.0f32; m * n];
+            gemm(&a, &b, &mut fast, m, k, n);
+            matmul_reference(&a, &b, &mut slow, m, k, n);
+            assert_bits_eq(&fast, &slow, &format!("gemm {m}x{k}x{n}"));
+        }
+    }
+
+    #[test]
+    fn gemm_bias_matches_unfused() {
+        let (m, k, n) = (37, 22, 48);
+        let a = fill(1, m * k);
+        let b = fill(2, k * n);
+        let bias = fill(3, n);
+        let mut unfused = vec![0.0f32; m * n];
+        matmul_reference(&a, &b, &mut unfused, m, k, n);
+        for row in unfused.chunks_exact_mut(n) {
+            for (o, &bv) in row.iter_mut().zip(&bias) {
+                *o += bv;
+            }
+        }
+        let mut fused = vec![0.0f32; m * n];
+        gemm_bias(&a, &b, &bias, &mut fused, m, k, n, Epilogue::Bias);
+        assert_bits_eq(&fused, &unfused, "gemm_bias");
+
+        for v in unfused.iter_mut() {
+            *v = v.max(0.0);
+        }
+        gemm_bias(&a, &b, &bias, &mut fused, m, k, n, Epilogue::BiasRelu);
+        assert_bits_eq(&fused, &unfused, "gemm_bias_relu");
+    }
+
+    #[test]
+    fn scaled_softmax_matches_unfused() {
+        let width = 25;
+        let mut x = fill(9, 8 * width);
+        let mut unfused = x.clone();
+        let s = 1.0 / 6.0f32.sqrt();
+        for v in unfused.iter_mut() {
+            *v *= s;
+        }
+        for row in unfused.chunks_exact_mut(width) {
+            softmax_row(row);
+        }
+        scaled_softmax_rows(&mut x, width, s);
+        assert_bits_eq(&x, &unfused, "scaled_softmax");
+    }
+
+    proptest! {
+        /// Satellite: blocked GEMM is bitwise-equal to the naive reference
+        /// over random shapes and seeds (finite values with exact zeros).
+        #[test]
+        fn prop_gemm_bits_match_reference(
+            m in 1usize..50,
+            k in 1usize..50,
+            n in 1usize..60,
+            seed in 0u64..u64::MAX,
+        ) {
+            let a = fill(seed, m * k);
+            let b = fill(seed ^ 0xdead_beef, k * n);
+            let mut fast = vec![0.0f32; m * n];
+            let mut slow = vec![0.0f32; m * n];
+            gemm(&a, &b, &mut fast, m, k, n);
+            matmul_reference(&a, &b, &mut slow, m, k, n);
+            for (x, y) in fast.iter().zip(&slow) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+
+        /// Satellite: fused scale+softmax is bitwise-equal to the unfused
+        /// scale pass followed by the reference row softmax.
+        #[test]
+        fn prop_scaled_softmax_bits_match_reference(
+            rows in 1usize..12,
+            width in 1usize..40,
+            seed in 0u64..u64::MAX,
+            s in -4.0f32..4.0,
+        ) {
+            let mut x = fill(seed, rows * width);
+            let mut unfused = x.clone();
+            for v in unfused.iter_mut() { *v *= s; }
+            for row in unfused.chunks_exact_mut(width) { softmax_row(row); }
+            scaled_softmax_rows(&mut x, width, s);
+            for (a, b) in x.iter().zip(&unfused) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+}

@@ -5,9 +5,12 @@
 //! the store, and the parameter binding.
 
 use crate::graph::{Graph, Var};
+use crate::infer::Ragged;
 use crate::init::{uniform, xavier_uniform};
+use crate::kernels::{self, Epilogue};
 use crate::params::{Binding, ParamId, ParamStore};
 use crate::tensor::Tensor;
+use crate::workspace::Arena;
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -88,6 +91,35 @@ impl Linear {
         *out_shape.last_mut().unwrap() = self.out_dim;
         f.g.reshape(y, &out_shape)
     }
+
+    /// Fused tape-free inference: `out = epilogue(x·W + b)` over `rows`
+    /// rows of width `in_dim`, bit-identical to the `matmul → add_bias`
+    /// (→ `relu`) tape sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics on slice length mismatches.
+    pub fn infer_rows(
+        &self,
+        store: &ParamStore,
+        x: &[f32],
+        rows: usize,
+        out: &mut [f32],
+        ep: Epilogue,
+    ) {
+        let w = store.value(self.w);
+        let b = store.value(self.b);
+        kernels::gemm_bias(
+            x,
+            w.data(),
+            b.data(),
+            out,
+            rows,
+            self.in_dim,
+            self.out_dim,
+            ep,
+        );
+    }
 }
 
 /// Multi-head scaled-dot-product self-attention over `[N, L, E]` inputs.
@@ -136,6 +168,11 @@ impl MultiHeadSelfAttention {
         self.heads
     }
 
+    /// Model width (embedding dimension).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
     /// Applies self-attention to `x` of shape `[n, l, dim]`.
     pub fn forward(&self, f: &mut Fwd<'_>, x: Var) -> Var {
         self.forward_masked(f, x, None)
@@ -167,23 +204,252 @@ impl MultiHeadSelfAttention {
 
         let kt = f.g.permute(ks, &[0, 2, 1]); // [n*h, dh, l]
         let scores = f.g.bmm(qs, kt); // [n*h, l, l]
-        let mut scores = f.g.scale(scores, 1.0 / (dh as f32).sqrt());
-        if let Some(m) = mask {
+        let scale = 1.0 / (dh as f32).sqrt();
+        let attn = if let Some(m) = mask {
             assert_eq!(m.shape(), &[l, l], "attention mask must be [l, l]");
+            let scores = f.g.scale(scores, scale);
             let mut tiled = Tensor::zeros(&[n * h, l, l]);
             for chunk in tiled.data_mut().chunks_mut(l * l) {
                 chunk.copy_from_slice(m.data());
             }
             let mv = f.g.constant(tiled);
-            scores = f.g.add(scores, mv);
-        }
-        let attn = f.g.softmax(scores);
+            let masked = f.g.add(scores, mv);
+            f.g.softmax(masked)
+        } else {
+            // Unmasked hot path: one fused node, bit-identical to
+            // scale → softmax.
+            f.g.scaled_softmax(scores, scale)
+        };
         let ctx = f.g.bmm(attn, vs); // [n*h, l, dh]
 
         let ctx = f.g.reshape(ctx, &[n, h, l, dh]);
         let ctx = f.g.permute(ctx, &[0, 2, 1, 3]);
         let ctx = f.g.reshape(ctx, &[n, l, e]);
         self.out.forward(f, ctx)
+    }
+
+    /// Fused tape-free self-attention over a compact tail-padded batch.
+    ///
+    /// `x` holds the `R` real rows (candidate-major, `R` =
+    /// `ragged.total_rows()`); `x_pad` is the shared padding row every
+    /// candidate's tail repeats. `out` receives `R + C` rows: the attention
+    /// output (including the output projection) for each real row, then one
+    /// pad-row output per candidate — pad queries are identical within a
+    /// candidate, so their shared output is computed once.
+    ///
+    /// Bit-identical to [`MultiHeadSelfAttention::forward`] on the dense
+    /// `[C, l, dim]` tensor: scores, softmax, and weighted sums replay the
+    /// same f32 operations in the same order, with the padding tail's
+    /// repeated values computed once and re-added per position (see
+    /// [`crate::infer`] for the argument).
+    ///
+    /// # Panics
+    ///
+    /// Panics on slice length mismatches.
+    pub fn infer_ragged(
+        &self,
+        store: &ParamStore,
+        arena: &mut Arena,
+        x: &[f32],
+        x_pad: &[f32],
+        ragged: &Ragged<'_>,
+        out: &mut [f32],
+    ) {
+        let e = self.dim;
+        let h = self.heads;
+        let dh = e / h;
+        let r = ragged.total_rows();
+        let c = ragged.candidates();
+        let l = ragged.seq_len();
+        assert_eq!(x.len(), r * e, "compact input length mismatch");
+        assert_eq!(x_pad.len(), e, "pad row length mismatch");
+        assert_eq!(out.len(), (r + c) * e, "output length mismatch");
+
+        let mut q = arena.take(r * e);
+        let mut k = arena.take(r * e);
+        let mut v = arena.take(r * e);
+        self.q.infer_rows(store, x, r, &mut q, Epilogue::Bias);
+        self.k.infer_rows(store, x, r, &mut k, Epilogue::Bias);
+        self.v.infer_rows(store, x, r, &mut v, Epilogue::Bias);
+        let mut q_pad = arena.take(e);
+        let mut k_pad = arena.take(e);
+        let mut v_pad = arena.take(e);
+        self.q
+            .infer_rows(store, x_pad, 1, &mut q_pad, Epilogue::Bias);
+        self.k
+            .infer_rows(store, x_pad, 1, &mut k_pad, Epilogue::Bias);
+        self.v
+            .infer_rows(store, x_pad, 1, &mut v_pad, Epilogue::Bias);
+
+        let mut ctx = arena.take((r + c) * e);
+        // Head-major packing scratch, sized for the longest candidate
+        // (`l` real rows plus the shared pad row/query).
+        let mut kh = arena.take((l + 1) * e);
+        let mut qt = arena.take((l + 1) * e);
+        let mut vt = arena.take(l * e);
+        let mut st = arena.take((l + 1) * (l + 1));
+        let mut ot = arena.take(dh * (l + 1));
+        let mut pt = arena.take(dh * (l + 1));
+        let mut mx = arena.take(l + 1);
+        let mut sm = arena.take(l + 1);
+        let scale = 1.0 / (dh as f32).sqrt();
+
+        let mut base = 0usize;
+        for (i, &ru) in ragged.rows_used().iter().enumerate() {
+            let kc = &k[base * e..(base + ru) * e];
+            let vc = &v[base * e..(base + ru) * e];
+            let nq = ru + 1; // real query rows plus the candidate's pad query
+            let nk = ru + 1; // real keys plus the shared pad key
+
+            // Pack this candidate head-major so both attention matmuls run
+            // through the register-blocked [`kernels::gemm`]:
+            //   kh[t]: [nk, dh]  real keys then the pad key;
+            //   qt[t]: [dh, nq]  queries transposed, pad query last;
+            //   vt[t]: [dh, ru]  values transposed.
+            for t in 0..h {
+                let ho = t * dh;
+                let khh = &mut kh[t * nk * dh..(t + 1) * nk * dh];
+                for (kidx, krow) in kc.chunks_exact(e).enumerate() {
+                    khh[kidx * dh..(kidx + 1) * dh].copy_from_slice(&krow[ho..ho + dh]);
+                }
+                khh[ru * dh..].copy_from_slice(&k_pad[ho..ho + dh]);
+                let qth = &mut qt[t * dh * nq..(t + 1) * dh * nq];
+                for j in 0..ru {
+                    let qrow = &q[(base + j) * e + ho..(base + j) * e + ho + dh];
+                    for (d, &qv) in qrow.iter().enumerate() {
+                        qth[d * nq + j] = qv;
+                    }
+                }
+                for d in 0..dh {
+                    qth[d * nq + ru] = q_pad[ho + d];
+                }
+                let vth = &mut vt[t * dh * ru..(t + 1) * dh * ru];
+                for (kidx, vrow) in vc.chunks_exact(e).enumerate() {
+                    for (d, &vv) in vrow[ho..ho + dh].iter().enumerate() {
+                        vth[d * ru + kidx] = vv;
+                    }
+                }
+            }
+
+            for t in 0..h {
+                let ho = t * dh;
+                let khh = &kh[t * nk * dh..(t + 1) * nk * dh];
+                let qth = &qt[t * dh * nq..(t + 1) * dh * nq];
+                let vth = &vt[t * dh * ru..(t + 1) * dh * ru];
+                // Transposed scores st[key][query] = k·q, each element
+                // accumulated d-ascending like the dense bmm (f32 `mul` is
+                // operand-order insensitive, so k·q ≡ q·k bitwise). The pad
+                // key lands in row `ru`, the pad query in column `ru`.
+                kernels::gemm(khh, qth, &mut st[..nk * nq], nk, dh, nq);
+                for s in st[..nk * nq].iter_mut() {
+                    *s *= scale;
+                }
+                // Per-query softmax down each column, all queries advanced
+                // together so every non-exp pass vectorizes across the `nq`
+                // lanes. Each lane replays the dense row's order — max fold
+                // and sum k-ascending, the `l - ru` identical tail terms
+                // deduplicated (the tail exp is added once per position) —
+                // and leaves the tail weight `a_pad` in the pad-key row.
+                softmax_cols(&mut st[..nk * nq], &mut mx[..nq], &mut sm[..nq], nq, ru, l);
+                // Weighted value sum over the real keys, k-ascending from
+                // +0.0 — the pad-key row is excluded from the matmul...
+                kernels::gemm(vth, &st[..ru * nq], &mut ot[..dh * nq], dh, ru, nq);
+                // ...and its term, computed once per query, is re-added per
+                // tail position, as the dense loop would (each element's
+                // chain still receives its identical pad term `l - ru`
+                // times after the real keys).
+                for d in 0..dh {
+                    let pv = v_pad[ho + d];
+                    for (p, &a) in pt[d * nq..(d + 1) * nq]
+                        .iter_mut()
+                        .zip(&st[ru * nq..nk * nq])
+                    {
+                        *p = a * pv;
+                    }
+                }
+                for _ in ru..l {
+                    for (o, &p) in ot[..dh * nq].iter_mut().zip(&pt[..dh * nq]) {
+                        *o += p;
+                    }
+                }
+                // Scatter the head block back to row-major context rows.
+                for j in 0..ru {
+                    let row = base + j;
+                    for d in 0..dh {
+                        ctx[row * e + ho + d] = ot[d * nq + j];
+                    }
+                }
+                for d in 0..dh {
+                    ctx[(r + i) * e + ho + d] = ot[d * nq + ru];
+                }
+            }
+            base += ru;
+        }
+
+        self.out.infer_rows(store, &ctx, r + c, out, Epilogue::Bias);
+
+        arena.give(sm);
+        arena.give(mx);
+        arena.give(pt);
+        arena.give(ot);
+        arena.give(st);
+        arena.give(vt);
+        arena.give(qt);
+        arena.give(kh);
+        arena.give(ctx);
+        arena.give(v_pad);
+        arena.give(k_pad);
+        arena.give(q_pad);
+        arena.give(v);
+        arena.give(k);
+        arena.give(q);
+    }
+}
+
+/// Softmax down every column of the transposed score matrix `st`
+/// (`nq` query columns; `ru` real-key rows plus the pad-key row at index
+/// `ru`), normalizing each column in place over its dense row
+/// `[s_0 .. s_{ru-1}, s_pad × (l - ru)]`. Columns advance together so the
+/// max/sum/normalize passes vectorize across query lanes, while each
+/// lane's fold order stays exactly the dense row's: max then sum in
+/// k-ascending order, the tail's (identical) exp value added once per
+/// position. The pad-key row is overwritten with the tail weight `a_pad`
+/// for the caller's tail re-add. `mx` and `sum` are caller scratch.
+fn softmax_cols(st: &mut [f32], mx: &mut [f32], sum: &mut [f32], nq: usize, ru: usize, l: usize) {
+    mx.fill(f32::NEG_INFINITY);
+    for row in st[..ru * nq].chunks_exact(nq) {
+        for (m, &s) in mx.iter_mut().zip(row) {
+            *m = m.max(s);
+        }
+    }
+    if ru < l {
+        for (m, &s) in mx.iter_mut().zip(&st[ru * nq..(ru + 1) * nq]) {
+            *m = m.max(s);
+        }
+    }
+    sum.fill(0.0);
+    for row in st[..ru * nq].chunks_exact_mut(nq) {
+        for ((s, &m), acc) in row.iter_mut().zip(mx.iter()).zip(sum.iter_mut()) {
+            *s = (*s - m).exp();
+            *acc += *s;
+        }
+    }
+    // The pad row becomes e_pad, counted once per tail position.
+    for (s, &m) in st[ru * nq..(ru + 1) * nq].iter_mut().zip(mx.iter()) {
+        *s = (*s - m).exp();
+    }
+    for _ in ru..l {
+        for (acc, &e) in sum.iter_mut().zip(&st[ru * nq..(ru + 1) * nq]) {
+            *acc += e;
+        }
+    }
+    for (m, &acc) in mx.iter_mut().zip(sum.iter()) {
+        *m = 1.0 / acc; // reuse mx as the reciprocal-sum lane buffer
+    }
+    for row in st[..(ru + 1) * nq].chunks_exact_mut(nq) {
+        for (s, &inv) in row.iter_mut().zip(mx.iter()) {
+            *s *= inv;
+        }
     }
 }
 
@@ -318,6 +584,28 @@ impl ResidualBlock {
         let s = f.g.add(x, h);
         f.g.relu(s)
     }
+
+    /// Fused tape-free inference, transforming `rows` rows of `x` in
+    /// place; bit-identical to [`ResidualBlock::forward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows * dim`.
+    pub fn infer_rows(&self, store: &ParamStore, arena: &mut Arena, x: &mut [f32], rows: usize) {
+        let dim = self.l1.in_dim();
+        assert_eq!(x.len(), rows * dim, "residual input length mismatch");
+        let mut h1 = arena.take(rows * dim);
+        let mut h2 = arena.take(rows * dim);
+        self.l1
+            .infer_rows(store, x, rows, &mut h1, Epilogue::BiasRelu);
+        self.l2
+            .infer_rows(store, &h1, rows, &mut h2, Epilogue::Bias);
+        for (xv, &hv) in x.iter_mut().zip(h2.iter()) {
+            *xv = (*xv + hv).max(0.0);
+        }
+        arena.give(h2);
+        arena.give(h1);
+    }
 }
 
 /// Layer normalization with learnable affine parameters.
@@ -343,6 +631,23 @@ impl LayerNorm {
         let gamma = f.param(self.gamma);
         let beta = f.param(self.beta);
         f.g.layer_norm(x, gamma, beta, self.eps)
+    }
+
+    /// Fused tape-free inference, normalizing each width-`dim` row of `x`
+    /// in place; bit-identical to [`LayerNorm::forward`] (both call
+    /// [`kernels::layer_norm_row`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` is not a multiple of the layer width.
+    pub fn infer_rows(&self, store: &ParamStore, x: &mut [f32]) {
+        let gamma = store.value(self.gamma);
+        let beta = store.value(self.beta);
+        let d = gamma.data().len();
+        assert_eq!(x.len() % d, 0, "layer_norm input length mismatch");
+        for row in x.chunks_exact_mut(d) {
+            kernels::layer_norm_row(row, gamma.data(), beta.data(), self.eps);
+        }
     }
 }
 
@@ -543,6 +848,120 @@ mod tests {
         assert!(zeros > 10 && zeros < 90, "mask should drop roughly half");
         // Kept units are scaled by 1/keep.
         assert!(data.iter().any(|&v| (v - 2.0).abs() < 1e-6));
+    }
+
+    fn assert_bits_eq(a: &[f32], b: &[f32], what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: bit mismatch at {i}");
+        }
+    }
+
+    #[test]
+    fn linear_infer_rows_matches_tape_bitwise() {
+        let (mut g, mut store, mut bind, mut rng) = ctx();
+        let lin = Linear::new(&mut store, &mut rng, "l", 6, 9);
+        let data: Vec<f32> = (0..5 * 6).map(|_| rng.gen::<f32>() - 0.5).collect();
+        let x = g.constant(Tensor::from_vec(data.clone(), &[5, 6]));
+        let (plain, relu) = {
+            let mut f = Fwd::new(&mut g, &store, &mut bind);
+            let y = lin.forward(&mut f, x);
+            let r = f.g.relu(y);
+            (y, r)
+        };
+        let mut out = vec![0.0f32; 5 * 9];
+        lin.infer_rows(&store, &data, 5, &mut out, Epilogue::Bias);
+        assert_bits_eq(&out, g.value(plain).data(), "linear bias");
+        lin.infer_rows(&store, &data, 5, &mut out, Epilogue::BiasRelu);
+        assert_bits_eq(&out, g.value(relu).data(), "linear bias+relu");
+    }
+
+    #[test]
+    fn residual_infer_rows_matches_tape_bitwise() {
+        let (mut g, mut store, mut bind, mut rng) = ctx();
+        let block = ResidualBlock::new(&mut store, &mut rng, "res", 8);
+        let data: Vec<f32> = (0..4 * 8).map(|_| rng.gen::<f32>() - 0.5).collect();
+        let x = g.constant(Tensor::from_vec(data.clone(), &[4, 8]));
+        let y = {
+            let mut f = Fwd::new(&mut g, &store, &mut bind);
+            block.forward(&mut f, x)
+        };
+        let mut buf = data;
+        let mut arena = Arena::new();
+        block.infer_rows(&store, &mut arena, &mut buf, 4);
+        assert_bits_eq(&buf, g.value(y).data(), "residual block");
+    }
+
+    #[test]
+    fn layer_norm_infer_rows_matches_tape_bitwise() {
+        let (mut g, mut store, mut bind, mut rng) = ctx();
+        let ln = LayerNorm::new(&mut store, "ln", 7);
+        let data: Vec<f32> = (0..3 * 7).map(|_| rng.gen::<f32>() * 2.0 - 1.0).collect();
+        let x = g.constant(Tensor::from_vec(data.clone(), &[3, 7]));
+        let y = {
+            let mut f = Fwd::new(&mut g, &store, &mut bind);
+            ln.forward(&mut f, x)
+        };
+        let mut buf = data;
+        ln.infer_rows(&store, &mut buf);
+        assert_bits_eq(&buf, g.value(y).data(), "layer norm");
+    }
+
+    #[test]
+    fn ragged_attention_matches_dense_forward_bitwise() {
+        let (mut g, mut store, mut bind, mut rng) = ctx();
+        let e = 8;
+        let heads = 2;
+        let l = 5;
+        let attn = MultiHeadSelfAttention::new(&mut store, &mut rng, "a", e, heads);
+        // Mix of tail lengths, including empty (all-pad) and full rows.
+        let rows_used = [3usize, 0, 5, 1];
+        let n = rows_used.len();
+        // Nonzero shared pad row, as produced by upsampling an all-zero
+        // feature row through biased linears.
+        let x_pad: Vec<f32> = (0..e).map(|_| rng.gen::<f32>() * 0.25).collect();
+        let mut dense = vec![0.0f32; n * l * e];
+        let mut compact = Vec::new();
+        for (i, &ru) in rows_used.iter().enumerate() {
+            for j in 0..l {
+                for d in 0..e {
+                    let val = if j < ru {
+                        let val = rng.gen::<f32>() - 0.5;
+                        compact.push(val);
+                        val
+                    } else {
+                        x_pad[d]
+                    };
+                    dense[(i * l + j) * e + d] = val;
+                }
+            }
+        }
+        let x = g.constant(Tensor::from_vec(dense, &[n, l, e]));
+        let y = {
+            let mut f = Fwd::new(&mut g, &store, &mut bind);
+            attn.forward(&mut f, x)
+        };
+        let yd = g.value(y).data().to_vec();
+
+        let ragged = Ragged::new(&rows_used, l);
+        let r = ragged.total_rows();
+        let mut out = vec![0.0f32; (r + n) * e];
+        let mut arena = Arena::new();
+        attn.infer_ragged(&store, &mut arena, &compact, &x_pad, &ragged, &mut out);
+
+        let mut base = 0usize;
+        for (i, &ru) in rows_used.iter().enumerate() {
+            for j in 0..l {
+                let dense_row = &yd[(i * l + j) * e..(i * l + j + 1) * e];
+                let fused_row = if j < ru {
+                    &out[(base + j) * e..(base + j + 1) * e]
+                } else {
+                    &out[(r + i) * e..(r + i + 1) * e]
+                };
+                assert_bits_eq(dense_row, fused_row, "attention row");
+            }
+            base += ru;
+        }
     }
 
     #[test]

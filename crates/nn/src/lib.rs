@@ -39,7 +39,9 @@
 #![warn(missing_docs)]
 
 pub mod graph;
+pub mod infer;
 pub mod init;
+pub mod kernels;
 pub mod layers;
 pub mod loss;
 pub mod optim;
@@ -48,6 +50,8 @@ pub mod tensor;
 pub mod workspace;
 
 pub use graph::{Graph, Var};
+pub use infer::{ragged_tail_sums, Ragged};
+pub use kernels::Epilogue;
 pub use layers::{
     Dropout, Embedding, Fwd, LayerNorm, Linear, Lstm, Mlp, MultiHeadSelfAttention, ResidualBlock,
 };
@@ -55,4 +59,4 @@ pub use loss::{lambda_rank, lambda_rank_loss, mse_loss};
 pub use optim::{Adam, LrSchedule, Optimizer, Sgd};
 pub use params::{Binding, GradBuffer, ParamId, ParamStore};
 pub use tensor::Tensor;
-pub use workspace::Workspace;
+pub use workspace::{Arena, Workspace};

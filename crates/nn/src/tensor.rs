@@ -4,10 +4,14 @@
 //! (see [`crate::graph`]). Tensors are always contiguous and row-major;
 //! shape-changing views (`reshape`) are free, axis permutations materialize.
 //!
-//! The kernels here are deliberately simple, cache-friendly loops: the models
-//! in this reproduction are small (hidden sizes 32–256, sequence length ≤ 54),
-//! so a blocked `ikj` matrix multiply auto-vectorizes well enough on one core.
+//! Matrix multiplies route through the register-blocked [`crate::kernels`]
+//! module, which carries the fixed accumulation-order contract: every
+//! output element is accumulated over the inner dimension in ascending
+//! order, so scores are bit-identical regardless of blocking or batch
+//! grouping. Common permutations (`[0,2,1,3]`, `[0,2,1]`, `[1,0]`) take
+//! strided copy fast paths instead of the generic per-element index walk.
 
+use crate::kernels;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -264,23 +268,8 @@ impl Tensor {
             seen[p] = true;
         }
         let out_shape: Vec<usize> = perm.iter().map(|&p| self.shape[p]).collect();
-        let in_strides = strides(&self.shape);
-        let out_strides = strides(&out_shape);
         let mut out = vec![0.0f32; self.data.len()];
-        // Walk the output linearly, computing the source index.
-        let mut idx = vec![0usize; rank];
-        for (flat_out, slot) in out.iter_mut().enumerate() {
-            let mut rem = flat_out;
-            for (a, &os) in out_strides.iter().enumerate() {
-                idx[a] = rem / os;
-                rem %= os;
-            }
-            let mut flat_in = 0;
-            for (a, &p) in perm.iter().enumerate() {
-                flat_in += idx[a] * in_strides[p];
-            }
-            *slot = self.data[flat_in];
-        }
+        permute_into(&self.data, &self.shape, perm, &mut out);
         Tensor {
             shape: out_shape,
             data: out,
@@ -299,7 +288,7 @@ impl Tensor {
         let (k2, n) = (rhs.shape[0], rhs.shape[1]);
         assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
         let mut out = vec![0.0f32; m * n];
-        matmul_kernel(&self.data, &rhs.data, &mut out, m, k, n);
+        kernels::gemm(&self.data, &rhs.data, &mut out, m, k, n);
         Tensor {
             shape: vec![m, n],
             data: out,
@@ -320,7 +309,7 @@ impl Tensor {
         assert_eq!(k, k2, "bmm inner dimension mismatch");
         let mut out = vec![0.0f32; b * m * n];
         for bi in 0..b {
-            matmul_kernel(
+            kernels::gemm(
                 &self.data[bi * m * k..(bi + 1) * m * k],
                 &rhs.data[bi * k * n..(bi + 1) * k * n],
                 &mut out[bi * m * n..(bi + 1) * m * n],
@@ -409,18 +398,68 @@ pub fn strides(shape: &[usize]) -> Vec<usize> {
     s
 }
 
-/// The `ikj` matmul kernel: `out[m,n] += a[m,k] × b[k,n]` (out must be zeroed).
-fn matmul_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let o = &mut out[i * n..(i + 1) * n];
-        for (l, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
+/// Materializes `src` (shape `shape`) permuted by `perm` into `out`.
+///
+/// Dispatches to strided-copy fast paths for the permutations the
+/// attention layers actually emit; anything else takes the generic
+/// odometer walk. All paths produce identical bytes — permutation is a
+/// pure data movement, so no accumulation-order concerns arise.
+pub(crate) fn permute_into(src: &[f32], shape: &[usize], perm: &[usize], out: &mut [f32]) {
+    match (shape, perm) {
+        // [a,b,c,d] -> [a,c,b,d]: swap the two middle axes, moving whole
+        // d-sized chunks (the attention head split/merge).
+        ([a, b, c, d], [0, 2, 1, 3]) => {
+            let (a, b, c, d) = (*a, *b, *c, *d);
+            for ia in 0..a {
+                for ib in 0..b {
+                    let src_row = &src[(ia * b + ib) * c * d..(ia * b + ib + 1) * c * d];
+                    for ic in 0..c {
+                        let dst = ((ia * c + ic) * b + ib) * d;
+                        out[dst..dst + d].copy_from_slice(&src_row[ic * d..(ic + 1) * d]);
+                    }
+                }
             }
-            let b_row = &b[l * n..(l + 1) * n];
-            for (oj, &bj) in o.iter_mut().zip(b_row) {
-                *oj += av * bj;
+        }
+        // [a,b,c] -> [a,c,b]: per-slice transpose (the key transpose in
+        // attention). Written column-major over the source so reads are
+        // sequential.
+        ([a, b, c], [0, 2, 1]) => {
+            let (a, b, c) = (*a, *b, *c);
+            for ia in 0..a {
+                let sbase = ia * b * c;
+                let obase = ia * c * b;
+                for ib in 0..b {
+                    for ic in 0..c {
+                        out[obase + ic * b + ib] = src[sbase + ib * c + ic];
+                    }
+                }
+            }
+        }
+        // [a,b] -> [b,a]: plain 2-D transpose.
+        ([a, b], [1, 0]) => {
+            let (a, b) = (*a, *b);
+            for ia in 0..a {
+                for ib in 0..b {
+                    out[ib * a + ia] = src[ia * b + ib];
+                }
+            }
+        }
+        _ => {
+            let out_shape: Vec<usize> = perm.iter().map(|&p| shape[p]).collect();
+            let in_strides = strides(shape);
+            let out_strides = strides(&out_shape);
+            let mut idx = vec![0usize; shape.len()];
+            for (flat_out, slot) in out.iter_mut().enumerate() {
+                let mut rem = flat_out;
+                for (a, &os) in out_strides.iter().enumerate() {
+                    idx[a] = rem / os;
+                    rem %= os;
+                }
+                let mut flat_in = 0;
+                for (a, &p) in perm.iter().enumerate() {
+                    flat_in += idx[a] * in_strides[p];
+                }
+                *slot = src[flat_in];
             }
         }
     }

@@ -1,0 +1,87 @@
+//! A fast non-cryptographic hasher for in-process lookups.
+//!
+//! Schedule fingerprints and vocabulary token lookups sit on the scoring
+//! hot path — a cold batch hashes every candidate's primitives for the
+//! score-cache probe and looks up every name parameter during feature
+//! extraction. Neither needs SipHash's DoS resistance (keys never cross a
+//! trust boundary), so both use this multiply-rotate word hasher instead.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `BuildHasher` plugging [`FxHasher`] into `HashMap`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// The rustc "Fx" recipe: fold each word in with a rotate, xor, and
+/// multiply by a large odd constant. Word at a time over byte slices, so
+/// hashing a string is a few multiplies instead of a SipHash round per
+/// 8 bytes.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().unwrap_or([0; 8]))); // length is 8 by construction
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            // Tag the zero-padded tail with its length (byte 7 is unused:
+            // the remainder is at most 7 bytes) so prefixes stay distinct.
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(tail) | ((rem.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_bytes(b: &[u8]) -> u64 {
+        let mut h = FxHasher::default();
+        h.write(b);
+        h.finish()
+    }
+
+    #[test]
+    fn distinguishes_lengths_and_content() {
+        assert_ne!(hash_bytes(b"parallel"), hash_bytes(b"paralle"));
+        assert_ne!(hash_bytes(b"a"), hash_bytes(b"b"));
+        assert_ne!(hash_bytes(b""), hash_bytes(b"\0"));
+        assert_eq!(hash_bytes(b"vectorize"), hash_bytes(b"vectorize"));
+    }
+}

@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::disallowed_methods)]
 
+pub mod hash;
 pub mod kind;
 pub mod parse;
 pub mod primitive;
@@ -43,7 +44,8 @@ pub mod vocab;
 pub use kind::PrimitiveKind;
 pub use parse::{parse_primitive, parse_schedule, ParsePrimitiveError};
 pub use primitive::{
-    preprocess, recover, AbstractPrimitive, ConcretePrimitive, Element, RecoverPrimitiveError,
+    preprocess, preprocess_elements, recover, AbstractPrimitive, ConcretePrimitive, Element,
+    ElementRef, RecoverPrimitiveError,
 };
 pub use sequence::ScheduleSequence;
 pub use vocab::{Vocabulary, VocabularyBuilder};

@@ -125,27 +125,44 @@ impl AbstractPrimitive {
     }
 }
 
+/// A borrowed view of one abstract-primitive element, for streaming
+/// consumers that must not allocate (see [`preprocess_elements`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ElementRef<'a> {
+    /// A numeric parameter (paper Fig. 4b, `F3`).
+    Num(f64),
+    /// A character parameter (paper Fig. 4b, `F2`).
+    Name(&'a str),
+}
+
+/// Streams a primitive's abstract elements in canonical order without
+/// allocating: stage, loop-var count, loop vars, int count, ints, extras —
+/// element-for-element identical to [`preprocess`]'s `elements`. The scoring
+/// hot path uses this to keep steady-state feature extraction heap-free.
+pub fn preprocess_elements(p: &ConcretePrimitive) -> impl Iterator<Item = ElementRef<'_>> {
+    use std::iter::once;
+    // Loop-var count is recorded so recovery knows where vars end and extras
+    // begin (both are name parameters).
+    once(ElementRef::Name(p.stage.as_str()))
+        .chain(once(ElementRef::Num(p.loop_vars.len() as f64)))
+        .chain(p.loop_vars.iter().map(|v| ElementRef::Name(v)))
+        .chain(once(ElementRef::Num(p.ints.len() as f64)))
+        .chain(p.ints.iter().map(|&n| ElementRef::Num(n as f64)))
+        .chain(p.extras.iter().map(|e| ElementRef::Name(e)))
+}
+
 /// Preprocesses a concrete primitive into its abstract three-element form.
 ///
 /// Only the primitive type, numeric parameters, and character parameters are
 /// retained; everything else (syntax, separators) is already absent from the
 /// structured representation.
 pub fn preprocess(p: &ConcretePrimitive) -> AbstractPrimitive {
-    let mut elements = Vec::with_capacity(1 + p.loop_vars.len() + p.ints.len() + p.extras.len());
-    elements.push(Element::Name(p.stage.clone()));
-    // Loop-var count is recorded so recovery knows where vars end and extras
-    // begin (both are name parameters).
-    elements.push(Element::Num(p.loop_vars.len() as f64));
-    for v in &p.loop_vars {
-        elements.push(Element::Name(v.clone()));
-    }
-    elements.push(Element::Num(p.ints.len() as f64));
-    for &n in &p.ints {
-        elements.push(Element::Num(n as f64));
-    }
-    for e in &p.extras {
-        elements.push(Element::Name(e.clone()));
-    }
+    let elements = preprocess_elements(p)
+        .map(|e| match e {
+            ElementRef::Num(n) => Element::Num(n),
+            ElementRef::Name(s) => Element::Name(s.to_owned()),
+        })
+        .collect();
     AbstractPrimitive {
         kind: p.kind,
         elements,

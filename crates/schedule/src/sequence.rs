@@ -67,8 +67,13 @@ impl ScheduleSequence {
     /// same schedule scored under different tasks or model versions never
     /// collides; salting the hasher directly avoids a second hashing pass
     /// over the primitives.
+    ///
+    /// Uses a multiply-rotate word hasher rather than the standard library's
+    /// SipHash: fingerprints key in-process caches and seed deterministic
+    /// noise, so DoS resistance buys nothing, while the cold scoring path
+    /// fingerprints every candidate in a batch and wants the probe cheap.
     pub fn salted_fingerprint(&self, salt: u64) -> u64 {
-        let mut h = std::collections::hash_map::DefaultHasher::new();
+        let mut h = crate::hash::FxHasher::default();
         salt.hash(&mut h);
         for p in &self.primitives {
             p.kind.index().hash(&mut h);

@@ -4,7 +4,8 @@
 //! words" (paper Fig. 4b, `F2`). The vocabulary is built from a corpus of
 //! schedule sequences; unseen names map to a reserved unknown token.
 
-use serde::{Deserialize, Serialize};
+use crate::hash::FxBuildHasher;
+use serde::{Deserialize, Error, Serialize, Value};
 use std::collections::HashMap;
 
 /// Token id type.
@@ -27,9 +28,38 @@ pub const UNKNOWN_TOKEN: Token = 0;
 /// assert_ne!(v.token("parallel"), v.token("vectorize"));
 /// assert_eq!(v.token("never-seen"), tlp_schedule::vocab::UNKNOWN_TOKEN);
 /// ```
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Vocabulary {
-    map: HashMap<String, Token>,
+    // Fx-hashed: `token` is called once per name parameter on the feature
+    // extraction hot path.
+    map: HashMap<String, Token, FxBuildHasher>,
+}
+
+// Serialized as a plain name→token map (the hasher is an in-memory detail
+// the wire format should not depend on), wrapped in the same single-field
+// struct shape the derive used to produce.
+impl Serialize for Vocabulary {
+    fn serialize_value(&self) -> Value {
+        let plain: HashMap<String, Token> = self.map.iter().map(|(k, &v)| (k.clone(), v)).collect();
+        Value::Map(vec![("map".to_string(), plain.serialize_value())])
+    }
+}
+
+impl<'de> Deserialize<'de> for Vocabulary {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        let Value::Map(pairs) = v else {
+            return Err(Error::msg("expected object for Vocabulary"));
+        };
+        let inner = pairs
+            .iter()
+            .find(|(k, _)| k == "map")
+            .map(|(_, v)| v)
+            .ok_or_else(|| Error::msg("Vocabulary missing field `map`"))?;
+        let plain = HashMap::<String, Token>::deserialize_value(inner)?;
+        Ok(Vocabulary {
+            map: plain.into_iter().collect(),
+        })
+    }
 }
 
 impl Vocabulary {

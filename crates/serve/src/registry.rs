@@ -47,16 +47,17 @@ impl ScheduleScorer for LoadedScorer {
         TLP_PIPELINE_COST
     }
 
-    fn score_micro_batch(
+    fn score_micro_batch_into(
         &self,
         scratch: &mut FeatureScratch,
         task: &SearchTask,
         schedules: &[ScheduleSequence],
         idx: &[usize],
-    ) -> Vec<Option<f32>> {
+        out: &mut Vec<Option<f32>>,
+    ) {
         match self {
-            LoadedScorer::Tlp(s) => s.score_micro_batch(scratch, task, schedules, idx),
-            LoadedScorer::Mtl(s) => s.score_micro_batch(scratch, task, schedules, idx),
+            LoadedScorer::Tlp(s) => s.score_micro_batch_into(scratch, task, schedules, idx, out),
+            LoadedScorer::Mtl(s) => s.score_micro_batch_into(scratch, task, schedules, idx, out),
         }
     }
 }
@@ -95,6 +96,17 @@ impl ModelVersion {
         schedules: &[ScheduleSequence],
     ) -> (Vec<Option<f32>>, BatchStats) {
         self.engine.score(&self.scorer, task, schedules)
+    }
+
+    /// Like [`ModelVersion::score`] but writing into a caller-owned buffer,
+    /// so the serving batcher can reuse one output vector across batches.
+    pub fn score_into(
+        &self,
+        task: &SearchTask,
+        schedules: &[ScheduleSequence],
+        out: &mut Vec<Option<f32>>,
+    ) -> BatchStats {
+        self.engine.score_into(&self.scorer, task, schedules, out)
     }
 }
 

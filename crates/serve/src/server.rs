@@ -412,7 +412,17 @@ impl Group {
     }
 }
 
+/// Per-batcher-thread scratch reused across executed batches: the gathered
+/// schedule slice for multi-job groups and the engine output buffer. Both
+/// warm up once and then serve every subsequent batch without reallocating.
+#[derive(Default)]
+struct ExecScratch {
+    all: Vec<ScheduleSequence>,
+    scores: Vec<Option<f32>>,
+}
+
 fn batcher_loop(shared: &Shared, policy: BatchPolicy) {
+    let mut scratch = ExecScratch::default();
     loop {
         let mut st = shared.lock_state();
         // Sleep until there is work (or we are told to exit).
@@ -450,11 +460,11 @@ fn batcher_loop(shared: &Shared, policy: BatchPolicy) {
             }
         }
         drop(st);
-        execute(shared, group);
+        execute(shared, group, &mut scratch);
     }
 }
 
-fn execute(shared: &Shared, group: Group) {
+fn execute(shared: &Shared, group: Group, scratch: &mut ExecScratch) {
     let model = match shared.registry.resolve(&group.model) {
         Some(m) => m,
         None => {
@@ -481,11 +491,24 @@ fn execute(shared: &Shared, group: Group) {
     if live.is_empty() {
         return;
     }
-    let all: Vec<ScheduleSequence> = live
-        .iter()
-        .flat_map(|j| j.schedules.iter().cloned())
-        .collect();
-    let (scores, stats) = model.score(&live[0].task, &all);
+    // Single-job groups (the common case under light load) score their
+    // schedules in place; only multi-job groups gather into the reused
+    // scratch slice. Either way the engine writes into the pooled output
+    // buffer — no per-batch score vector.
+    let n_candidates;
+    let stats;
+    if live.len() == 1 {
+        n_candidates = live[0].schedules.len();
+        stats = model.score_into(&live[0].task, &live[0].schedules, &mut scratch.scores);
+    } else {
+        scratch.all.clear();
+        scratch
+            .all
+            .extend(live.iter().flat_map(|j| j.schedules.iter().cloned()));
+        n_candidates = scratch.all.len();
+        stats = model.score_into(&live[0].task, &scratch.all, &mut scratch.scores);
+    }
+    let scores = &scratch.scores;
     let done = Instant::now();
     let batch_jobs = live.len();
     shared.stats.batches.fetch_add(1, Ordering::Relaxed);
@@ -496,7 +519,7 @@ fn execute(shared: &Shared, group: Group) {
     shared
         .stats
         .candidates
-        .fetch_add(all.len() as u64, Ordering::Relaxed);
+        .fetch_add(n_candidates as u64, Ordering::Relaxed);
     let mut offset = 0;
     for job in live {
         let n = job.schedules.len();

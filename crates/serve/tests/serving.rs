@@ -354,7 +354,7 @@ fn remote_cost_model_matches_local_scorer_and_tunes() {
     );
     let want = local.predict(ScoreRequest::new(&t, &pool));
     let got = remote.predict(ScoreRequest::new(&t, &pool));
-    assert_eq!(want.scores, got.scores);
+    assert!(want.scores().eq(got.scores()));
     assert_eq!(want.valid, got.valid);
     assert_eq!(remote.name(), "serve:m");
     assert_eq!(remote.errors(), 0);

@@ -177,7 +177,7 @@ fn breaker_trips_under_server_faults_and_recovers_when_healthy() {
 
     // Healthy: real scores, breaker closed.
     let healthy = remote.predict(ScoreRequest::new(&t, &cands));
-    assert_eq!(healthy.scores.len(), cands.len());
+    assert_eq!(healthy.len(), cands.len());
     assert!(healthy.valid.iter().all(|&v| v));
     assert_eq!(remote.breaker_state(), BreakerState::Closed);
 
@@ -185,7 +185,7 @@ fn breaker_trips_under_server_faults_and_recovers_when_healthy() {
     remote.transport().set_fail_rate(1.0);
     for _ in 0..3 {
         let b = remote.predict(ScoreRequest::new(&t, &cands));
-        assert_eq!(b.scores.len(), cands.len(), "failure still yields a batch");
+        assert_eq!(b.len(), cands.len(), "failure still yields a batch");
     }
     assert_eq!(remote.breaker_state(), BreakerState::Open);
 

@@ -11,6 +11,12 @@ use tlp_dataset::{generate_dataset_for, DatasetConfig};
 use tlp_hwsim::Platform;
 use tlp_workload::{bert_tiny, mobilenet_v2, AnchorOp, Subgraph};
 
+fn extract_one(ex: &FeatureExtractor, seq: &tlp_schedule::ScheduleSequence) -> Vec<f32> {
+    let mut buf = tlp::features::FeatureBuf::new();
+    ex.extract_batch_into(std::slice::from_ref(seq), &mut buf);
+    buf.data().to_vec()
+}
+
 fn dataset() -> tlp_dataset::Dataset {
     generate_dataset_for(
         &[bert_tiny(1, 64), mobilenet_v2(1, 96)],
@@ -47,7 +53,7 @@ fn distinct_schedules_get_distinct_features() {
     for task in &ds.tasks {
         for r in &task.programs {
             total += 1;
-            let f = ex.extract(&r.schedule);
+            let f = extract_one(&ex, &r.schedule);
             let key: Vec<u32> = f.iter().map(|x| x.to_bits()).collect();
             feature_sets.insert(key);
         }
@@ -97,7 +103,7 @@ fn features_separate_good_from_bad_schedules_linearly_somewhat() {
     for c in &cands {
         let spec = tlp_hwsim::lower(&sg, &c.sequence).unwrap();
         let lat = sim.latency(&platform, &sg, &spec, c.sequence.fingerprint());
-        samples.push((ex.extract(&c.sequence), lat));
+        samples.push((extract_one(&ex, &c.sequence), lat));
     }
     samples.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
     let n = samples.len();

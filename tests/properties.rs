@@ -53,7 +53,9 @@ proptest! {
     #[test]
     fn features_fixed_shape_and_finite(seq in arb_sequence(), seq_len in 1usize..40, emb in 15usize..40) {
         let ex = FeatureExtractor::with_vocab(Vocabulary::builder().build(), seq_len, emb);
-        let f = ex.extract(&seq);
+        let mut buf = tlp::features::FeatureBuf::new();
+        ex.extract_batch_into(std::slice::from_ref(&seq), &mut buf);
+        let f = buf.data().to_vec();
         prop_assert_eq!(f.len(), seq_len * emb);
         prop_assert!(f.iter().all(|x| x.is_finite()));
         // One-hot block: at most one bit per occupied row, zero for padding.
