@@ -1,0 +1,406 @@
+//! Draft-then-verify speculative scoring (Pruner-style, arXiv 2402.02361).
+//!
+//! The full cost model is the per-candidate bottleneck of every search
+//! round: evolution scores `population × (generations + 1)` candidates with
+//! the transformer even though most are nowhere near the top-k. This module
+//! provides the near-free **draft** side of a two-stage pipeline:
+//!
+//! 1. a [`DraftScorer`] — a ~1K-parameter linear head
+//!    ([`tlp_nn::TinyHead`]) over cheap per-candidate features — ranks the
+//!    whole pool;
+//! 2. only the top [`SpecConfig::draft_keep`] fraction is *verified* by the
+//!    full [`CostModel`](crate::cost_model::CostModel); the rest inherit
+//!    their draft ranks.
+//!
+//! The head is distilled online: every batch the full model does score
+//! becomes a regression target, so the draft tracks the live model with no
+//! offline training. Feature extraction is pluggable through
+//! [`DraftFeatures`]; the built-in [`ScheduleStatFeatures`] reads summary
+//! statistics straight off the schedule primitives, and the `tlp` crate
+//! plugs the real TLP feature extractor in for higher-fidelity drafts.
+//!
+//! Everything here is RNG-free and deterministic: drafting never touches
+//! the search RNG stream, which is what lets the speculation-off path stay
+//! bit-identical to a non-speculative search.
+
+use crate::sketch::Candidate;
+use crate::task::SearchTask;
+use serde::{Deserialize, Serialize};
+use tlp_nn::TinyHead;
+use tlp_schedule::PrimitiveKind;
+
+/// Speculative-search knobs, gated under
+/// [`EvolutionConfig::speculative`](crate::evolutionary::EvolutionConfig::speculative).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SpecConfig {
+    /// Master switch. Off (the default) reproduces the non-speculative
+    /// search bit-for-bit; so does `draft_keep >= 1.0` with the switch on.
+    pub enabled: bool,
+    /// Fraction of each scored pool the full model verifies during
+    /// generation rankings (clamped to at least one candidate); the final
+    /// ranking verifies twice this fraction (see
+    /// [`SpecConfig::final_keep_of`]). The remaining candidates inherit
+    /// their draft ranks below every verified candidate.
+    pub draft_keep: f64,
+    /// Full-model batches the draft head must absorb *for the task being
+    /// searched* before speculation starts. Until then every generation is
+    /// fully scored (and distilled), so a fresh per-task head never ranks a
+    /// pool it knows nothing about. The counts live in the [`DraftScorer`],
+    /// so warm-up amortizes across search rounds that share one scorer.
+    pub warmup_full_generations: u32,
+}
+
+impl SpecConfig {
+    /// Speculation disabled (the non-speculative search, bit-identical).
+    pub const OFF: SpecConfig = SpecConfig {
+        enabled: false,
+        draft_keep: 0.25,
+        warmup_full_generations: 2,
+    };
+
+    /// Speculation enabled with the given keep fraction and default warm-up.
+    pub fn keeping(draft_keep: f64) -> Self {
+        SpecConfig {
+            enabled: true,
+            draft_keep,
+            ..SpecConfig::OFF
+        }
+    }
+
+    /// The number of candidates the full model verifies out of a pool of
+    /// `n` (at least 1, at most `n`) during generation rankings.
+    pub fn keep_of(&self, n: usize) -> usize {
+        Self::fraction_of(self.draft_keep, n)
+    }
+
+    /// The verification budget of the *final* ranking: twice the generation
+    /// fraction (capped at the whole pool). The final ranking selects what
+    /// gets measured on hardware, so a draft miss there wastes real trials
+    /// instead of one evolution step — it earns a thicker verified slice.
+    pub fn final_keep_of(&self, n: usize) -> usize {
+        Self::fraction_of((self.draft_keep * 2.0).min(1.0), n)
+    }
+
+    fn fraction_of(fraction: f64, n: usize) -> usize {
+        ((fraction * n as f64).ceil() as usize).clamp(1, n.max(1))
+    }
+}
+
+impl Default for SpecConfig {
+    fn default() -> Self {
+        SpecConfig::OFF
+    }
+}
+
+/// Cheap per-candidate feature extraction for the draft head.
+///
+/// Implementations must be deterministic and RNG-free; `extract_into`
+/// appends one `dim()`-wide row per selected candidate, in `idx` order.
+pub trait DraftFeatures: Send {
+    /// Feature width of one candidate row.
+    fn dim(&self) -> usize;
+
+    /// Appends features for `pop[idx[0]], pop[idx[1]], …` to `out`
+    /// (row-major, `idx.len() × dim()` values).
+    fn extract_into(
+        &mut self,
+        task: &SearchTask,
+        pop: &[Candidate],
+        idx: &[usize],
+        out: &mut Vec<f32>,
+    );
+
+    /// Human-readable feature-set name for reports.
+    fn name(&self) -> &str;
+}
+
+/// Built-in draft features: summary statistics read straight off the
+/// schedule primitives — per-kind step counts plus log-scaled numeric
+/// aggregates. No lowering, no vocabulary, no allocation beyond the output
+/// row; roughly the analytic end of the draft-feature spectrum.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScheduleStatFeatures;
+
+/// Extra aggregate slots appended after the per-kind counts.
+const STAT_EXTRAS: usize = 4;
+
+impl DraftFeatures for ScheduleStatFeatures {
+    fn dim(&self) -> usize {
+        PrimitiveKind::ALL.len() + STAT_EXTRAS
+    }
+
+    fn extract_into(
+        &mut self,
+        _task: &SearchTask,
+        pop: &[Candidate],
+        idx: &[usize],
+        out: &mut Vec<f32>,
+    ) {
+        let kinds = PrimitiveKind::ALL.len();
+        for &i in idx {
+            let seq = &pop[i].sequence;
+            let base = out.len();
+            out.resize(base + kinds + STAT_EXTRAS, 0.0);
+            let row = &mut out[base..];
+            let mut int_log_sum = 0.0f32;
+            let mut int_log_max = 0.0f32;
+            let mut loops = 0usize;
+            for p in seq.iter() {
+                row[p.kind.index()] += 1.0;
+                loops += p.loop_vars.len();
+                for &v in &p.ints {
+                    let l = (1.0 + v.max(0) as f32).ln();
+                    int_log_sum += l;
+                    int_log_max = int_log_max.max(l);
+                }
+            }
+            // Same ln(1+x) squashing the TLP extractor uses, so counts and
+            // sums stay in comparable ranges for the linear head.
+            for c in row[..kinds].iter_mut() {
+                *c = (1.0 + *c).ln();
+            }
+            row[kinds] = (1.0 + seq.len() as f32).ln();
+            row[kinds + 1] = (1.0 + loops as f32).ln();
+            row[kinds + 2] = int_log_sum;
+            row[kinds + 3] = int_log_max;
+        }
+    }
+
+    fn name(&self) -> &str {
+        "schedule-stats"
+    }
+}
+
+/// Base learning rate of the online distillation step (decayed per batch
+/// inside [`TinyHead::distill`]).
+const DRAFT_BASE_LR: f32 = 0.2;
+
+/// The draft side of draft-then-verify: one [`TinyHead`] *per task* over a
+/// pluggable [`DraftFeatures`] set, distilled online from full-model scores.
+///
+/// Heads are keyed by subgraph name and created zero-initialized on first
+/// contact with a task. Per-task heads matter: tasks have different feature
+/// geometry, and a single shared head distilled round-robin across tasks is
+/// dragged away from each task's ranking between its visits. The map is a
+/// `BTreeMap`, so iteration (and hence [`DraftScorer::updates`]) is
+/// deterministic.
+///
+/// One scorer is meant to live across all rounds of a tuning run so the
+/// warm-up and the distilled weights amortize; the searcher borrows it per
+/// round via
+/// [`Searcher::with_draft`](crate::evolutionary::Searcher::with_draft).
+pub struct DraftScorer {
+    heads: std::collections::BTreeMap<String, TinyHead>,
+    dim: usize,
+    features: Box<dyn DraftFeatures>,
+    feat_scratch: Vec<f32>,
+    idx_scratch: Vec<usize>,
+    target_scratch: Vec<f32>,
+}
+
+impl std::fmt::Debug for DraftScorer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DraftScorer")
+            .field("features", &self.features.name())
+            .field("params_per_task", &(self.dim + 1))
+            .field("tasks", &self.heads.len())
+            .field("updates", &self.updates())
+            .finish()
+    }
+}
+
+impl DraftScorer {
+    /// A zero-initialized scorer over the given feature set.
+    pub fn new(features: Box<dyn DraftFeatures>) -> Self {
+        DraftScorer {
+            heads: std::collections::BTreeMap::new(),
+            dim: features.dim(),
+            features,
+            feat_scratch: Vec::new(),
+            idx_scratch: Vec::new(),
+            target_scratch: Vec::new(),
+        }
+    }
+
+    /// A scorer over the built-in [`ScheduleStatFeatures`].
+    pub fn with_stat_features() -> Self {
+        DraftScorer::new(Box::new(ScheduleStatFeatures))
+    }
+
+    /// Trainable parameter count of one per-task head.
+    pub fn param_count(&self) -> usize {
+        self.dim + 1
+    }
+
+    /// Full-model batches distilled so far, summed over all per-task heads.
+    pub fn updates(&self) -> u64 {
+        self.heads.values().map(TinyHead::updates).sum()
+    }
+
+    /// Feature-set name, for reports.
+    pub fn feature_name(&self) -> &str {
+        self.features.name()
+    }
+
+    /// Whether the head for `task` has absorbed enough full-model batches
+    /// to rank a pool on its own.
+    pub fn warmed_up(&self, task: &SearchTask, warmup_full_generations: u32) -> bool {
+        self.heads
+            .get(&task.subgraph.name)
+            .map_or(warmup_full_generations == 0, |h| {
+                h.updates() >= warmup_full_generations as u64
+            })
+    }
+
+    /// Draft-scores the whole population with the task's head, appending one
+    /// score per candidate to `out` (in population order). Deterministic and
+    /// RNG-free.
+    pub fn score_into(&mut self, task: &SearchTask, pop: &[Candidate], out: &mut Vec<f32>) {
+        self.idx_scratch.clear();
+        self.idx_scratch.extend(0..pop.len());
+        self.feat_scratch.clear();
+        self.features
+            .extract_into(task, pop, &self.idx_scratch, &mut self.feat_scratch);
+        let feats = &self.feat_scratch;
+        let dim = self.dim;
+        self.heads
+            .entry(task.subgraph.name.clone())
+            .or_insert_with(|| TinyHead::new(dim))
+            .predict_into(feats, pop.len(), out);
+    }
+
+    /// Distills one full-model batch into the head: `scores[j]` is the full
+    /// model's score for `pop[idx[j]]`. Non-finite scores (unscoreable
+    /// candidates) are dropped from the regression batch.
+    pub fn distill(&mut self, task: &SearchTask, pop: &[Candidate], idx: &[usize], scores: &[f32]) {
+        debug_assert_eq!(idx.len(), scores.len(), "draft distill shape");
+        self.idx_scratch.clear();
+        self.target_scratch.clear();
+        for (&i, &s) in idx.iter().zip(scores) {
+            if s.is_finite() {
+                self.idx_scratch.push(i);
+                self.target_scratch.push(s);
+            }
+        }
+        if self.idx_scratch.is_empty() {
+            return;
+        }
+        self.feat_scratch.clear();
+        self.features
+            .extract_into(task, pop, &self.idx_scratch, &mut self.feat_scratch);
+        let dim = self.dim;
+        self.heads
+            .entry(task.subgraph.name.clone())
+            .or_insert_with(|| TinyHead::new(dim))
+            .distill(
+                &self.feat_scratch,
+                &self.target_scratch,
+                self.idx_scratch.len(),
+                DRAFT_BASE_LR,
+            );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sketch::SketchPolicy;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use tlp_hwsim::Platform;
+    use tlp_workload::{AnchorOp, Subgraph};
+
+    fn task() -> SearchTask {
+        SearchTask::new(
+            Subgraph::new(
+                "d",
+                AnchorOp::Dense {
+                    m: 128,
+                    n: 128,
+                    k: 128,
+                },
+            ),
+            Platform::i7_10510u(),
+        )
+    }
+
+    fn pop(n: usize, seed: u64) -> Vec<Candidate> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let t = task();
+        (0..n)
+            .map(|_| Candidate::random(&SketchPolicy::cpu(), &t.subgraph, &mut rng))
+            .collect()
+    }
+
+    #[test]
+    fn keep_of_clamps_and_ceils() {
+        let s = SpecConfig::keeping(0.25);
+        assert_eq!(s.keep_of(16), 4);
+        assert_eq!(s.keep_of(17), 5);
+        assert_eq!(s.keep_of(1), 1);
+        assert_eq!(SpecConfig::keeping(0.0).keep_of(8), 1);
+        assert_eq!(SpecConfig::keeping(2.0).keep_of(8), 8);
+        // The final ranking doubles the verified fraction, capped at n.
+        assert_eq!(s.final_keep_of(16), 8);
+        assert_eq!(SpecConfig::keeping(0.6).final_keep_of(10), 10);
+        assert!(!SpecConfig::default().enabled);
+    }
+
+    #[test]
+    fn stat_features_are_deterministic_and_shaped() {
+        let t = task();
+        let p = pop(6, 3);
+        let mut f = ScheduleStatFeatures;
+        let idx: Vec<usize> = (0..p.len()).collect();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        f.extract_into(&t, &p, &idx, &mut a);
+        f.extract_into(&t, &p, &idx, &mut b);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), p.len() * f.dim());
+        assert!(a.iter().all(|x| x.is_finite()));
+        // Different schedules produce different rows.
+        let d = f.dim();
+        assert!((0..p.len() - 1).any(|i| a[i * d..(i + 1) * d] != a[(i + 1) * d..(i + 2) * d]));
+    }
+
+    #[test]
+    fn scorer_warms_up_after_distilled_batches() {
+        let t = task();
+        let p = pop(8, 5);
+        let idx: Vec<usize> = (0..p.len()).collect();
+        let scores: Vec<f32> = (0..p.len()).map(|i| i as f32).collect();
+        let mut d = DraftScorer::with_stat_features();
+        assert!(d.warmed_up(&t, 0));
+        assert!(!d.warmed_up(&t, 1));
+        d.distill(&t, &p, &idx, &scores);
+        assert!(d.warmed_up(&t, 1));
+        assert_eq!(d.updates(), 1);
+        // Warm-up is tracked per task: an unseen task starts cold.
+        let other = SearchTask::new(
+            Subgraph::new("other", AnchorOp::Dense { m: 8, n: 8, k: 8 }),
+            Platform::i7_10510u(),
+        );
+        assert!(!d.warmed_up(&other, 1));
+        let mut out = Vec::new();
+        d.score_into(&t, &p, &mut out);
+        assert_eq!(out.len(), p.len());
+        assert!(out.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn non_finite_targets_are_dropped_from_distillation() {
+        let t = task();
+        let p = pop(4, 7);
+        let mut d = DraftScorer::with_stat_features();
+        d.distill(&t, &p, &[0, 1, 2, 3], &[f32::NEG_INFINITY; 4]);
+        assert_eq!(d.updates(), 0, "all-invalid batch must be a no-op");
+        d.distill(
+            &t,
+            &p,
+            &[0, 1, 2, 3],
+            &[1.0, f32::NEG_INFINITY, 2.0, f32::NAN],
+        );
+        assert_eq!(d.updates(), 1);
+    }
+}

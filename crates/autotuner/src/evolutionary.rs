@@ -4,8 +4,19 @@
 //! generations with tile mutations and crossover; the cost model prunes the
 //! population each generation; finally the top-k candidates are returned for
 //! hardware measurement (ε-greedy: a fraction is random to keep exploring).
+//!
+//! The search entry point is the [`Searcher`]: build it from a task, sketch
+//! policy, cost model and [`EvolutionConfig`], optionally attach a
+//! [`DraftScorer`] for draft-then-verify speculative scoring, and
+//! [`run`](Searcher::run) it for a [`SearchOutcome`]. With speculation
+//! active, the near-free draft head ranks every pool and only the top
+//! [`SpecConfig::draft_keep`] slice is verified by the full model; the rest
+//! inherit their draft ranks. Speculation is RNG-neutral — it never touches
+//! the search RNG stream — so disabling it (or setting `draft_keep >= 1.0`)
+//! reproduces the non-speculative search bit-for-bit.
 
 use crate::cost_model::{CostModel, ScoreRequest};
+use crate::draft::{DraftScorer, SpecConfig};
 use crate::sketch::{Candidate, SketchPolicy};
 use crate::task::SearchTask;
 use rand::rngs::SmallRng;
@@ -13,7 +24,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// Evolutionary-search knobs.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct EvolutionConfig {
     /// Population size per generation.
     pub population: usize,
@@ -30,6 +41,10 @@ pub struct EvolutionConfig {
     /// analyzer pass instead of a cost-model forward pass plus a guaranteed
     /// lowering rejection at measurement time.
     pub static_prune: bool,
+    /// Draft-then-verify speculative scoring (off by default). Requires a
+    /// [`DraftScorer`] attached via [`Searcher::with_draft`] to take
+    /// effect.
+    pub speculative: SpecConfig,
 }
 
 impl Default for EvolutionConfig {
@@ -40,12 +55,12 @@ impl Default for EvolutionConfig {
             mutation_rate: 0.85,
             epsilon: 0.1,
             static_prune: true,
+            speculative: SpecConfig::OFF,
         }
     }
 }
 
-/// Candidate-generation accounting for one [`evolutionary_search_with_stats`]
-/// run.
+/// Candidate-generation and scoring accounting for one [`Searcher::run`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SearchStats {
     /// Candidates generated (initial population + offspring + ε-greedy
@@ -53,6 +68,19 @@ pub struct SearchStats {
     pub generated: u64,
     /// Candidates rejected by the static verifier before scoring.
     pub pruned: u64,
+    /// Candidates scored by the full cost model (forward passes through the
+    /// expensive path), in all modes.
+    pub full_scored: u64,
+    /// Candidates ranked by the draft head instead of the full model
+    /// (draft-only: the verified slice counts under `full_scored`).
+    pub draft_scored: u64,
+    /// Across speculative rankings, how many of the full model's top-m
+    /// verified candidates the draft had also ranked in its own top-m
+    /// (m = the slice that matters downstream: elite size or final k).
+    pub draft_accepted: u64,
+    /// Total top-m slots checked for `draft_accepted` — the denominator of
+    /// [`SearchStats::draft_acceptance`].
+    pub draft_checked: u64,
 }
 
 impl SearchStats {
@@ -65,6 +93,38 @@ impl SearchStats {
             self.pruned as f64 / self.generated as f64
         }
     }
+
+    /// The draft-acceptance rate: of the top-m slots that mattered after
+    /// each speculative ranking, the fraction where draft and full model
+    /// agreed (0 when speculation never ran).
+    pub fn draft_acceptance(&self) -> f64 {
+        if self.draft_checked == 0 {
+            0.0
+        } else {
+            self.draft_accepted as f64 / self.draft_checked as f64
+        }
+    }
+
+    /// Accumulates another run's accounting into this one.
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.generated += other.generated;
+        self.pruned += other.pruned;
+        self.full_scored += other.full_scored;
+        self.draft_scored += other.draft_scored;
+        self.draft_accepted += other.draft_accepted;
+        self.draft_checked += other.draft_checked;
+    }
+}
+
+/// What one [`Searcher::run`] produced: the top-k candidates ranked
+/// best-first, plus generation/scoring accounting.
+#[derive(Clone, Debug)]
+pub struct SearchOutcome {
+    /// The returned candidates, best-first by the cost model (with the
+    /// ε-greedy tail replaced by random exploration).
+    pub candidates: Vec<Candidate>,
+    /// Candidate-generation and scoring accounting.
+    pub stats: SearchStats,
 }
 
 /// How many times a single population slot is regenerated before the gate
@@ -73,89 +133,305 @@ impl SearchStats {
 /// invalid schedules.
 const MAX_PRUNE_RETRIES: usize = 8;
 
-/// Runs evolutionary search, returning `k` candidates ranked best-first by
-/// the cost model.
-pub fn evolutionary_search(
-    task: &SearchTask,
-    policy: &SketchPolicy,
-    model: &dyn CostModel,
-    config: &EvolutionConfig,
-    k: usize,
-    rng: &mut SmallRng,
-) -> Vec<Candidate> {
-    evolutionary_search_with_stats(task, policy, model, config, k, rng).0
+/// One evolutionary-search run: task + policy + cost model + config,
+/// optionally carrying a draft scorer for speculative ranking.
+///
+/// ```
+/// use rand::SeedableRng;
+/// use tlp_autotuner::{EvolutionConfig, RandomModel, Searcher, SearchTask, SketchPolicy};
+/// use tlp_hwsim::Platform;
+/// use tlp_workload::{AnchorOp, Subgraph};
+///
+/// let task = SearchTask::new(
+///     Subgraph::new("d", AnchorOp::Dense { m: 64, n: 64, k: 64 }),
+///     Platform::i7_10510u(),
+/// );
+/// let config = EvolutionConfig { population: 16, generations: 1, ..Default::default() };
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+/// let outcome = Searcher::new(&task, &SketchPolicy::cpu(), &RandomModel::new(1), &config)
+///     .run(4, &mut rng);
+/// assert_eq!(outcome.candidates.len(), 4);
+/// ```
+pub struct Searcher<'a> {
+    task: &'a SearchTask,
+    policy: &'a SketchPolicy,
+    model: &'a dyn CostModel,
+    config: &'a EvolutionConfig,
+    draft: Option<&'a mut DraftScorer>,
 }
 
-/// Like [`evolutionary_search`], also returning candidate-generation
-/// accounting (how many candidates were generated and how many the static
-/// verifier pruned before scoring).
-pub fn evolutionary_search_with_stats(
-    task: &SearchTask,
-    policy: &SketchPolicy,
-    model: &dyn CostModel,
-    config: &EvolutionConfig,
-    k: usize,
-    rng: &mut SmallRng,
-) -> (Vec<Candidate>, SearchStats) {
-    let gate = Gate::new(task, policy, config.static_prune);
-    let mut stats = SearchStats::default();
-
-    let mut population: Vec<Candidate> = (0..config.population)
-        .map(|_| {
-            gate.admit(&mut stats, rng, |rng| {
-                Candidate::random(policy, &task.subgraph, rng)
-            })
-        })
-        .collect();
-
-    for generation in 0..config.generations {
-        let scores = score(model, task, &population, generation as u32 + 1);
-        let ranked = rank_indices(&scores);
-        // Elite survivors seed the next generation.
-        let elite: Vec<Candidate> = ranked
-            .iter()
-            .take((config.population / 4).max(2))
-            .map(|&i| population[i].clone())
-            .collect();
-        let mut next = elite.clone();
-        while next.len() < config.population {
-            let offspring = gate.admit(&mut stats, rng, |rng| {
-                let d = if rng.gen_bool(config.mutation_rate) {
-                    let parent = &elite[rng.gen_range(0..elite.len())];
-                    let mut d = parent.decision.clone();
-                    policy.mutate(&task.subgraph, &mut d, rng);
-                    d
-                } else {
-                    let a = &elite[rng.gen_range(0..elite.len())];
-                    let b = &elite[rng.gen_range(0..elite.len())];
-                    policy.crossover(&a.decision, &b.decision, rng)
-                };
-                let sequence = policy.emit(&task.subgraph, &d);
-                Candidate {
-                    decision: d,
-                    sequence,
-                }
-            });
-            next.push(offspring);
+impl<'a> Searcher<'a> {
+    /// Builds a searcher; speculation stays inactive until a draft scorer
+    /// is attached.
+    pub fn new(
+        task: &'a SearchTask,
+        policy: &'a SketchPolicy,
+        model: &'a dyn CostModel,
+        config: &'a EvolutionConfig,
+    ) -> Self {
+        Searcher {
+            task,
+            policy,
+            model,
+            config,
+            draft: None,
         }
-        population = next;
     }
 
-    let scores = score(model, task, &population, config.generations as u32 + 1);
-    let ranked = rank_indices(&scores);
-    let mut picked: Vec<Candidate> = ranked
-        .into_iter()
-        .take(k)
-        .map(|i| population[i].clone())
-        .collect();
-    // ε-greedy exploration.
-    let n_random = ((k as f64) * config.epsilon).round() as usize;
-    for slot in picked.iter_mut().rev().take(n_random) {
-        *slot = gate.admit(&mut stats, rng, |rng| {
-            Candidate::random(policy, &task.subgraph, rng)
-        });
+    /// Attaches a draft scorer. The scorer outlives the searcher so its
+    /// distilled weights and warm-up progress carry across rounds; it only
+    /// changes ranking when [`EvolutionConfig::speculative`] is enabled.
+    pub fn with_draft(mut self, draft: &'a mut DraftScorer) -> Self {
+        self.draft = Some(draft);
+        self
     }
-    (picked, stats)
+
+    /// Runs the search, returning `k` candidates ranked best-first plus
+    /// accounting.
+    pub fn run(&mut self, k: usize, rng: &mut SmallRng) -> SearchOutcome {
+        let config = self.config;
+        let gate = Gate::new(self.task, self.policy, config.static_prune);
+        let mut stats = SearchStats::default();
+        let elite_target = (config.population / 4).max(2);
+
+        let mut population: Vec<Candidate> = (0..config.population)
+            .map(|_| {
+                gate.admit(&mut stats, rng, |rng| {
+                    Candidate::random(self.policy, &self.task.subgraph, rng)
+                })
+            })
+            .collect();
+
+        for generation in 0..config.generations {
+            let ranked = self.rank(
+                &population,
+                generation as u32 + 1,
+                elite_target,
+                false,
+                &mut stats,
+            );
+            // Elite survivors seed the next generation.
+            let elite: Vec<Candidate> = ranked
+                .iter()
+                .take(elite_target)
+                .map(|&i| population[i].clone())
+                .collect();
+            let mut next = elite.clone();
+            while next.len() < config.population {
+                let offspring = gate.admit(&mut stats, rng, |rng| {
+                    let d = if rng.gen_bool(config.mutation_rate) {
+                        let parent = &elite[rng.gen_range(0..elite.len())];
+                        let mut d = parent.decision.clone();
+                        self.policy.mutate(&self.task.subgraph, &mut d, rng);
+                        d
+                    } else {
+                        let a = &elite[rng.gen_range(0..elite.len())];
+                        let b = &elite[rng.gen_range(0..elite.len())];
+                        self.policy.crossover(&a.decision, &b.decision, rng)
+                    };
+                    let sequence = self.policy.emit(&self.task.subgraph, &d);
+                    Candidate {
+                        decision: d,
+                        sequence,
+                    }
+                });
+                next.push(offspring);
+            }
+            population = next;
+        }
+
+        let ranked = self.rank(
+            &population,
+            config.generations as u32 + 1,
+            k.max(1),
+            true,
+            &mut stats,
+        );
+        let mut picked: Vec<Candidate> = ranked
+            .into_iter()
+            .take(k)
+            .map(|i| population[i].clone())
+            .collect();
+        // ε-greedy exploration.
+        let n_random = ((k as f64) * config.epsilon).round() as usize;
+        for slot in picked.iter_mut().rev().take(n_random) {
+            *slot = gate.admit(&mut stats, rng, |rng| {
+                Candidate::random(self.policy, &self.task.subgraph, rng)
+            });
+        }
+        SearchOutcome {
+            candidates: picked,
+            stats,
+        }
+    }
+
+    /// Ranks the population best-first, speculatively when a warmed-up
+    /// draft is attached and the config asks for it. `m_target` is the size
+    /// of the slice downstream consumers act on (elite size during
+    /// evolution, `k` at the final ranking) — the scope of the
+    /// draft-acceptance check. The final ranking (`is_final`) verifies twice
+    /// the generation fraction: it decides what gets *measured*, where a
+    /// draft miss costs real hardware trials instead of one evolution step.
+    ///
+    /// Never consumes search RNG. With speculation off, or `draft_keep`
+    /// covering the whole pool, or the draft still warming up, this is
+    /// exactly the non-speculative score-everything path.
+    fn rank(
+        &mut self,
+        pop: &[Candidate],
+        generation: u32,
+        m_target: usize,
+        is_final: bool,
+        stats: &mut SearchStats,
+    ) -> Vec<usize> {
+        let spec = &self.config.speculative;
+        let keep = if is_final {
+            spec.final_keep_of(pop.len())
+        } else {
+            spec.keep_of(pop.len())
+        };
+        let speculate = spec.enabled
+            && keep < pop.len()
+            && self
+                .draft
+                .as_ref()
+                .is_some_and(|d| d.warmed_up(self.task, spec.warmup_full_generations));
+
+        if !speculate {
+            let scores = full_scores(self.model, self.task, pop, generation);
+            stats.full_scored += pop.len() as u64;
+            // Keep distilling even when the draft is not (yet) trusted:
+            // warm-up batches and full-coverage rounds are free training
+            // signal. Weight updates are invisible to ranking here, so the
+            // off / keep=1.0 paths stay bit-identical to no-draft runs.
+            if spec.enabled {
+                if let Some(d) = self.draft.as_deref_mut() {
+                    let idx: Vec<usize> = (0..pop.len()).collect();
+                    d.distill(self.task, pop, &idx, &scores);
+                }
+            }
+            return rank_indices(&scores);
+        }
+
+        let draft = self
+            .draft
+            .as_deref_mut()
+            .expect("speculate implies a draft scorer");
+
+        // 1. Draft: rank the whole pool with the tiny head.
+        let mut draft_scores = Vec::with_capacity(pop.len());
+        draft.score_into(self.task, pop, &mut draft_scores);
+        stats.draft_scored += (pop.len() - keep) as u64;
+        let draft_order = rank_indices(&draft_scores);
+
+        // 2. Verify: the verification budget is split between the draft's
+        // top slice and a stratified sample of the rest — a quarter of the
+        // budget spent on evenly spaced draft ranks. Without it the head is
+        // only ever distilled on its own top picks, its calibration on the
+        // rest of the pool collapses, and a winner the head mis-ranks can
+        // never recover. Sampling is index-arithmetic only (RNG-free). The
+        // slice goes to the model in ascending candidate order, so engine
+        // batching sees a stable stream.
+        let explore = (keep / 4).min(pop.len() - keep);
+        let top = keep - explore;
+        // After the first evolution step the leading population slots are
+        // the previous generation's elites, cloned in that ranking's
+        // best-first order — and its prefix was *full-model* verified.
+        // Anchoring the verified slice on the best of them costs nothing
+        // extra and guarantees a draft miss on a known-good candidate can
+        // never evict it from the elite (or, on the final ranking, from
+        // measurement).
+        let elite_carry = if generation >= 2 {
+            (keep / 4).min((self.config.population / 4).max(2))
+        } else {
+            0
+        };
+        let mut in_kept = vec![false; pop.len()];
+        let mut kept: Vec<usize> = Vec::with_capacity(keep);
+        for (i, flag) in in_kept.iter_mut().enumerate().take(elite_carry) {
+            kept.push(i);
+            *flag = true;
+        }
+        for &i in draft_order.iter() {
+            if kept.len() >= top {
+                break;
+            }
+            if !in_kept[i] {
+                kept.push(i);
+                in_kept[i] = true;
+            }
+        }
+        // Midpoint-of-stride positions spread over the draft's ranking of
+        // the remainder, rotated by the scorer's distillation counter so
+        // successive ranks sample different draft-rank positions: a program
+        // the head persistently mis-ranks is still verified eventually
+        // instead of being invisible forever. Adding a constant offset mod
+        // `rest.len()` keeps the positions distinct (rest.len() >= explore).
+        let rest: Vec<usize> = draft_order
+            .iter()
+            .copied()
+            .filter(|&i| !in_kept[i])
+            .collect();
+        let explore = (keep - kept.len()).min(rest.len());
+        if explore > 0 {
+            let phase = draft.updates() as usize % rest.len();
+            for i in 0..explore {
+                kept.push(rest[(phase + (2 * i + 1) * rest.len() / (2 * explore)) % rest.len()]);
+            }
+        }
+        kept.sort_unstable();
+        let kept_seqs: Vec<_> = kept.iter().map(|&i| pop[i].sequence.clone()).collect();
+        let batch = self
+            .model
+            .predict(ScoreRequest::new(self.task, &kept_seqs).with_generation(generation));
+        debug_assert_eq!(batch.len(), kept.len(), "cost model batch shape");
+        let kept_scores: Vec<f32> = (0..kept.len())
+            .map(|j| batch.score_or(j, f32::NEG_INFINITY))
+            .collect();
+        stats.full_scored += kept.len() as u64;
+        draft.distill(self.task, pop, &kept, &kept_scores);
+
+        // Verified slice ranked by the full model.
+        let kept_order = rank_indices(&kept_scores);
+
+        // 3. Acceptance accounting: did the draft's top-m match the full
+        // model's top-m of the verified slice? (Capped at the draft-top part
+        // of the slice — the stratified sample is exploration, not a draft
+        // pick.)
+        let m = m_target.min(top).max(1);
+        let draft_top = &draft_order[..m];
+        let accepted = kept_order[..m]
+            .iter()
+            .filter(|&&j| draft_top.contains(&kept[j]))
+            .count();
+        stats.draft_accepted += accepted as u64;
+        stats.draft_checked += m as u64;
+
+        // 4. Final order: verified candidates by full score, then the
+        // draft-rejected tail inheriting its draft ranks.
+        let mut order: Vec<usize> = kept_order.into_iter().map(|j| kept[j]).collect();
+        order.extend(draft_order[keep..].iter().copied());
+        debug_assert_eq!(order.len(), pop.len());
+        order
+    }
+}
+
+/// Scores the whole population with the full model (the non-speculative
+/// path). Unscoreable candidates rank last but stay in the population: a
+/// later mutation can repair them, and the measurer independently rejects
+/// them.
+fn full_scores(
+    model: &dyn CostModel,
+    task: &SearchTask,
+    pop: &[Candidate],
+    generation: u32,
+) -> Vec<f32> {
+    let seqs: Vec<_> = pop.iter().map(|c| c.sequence.clone()).collect();
+    let batch = model.predict(ScoreRequest::new(task, &seqs).with_generation(generation));
+    debug_assert_eq!(batch.len(), pop.len(), "cost model batch shape");
+    (0..batch.len())
+        .map(|i| batch.score_or(i, f32::NEG_INFINITY))
+        .collect()
 }
 
 /// The static-verification gate in front of the scored population.
@@ -207,17 +483,6 @@ impl<'a> Gate<'a> {
     }
 }
 
-fn score(model: &dyn CostModel, task: &SearchTask, pop: &[Candidate], generation: u32) -> Vec<f32> {
-    let seqs: Vec<_> = pop.iter().map(|c| c.sequence.clone()).collect();
-    let batch = model.predict(ScoreRequest::new(task, &seqs).with_generation(generation));
-    debug_assert_eq!(batch.len(), pop.len(), "cost model batch shape");
-    // Unscoreable candidates rank last but stay in the population: a later
-    // mutation can repair them, and the measurer independently rejects them.
-    (0..batch.len())
-        .map(|i| batch.score_or(i, f32::NEG_INFINITY))
-        .collect()
-}
-
 /// Indices sorted by descending score.
 fn rank_indices(scores: &[f32]) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..scores.len()).collect();
@@ -252,6 +517,17 @@ mod tests {
         )
     }
 
+    fn search(
+        t: &SearchTask,
+        model: &dyn CostModel,
+        config: &EvolutionConfig,
+        k: usize,
+        seed: u64,
+    ) -> SearchOutcome {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        Searcher::new(t, &SketchPolicy::cpu(), model, config).run(k, &mut rng)
+    }
+
     /// An "oracle" model that scores by true (negated) latency.
     struct Oracle;
     impl CostModel for Oracle {
@@ -277,24 +553,21 @@ mod tests {
     fn emitted_candidates_are_never_pruned() {
         // Everything the sketch policy emits is statically valid, so the
         // verification gate must be a no-op on an uncorrupted search.
-        let mut rng = SmallRng::seed_from_u64(11);
         let t = task();
-        let (got, stats) = evolutionary_search_with_stats(
-            &t,
-            &SketchPolicy::cpu(),
-            &RandomModel::new(3),
-            &EvolutionConfig {
-                population: 24,
-                generations: 2,
-                ..EvolutionConfig::default()
-            },
-            6,
-            &mut rng,
-        );
-        assert_eq!(got.len(), 6);
-        assert_eq!(stats.pruned, 0);
-        assert!(stats.generated >= 24);
-        assert_eq!(stats.pruned_fraction(), 0.0);
+        let config = EvolutionConfig {
+            population: 24,
+            generations: 2,
+            ..EvolutionConfig::default()
+        };
+        let outcome = search(&t, &RandomModel::new(3), &config, 6, 11);
+        assert_eq!(outcome.candidates.len(), 6);
+        assert_eq!(outcome.stats.pruned, 0);
+        assert!(outcome.stats.generated >= 24);
+        assert_eq!(outcome.stats.pruned_fraction(), 0.0);
+        // No draft attached: every scoring pass is a full-model pass.
+        assert_eq!(outcome.stats.full_scored, 24 * 3);
+        assert_eq!(outcome.stats.draft_scored, 0);
+        assert_eq!(outcome.stats.draft_acceptance(), 0.0);
     }
 
     #[test]
@@ -308,17 +581,7 @@ mod tests {
             static_prune: prune,
             ..EvolutionConfig::default()
         };
-        let run = |prune| {
-            let mut rng = SmallRng::seed_from_u64(13);
-            evolutionary_search(
-                &t,
-                &SketchPolicy::cpu(),
-                &RandomModel::new(7),
-                &config(prune),
-                5,
-                &mut rng,
-            )
-        };
+        let run = |prune| search(&t, &RandomModel::new(7), &config(prune), 5, 13).candidates;
         let gated = run(true);
         let ungated = run(false);
         let fp =
@@ -355,26 +618,18 @@ mod tests {
 
     #[test]
     fn returns_k_candidates() {
-        let mut rng = SmallRng::seed_from_u64(1);
         let t = task();
-        let got = evolutionary_search(
-            &t,
-            &SketchPolicy::cpu(),
-            &RandomModel::new(3),
-            &EvolutionConfig {
-                population: 32,
-                generations: 2,
-                ..EvolutionConfig::default()
-            },
-            10,
-            &mut rng,
-        );
-        assert_eq!(got.len(), 10);
+        let config = EvolutionConfig {
+            population: 32,
+            generations: 2,
+            ..EvolutionConfig::default()
+        };
+        let outcome = search(&t, &RandomModel::new(3), &config, 10, 1);
+        assert_eq!(outcome.candidates.len(), 10);
     }
 
     #[test]
     fn oracle_guidance_beats_random_guidance() {
-        let mut rng = SmallRng::seed_from_u64(2);
         let t = task();
         let config = EvolutionConfig {
             population: 48,
@@ -389,21 +644,84 @@ mod tests {
                 .filter_map(|c| m.measure(&t, &c.sequence).ok())
                 .fold(f64::INFINITY, f64::min)
         };
-        let by_oracle =
-            evolutionary_search(&t, &SketchPolicy::cpu(), &Oracle, &config, 8, &mut rng);
-        let by_random = evolutionary_search(
-            &t,
-            &SketchPolicy::cpu(),
-            &RandomModel::new(5),
-            &config,
-            8,
-            &mut rng,
-        );
+        let mut rng = SmallRng::seed_from_u64(2);
+        let by_oracle = Searcher::new(&t, &SketchPolicy::cpu(), &Oracle, &config)
+            .run(8, &mut rng)
+            .candidates;
+        let by_random = Searcher::new(&t, &SketchPolicy::cpu(), &RandomModel::new(5), &config)
+            .run(8, &mut rng)
+            .candidates;
         let lo = best_latency(&by_oracle);
         let lr = best_latency(&by_random);
         assert!(
             lo <= lr * 1.05,
             "oracle-guided {lo} should beat random-guided {lr}"
         );
+    }
+
+    #[test]
+    fn speculative_search_cuts_full_model_invocations() {
+        let t = task();
+        let config = EvolutionConfig {
+            population: 32,
+            generations: 3,
+            speculative: SpecConfig {
+                enabled: true,
+                draft_keep: 0.25,
+                warmup_full_generations: 1,
+            },
+            ..EvolutionConfig::default()
+        };
+        let mut draft = DraftScorer::with_stat_features();
+        let mut rng = SmallRng::seed_from_u64(19);
+        let outcome = Searcher::new(&t, &SketchPolicy::cpu(), &Oracle, &config)
+            .with_draft(&mut draft)
+            .run(8, &mut rng);
+        assert_eq!(outcome.candidates.len(), 8);
+        // One warm-up generation full (32), two speculative generation
+        // passes verify ceil(0.25·32) = 8 each, and the final ranking
+        // verifies the doubled ceil(0.5·32) = 16.
+        assert_eq!(outcome.stats.full_scored, 32 + 2 * 8 + 16);
+        assert_eq!(outcome.stats.draft_scored, 2 * 24 + 16);
+        assert!(outcome.stats.draft_checked > 0);
+        assert!(outcome.stats.draft_acceptance() <= 1.0);
+        assert!(draft.updates() >= 4, "distilled every scored batch");
+    }
+
+    #[test]
+    fn speculation_is_rng_neutral_with_full_keep() {
+        // draft_keep = 1.0 means the full model verifies everything, so the
+        // outcome must be bit-identical to a draft-free run with the same
+        // seed — the same discipline static_prune follows.
+        let t = task();
+        let base_config = EvolutionConfig {
+            population: 16,
+            generations: 2,
+            ..EvolutionConfig::default()
+        };
+        let spec_config = EvolutionConfig {
+            speculative: SpecConfig {
+                enabled: true,
+                draft_keep: 1.0,
+                warmup_full_generations: 0,
+            },
+            ..base_config
+        };
+        let baseline = search(&t, &RandomModel::new(23), &base_config, 5, 29);
+        let mut draft = DraftScorer::with_stat_features();
+        let mut rng = SmallRng::seed_from_u64(29);
+        let spec = Searcher::new(
+            &t,
+            &SketchPolicy::cpu(),
+            &RandomModel::new(23),
+            &spec_config,
+        )
+        .with_draft(&mut draft)
+        .run(5, &mut rng);
+        let fp =
+            |c: &[Candidate]| -> Vec<u64> { c.iter().map(|x| x.sequence.fingerprint()).collect() };
+        assert_eq!(fp(&baseline.candidates), fp(&spec.candidates));
+        assert_eq!(baseline.stats, spec.stats);
+        assert!(draft.updates() > 0, "full-coverage rounds still distill");
     }
 }

@@ -9,7 +9,11 @@
 //! - [`CostModel`]: the pluggable cost-model interface ([`RandomModel`] is
 //!   the no-model baseline; TLP / TenSet-MLP / GBDT models live in the `tlp`
 //!   crate);
-//! - [`evolutionary_search`]: cost-model-guided evolution over candidates;
+//! - [`Searcher`]: cost-model-guided evolution over candidates, returning a
+//!   [`SearchOutcome`] of ranked candidates plus [`SearchStats`] accounting;
+//! - [`DraftScorer`]: the near-free draft half of draft-then-verify
+//!   speculative search — a ~1K-parameter head distilled online from the
+//!   full model's own scores, gated behind [`EvolutionConfig::speculative`];
 //! - [`Measurer`]: "hardware" measurement against the simulator, charging
 //!   simulated search time — fault-tolerant via typed [`MeasureError`]s,
 //!   bounded retry with backoff, and MAD-median outlier rejection when a
@@ -41,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod cost_model;
+pub mod draft;
 pub mod evolutionary;
 pub mod measure;
 pub mod sketch;
@@ -51,10 +56,9 @@ pub use cost_model::{
     check_update_shape, BatchStats, CostModel, PipelineCost, RandomModel, ScoreBatch, ScoreRequest,
     UpdateError,
 };
-pub use evolutionary::{
-    evolutionary_search, evolutionary_search_with_stats, EvolutionConfig, SearchStats,
-};
+pub use draft::{DraftFeatures, DraftScorer, ScheduleStatFeatures, SpecConfig};
+pub use evolutionary::{EvolutionConfig, SearchOutcome, SearchStats, Searcher};
 pub use measure::{FailureCounts, MeasureError, MeasurePolicy, MeasureRecord, Measurer};
 pub use sketch::{Candidate, ScheduleDecision, SketchPolicy, UNROLL_STEPS};
 pub use task::SearchTask;
-pub use tuner::{tune_network, RoundLog, TuningOptions, TuningReport};
+pub use tuner::{tune_network, tune_network_with_draft, RoundLog, TuningOptions, TuningReport};

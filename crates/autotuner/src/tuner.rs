@@ -7,7 +7,8 @@
 //! rounds × 10 measured programs.
 
 use crate::cost_model::CostModel;
-use crate::evolutionary::{evolutionary_search_with_stats, EvolutionConfig, SearchStats};
+use crate::draft::DraftScorer;
+use crate::evolutionary::{EvolutionConfig, SearchStats, Searcher};
 use crate::measure::{FailureCounts, MeasurePolicy, MeasureRecord, Measurer};
 use crate::sketch::SketchPolicy;
 use crate::task::SearchTask;
@@ -23,6 +24,11 @@ use tlp_workload::Network;
 /// fault schedule is decorrelated from (but still determined by) the search
 /// RNG seed.
 const FAULT_SEED_SALT: u64 = 0xFA17_5EED_0BAD_C0DE;
+
+/// Simulated cost of one draft-head score relative to one full-model score.
+/// The draft is a ~1K-parameter linear head with no program generation; its
+/// per-candidate cost is charged at this ratio of the full model's.
+const DRAFT_COST_RATIO: f64 = 1e-3;
 
 /// Knobs of a tuning run.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -76,6 +82,10 @@ pub struct RoundLog {
     pub workload_latency_s: f64,
     /// Whether every task has at least one measurement by this round.
     pub seeded: bool,
+    /// This round's search accounting (candidate generation, pruning, and
+    /// draft/full scoring splits). `stats.draft_acceptance()` is the
+    /// round's draft-acceptance rate.
+    pub stats: SearchStats,
 }
 
 /// The outcome of tuning one network on one platform.
@@ -105,10 +115,13 @@ pub struct TuningReport {
     /// All measurement records, tagged with their task index (reusable as a
     /// dataset). Failed measurements carry their error class, TenSet-style.
     pub records: Vec<(usize, MeasureRecord)>,
-    /// Candidates generated across all rounds, including pruned ones.
-    pub candidates_generated: u64,
-    /// Candidates the static verifier pruned before scoring.
-    pub candidates_pruned: u64,
+    /// Search accounting aggregated across all rounds — the single source
+    /// of truth for generated/pruned candidates and draft/full scoring
+    /// splits (per-round splits live in each [`RoundLog::stats`]).
+    pub search: SearchStats,
+    /// The exact evolutionary-search knobs the run used, so reports and
+    /// bench JSON rows are self-describing.
+    pub evolution: EvolutionConfig,
 }
 
 impl TuningReport {
@@ -134,14 +147,13 @@ impl TuningReport {
             .map(|r| r.search_time_s)
     }
 
-    /// The fraction of generated candidates the static verifier pruned
-    /// before scoring (0 with no candidates).
-    pub fn pruned_fraction(&self) -> f64 {
-        if self.candidates_generated == 0 {
-            0.0
-        } else {
-            self.candidates_pruned as f64 / self.candidates_generated as f64
-        }
+    /// Per-round draft-acceptance rates (0 for rounds where speculation
+    /// never ranked a pool).
+    pub fn draft_acceptance_per_round(&self) -> Vec<f64> {
+        self.rounds
+            .iter()
+            .map(|r| r.stats.draft_acceptance())
+            .collect()
     }
 }
 
@@ -155,6 +167,37 @@ pub fn tune_network(
     platform: &Platform,
     model: &mut dyn CostModel,
     opts: &TuningOptions,
+) -> TuningReport {
+    if opts.evolution.speculative.enabled {
+        // Default draft: the built-in schedule-statistics features. Callers
+        // with a higher-fidelity feature set (e.g. the TLP extractor) pass
+        // their own scorer through [`tune_network_with_draft`].
+        let mut draft = DraftScorer::with_stat_features();
+        tune_impl(network, platform, model, opts, Some(&mut draft))
+    } else {
+        tune_impl(network, platform, model, opts, None)
+    }
+}
+
+/// Like [`tune_network`], sharing the caller's [`DraftScorer`] across all
+/// rounds — the warm-up progress and distilled weights persist in it, so a
+/// scorer can even be reused across tuning runs.
+pub fn tune_network_with_draft(
+    network: &Network,
+    platform: &Platform,
+    model: &mut dyn CostModel,
+    opts: &TuningOptions,
+    draft: &mut DraftScorer,
+) -> TuningReport {
+    tune_impl(network, platform, model, opts, Some(draft))
+}
+
+fn tune_impl(
+    network: &Network,
+    platform: &Platform,
+    model: &mut dyn CostModel,
+    opts: &TuningOptions,
+    mut draft: Option<&mut DraftScorer>,
 ) -> TuningReport {
     let tasks = SearchTask::from_network(network, platform);
     let policy = if platform.is_gpu() {
@@ -188,23 +231,33 @@ pub fn tune_network(
         let task = &tasks[ti];
 
         let wall = Instant::now();
-        let (candidates, round_stats) = evolutionary_search_with_stats(
-            task,
-            &policy,
-            model,
-            &opts.evolution,
-            opts.programs_per_round * 2,
-            &mut rng,
-        );
-        search_stats.generated += round_stats.generated;
-        search_stats.pruned += round_stats.pruned;
+        let outcome = {
+            let mut searcher = Searcher::new(task, &policy, &*model, &opts.evolution);
+            if let Some(d) = draft.as_deref_mut() {
+                searcher = searcher.with_draft(d);
+            }
+            searcher.run(opts.programs_per_round * 2, &mut rng)
+        };
+        let (candidates, round_stats) = (outcome.candidates, outcome.stats);
+        search_stats.merge(&round_stats);
         measurer.clock.charge_real(wall.elapsed().as_secs_f64());
         // Charge the cost model's per-candidate pipeline cost for the
         // reference-scale candidate pool (the reduced evolution population
-        // stands in for Ansor's ~10k-sequence rounds).
-        measurer
-            .clock
-            .charge_real(model.pipeline_cost().per_candidate_s() * opts.nominal_pool as f64);
+        // stands in for Ansor's ~10k-sequence rounds). Under speculation
+        // only the verified fraction pays the full pipeline; draft-ranked
+        // candidates cost [`DRAFT_COST_RATIO`] of a full score. With no
+        // draft scoring the factor is exactly 1.0, keeping the
+        // speculation-off clock bit-identical.
+        let scored = round_stats.full_scored + round_stats.draft_scored;
+        let full_fraction = if scored == 0 {
+            1.0
+        } else {
+            round_stats.full_scored as f64 / scored as f64
+        };
+        let pool_cost_factor = full_fraction + (1.0 - full_fraction) * DRAFT_COST_RATIO;
+        measurer.clock.charge_real(
+            model.pipeline_cost().per_candidate_s() * opts.nominal_pool as f64 * pool_cost_factor,
+        );
 
         // Measure up to `programs_per_round` unseen candidates.
         let mut batch = Vec::new();
@@ -256,6 +309,7 @@ pub fn tune_network(
             search_time_s: measurer.clock.total_s(),
             workload_latency_s: workload_latency,
             seeded,
+            stats: round_stats,
         });
     }
 
@@ -271,8 +325,8 @@ pub fn tune_network(
         failures: measurer.failures,
         failed_rounds,
         records,
-        candidates_generated: search_stats.generated,
-        candidates_pruned: search_stats.pruned,
+        search: search_stats,
+        evolution: opts.evolution,
     }
 }
 

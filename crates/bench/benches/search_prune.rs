@@ -24,10 +24,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::Serialize;
 use std::time::Instant;
-use tlp_autotuner::{
-    evolutionary_search_with_stats, Candidate, EvolutionConfig, RandomModel, SearchTask,
-    SketchPolicy,
-};
+use tlp_autotuner::{Candidate, EvolutionConfig, RandomModel, SearchTask, Searcher, SketchPolicy};
 use tlp_bench::{print_table, write_json};
 use tlp_hwsim::{lower, Platform, Simulator};
 use tlp_schedule::{PrimitiveKind, ScheduleSequence};
@@ -118,8 +115,12 @@ fn run_arm(
     };
     let mut rng = SmallRng::seed_from_u64(seed);
     let start = Instant::now();
-    let (top, stats) = evolutionary_search_with_stats(task, policy, &model, &config, 10, &mut rng);
-    (top, stats, start.elapsed().as_secs_f64())
+    let outcome = Searcher::new(task, policy, &model, &config).run(10, &mut rng);
+    (
+        outcome.candidates,
+        outcome.stats,
+        start.elapsed().as_secs_f64(),
+    )
 }
 
 fn corrupted(seq: &ScheduleSequence) -> ScheduleSequence {

@@ -1,0 +1,237 @@
+//! Draft-then-verify speculative search: full-model forward-pass savings at
+//! matched search quality (ISSUE 7 acceptance — ≥ 4x fewer full-model
+//! scores per round at equal-or-better final weighted latency).
+//!
+//! Fig. 10-style comparison at an equal simulated search-time budget. The
+//! baseline arm tunes for a fixed number of rounds with every pool fully
+//! scored by the cost model (Ansor's online GBDT here — meaningful scores
+//! that evolve during the run, like the TLP model's, while keeping the
+//! bench fast); its total simulated search time becomes the budget. The
+//! speculative arm — a ~1K-parameter draft head over the frozen TLP feature
+//! block ranks every pool, the full model verifies only the top `draft_keep`
+//! slice, and the head is distilled online from the verified batches — pays
+//! the scoring pipeline only for verified candidates, so each of its rounds
+//! is cheaper and it fits more rounds into the same budget. Both arms are
+//! compared where the speculative arm's clock crosses that budget.
+//!
+//! Speculation is RNG-neutral per search, so round for round both arms draw
+//! identical candidate pools; the per-round reduction in full-model forward
+//! passes is a pure verification-budget ratio, not a search-behavior change.
+//!
+//! Writes `BENCH_search.json`.
+//!
+//! Run with `cargo bench -p tlp-bench --bench search_speculative`.
+
+#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+
+use serde::Serialize;
+use tlp::search::{AnsorCostModel, TlpDraftFeatures};
+use tlp::FeatureExtractor;
+use tlp_autotuner::{
+    tune_network, tune_network_with_draft, DraftScorer, EvolutionConfig, SpecConfig, TuningOptions,
+    TuningReport,
+};
+use tlp_bench::{print_table, write_json};
+use tlp_hwsim::Platform;
+use tlp_schedule::Vocabulary;
+use tlp_workload::bert_tiny;
+
+#[derive(Serialize)]
+struct SeedRow {
+    seed: u64,
+    /// The baseline arm's total simulated search time — the shared budget.
+    budget_s: f64,
+    baseline_rounds: usize,
+    baseline_final_latency_ms: f64,
+    /// Full-model forward passes per round, baseline arm.
+    baseline_full_per_round: f64,
+    /// Rounds the speculative arm completed within the same budget.
+    spec_rounds_in_budget: usize,
+    /// Full-model forward passes per round over those rounds (warm-up
+    /// included).
+    spec_full_per_round: f64,
+    /// Per-round reduction in full-model forward passes.
+    full_model_reduction: f64,
+    /// Speculative arm's weighted workload latency when its clock crossed
+    /// the budget.
+    spec_latency_ms_at_budget: f64,
+    /// `spec at budget / baseline final`; ≤ 1 means speculation matched or
+    /// beat the fully-scored search inside the same time budget.
+    latency_ratio: f64,
+    draft_acceptance: f64,
+    /// How much faster the speculative arm reached the baseline's final
+    /// latency (budget / time-to-parity; 0 when never reached).
+    time_to_parity_speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Results {
+    network: String,
+    platform: String,
+    /// The exact shared knobs of both arms (`speculative` shows the
+    /// speculative arm's draft settings; the baseline runs with it off).
+    evolution: EvolutionConfig,
+    draft_params: usize,
+    draft_features: String,
+    rows: Vec<SeedRow>,
+    mean_full_model_reduction: f64,
+    mean_latency_ratio: f64,
+    /// Per-round draft-acceptance rates from the first seed's speculative
+    /// arm, over its in-budget rounds (0 while the head warms up).
+    acceptance_per_round: Vec<f64>,
+}
+
+const SEEDS: [u64; 3] = [0x5EED0, 0x5EED1, 0x5EED2];
+
+/// Extra rounds granted to the speculative arm; its clock — not this cap —
+/// decides how many count. Must exceed the expected per-round cost ratio.
+const SPEC_ROUND_FACTOR: usize = 8;
+
+fn options(rounds: usize, seed: u64, spec: SpecConfig) -> TuningOptions {
+    TuningOptions {
+        rounds,
+        programs_per_round: 10,
+        evolution: EvolutionConfig {
+            speculative: spec,
+            ..EvolutionConfig::default()
+        },
+        seed,
+        ..TuningOptions::default()
+    }
+}
+
+/// The high-fidelity draft: a linear head over the frozen TLP feature block
+/// (the same extraction pipeline the full TLP model reads).
+fn tlp_draft() -> DraftScorer {
+    let extractor = FeatureExtractor::with_vocab(Vocabulary::builder().build(), 25, 22);
+    TlpDraftFeatures::new(extractor).into_scorer()
+}
+
+fn run_arm(rounds: usize, seed: u64, spec: SpecConfig) -> TuningReport {
+    let net = bert_tiny(1, 64);
+    let platform = Platform::i7_10510u();
+    let mut model = AnsorCostModel::new();
+    let opts = options(rounds, seed, spec);
+    if spec.enabled {
+        let mut draft = tlp_draft();
+        tune_network_with_draft(&net, &platform, &mut model, &opts, &mut draft)
+    } else {
+        tune_network(&net, &platform, &mut model, &opts)
+    }
+}
+
+fn main() {
+    let net = bert_tiny(1, 64);
+    let baseline_rounds = net.num_tasks() * 6;
+    let spec = SpecConfig {
+        enabled: true,
+        draft_keep: 0.12,
+        warmup_full_generations: 6,
+    };
+
+    let mut rows = Vec::new();
+    let mut acceptance_per_round = Vec::new();
+    for seed in SEEDS {
+        let baseline = run_arm(baseline_rounds, seed, SpecConfig::OFF);
+        let speculative = run_arm(baseline_rounds * SPEC_ROUND_FACTOR, seed, spec);
+        let budget_s = baseline.total_search_time_s();
+
+        // The speculative arm's state when its simulated clock crossed the
+        // baseline's budget.
+        let within: Vec<_> = speculative
+            .rounds
+            .iter()
+            .take_while(|r| r.search_time_s <= budget_s)
+            .collect();
+        assert!(
+            within.len() < speculative.rounds.len(),
+            "speculative arm never exhausted the budget; raise SPEC_ROUND_FACTOR"
+        );
+        let last = within.last().expect("spec arm fits at least one round");
+        let spec_full: u64 = within.iter().map(|r| r.stats.full_scored).sum();
+        let spec_full_per_round = spec_full as f64 / within.len() as f64;
+        let base_full_per_round = baseline.search.full_scored as f64 / baseline_rounds as f64;
+
+        if acceptance_per_round.is_empty() {
+            acceptance_per_round = within.iter().map(|r| r.stats.draft_acceptance()).collect();
+        }
+
+        let base_ms = baseline.final_latency_s() * 1e3;
+        let spec_ms = last.workload_latency_s * 1e3;
+        let parity = speculative.time_to_reach(baseline.final_latency_s());
+        rows.push(SeedRow {
+            seed,
+            budget_s,
+            baseline_rounds,
+            baseline_final_latency_ms: base_ms,
+            baseline_full_per_round: base_full_per_round,
+            spec_rounds_in_budget: within.len(),
+            spec_full_per_round,
+            full_model_reduction: base_full_per_round / spec_full_per_round,
+            spec_latency_ms_at_budget: spec_ms,
+            latency_ratio: spec_ms / base_ms,
+            draft_acceptance: speculative.search.draft_acceptance(),
+            time_to_parity_speedup: parity.map_or(0.0, |t| budget_s / t.max(1e-9)),
+        });
+    }
+
+    print_table(
+        "draft-then-verify speculative search at equal simulated-time budget",
+        &[
+            "seed",
+            "budget s",
+            "rounds base",
+            "rounds spec",
+            "full/rnd base",
+            "full/rnd spec",
+            "reduction",
+            "acceptance",
+            "base ms",
+            "spec ms",
+            "ratio",
+            "parity speedup",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{:#x}", r.seed),
+                    format!("{:.0}", r.budget_s),
+                    r.baseline_rounds.to_string(),
+                    r.spec_rounds_in_budget.to_string(),
+                    format!("{:.0}", r.baseline_full_per_round),
+                    format!("{:.0}", r.spec_full_per_round),
+                    format!("{:.2}x", r.full_model_reduction),
+                    format!("{:.1}%", r.draft_acceptance * 100.0),
+                    format!("{:.4}", r.baseline_final_latency_ms),
+                    format!("{:.4}", r.spec_latency_ms_at_budget),
+                    format!("{:.3}", r.latency_ratio),
+                    format!("{:.1}x", r.time_to_parity_speedup),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let mean_reduction =
+        rows.iter().map(|r| r.full_model_reduction).sum::<f64>() / rows.len() as f64;
+    let mean_ratio = rows.iter().map(|r| r.latency_ratio).sum::<f64>() / rows.len() as f64;
+    println!(
+        "\nmean full-model reduction {mean_reduction:.2}x/round, mean latency ratio at budget {mean_ratio:.3}"
+    );
+
+    let draft = tlp_draft();
+    write_json(
+        "BENCH_search",
+        &Results {
+            network: net.name.clone(),
+            platform: Platform::i7_10510u().name.clone(),
+            evolution: options(baseline_rounds, 0, spec).evolution,
+            draft_params: draft.param_count(),
+            draft_features: draft.feature_name().to_string(),
+            rows,
+            mean_full_model_reduction: mean_reduction,
+            mean_latency_ratio: mean_ratio,
+            acceptance_per_round,
+        },
+    );
+}

@@ -69,7 +69,10 @@ pub use mtl::{train_mtl, train_mtl_with, MtlTlp};
 pub use persist::{
     snapshot_mtl, snapshot_tlp, ParamCheckpoint, PersistError, SavedTlp, SAVED_TLP_FORMAT_VERSION,
 };
-pub use search::{AnsorCostModel, FeatureModel, MtlTlpCostModel, TenSetMlpCostModel, TlpCostModel};
+pub use search::{
+    AnsorCostModel, FeatureModel, MtlTlpCostModel, TenSetMlpCostModel, TlpCostModel,
+    TlpDraftFeatures,
+};
 pub use train::{resume_tlp, train_tlp, train_tlp_checkpointed, train_tlp_with, TrainData};
 pub use trainer::{
     EpochReport, StopReason, TrainCheckpoint, TrainOptions, TrainReport, Trainable, Trainer,

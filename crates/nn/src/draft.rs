@@ -1,0 +1,253 @@
+//! The tiny draft head used by draft-then-verify speculative search.
+//!
+//! A [`TinyHead`] is a single linear regressor (`dim` weights + 1 bias, so
+//! ~1K parameters at the paper's 25×22 feature shape) that stands in for
+//! the full transformer during candidate ranking. It is distilled *online*:
+//! during search, every batch the full model scores becomes a regression
+//! target for a few SGD steps, so the head tracks whatever the full model
+//! currently believes — no offline training pass, no labels.
+//!
+//! Determinism contract: the head is zero-initialized, the forward pass
+//! goes through the fixed-accumulation-order [`gemm`](crate::kernels::gemm)
+//! kernel, and the update path uses plain ascending-index loops, so two
+//! heads fed the same `(features, targets)` stream are bitwise identical —
+//! the property the search layer's RNG-neutrality discipline relies on.
+
+use crate::kernels::gemm;
+
+/// Batch count past which the distillation learning rate stops decaying
+/// (effective floor: `base_lr / 8`). Keeps the head plastic against the
+/// non-stationary full model it is distilled from.
+const LR_DECAY_FLOOR_BATCHES: u64 = 15;
+
+/// Minimum standardized-target gap (in per-batch SD units) for a pair to
+/// participate in the margin-ranking update. Pairs closer than this are
+/// noise-level ties the head should not burn capacity separating.
+const RANK_GAP: f32 = 0.25;
+
+/// A linear draft scorer: `score = w · x + b` over `dim`-wide features.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TinyHead {
+    w: Vec<f32>,
+    b: f32,
+    /// Batches absorbed so far (drives learning-rate decay).
+    updates: u64,
+}
+
+impl TinyHead {
+    /// A zero-initialized head over `dim`-wide features. Zero init scores
+    /// every candidate identically, which is exactly the "know nothing"
+    /// prior the warm-up gate expects before the first distillation batch.
+    pub fn new(dim: usize) -> Self {
+        TinyHead {
+            w: vec![0.0; dim],
+            b: 0.0,
+            updates: 0,
+        }
+    }
+
+    /// Feature width the head was built for.
+    pub fn dim(&self) -> usize {
+        self.w.len()
+    }
+
+    /// Trainable parameter count (`dim` weights + 1 bias).
+    pub fn param_count(&self) -> usize {
+        self.w.len() + 1
+    }
+
+    /// Distillation batches absorbed so far.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Scores `n` candidates whose features are packed row-major in
+    /// `features` (`n × dim`), appending one score per candidate to `out`.
+    ///
+    /// The matrix–vector product runs through the blocked [`gemm`] kernel
+    /// (`n×dim · dim×1`), so drafting reuses the same fixed-accumulation
+    /// contract as the full model's forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != n × dim`.
+    pub fn predict_into(&self, features: &[f32], n: usize, out: &mut Vec<f32>) {
+        assert_eq!(
+            features.len(),
+            n * self.w.len(),
+            "draft feature batch shape mismatch"
+        );
+        let base = out.len();
+        out.resize(base + n, 0.0);
+        gemm(features, &self.w, &mut out[base..], n, self.w.len(), 1);
+        for s in &mut out[base..] {
+            *s += self.b;
+        }
+    }
+
+    /// One online distillation step: fits the head toward the full model's
+    /// *ranking* of the `n` feature rows with a pairwise margin update.
+    ///
+    /// Targets are standardized per batch (zero mean, unit variance) first:
+    /// raw transformer scores drift in scale as the model updates online,
+    /// and only their order matters downstream. Every ordered pair whose
+    /// standardized gap exceeds [`RANK_GAP`] and whose predicted gap is
+    /// still inside the unit margin gets a hinge step `w += lr·(xᵢ − xⱼ)`
+    /// (averaged over violated pairs) — the direct objective for a head
+    /// whose only job is to put the right candidates on top. A batch with
+    /// zero target variance (all candidates scored identically) is absorbed
+    /// as a no-op on the weights. The margin makes the update self-limiting,
+    /// so scores stay bounded without a regression anchor.
+    ///
+    /// The learning rate decays as `base / sqrt(1 + updates)`, floored at
+    /// `base / sqrt(LR_DECAY_FLOOR_BATCHES)`: early batches move the head
+    /// quickly, but the rate never vanishes — the distillation target is the
+    /// *live* full model, which keeps training during search, so a head
+    /// whose rate decayed to zero would stop tracking it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != n × dim` or `targets.len() != n`.
+    pub fn distill(&mut self, features: &[f32], targets: &[f32], n: usize, base_lr: f32) {
+        assert_eq!(
+            features.len(),
+            n * self.w.len(),
+            "draft feature batch shape mismatch"
+        );
+        assert_eq!(targets.len(), n, "draft target batch shape mismatch");
+        if n == 0 {
+            return;
+        }
+        let dim = self.w.len();
+        // Standardize targets (ascending-index accumulation, deterministic).
+        let mut mean = 0.0f32;
+        for &t in targets {
+            mean += t;
+        }
+        mean /= n as f32;
+        let mut var = 0.0f32;
+        for &t in targets {
+            let d = t - mean;
+            var += d * d;
+        }
+        var /= n as f32;
+        let inv_sd = if var > 0.0 { 1.0 / var.sqrt() } else { 0.0 };
+        let z: Vec<f32> = targets.iter().map(|&t| (t - mean) * inv_sd).collect();
+
+        // Forward through the same gemm path as predict_into.
+        let mut pred = Vec::with_capacity(n);
+        self.predict_into(features, n, &mut pred);
+
+        // Margin-violated pairs, ascending (i, j) order for determinism.
+        let mut violations: Vec<(usize, usize)> = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                if z[i] > z[j] + RANK_GAP && pred[i] - pred[j] < 1.0 {
+                    violations.push((i, j));
+                }
+            }
+        }
+        let decay = (1.0 + self.updates.min(LR_DECAY_FLOOR_BATCHES) as f32).sqrt();
+        let scale = (base_lr / decay) / violations.len().max(1) as f32;
+        for (i, j) in violations {
+            let hi = &features[i * dim..(i + 1) * dim];
+            let lo = &features[j * dim..(j + 1) * dim];
+            for ((wk, &xh), &xl) in self.w.iter_mut().zip(hi).zip(lo) {
+                *wk += scale * (xh - xl);
+            }
+        }
+        self.updates += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(n: usize, dim: usize, f: impl Fn(usize, usize) -> f32) -> Vec<f32> {
+        (0..n * dim).map(|i| f(i / dim, i % dim)).collect()
+    }
+
+    #[test]
+    fn zero_head_scores_uniformly() {
+        let h = TinyHead::new(4);
+        assert_eq!(h.param_count(), 5);
+        let mut out = Vec::new();
+        h.predict_into(&rows(3, 4, |i, j| (i + j) as f32), 3, &mut out);
+        assert_eq!(out, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn distillation_learns_a_linear_ranking() {
+        // Target is a clean linear function of the features. The decayed-lr
+        // online regime tracks *ranking* rather than exact regression, so
+        // the head must get most meaningfully-gapped pairs in the right
+        // order (chance is 50%) — not interpolate the targets.
+        let dim = 6;
+        let n = 16;
+        let mut h = TinyHead::new(dim);
+        // Knuth-hash the cell index for decorrelated pseudo-random features.
+        let feats = rows(n, dim, |i, j| {
+            ((i * dim + j) as u32).wrapping_mul(2654435761) as f32 / u32::MAX as f32
+        });
+        let targets: Vec<f32> = feats
+            .chunks_exact(dim)
+            .map(|r| {
+                r.iter()
+                    .enumerate()
+                    .map(|(j, &x)| (j as f32 + 1.0) * x)
+                    .sum()
+            })
+            .collect();
+        for _ in 0..300 {
+            h.distill(&feats, &targets, n, 0.5);
+        }
+        let mut pred = Vec::new();
+        h.predict_into(&feats, n, &mut pred);
+        let (mut pairs, mut concordant) = (0u32, 0u32);
+        for a in 0..n {
+            for b in a + 1..n {
+                if (targets[a] - targets[b]).abs() < 1e-3 {
+                    continue;
+                }
+                pairs += 1;
+                if (pred[a] - pred[b]) * (targets[a] - targets[b]) > 0.0 {
+                    concordant += 1;
+                }
+            }
+        }
+        assert!(pairs > 50, "degenerate target spread ({pairs} pairs)");
+        assert!(
+            concordant * 5 >= pairs * 4,
+            "head ranked only {concordant}/{pairs} pairs correctly"
+        );
+    }
+
+    #[test]
+    fn distillation_is_deterministic() {
+        let dim = 5;
+        let feats = rows(16, dim, |i, j| ((i * 3 + j) % 7) as f32);
+        let targets: Vec<f32> = (0..16).map(|i| (i % 5) as f32).collect();
+        let run = || {
+            let mut h = TinyHead::new(dim);
+            for _ in 0..10 {
+                h.distill(&feats, &targets, 16, 0.1);
+            }
+            h
+        };
+        assert_eq!(run(), run());
+        assert_eq!(run().updates(), 10);
+    }
+
+    #[test]
+    fn constant_targets_are_a_weight_noop() {
+        let dim = 3;
+        let mut h = TinyHead::new(dim);
+        let feats = rows(8, dim, |i, j| (i + j) as f32);
+        h.distill(&feats, &[2.5; 8], 8, 0.5);
+        let mut out = Vec::new();
+        h.predict_into(&feats, 8, &mut out);
+        assert_eq!(out, vec![0.0; 8], "zero-variance batch must not move w");
+        assert_eq!(h.updates(), 1);
+    }
+}

@@ -38,6 +38,7 @@
 #![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
 #![warn(missing_docs)]
 
+pub mod draft;
 pub mod graph;
 pub mod infer;
 pub mod init;
@@ -49,6 +50,7 @@ pub mod params;
 pub mod tensor;
 pub mod workspace;
 
+pub use draft::TinyHead;
 pub use graph::{Graph, Var};
 pub use infer::{ragged_tail_sums, Ragged};
 pub use kernels::Epilogue;

@@ -228,10 +228,18 @@ fn cmd_tune(network: Option<&str>, model_path: Option<&str>) -> i32 {
     );
     println!(
         "static gate: {} candidates generated, {} pruned ({:.2}%)",
-        report.candidates_generated,
-        report.candidates_pruned,
-        report.pruned_fraction() * 100.0
+        report.search.generated,
+        report.search.pruned,
+        report.search.pruned_fraction() * 100.0
     );
+    if report.search.draft_checked > 0 {
+        println!(
+            "speculation: {} full-model scores, {} draft scores, {:.1}% draft acceptance",
+            report.search.full_scored,
+            report.search.draft_scored,
+            report.search.draft_acceptance() * 100.0
+        );
+    }
     0
 }
 

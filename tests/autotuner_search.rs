@@ -8,8 +8,7 @@ use rand::SeedableRng;
 use std::collections::HashSet;
 use tlp::search::AnsorCostModel;
 use tlp_autotuner::{
-    evolutionary_search, tune_network, EvolutionConfig, RandomModel, SearchTask, SketchPolicy,
-    TuningOptions,
+    tune_network, EvolutionConfig, RandomModel, SearchTask, Searcher, SketchPolicy, TuningOptions,
 };
 use tlp_hwsim::Platform;
 use tlp_workload::{bert_tiny, AnchorOp, Subgraph};
@@ -60,20 +59,18 @@ fn tuner_never_measures_the_same_program_twice_per_task() {
 fn epsilon_zero_returns_model_ranked_candidates() {
     let task = dense_task();
     let mut rng = SmallRng::seed_from_u64(4);
-    let cands = evolutionary_search(
-        &task,
-        &SketchPolicy::cpu(),
-        &RandomModel::new(2),
-        &EvolutionConfig {
-            population: 24,
-            generations: 1,
-            epsilon: 0.0,
-            ..EvolutionConfig::default()
-        },
-        6,
-        &mut rng,
-    );
-    assert_eq!(cands.len(), 6);
+    let config = EvolutionConfig {
+        population: 24,
+        generations: 1,
+        epsilon: 0.0,
+        ..EvolutionConfig::default()
+    };
+    let model = RandomModel::new(2);
+    let outcome = Searcher::new(&task, &SketchPolicy::cpu(), &model, &config).run(6, &mut rng);
+    assert_eq!(outcome.candidates.len(), 6);
+    // Without a draft every scored candidate went through the full model.
+    assert_eq!(outcome.stats.full_scored, 24 * 2);
+    assert_eq!(outcome.stats.draft_scored, 0);
 }
 
 #[test]
