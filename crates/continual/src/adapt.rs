@@ -1,0 +1,408 @@
+//! Replay-mixed head adaptation on top of the shared [`Trainer`].
+//!
+//! [`adapt_round`] is *not* a new training loop: it implements
+//! [`Trainable`] and hands the model to the existing synchronous
+//! data-parallel [`Trainer`], inheriting its bitwise-deterministic
+//! index-ordered all-reduce, LR schedule, clipping, and early stopping.
+//! What continual learning adds is a **gradient mask** applied in the
+//! trainer's `postprocess_grads` hook — after micro-batch gradients are
+//! all-reduced and averaged, before the norm/clip/step:
+//!
+//! - [`TrunkMode::Frozen`] zeroes every gradient outside the adapting head.
+//!   Adam with zero weight decay takes a bitwise no-op step on a
+//!   zero-gradient parameter (moments stay zero, delta is zero), so frozen
+//!   parameters — the trunk *and* every old head — are **bitwise unchanged**
+//!   by adaptation, and old-platform forgetting is exactly zero.
+//! - [`TrunkMode::LowLr`] scales trunk gradients by a factor instead:
+//!   the trunk absorbs new-platform signal slowly while replay batches
+//!   (routed through their original heads) keep pulling it back toward the
+//!   platforms it already serves.
+//!
+//! Masking gradients rather than filtering optimizer state keeps the hot
+//! path untouched and works with gradient accumulation and any worker
+//! count, because the hook runs exactly once per optimizer step.
+
+use crate::replay::ReplayBuffer;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+use tlp::train::TrainData;
+use tlp::{
+    gather_rows, scored_loss, split_group_indices, MtlTlp, TrainOptions, TrainReport, Trainable,
+    Trainer,
+};
+use tlp_nn::{ParamId, ParamStore, Var, Workspace};
+
+/// What the shared trunk (and the non-adapting heads) do during adaptation.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum TrunkMode {
+    /// Freeze everything except the adapting head. Old-platform predictions
+    /// are bitwise-invariant under this mode.
+    Frozen,
+    /// Let the trunk learn at `scale ×` the configured learning rate
+    /// (implemented as a gradient scale; old heads still learn from their
+    /// own replay batches at full rate).
+    LowLr {
+        /// Multiplier applied to trunk gradients, typically `0.1` or less.
+        scale: f32,
+    },
+}
+
+/// Configuration of one adaptation round.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AdaptConfig {
+    /// Knobs forwarded verbatim to the shared [`Trainer`].
+    pub train: TrainOptions,
+    /// Trunk policy (frozen vs low-LR).
+    pub trunk: TrunkMode,
+}
+
+impl AdaptConfig {
+    /// Head-only adaptation: the trunk and old heads stay bitwise fixed.
+    pub fn frozen(train: TrainOptions) -> Self {
+        AdaptConfig {
+            train,
+            trunk: TrunkMode::Frozen,
+        }
+    }
+
+    /// Low-LR trunk adaptation with the given gradient scale.
+    pub fn low_lr(train: TrainOptions, scale: f32) -> Self {
+        AdaptConfig {
+            train,
+            trunk: TrunkMode::LowLr { scale },
+        }
+    }
+}
+
+/// One micro-batch routed to a specific head (new-platform or replay).
+#[derive(Clone, Debug)]
+struct AdaptBatch {
+    feats: Vec<f32>,
+    labels: Vec<f32>,
+    head: usize,
+}
+
+/// Where an epoch slot's samples come from.
+#[derive(Clone, Copy)]
+enum SlotRef {
+    /// Group index into the new-platform data.
+    New(usize),
+    /// Item index into the replay buffer.
+    Replay(usize),
+}
+
+/// [`Trainable`] adapter mixing new-platform groups with replay groups.
+/// Validation (when enabled) holds out *new-platform* groups — the platform
+/// whose ranking quality gates publishing.
+struct AdaptTask<'a> {
+    model: &'a mut MtlTlp,
+    head: usize,
+    new_data: &'a TrainData,
+    replay: &'a ReplayBuffer,
+    /// Sorted new-data group indices held out for validation.
+    valid_groups: Vec<usize>,
+    batch_size: usize,
+    /// Ids whose gradients are zeroed each step (bitwise-frozen params).
+    frozen: Vec<ParamId>,
+    /// Ids whose gradients are scaled each step (low-LR trunk).
+    scaled: Vec<(ParamId, f32)>,
+}
+
+impl AdaptTask<'_> {
+    fn slot(&self, s: SlotRef) -> (usize, &tlp::train::GroupData) {
+        match s {
+            SlotRef::New(gi) => (self.head, &self.new_data.groups[gi]),
+            SlotRef::Replay(ri) => {
+                let item = &self.replay.items()[ri];
+                (item.head, &item.group)
+            }
+        }
+    }
+
+    fn slot_batches(&self, s: SlotRef, order: &[usize], out: &mut Vec<AdaptBatch>) {
+        let (head, group) = self.slot(s);
+        for chunk in order.chunks(self.batch_size) {
+            // A singleton carries no ranking signal.
+            if chunk.len() < 2 {
+                continue;
+            }
+            let (feats, labels) = gather_rows(
+                &group.features,
+                &group.labels,
+                self.new_data.feature_size,
+                chunk,
+            );
+            out.push(AdaptBatch {
+                feats,
+                labels,
+                head,
+            });
+        }
+    }
+}
+
+impl Trainable for AdaptTask<'_> {
+    type Batch = AdaptBatch;
+
+    fn store(&self) -> &ParamStore {
+        &self.model.store
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.model.store
+    }
+
+    fn epoch_batches(&self, _epoch: usize, rng: &mut SmallRng) -> Vec<Self::Batch> {
+        // Interleave new-platform and replay slots so every optimizer step
+        // can mix adaptation signal with rehearsal signal.
+        let mut slots: Vec<SlotRef> = Vec::new();
+        for gi in 0..self.new_data.groups.len() {
+            if self.valid_groups.binary_search(&gi).is_ok() {
+                continue;
+            }
+            if self.new_data.groups[gi].labels.len() >= 2 {
+                slots.push(SlotRef::New(gi));
+            }
+        }
+        for ri in 0..self.replay.len() {
+            slots.push(SlotRef::Replay(ri));
+        }
+        slots.shuffle(rng);
+        let mut out = Vec::new();
+        for s in slots {
+            let (_, group) = self.slot(s);
+            let mut order: Vec<usize> = (0..group.labels.len()).collect();
+            order.shuffle(rng);
+            self.slot_batches(s, &order, &mut out);
+        }
+        out
+    }
+
+    fn batch_samples(&self, batch: &Self::Batch) -> usize {
+        batch.labels.len()
+    }
+
+    fn loss(&self, ws: &mut Workspace, batch: &Self::Batch) -> Var {
+        let scores = self.model.forward_task(
+            &mut ws.graph,
+            &mut ws.bind,
+            &batch.feats,
+            batch.labels.len(),
+            batch.head,
+        );
+        scored_loss(
+            &mut ws.graph,
+            scores,
+            &batch.labels,
+            self.model.config.loss,
+            self.model.config.seq_len,
+        )
+    }
+
+    fn valid_batches(&self) -> Vec<Self::Batch> {
+        let mut out = Vec::new();
+        for &gi in &self.valid_groups {
+            let n = self.new_data.groups[gi].labels.len();
+            if n < 2 {
+                continue;
+            }
+            let order: Vec<usize> = (0..n).collect();
+            self.slot_batches(SlotRef::New(gi), &order, &mut out);
+        }
+        out
+    }
+
+    fn postprocess_grads(&mut self) {
+        for &id in &self.frozen {
+            self.model.store.grad_mut(id).scale_assign(0.0);
+        }
+        for &(id, scale) in &self.scaled {
+            self.model.store.grad_mut(id).scale_assign(scale);
+        }
+    }
+}
+
+/// Runs one adaptation round: trains head `head` (and, per
+/// [`TrunkMode`], the trunk) on `new_data` mixed with `replay`, using the
+/// shared deterministic [`Trainer`].
+///
+/// Returns the trainer's [`TrainReport`]. For a fixed config the round is
+/// bit-reproducible for any worker count, like every other training loop in
+/// this workspace.
+///
+/// # Panics
+///
+/// Panics if `head` is out of range, or if `new_data` / `replay` feature
+/// sizes disagree with the model config.
+pub fn adapt_round(
+    model: &mut MtlTlp,
+    head: usize,
+    new_data: &TrainData,
+    replay: &ReplayBuffer,
+    config: &AdaptConfig,
+) -> TrainReport {
+    assert!(head < model.num_tasks(), "adapting head out of range");
+    let fs = model.config.seq_len * model.config.emb_size;
+    assert_eq!(new_data.feature_size, fs, "new-platform feature size");
+    if let Some(rfs) = replay.feature_size() {
+        assert_eq!(rfs, fs, "replay feature size");
+    }
+    for item in replay.items() {
+        assert!(item.head < model.num_tasks(), "replay head out of range");
+    }
+    let (frozen, scaled) = match config.trunk {
+        TrunkMode::Frozen => {
+            let mut frozen = model.trunk_param_ids();
+            for t in 0..model.num_tasks() {
+                if t != head {
+                    frozen.extend(model.head_param_ids(t));
+                }
+            }
+            (frozen, Vec::new())
+        }
+        TrunkMode::LowLr { scale } => (
+            Vec::new(),
+            model
+                .trunk_param_ids()
+                .into_iter()
+                .map(|id| (id, scale))
+                .collect(),
+        ),
+    };
+    let (_, valid_groups) = split_group_indices(
+        new_data.groups.len(),
+        config.train.valid_frac,
+        config.train.seed,
+    );
+    let batch_size = config.train.batch_size.max(2);
+    let mut task = AdaptTask {
+        model,
+        head,
+        new_data,
+        replay,
+        valid_groups,
+        batch_size,
+        frozen,
+        scaled,
+    };
+    Trainer::new(config.train.clone()).fit(&mut task)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::disallowed_methods)]
+    use super::*;
+    use tlp::train::GroupData;
+    use tlp::TlpConfig;
+
+    /// Deterministic synthetic group: features hash-derived, labels favor
+    /// larger feature sums, shaped like normalized latencies in (0, 1].
+    fn synth_group(cfg: &TlpConfig, tag: u64, n: usize) -> GroupData {
+        let fs = cfg.seq_len * cfg.emb_size;
+        let mut features = Vec::with_capacity(n * fs);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut sum = 0.0f32;
+            for j in 0..fs {
+                let h = (tag
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add((i * fs + j) as u64))
+                .wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                let v = ((h >> 40) as f32 / (1u64 << 24) as f32) - 0.5;
+                features.push(v);
+                sum += v;
+            }
+            labels.push((0.5 + 0.4 * (sum / (fs as f32).sqrt()).tanh()).clamp(0.05, 1.0));
+        }
+        GroupData { features, labels }
+    }
+
+    fn synth_data(cfg: &TlpConfig, tag: u64, groups: usize, n: usize) -> TrainData {
+        TrainData {
+            feature_size: cfg.seq_len * cfg.emb_size,
+            groups: (0..groups)
+                .map(|g| synth_group(cfg, tag * 1000 + g as u64, n))
+                .collect(),
+        }
+    }
+
+    fn param_bits(model: &MtlTlp, ids: &[tlp_nn::ParamId]) -> Vec<Vec<u32>> {
+        ids.iter()
+            .map(|&id| {
+                model
+                    .store
+                    .value(id)
+                    .data()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn small_options(cfg: &TlpConfig) -> TrainOptions {
+        TrainOptions::from_config(cfg)
+            .with_epochs(2)
+            .with_batch_size(8)
+            .with_workers(2)
+            .with_seed(11)
+    }
+
+    #[test]
+    fn frozen_mode_is_bitwise_invariant_outside_the_new_head() {
+        let cfg = TlpConfig::test_scale();
+        let base = MtlTlp::new(cfg.clone(), 2);
+        let mut model = base.grow_head();
+        let new_head = 2;
+        let mut fixed: Vec<tlp_nn::ParamId> = model.trunk_param_ids();
+        fixed.extend(model.head_param_ids(0));
+        fixed.extend(model.head_param_ids(1));
+        let before = param_bits(&model, &fixed);
+        let head_before = param_bits(&model, &model.head_param_ids(new_head));
+
+        let mut replay = ReplayBuffer::stratified(2, 3);
+        replay.ingest_data(0, &synth_data(&cfg, 7, 2, 12));
+        replay.ingest_data(1, &synth_data(&cfg, 8, 2, 12));
+        let new_data = synth_data(&cfg, 9, 3, 16);
+        let config = AdaptConfig::frozen(small_options(&cfg));
+        let report = adapt_round(&mut model, new_head, &new_data, &replay, &config);
+        assert_eq!(report.epochs.len(), 2);
+        assert!(report.samples > 0);
+
+        assert_eq!(param_bits(&model, &fixed), before, "frozen params moved");
+        assert_ne!(
+            param_bits(&model, &model.head_param_ids(new_head)),
+            head_before,
+            "new head failed to learn"
+        );
+    }
+
+    #[test]
+    fn low_lr_mode_moves_the_trunk() {
+        let cfg = TlpConfig::test_scale();
+        let mut model = MtlTlp::new(cfg.clone(), 2).grow_head();
+        let trunk = model.trunk_param_ids();
+        let before = param_bits(&model, &trunk);
+        let replay = ReplayBuffer::reservoir(4, 3);
+        let new_data = synth_data(&cfg, 9, 3, 16);
+        let config = AdaptConfig::low_lr(small_options(&cfg), 0.1);
+        adapt_round(&mut model, 2, &new_data, &replay, &config);
+        assert_ne!(param_bits(&model, &trunk), before, "trunk never moved");
+    }
+
+    #[test]
+    fn adaptation_is_bit_reproducible_across_worker_counts() {
+        let cfg = TlpConfig::test_scale();
+        let new_data = synth_data(&cfg, 4, 3, 16);
+        let mut replay = ReplayBuffer::reservoir(3, 5);
+        replay.ingest_data(0, &synth_data(&cfg, 5, 2, 12));
+        let run = |workers: usize| {
+            let mut model = MtlTlp::new(cfg.clone(), 2).grow_head();
+            let config = AdaptConfig::frozen(small_options(&cfg).with_workers(workers));
+            adapt_round(&mut model, 2, &new_data, &replay, &config);
+            param_bits(&model, &model.head_param_ids(2))
+        };
+        assert_eq!(run(1), run(4), "worker count changed the result");
+    }
+}

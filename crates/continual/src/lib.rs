@@ -1,0 +1,47 @@
+//! `tlp-continual` — cross-hardware continual learning for MTL-TLP.
+//!
+//! The paper's MTL-TLP (§5) trains one head per hardware platform *offline*,
+//! on a complete multi-platform collection. This crate closes the loop for
+//! the platform you did **not** collect for: it grows a fresh head on a
+//! trained model ([`tlp::MtlTlp::grow_head`]) and adapts it online from
+//! streamed measurements, while the model keeps serving its old platforms.
+//!
+//! The subsystem has four parts, one per module:
+//!
+//! - [`replay`]: a seeded, deterministic [`ReplayBuffer`] over prior
+//!   platforms' task groups (reservoir or stratified-by-task sampling).
+//!   Replay batches are mixed into every adaptation step so trunk updates
+//!   cannot silently forget the platforms the model already knows.
+//! - [`adapt`]: [`adapt_round`] drives the existing bitwise-deterministic
+//!   [`tlp::Trainer`] — not a new training loop — with an [`AdaptConfig`]
+//!   that either freezes the shared trunk (head-only updates, provably
+//!   bitwise-invariant old platforms) or lets the trunk move at a scaled
+//!   learning rate ([`TrunkMode::LowLr`]). Both policies are implemented as
+//!   gradient masks in the trainer's `postprocess_grads` hook, so the
+//!   all-reduce, clipping, and Adam step stay byte-for-byte the shared code
+//!   path.
+//! - [`publish`]: a [`SnapshotPublisher`] emits versioned
+//!   [`tlp::persist::SavedTlp`] snapshots at gated intervals, hot-swaps them
+//!   into a live [`tlp_serve::ModelRegistry`] (the atomic-`Arc` swap —
+//!   in-flight batches finish on the displaced version, so no request ever
+//!   fails), scores a canary set through the *installed* version, and rolls
+//!   back to the last good snapshot if the candidate regressed.
+//! - [`service`]: [`run_continual`] is the end-to-end closed loop —
+//!   candidate generation, fallible measurement under an injected
+//!   [`tlp_hwsim::FaultModel`], label accumulation, adaptation, evaluation
+//!   (including the measured forgetting metric on held-out old-platform
+//!   tasks), and publishing. For a fixed seed the whole loop is
+//!   bit-reproducible.
+
+#![warn(missing_docs)]
+#![warn(clippy::disallowed_methods)]
+
+pub mod adapt;
+pub mod publish;
+pub mod replay;
+pub mod service;
+
+pub use adapt::{adapt_round, AdaptConfig, TrunkMode};
+pub use publish::{rank_accuracy, CanarySet, PublishOutcome, PublishPolicy, SnapshotPublisher};
+pub use replay::{ReplayBuffer, ReplayItem, ReplayStrategy};
+pub use service::{run_continual, AdaptReport, ContinualConfig, RoundReport};

@@ -1,0 +1,306 @@
+//! Validation-gated snapshot publishing with canary rollback.
+//!
+//! After adaptation rounds, the candidate model is snapshotted
+//! ([`tlp::persist::snapshot_mtl`] — the same versioned [`SavedTlp`] format
+//! the training pipeline persists), restored (exercising the exact bytes a
+//! cold-started server would load), and hot-swapped into a live
+//! [`ModelRegistry`] under the new platform's head. The registry swap is the
+//! PR 3 atomic-`Arc` exchange: in-flight batches finish on the displaced
+//! version, so publishing never surfaces a request failure.
+//!
+//! Publishing is *gated*: the freshly installed version scores a canary set
+//! (held-out schedules with known new-platform latencies) **through the
+//! registry** — the same engine path real traffic takes — and if ranking
+//! accuracy regressed beyond the policy's tolerance, the previous good
+//! snapshot is reinstalled (another atomic swap) and the candidate is
+//! discarded.
+
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use tlp::persist::{snapshot_mtl, PersistError, SavedTlp};
+use tlp::{FeatureExtractor, MtlTlp};
+use tlp_autotuner::SearchTask;
+use tlp_dataset::Dataset;
+use tlp_schedule::ScheduleSequence;
+use tlp_serve::ModelRegistry;
+
+/// When to publish and how much canary regression to tolerate.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PublishPolicy {
+    /// Publish after every `every_rounds` adaptation rounds (`1` = every
+    /// round). `0` disables publishing entirely.
+    pub every_rounds: usize,
+    /// A candidate whose canary rank accuracy is more than this far below
+    /// the last good snapshot's is rolled back.
+    pub canary_tolerance: f64,
+}
+
+impl Default for PublishPolicy {
+    fn default() -> Self {
+        PublishPolicy {
+            every_rounds: 1,
+            canary_tolerance: 0.02,
+        }
+    }
+}
+
+/// One canary task: schedules with ground-truth latencies on the new
+/// platform, scored through the installed model at publish time.
+#[derive(Clone, Debug)]
+pub struct CanarySet {
+    /// The tuning task (subgraph + new platform) the schedules belong to.
+    pub task: SearchTask,
+    /// The canary schedules.
+    pub schedules: Vec<ScheduleSequence>,
+    /// Ground-truth latencies, aligned with `schedules`.
+    pub latencies: Vec<f64>,
+}
+
+impl CanarySet {
+    /// Builds canary sets from a dataset's held-out test tasks, using the
+    /// latency column of platform `platform_idx`. `max_tasks == 0` keeps
+    /// every test task.
+    pub fn from_dataset(ds: &Dataset, platform_idx: usize, max_tasks: usize) -> Vec<CanarySet> {
+        let platform = &ds.platforms[platform_idx];
+        let take = if max_tasks == 0 {
+            usize::MAX
+        } else {
+            max_tasks
+        };
+        ds.test_tasks()
+            .filter(|t| t.programs.len() >= 2)
+            .take(take)
+            .map(|t| CanarySet {
+                task: SearchTask::new(t.subgraph.clone(), platform.clone()),
+                schedules: t.programs.iter().map(|r| r.schedule.clone()).collect(),
+                latencies: t
+                    .programs
+                    .iter()
+                    .map(|r| r.latencies[platform_idx])
+                    .collect(),
+            })
+            .collect()
+    }
+}
+
+/// What one [`SnapshotPublisher::maybe_publish`] call did.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum PublishOutcome {
+    /// The round is not on the publishing cadence.
+    Skipped,
+    /// The candidate passed the canary gate and is now serving.
+    Published {
+        /// Registry version tag of the installed candidate.
+        version: u64,
+        /// Canary rank accuracy the candidate scored.
+        accuracy: f64,
+    },
+    /// The candidate regressed; the last good snapshot was reinstalled.
+    RolledBack {
+        /// Canary rank accuracy of the rejected candidate.
+        rejected_accuracy: f64,
+        /// Registry version tag of the reinstalled good snapshot.
+        restored_version: u64,
+        /// The accuracy the good snapshot had scored.
+        good_accuracy: f64,
+    },
+}
+
+/// Publishes adaptation snapshots into a live registry with canary-gated
+/// rollback. See the module docs for the full protocol.
+#[derive(Debug)]
+pub struct SnapshotPublisher {
+    registry: Arc<ModelRegistry>,
+    name: String,
+    head: usize,
+    policy: PublishPolicy,
+    canaries: Vec<CanarySet>,
+    /// Last accepted snapshot and its canary accuracy.
+    last_good: Option<(SavedTlp, f64)>,
+    events: Vec<PublishOutcome>,
+}
+
+impl SnapshotPublisher {
+    /// A publisher that installs under `name`, serving head `head`, gated by
+    /// `policy` against `canaries`.
+    pub fn new(
+        registry: Arc<ModelRegistry>,
+        name: impl Into<String>,
+        head: usize,
+        policy: PublishPolicy,
+        canaries: Vec<CanarySet>,
+    ) -> Self {
+        SnapshotPublisher {
+            registry,
+            name: name.into(),
+            head,
+            policy,
+            canaries,
+            last_good: None,
+            events: Vec::new(),
+        }
+    }
+
+    /// The registry this publisher installs into.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// The registry name published under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Every outcome so far, in round order.
+    pub fn events(&self) -> &[PublishOutcome] {
+        &self.events
+    }
+
+    /// Number of accepted publishes.
+    pub fn published(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, PublishOutcome::Published { .. }))
+            .count()
+    }
+
+    /// Number of canary rollbacks.
+    pub fn rolled_back(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, PublishOutcome::RolledBack { .. }))
+            .count()
+    }
+
+    /// Snapshot → install → canary-score → keep-or-rollback, when `round`
+    /// (0-based) is on the policy cadence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PersistError`] from snapshot restore — impossible for a
+    /// well-formed model but surfaced rather than swallowed.
+    pub fn maybe_publish(
+        &mut self,
+        round: usize,
+        model: &MtlTlp,
+        extractor: &FeatureExtractor,
+    ) -> Result<PublishOutcome, PersistError> {
+        if self.policy.every_rounds == 0 || !(round + 1).is_multiple_of(self.policy.every_rounds) {
+            self.events.push(PublishOutcome::Skipped);
+            return Ok(PublishOutcome::Skipped);
+        }
+        let snapshot = snapshot_mtl(model, extractor);
+        let (restored, ex) = snapshot.restore_mtl()?;
+        let version = self
+            .registry
+            .install_mtl_head(&self.name, restored, ex, self.head);
+        let accuracy = match self.registry.resolve(&self.name) {
+            Some(v) => canary_accuracy(&v, &self.canaries),
+            // Raced external removal: treat as a total regression so the
+            // gate below reinstalls the last good snapshot.
+            None => 0.0,
+        };
+        let regressed = self
+            .last_good
+            .as_ref()
+            .is_some_and(|(_, good)| accuracy + self.policy.canary_tolerance < *good);
+        let outcome = if regressed {
+            // The borrow is re-taken because restore_mtl may fail (typed
+            // error), and last_good must stay intact in that case.
+            let good_accuracy = match &self.last_good {
+                Some((_, acc)) => *acc,
+                None => 0.0,
+            };
+            let restored_version = match &self.last_good {
+                Some((snap, _)) => {
+                    let (m, ex) = snap.restore_mtl()?;
+                    self.registry.install_mtl_head(&self.name, m, ex, self.head)
+                }
+                None => version,
+            };
+            PublishOutcome::RolledBack {
+                rejected_accuracy: accuracy,
+                restored_version,
+                good_accuracy,
+            }
+        } else {
+            self.last_good = Some((snapshot, accuracy));
+            PublishOutcome::Published { version, accuracy }
+        };
+        self.events.push(outcome.clone());
+        Ok(outcome)
+    }
+}
+
+/// Scores every canary set through the installed version and pools the
+/// pairwise rank accuracy.
+fn canary_accuracy(version: &tlp_serve::ModelVersion, canaries: &[CanarySet]) -> f64 {
+    let mut concordant = 0u64;
+    let mut total = 0u64;
+    for c in canaries {
+        let (scores, _) = version.score(&c.task, &c.schedules);
+        let (con, tot) = concordant_pairs(&scores, &c.latencies);
+        concordant += con;
+        total += tot;
+    }
+    if total == 0 {
+        1.0
+    } else {
+        concordant as f64 / total as f64
+    }
+}
+
+/// Fraction of comparable pairs ranked concordantly: a higher score must
+/// mean a lower latency. Unscored schedules (`None`) and latency ties are
+/// skipped; returns `1.0` when no pair is comparable (vacuously correct).
+pub fn rank_accuracy(scores: &[Option<f32>], latencies: &[f64]) -> f64 {
+    let (con, tot) = concordant_pairs(scores, latencies);
+    if tot == 0 {
+        1.0
+    } else {
+        con as f64 / tot as f64
+    }
+}
+
+fn concordant_pairs(scores: &[Option<f32>], latencies: &[f64]) -> (u64, u64) {
+    let mut concordant = 0u64;
+    let mut total = 0u64;
+    for i in 0..scores.len() {
+        let Some(si) = scores[i] else { continue };
+        for j in (i + 1)..scores.len() {
+            let Some(sj) = scores[j] else { continue };
+            let (li, lj) = (latencies[i], latencies[j]);
+            if !li.is_finite() || !lj.is_finite() || li == lj || si == sj {
+                continue;
+            }
+            total += 1;
+            if (si > sj) == (li < lj) {
+                concordant += 1;
+            }
+        }
+    }
+    (concordant, total)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::disallowed_methods)]
+    use super::*;
+
+    #[test]
+    fn rank_accuracy_counts_concordant_pairs() {
+        // Scores perfectly inverse to latency → accuracy 1.
+        let scores = vec![Some(3.0), Some(2.0), Some(1.0)];
+        let lats = vec![1.0, 2.0, 3.0];
+        assert_eq!(rank_accuracy(&scores, &lats), 1.0);
+        // Fully reversed → accuracy 0.
+        let rev = vec![Some(1.0), Some(2.0), Some(3.0)];
+        assert_eq!(rank_accuracy(&rev, &lats), 0.0);
+        // Unscored entries and infinite latencies are skipped.
+        let holes = vec![Some(3.0), None, Some(1.0)];
+        let hl = vec![1.0, f64::INFINITY, 3.0];
+        assert_eq!(rank_accuracy(&holes, &hl), 1.0);
+        // No comparable pairs → vacuous pass.
+        assert_eq!(rank_accuracy(&[None, None], &[1.0, 2.0]), 1.0);
+    }
+}

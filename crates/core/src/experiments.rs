@@ -200,12 +200,25 @@ pub fn eval_mtl(
     ds: &Dataset,
     platform_idx: usize,
 ) -> (f64, f64) {
+    eval_mtl_head(model, extractor, ds, platform_idx, 0)
+}
+
+/// Top-1/top-5 of one MTL-TLP head on test tasks, scored against platform
+/// column `platform_idx`. Continual adaptation uses this both for the
+/// new-platform head and to watch old heads for forgetting.
+pub fn eval_mtl_head(
+    model: &MtlTlp,
+    extractor: &FeatureExtractor,
+    ds: &Dataset,
+    platform_idx: usize,
+    head: usize,
+) -> (f64, f64) {
     let scratch = std::cell::RefCell::new((Workspace::new(), crate::features::FeatureBuf::new()));
     let scorer = |t: &TaskData| {
         let (ws, feats) = &mut *scratch.borrow_mut();
         extractor.extract_batch_into(t.programs.iter().map(|r| &r.schedule), feats);
         let mut out = Vec::new();
-        model.predict_task_into(ws, feats, 0, &mut out);
+        model.predict_task_into(ws, feats, head, &mut out);
         out
     };
     (

@@ -75,6 +75,6 @@ pub use search::{
 };
 pub use train::{resume_tlp, train_tlp, train_tlp_checkpointed, train_tlp_with, TrainData};
 pub use trainer::{
-    EpochReport, StopReason, TrainCheckpoint, TrainOptions, TrainReport, Trainable, Trainer,
-    TRAIN_CHECKPOINT_FORMAT_VERSION,
+    gather_rows, scored_loss, split_group_indices, EpochReport, StopReason, TrainCheckpoint,
+    TrainOptions, TrainReport, Trainable, Trainer, TRAIN_CHECKPOINT_FORMAT_VERSION,
 };

@@ -57,6 +57,99 @@ impl MtlTlp {
         self.heads.len()
     }
 
+    /// Returns a new model with one extra head appended (index
+    /// [`MtlTlp::num_tasks`] of `self`) — the continual-learning entry
+    /// point for adapting to a hardware platform the model has never seen.
+    ///
+    /// The shared trunk and every existing head are copied *bitwise* from
+    /// `self` (parameters are matched by registered name), so the grown
+    /// model scores old platforms exactly like the original. The new head
+    /// gets a fresh deterministic initialization drawn from the model
+    /// config's seed, so growing is reproducible.
+    pub fn grow_head(&self) -> MtlTlp {
+        let mut grown = MtlTlp::new(self.config.clone(), self.num_tasks() + 1);
+        let old_by_name: std::collections::HashMap<&str, tlp_nn::ParamId> = self
+            .store
+            .ids()
+            .map(|id| (self.store.name(id), id))
+            .collect();
+        let new_ids: Vec<tlp_nn::ParamId> = grown.store.ids().collect();
+        for id in new_ids {
+            let name = grown.store.name(id).to_string();
+            if let Some(&old_id) = old_by_name.get(name.as_str()) {
+                *grown.store.value_mut(id) = self.store.value(old_id).clone();
+            }
+        }
+        grown
+    }
+
+    /// Like [`MtlTlp::grow_head`], but warm-starts the new head with a
+    /// bitwise copy of head `src`'s parameters instead of a fresh random
+    /// initialization.
+    ///
+    /// Before any adaptation the grown model therefore scores the new
+    /// platform exactly as `src` scores its own — the head-level version of
+    /// the paper's cross-hardware transfer: when the new device resembles a
+    /// known one, fine-tuning from its head needs far fewer measurements
+    /// than learning the head from scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of range.
+    pub fn grow_head_from(&self, src: usize) -> MtlTlp {
+        assert!(src < self.num_tasks(), "source head out of range");
+        let mut grown = self.grow_head();
+        let new = self.num_tasks();
+        let src_prefix = format!("head{src}.");
+        let new_prefix = format!("head{new}.");
+        let src_by_suffix: std::collections::HashMap<String, tlp_nn::ParamId> = self
+            .head_param_ids(src)
+            .into_iter()
+            .map(|id| {
+                let suffix = self.store.name(id)[src_prefix.len()..].to_string();
+                (suffix, id)
+            })
+            .collect();
+        for id in grown.head_param_ids(new) {
+            let suffix = grown.store.name(id)[new_prefix.len()..].to_string();
+            let src_id = *src_by_suffix
+                .get(&suffix)
+                .unwrap_or_else(|| panic!("head layout mismatch at {suffix}"));
+            *grown.store.value_mut(id) = self.store.value(src_id).clone();
+        }
+        grown
+    }
+
+    /// Ids of the parameters belonging to head `task` (registered under the
+    /// `head{task}.` name prefix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range.
+    pub fn head_param_ids(&self, task: usize) -> Vec<tlp_nn::ParamId> {
+        assert!(task < self.num_tasks(), "head index out of range");
+        let prefix = format!("head{task}.");
+        self.store
+            .ids()
+            .filter(|&id| self.store.name(id).starts_with(&prefix))
+            .collect()
+    }
+
+    /// Ids of the shared-trunk parameters: everything not owned by any
+    /// head. Together with [`MtlTlp::head_param_ids`] for every head this
+    /// partitions the store — the invariant gradient-masking policies
+    /// (frozen-trunk adaptation) rely on.
+    pub fn trunk_param_ids(&self) -> Vec<tlp_nn::ParamId> {
+        let prefixes: Vec<String> = (0..self.num_tasks()).map(|i| format!("head{i}.")).collect();
+        self.store
+            .ids()
+            .filter(|&id| {
+                let name = self.store.name(id);
+                !prefixes.iter().any(|p| name.starts_with(p.as_str()))
+            })
+            .collect()
+    }
+
     /// Forward pass through the shared backbone and head `task`.
     pub fn forward_task(
         &self,
@@ -373,6 +466,76 @@ mod tests {
         let losses = train_mtl(&mut model, &[target, aux]).epoch_losses();
         assert_eq!(losses.len(), 6);
         assert!(losses.last().unwrap() < losses.first().unwrap());
+    }
+
+    #[test]
+    fn grow_head_preserves_old_heads_bitwise() {
+        let cfg = TlpConfig::test_scale();
+        let base = MtlTlp::new(cfg.clone(), 2);
+        let grown = base.grow_head();
+        assert_eq!(grown.num_tasks(), 3);
+        let fs = cfg.seq_len * cfg.emb_size;
+        let feats: Vec<f32> = (0..2 * fs).map(|i| (i % 13) as f32 * 0.05).collect();
+        for task in 0..2 {
+            let a = base.predict_task(&feats, task);
+            let b = grown.predict_task(&feats, task);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "head {task} drifted");
+            }
+        }
+        // The new head is freshly initialized, not a copy of head 0, and
+        // growing is deterministic.
+        let s0 = grown.predict_task(&feats, 0);
+        let s2 = grown.predict_task(&feats, 2);
+        assert!((s0[0] - s2[0]).abs() > 1e-7);
+        let again = base.grow_head();
+        let r2 = again.predict_task(&feats, 2);
+        assert_eq!(s2[0].to_bits(), r2[0].to_bits());
+    }
+
+    #[test]
+    fn grow_head_from_warm_starts_the_new_head() {
+        let cfg = TlpConfig::test_scale();
+        let base = MtlTlp::new(cfg.clone(), 2);
+        let grown = base.grow_head_from(1);
+        assert_eq!(grown.num_tasks(), 3);
+        let fs = cfg.seq_len * cfg.emb_size;
+        let feats: Vec<f32> = (0..2 * fs).map(|i| (i % 11) as f32 * 0.07).collect();
+        // The new head scores exactly like its source head...
+        let src = grown.predict_task(&feats, 1);
+        let new = grown.predict_task(&feats, 2);
+        for (x, y) in src.iter().zip(&new) {
+            assert_eq!(x.to_bits(), y.to_bits(), "warm start is not bitwise");
+        }
+        // ...and old heads are untouched relative to the base model.
+        for task in 0..2 {
+            let a = base.predict_task(&feats, task);
+            let b = grown.predict_task(&feats, task);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "head {task} drifted");
+            }
+        }
+    }
+
+    #[test]
+    fn param_ids_partition_the_store() {
+        // 11 heads so the `head1.` prefix must not swallow `head10.`.
+        let model = MtlTlp::new(TlpConfig::test_scale(), 11);
+        let mut seen = vec![0usize; model.store.len()];
+        for id in model.trunk_param_ids() {
+            seen[model.store.ids().position(|x| x == id).unwrap()] += 1;
+        }
+        for t in 0..model.num_tasks() {
+            let ids = model.head_param_ids(t);
+            assert!(!ids.is_empty(), "head {t} owns no parameters");
+            for id in ids {
+                seen[model.store.ids().position(|x| x == id).unwrap()] += 1;
+            }
+        }
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "trunk/head ids must partition the store exactly once: {seen:?}"
+        );
     }
 
     #[test]

@@ -23,7 +23,7 @@ use tlp_schedule::Vocabulary;
 pub const SAVED_TLP_FORMAT_VERSION: u32 = 1;
 
 /// A serializable snapshot of a trained TLP model + its feature extractor.
-#[derive(Serialize, Deserialize)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct SavedTlp {
     /// Snapshot format tag; see [`SAVED_TLP_FORMAT_VERSION`].
     format_version: u32,

@@ -153,13 +153,38 @@ impl ScheduleScorer for TlpScorer {
     }
 }
 
-/// MTL-TLP scoring through the target-platform head (task 0).
+/// MTL-TLP scoring through one selected platform head (0 = the target
+/// platform — the historical behaviour; continual adaptation serves a newly
+/// grown head by index).
 #[derive(Debug)]
 pub struct MtlTlpScorer {
     /// The pre-trained multi-task model.
     pub model: MtlTlp,
     /// The frozen feature extractor.
     pub extractor: FeatureExtractor,
+    /// Head index every score goes through.
+    pub head: usize,
+}
+
+impl MtlTlpScorer {
+    /// A scorer over the target-platform head (head 0).
+    pub fn new(model: MtlTlp, extractor: FeatureExtractor) -> Self {
+        MtlTlpScorer::for_head(model, extractor, 0)
+    }
+
+    /// A scorer over an explicit head index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head` is out of range for `model`.
+    pub fn for_head(model: MtlTlp, extractor: FeatureExtractor, head: usize) -> Self {
+        assert!(head < model.num_tasks(), "head index out of range");
+        MtlTlpScorer {
+            model,
+            extractor,
+            head,
+        }
+    }
 }
 
 impl ScheduleScorer for MtlTlpScorer {
@@ -183,8 +208,12 @@ impl ScheduleScorer for MtlTlpScorer {
     ) {
         self.extractor
             .extract_batch_into(idx.iter().map(|&i| &schedules[i]), &mut scratch.feats);
-        self.model
-            .predict_task_into(&mut scratch.ws, &scratch.feats, 0, &mut scratch.scores);
+        self.model.predict_task_into(
+            &mut scratch.ws,
+            &scratch.feats,
+            self.head,
+            &mut scratch.scores,
+        );
         out.extend(scratch.scores.iter().copied().map(Some));
     }
 }
@@ -363,9 +392,9 @@ impl TlpCostModel {
 pub type MtlTlpCostModel = FeatureModel<MtlTlpScorer>;
 
 impl MtlTlpCostModel {
-    /// Wraps a pre-trained MTL-TLP model.
+    /// Wraps a pre-trained MTL-TLP model (target head).
     pub fn new(model: MtlTlp, extractor: FeatureExtractor) -> Self {
-        FeatureModel::from_scorer(MtlTlpScorer { model, extractor })
+        FeatureModel::from_scorer(MtlTlpScorer::new(model, extractor))
     }
 }
 

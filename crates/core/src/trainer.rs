@@ -288,6 +288,18 @@ pub trait Trainable: Sync {
     fn valid_batches(&self) -> Vec<Self::Batch> {
         Vec::new()
     }
+
+    /// Hook invoked once per optimizer step, after the ordered all-reduce
+    /// and gradient averaging but before the norm is recorded, clipping is
+    /// applied, and Adam steps. The default does nothing — the historical
+    /// training loops are bitwise unaffected.
+    ///
+    /// Implementations may zero or rescale per-parameter gradients through
+    /// [`tlp_nn::ParamStore::grad_mut`]. Continual adaptation uses this to
+    /// freeze the shared trunk (zeroing a gradient every step keeps Adam's
+    /// moments at zero, so the frozen parameter is bitwise unchanged) or to
+    /// run the trunk at a reduced effective learning rate.
+    fn postprocess_grads(&mut self) {}
 }
 
 /// Format tag written into every [`TrainCheckpoint`] file.
@@ -511,6 +523,7 @@ impl Trainer {
                 if k > 1 {
                     task.store_mut().scale_grads(1.0 / k as f32);
                 }
+                task.postprocess_grads();
                 norm_sum += task.store().grad_norm() as f64;
                 task.store_mut().clip_grad_norm(o.grad_clip);
                 opt.step(task.store_mut());
@@ -692,8 +705,10 @@ fn eval_batches<T: Trainable>(task: &T, ws: &mut Workspace, batches: &[T::Batch]
 
 /// The TLP training loss over a scored micro-batch: LambdaRank, or
 /// sigmoid-squashed MSE (monotone, so prediction-time rankings are
-/// unaffected).
-pub(crate) fn scored_loss(
+/// unaffected). Public so out-of-crate [`Trainable`] implementations (the
+/// continual-adaptation task) build the exact same loss the in-crate loops
+/// use.
+pub fn scored_loss(
     g: &mut Graph,
     scores: Var,
     labels: &[f32],
@@ -711,7 +726,7 @@ pub(crate) fn scored_loss(
 }
 
 /// Copies the rows of `idx` out of a row-major feature/label group.
-pub(crate) fn gather_rows(
+pub fn gather_rows(
     features: &[f32],
     labels: &[f32],
     fs: usize,
@@ -729,7 +744,7 @@ pub(crate) fn gather_rows(
 /// Splits group indices `0..n_groups` into (train, valid) index sets, both
 /// ascending. Uses its own RNG (salted from `seed`) so enabling a split
 /// leaves the training shuffle stream untouched.
-pub(crate) fn split_group_indices(
+pub fn split_group_indices(
     n_groups: usize,
     valid_frac: f64,
     seed: u64,

@@ -168,6 +168,31 @@ impl Platform {
         }
     }
 
+    /// AMD Ryzen 9 3950X @ 3.5 GHz, 16C/32T desktop CPU (AVX2).
+    ///
+    /// Not part of the paper's Table 5 set: this is the held-out "new
+    /// hardware" target for continual cross-platform adaptation, so it is
+    /// listed in [`Platform::all`]/[`Platform::by_name`] but deliberately
+    /// excluded from [`Platform::all_cpus`] (dataset invariants assume the
+    /// five Table 5 CPUs).
+    pub fn ryzen_3950x() -> Platform {
+        Platform {
+            name: "ryzen-3950x".into(),
+            arch: Arch::AmdX86,
+            device: DeviceKind::Cpu,
+            cores: 16,
+            freq_ghz: 3.5,
+            vector_lanes: 8,
+            fma_units: 2,
+            l1_kb: 32.0,
+            l2_kb: 512.0,
+            l3_kb: 65536.0,
+            dram_gbps: 48.0,
+            launch_overhead_us: 7.0,
+            quirk_seed: 0x3950,
+        }
+    }
+
     /// NVIDIA Tesla K80 (one GK210 die: 13 SMs @ 0.82 GHz).
     pub fn tesla_k80() -> Platform {
         Platform {
@@ -222,10 +247,11 @@ impl Platform {
         vec![Platform::tesla_k80(), Platform::tesla_t4()]
     }
 
-    /// All seven platforms of Table 5.
+    /// All seven platforms of Table 5, plus the continual-learning target.
     pub fn all() -> Vec<Platform> {
         let mut v = Platform::all_cpus();
         v.extend(Platform::all_gpus());
+        v.push(Platform::ryzen_3950x());
         v
     }
 
@@ -240,10 +266,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn seven_platforms() {
-        assert_eq!(Platform::all().len(), 7);
+    fn seven_platforms_plus_continual_target() {
+        // Table 5 set (5 CPUs + 2 GPUs) plus the held-out continual target.
+        assert_eq!(Platform::all().len(), 8);
         assert_eq!(Platform::all_cpus().len(), 5);
         assert_eq!(Platform::all_gpus().len(), 2);
+        assert!(Platform::by_name("ryzen-3950x").is_some());
+        assert!(!Platform::all_cpus().iter().any(|p| p.name == "ryzen-3950x"));
     }
 
     #[test]

@@ -1,14 +1,27 @@
 //! The tiny draft head used by draft-then-verify speculative search.
 //!
-//! A [`TinyHead`] is a single linear regressor (`dim` weights + 1 bias, so
-//! ~1K parameters at the paper's 25×22 feature shape) that stands in for
-//! the full transformer during candidate ranking. It is distilled *online*:
-//! during search, every batch the full model scores becomes a regression
-//! target for a few SGD steps, so the head tracks whatever the full model
-//! currently believes — no offline training pass, no labels.
+//! A [`TinyHead`] is a small two-layer MLP: a *frozen* random-feature
+//! hidden layer (`tanh(W₁x + b₁)`, deterministically initialized from a
+//! hash — no RNG object anywhere) feeding a trained linear read-out that
+//! also sees the raw features directly
+//! (`score = w·x + w₂·tanh(W₁x + b₁) + b`). The hidden layer is what gives
+//! the head *feature interactions*: a pure linear head cannot separate
+//! candidates whose quality depends on the product of two schedule
+//! properties (say, a tile size × a parallel annotation), which is where
+//! the linear draft plateaued ~2% above the fully-scored search. Freezing
+//! `W₁` keeps the trained part of the model linear in its parameters, so
+//! the online margin-ranking update below stays convex, self-limiting and
+//! cheap — random kitchen-sink features, not backprop through the hidden
+//! layer.
 //!
-//! Determinism contract: the head is zero-initialized, the forward pass
-//! goes through the fixed-accumulation-order [`gemm`](crate::kernels::gemm)
+//! The head is distilled *online*: during search, every batch the full
+//! model scores becomes a ranking target for one margin update, so the head
+//! tracks whatever the full model currently believes — no offline training
+//! pass, no labels.
+//!
+//! Determinism contract: the trained parameters are zero-initialized, the
+//! frozen projection is a pure hash of its indices, the forward pass goes
+//! through the fixed-accumulation-order [`gemm`](crate::kernels::gemm)
 //! kernel, and the update path uses plain ascending-index loops, so two
 //! heads fed the same `(features, targets)` stream are bitwise identical —
 //! the property the search layer's RNG-neutrality discipline relies on.
@@ -25,9 +38,38 @@ const LR_DECAY_FLOOR_BATCHES: u64 = 15;
 /// noise-level ties the head should not burn capacity separating.
 const RANK_GAP: f32 = 0.25;
 
-/// A linear draft scorer: `score = w · x + b` over `dim`-wide features.
+/// Width of the frozen random-feature hidden layer.
+const DRAFT_HIDDEN: usize = 16;
+
+/// splitmix64 — the deterministic mixer behind the frozen projection.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A deterministic pseudo-uniform draw in `[-1, 1)` for cell `(i, tag)`.
+fn hash_unit(i: u64, tag: u64) -> f32 {
+    let h = mix(mix(i ^ 0xD8AF_7ED0) ^ tag);
+    ((h >> 11) as f64 * (2.0 / (1u64 << 53) as f64) - 1.0) as f32
+}
+
+/// A two-layer draft scorer:
+/// `score = w · x + w₂ · tanh(W₁ x + b₁) + b` over `dim`-wide features.
+///
+/// `W₁`/`b₁` are frozen (hash-initialized, never updated); `w`, `w₂` and
+/// `b` are the trained read-out.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TinyHead {
+    /// Frozen random-feature projection, `dim × DRAFT_HIDDEN` row-major.
+    w1: Vec<f32>,
+    /// Frozen hidden biases.
+    b1: Vec<f32>,
+    /// Trained read-out over the hidden activations.
+    w2: Vec<f32>,
+    /// Trained direct linear path over the raw features.
     w: Vec<f32>,
     b: f32,
     /// Batches absorbed so far (drives learning-rate decay).
@@ -35,11 +77,24 @@ pub struct TinyHead {
 }
 
 impl TinyHead {
-    /// A zero-initialized head over `dim`-wide features. Zero init scores
-    /// every candidate identically, which is exactly the "know nothing"
-    /// prior the warm-up gate expects before the first distillation batch.
+    /// A head over `dim`-wide features. The trained read-out (`w`, `w₂`,
+    /// `b`) is zero-initialized, so a fresh head scores every candidate
+    /// identically — exactly the "know nothing" prior the warm-up gate
+    /// expects before the first distillation batch. The frozen projection
+    /// is a pure hash of its indices scaled by `1/√dim`, so two heads of
+    /// the same width are identical without consuming any RNG.
     pub fn new(dim: usize) -> Self {
+        let scale = 1.0 / (dim.max(1) as f32).sqrt();
+        let w1 = (0..dim * DRAFT_HIDDEN)
+            .map(|i| scale * hash_unit(i as u64, 0xA1))
+            .collect();
+        let b1 = (0..DRAFT_HIDDEN)
+            .map(|i| 0.5 * hash_unit(i as u64, 0xB2))
+            .collect();
         TinyHead {
+            w1,
+            b1,
+            w2: vec![0.0; DRAFT_HIDDEN],
             w: vec![0.0; dim],
             b: 0.0,
             updates: 0,
@@ -51,9 +106,11 @@ impl TinyHead {
         self.w.len()
     }
 
-    /// Trainable parameter count (`dim` weights + 1 bias).
+    /// Trainable parameter count (`dim` direct weights + hidden read-out
+    /// weights + 1 bias). The frozen projection is not counted: it never
+    /// receives an update.
     pub fn param_count(&self) -> usize {
-        self.w.len() + 1
+        self.w.len() + self.w2.len() + 1
     }
 
     /// Distillation batches absorbed so far.
@@ -61,11 +118,24 @@ impl TinyHead {
         self.updates
     }
 
+    /// Hidden activations `tanh(x W₁ + b₁)` for `n` feature rows, through
+    /// the same blocked [`gemm`] kernel as every other matmul.
+    fn hidden(&self, features: &[f32], n: usize) -> Vec<f32> {
+        let mut h = vec![0.0f32; n * DRAFT_HIDDEN];
+        gemm(features, &self.w1, &mut h, n, self.w.len(), DRAFT_HIDDEN);
+        for row in h.chunks_exact_mut(DRAFT_HIDDEN) {
+            for (v, &bias) in row.iter_mut().zip(&self.b1) {
+                *v = (*v + bias).tanh();
+            }
+        }
+        h
+    }
+
     /// Scores `n` candidates whose features are packed row-major in
     /// `features` (`n × dim`), appending one score per candidate to `out`.
     ///
-    /// The matrix–vector product runs through the blocked [`gemm`] kernel
-    /// (`n×dim · dim×1`), so drafting reuses the same fixed-accumulation
+    /// Both the direct path and the hidden read-out run through the blocked
+    /// [`gemm`] kernel, so drafting reuses the same fixed-accumulation
     /// contract as the full model's forward pass.
     ///
     /// # Panics
@@ -80,8 +150,11 @@ impl TinyHead {
         let base = out.len();
         out.resize(base + n, 0.0);
         gemm(features, &self.w, &mut out[base..], n, self.w.len(), 1);
-        for s in &mut out[base..] {
-            *s += self.b;
+        let h = self.hidden(features, n);
+        let mut interact = vec![0.0f32; n];
+        gemm(&h, &self.w2, &mut interact, n, DRAFT_HIDDEN, 1);
+        for (s, hi) in out[base..].iter_mut().zip(&interact) {
+            *s += hi + self.b;
         }
     }
 
@@ -92,12 +165,15 @@ impl TinyHead {
     /// raw transformer scores drift in scale as the model updates online,
     /// and only their order matters downstream. Every ordered pair whose
     /// standardized gap exceeds [`RANK_GAP`] and whose predicted gap is
-    /// still inside the unit margin gets a hinge step `w += lr·(xᵢ − xⱼ)`
-    /// (averaged over violated pairs) — the direct objective for a head
-    /// whose only job is to put the right candidates on top. A batch with
-    /// zero target variance (all candidates scored identically) is absorbed
-    /// as a no-op on the weights. The margin makes the update self-limiting,
-    /// so scores stay bounded without a regression anchor.
+    /// still inside the unit margin gets a hinge step — `w += lr·(xᵢ − xⱼ)`
+    /// on the direct path and `w₂ += lr·(hᵢ − hⱼ)` on the hidden read-out
+    /// (averaged over violated pairs). Because the hidden layer is frozen,
+    /// the trained model is linear in `(w, w₂)` and the update stays the
+    /// direct convex objective for a head whose only job is to put the
+    /// right candidates on top. A batch with zero target variance (all
+    /// candidates scored identically) is absorbed as a no-op on the
+    /// weights. The margin makes the update self-limiting, so scores stay
+    /// bounded without a regression anchor.
     ///
     /// The learning rate decays as `base / sqrt(1 + updates)`, floored at
     /// `base / sqrt(LR_DECAY_FLOOR_BATCHES)`: early batches move the head
@@ -134,9 +210,11 @@ impl TinyHead {
         let inv_sd = if var > 0.0 { 1.0 / var.sqrt() } else { 0.0 };
         let z: Vec<f32> = targets.iter().map(|&t| (t - mean) * inv_sd).collect();
 
-        // Forward through the same gemm path as predict_into.
+        // Forward through the same gemm path as predict_into; keep the
+        // hidden activations for the w₂ update.
         let mut pred = Vec::with_capacity(n);
         self.predict_into(features, n, &mut pred);
+        let h = self.hidden(features, n);
 
         // Margin-violated pairs, ascending (i, j) order for determinism.
         let mut violations: Vec<(usize, usize)> = Vec::new();
@@ -150,10 +228,15 @@ impl TinyHead {
         let decay = (1.0 + self.updates.min(LR_DECAY_FLOOR_BATCHES) as f32).sqrt();
         let scale = (base_lr / decay) / violations.len().max(1) as f32;
         for (i, j) in violations {
-            let hi = &features[i * dim..(i + 1) * dim];
-            let lo = &features[j * dim..(j + 1) * dim];
-            for ((wk, &xh), &xl) in self.w.iter_mut().zip(hi).zip(lo) {
+            let hi_x = &features[i * dim..(i + 1) * dim];
+            let lo_x = &features[j * dim..(j + 1) * dim];
+            for ((wk, &xh), &xl) in self.w.iter_mut().zip(hi_x).zip(lo_x) {
                 *wk += scale * (xh - xl);
+            }
+            let hi_h = &h[i * DRAFT_HIDDEN..(i + 1) * DRAFT_HIDDEN];
+            let lo_h = &h[j * DRAFT_HIDDEN..(j + 1) * DRAFT_HIDDEN];
+            for ((wk, &ah), &al) in self.w2.iter_mut().zip(hi_h).zip(lo_h) {
+                *wk += scale * (ah - al);
             }
         }
         self.updates += 1;
@@ -168,10 +251,29 @@ mod tests {
         (0..n * dim).map(|i| f(i / dim, i % dim)).collect()
     }
 
+    /// Fraction of meaningfully-gapped pairs the head orders like `targets`.
+    fn concordance(h: &TinyHead, feats: &[f32], targets: &[f32], n: usize) -> (u32, u32) {
+        let mut pred = Vec::new();
+        h.predict_into(feats, n, &mut pred);
+        let (mut pairs, mut concordant) = (0u32, 0u32);
+        for a in 0..n {
+            for b in a + 1..n {
+                if (targets[a] - targets[b]).abs() < 1e-3 {
+                    continue;
+                }
+                pairs += 1;
+                if (pred[a] - pred[b]) * (targets[a] - targets[b]) > 0.0 {
+                    concordant += 1;
+                }
+            }
+        }
+        (pairs, concordant)
+    }
+
     #[test]
     fn zero_head_scores_uniformly() {
         let h = TinyHead::new(4);
-        assert_eq!(h.param_count(), 5);
+        assert_eq!(h.param_count(), 4 + DRAFT_HIDDEN + 1);
         let mut out = Vec::new();
         h.predict_into(&rows(3, 4, |i, j| (i + j) as f32), 3, &mut out);
         assert_eq!(out, vec![0.0; 3]);
@@ -202,24 +304,35 @@ mod tests {
         for _ in 0..300 {
             h.distill(&feats, &targets, n, 0.5);
         }
-        let mut pred = Vec::new();
-        h.predict_into(&feats, n, &mut pred);
-        let (mut pairs, mut concordant) = (0u32, 0u32);
-        for a in 0..n {
-            for b in a + 1..n {
-                if (targets[a] - targets[b]).abs() < 1e-3 {
-                    continue;
-                }
-                pairs += 1;
-                if (pred[a] - pred[b]) * (targets[a] - targets[b]) > 0.0 {
-                    concordant += 1;
-                }
-            }
-        }
+        let (pairs, concordant) = concordance(&h, &feats, &targets, n);
         assert!(pairs > 50, "degenerate target spread ({pairs} pairs)");
         assert!(
             concordant * 5 >= pairs * 4,
             "head ranked only {concordant}/{pairs} pairs correctly"
+        );
+    }
+
+    #[test]
+    fn distillation_captures_feature_interactions() {
+        // Target depends on the *product* of two features — invisible to
+        // any purely linear scorer (each feature is marginally uninformative
+        // by symmetry), but separable through the tanh hidden layer. The
+        // MLP head must beat coin-flipping by a clear margin.
+        let dim = 4;
+        let n = 24;
+        let feats = rows(n, dim, |i, j| {
+            ((i * dim + j) as u32).wrapping_mul(2654435761) as f32 / u32::MAX as f32 * 2.0 - 1.0
+        });
+        let targets: Vec<f32> = feats.chunks_exact(dim).map(|r| r[0] * r[1]).collect();
+        let mut h = TinyHead::new(dim);
+        for _ in 0..600 {
+            h.distill(&feats, &targets, n, 0.5);
+        }
+        let (pairs, concordant) = concordance(&h, &feats, &targets, n);
+        assert!(pairs > 100, "degenerate target spread ({pairs} pairs)");
+        assert!(
+            concordant as f64 >= pairs as f64 * 0.65,
+            "interaction ranking only {concordant}/{pairs} concordant"
         );
     }
 
@@ -249,5 +362,15 @@ mod tests {
         h.predict_into(&feats, 8, &mut out);
         assert_eq!(out, vec![0.0; 8], "zero-variance batch must not move w");
         assert_eq!(h.updates(), 1);
+    }
+
+    #[test]
+    fn frozen_projection_is_identical_across_heads() {
+        // Two fresh heads of the same width share the hash-derived frozen
+        // layer bitwise — the RNG-free init the determinism contract needs.
+        let (a, b) = (TinyHead::new(7), TinyHead::new(7));
+        assert_eq!(a, b);
+        assert!(a.w1.iter().any(|&w| w != 0.0), "projection must be nonzero");
+        assert!(a.w1.iter().all(|w| w.abs() <= 1.0));
     }
 }

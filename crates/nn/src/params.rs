@@ -83,6 +83,18 @@ impl ParamStore {
         &self.params[id.0].grad
     }
 
+    /// Mutable access to a parameter's accumulated gradient.
+    ///
+    /// This is the hook gradient-masking policies use between the
+    /// all-reduce and the optimizer step — e.g. continual adaptation
+    /// freezes the shared trunk by zeroing every non-head gradient
+    /// (a zero gradient leaves Adam's moments at zero, so the parameter is
+    /// bitwise unchanged), or runs a low-learning-rate trunk by scaling
+    /// trunk gradients down.
+    pub fn grad_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.params[id.0].grad
+    }
+
     /// A parameter's registered name.
     pub fn name(&self, id: ParamId) -> &str {
         &self.params[id.0].name

@@ -149,7 +149,7 @@ impl ModelRegistry {
             LoadedScorer::Tlp(TlpScorer { model, extractor })
         } else {
             let (model, extractor) = snapshot.restore_mtl()?;
-            LoadedScorer::Mtl(MtlTlpScorer { model, extractor })
+            LoadedScorer::Mtl(MtlTlpScorer::new(model, extractor))
         };
         Ok(self.install_scorer(name, scorer))
     }
@@ -161,7 +161,27 @@ impl ModelRegistry {
 
     /// Installs (or hot-swaps) an in-memory MTL model (scored via head 0).
     pub fn install_mtl(&self, name: &str, model: MtlTlp, extractor: FeatureExtractor) -> u64 {
-        self.install_scorer(name, LoadedScorer::Mtl(MtlTlpScorer { model, extractor }))
+        self.install_scorer(name, LoadedScorer::Mtl(MtlTlpScorer::new(model, extractor)))
+    }
+
+    /// Installs (or hot-swaps) an in-memory MTL model scored through head
+    /// `head` (continual adaptation serves a newly grown platform head this
+    /// way without disturbing the other heads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head` is out of range for the model.
+    pub fn install_mtl_head(
+        &self,
+        name: &str,
+        model: MtlTlp,
+        extractor: FeatureExtractor,
+        head: usize,
+    ) -> u64 {
+        self.install_scorer(
+            name,
+            LoadedScorer::Mtl(MtlTlpScorer::for_head(model, extractor, head)),
+        )
     }
 
     /// Installs a scorer under `name`, atomically replacing any previous

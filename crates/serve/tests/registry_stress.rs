@@ -1,0 +1,181 @@
+//! Stress test of [`ModelRegistry`] hot-swap under a concurrent publisher:
+//! readers hammering `resolve` + `score` while another thread continuously
+//! installs new versions must (a) never surface a request failure and
+//! (b) never observe a batch that mixes scores from two versions.
+//!
+//! Version mixing is detectable without instrumentation: each installed
+//! model is one of `k` seeds with a distinct, precomputed score vector over
+//! a fixed schedule pool, so any cross-version contamination yields a batch
+//! matching no seed's vector.
+
+#![allow(clippy::disallowed_methods)]
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use tlp::{FeatureExtractor, TlpConfig, TlpModel};
+use tlp_autotuner::{Candidate, SearchTask, SketchPolicy};
+use tlp_hwsim::Platform;
+use tlp_schedule::{ScheduleSequence, Vocabulary};
+use tlp_serve::ModelRegistry;
+use tlp_workload::{AnchorOp, Subgraph};
+
+const SEEDS: u64 = 4;
+const INSTALLS: usize = 60;
+const READERS: usize = 4;
+
+fn model_for_seed(seed: u64) -> (TlpModel, FeatureExtractor) {
+    let cfg = TlpConfig {
+        seed,
+        ..TlpConfig::test_scale()
+    };
+    let ex = FeatureExtractor::with_vocab(Vocabulary::builder().build(), cfg.seq_len, cfg.emb_size);
+    (TlpModel::new(cfg), ex)
+}
+
+fn schedule_pool(task: &SearchTask) -> Vec<ScheduleSequence> {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    let mut rng = SmallRng::seed_from_u64(1234);
+    (0..8)
+        .map(|_| Candidate::random(&SketchPolicy::cpu(), &task.subgraph, &mut rng).sequence)
+        .collect()
+}
+
+fn score_bits(scores: &[Option<f32>]) -> Vec<Option<u32>> {
+    scores.iter().map(|s| s.map(f32::to_bits)).collect()
+}
+
+#[test]
+fn hot_swap_under_concurrent_publisher_never_mixes_or_fails() {
+    let task = SearchTask::new(
+        Subgraph::new(
+            "d",
+            AnchorOp::Dense {
+                m: 64,
+                n: 64,
+                k: 64,
+            },
+        ),
+        Platform::i7_10510u(),
+    );
+    let pool = schedule_pool(&task);
+
+    // Precompute each seed's expected score vector through the same
+    // engine/scorer path the stressed registry uses.
+    let expected: Vec<Vec<Option<u32>>> = (0..SEEDS)
+        .map(|seed| {
+            let probe = ModelRegistry::default();
+            let (m, ex) = model_for_seed(seed);
+            probe.install_tlp("probe", m, ex);
+            let v = probe.resolve("probe").expect("probe installed");
+            let (scores, _) = v.score(&task, &pool);
+            assert!(
+                scores.iter().all(|s| s.is_some()),
+                "pool must be fully scorable"
+            );
+            score_bits(&scores)
+        })
+        .collect();
+    for a in 0..SEEDS as usize {
+        for b in (a + 1)..SEEDS as usize {
+            assert_ne!(expected[a], expected[b], "seeds must be distinguishable");
+        }
+    }
+
+    let registry = Arc::new(ModelRegistry::default());
+    let (m0, e0) = model_for_seed(0);
+    registry.install_tlp("m", m0, e0);
+
+    let done = AtomicBool::new(false);
+    let failures = AtomicU64::new(0);
+    let mixed = AtomicU64::new(0);
+    let batches = AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        let publisher = {
+            let registry = Arc::clone(&registry);
+            let done = &done;
+            s.spawn(move || {
+                for i in 1..INSTALLS {
+                    let (m, ex) = model_for_seed(i as u64 % SEEDS);
+                    registry.install_tlp("m", m, ex);
+                }
+                done.store(true, Ordering::SeqCst);
+            })
+        };
+        let mut readers = Vec::new();
+        for _ in 0..READERS {
+            let registry = Arc::clone(&registry);
+            let (task, pool, expected) = (&task, &pool, &expected);
+            let (done, failures, mixed, batches) = (&done, &failures, &mixed, &batches);
+            readers.push(s.spawn(move || loop {
+                let stop = done.load(Ordering::SeqCst);
+                match registry.resolve_required("m") {
+                    Ok(version) => {
+                        let (scores, _) = version.score(task, pool);
+                        batches.fetch_add(1, Ordering::Relaxed);
+                        let bits = score_bits(&scores);
+                        if !expected.contains(&bits) {
+                            mixed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    Err(_) => {
+                        failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                if stop {
+                    break;
+                }
+            }));
+        }
+        publisher.join().expect("publisher");
+        for r in readers {
+            r.join().expect("reader");
+        }
+    });
+
+    assert!(
+        batches.load(Ordering::Relaxed) > 0,
+        "readers scored batches"
+    );
+    assert_eq!(
+        failures.load(Ordering::Relaxed),
+        0,
+        "a hot-swap surfaced a request failure"
+    );
+    assert_eq!(
+        mixed.load(Ordering::Relaxed),
+        0,
+        "a batch mixed scores across versions"
+    );
+}
+
+#[test]
+fn removed_then_reinstalled_name_keeps_serving_held_references() {
+    // A reader that resolved a version before `remove` keeps scoring on it;
+    // reinstalling under the same name starts a fresh version lineage.
+    let task = SearchTask::new(
+        Subgraph::new(
+            "d",
+            AnchorOp::Dense {
+                m: 32,
+                n: 32,
+                k: 32,
+            },
+        ),
+        Platform::i7_10510u(),
+    );
+    let pool = schedule_pool(&task);
+    let registry = ModelRegistry::default();
+    let (m, ex) = model_for_seed(1);
+    registry.install_tlp("m", m, ex);
+    let held = registry.resolve("m").expect("installed");
+    let (before, _) = held.score(&task, &pool);
+    assert!(registry.remove("m"));
+    // The held Arc still serves identical scores after removal.
+    let (after, _) = held.score(&task, &pool);
+    assert_eq!(score_bits(&before), score_bits(&after));
+    let (m2, e2) = model_for_seed(2);
+    let v2 = registry.install_tlp("m", m2, e2);
+    assert!(v2 > held.version());
+}

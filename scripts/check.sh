@@ -40,6 +40,10 @@ cargo test -q --offline --workspace
 echo "==> chaos suite (fault injection across tuning, serving, training)"
 cargo test -q --offline --test chaos
 
+echo "==> continual suite (live adaptation, hot-swap, canary rollback)"
+cargo test -q --offline -p tlp-continual
+cargo test -q --offline -p tlp-serve --test registry_stress
+
 if [ "$status" -ne 0 ]; then
     echo "check.sh: fmt/clippy reported problems" >&2
     exit "$status"

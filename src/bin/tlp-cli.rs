@@ -6,6 +6,7 @@
 //! tlp-cli eval <model.json>             top-k of a snapshot on the test set
 //! tlp-cli tune <network> [model.json]   tune a workload (random or TLP-guided)
 //! tlp-cli serve-bench [c] [r] [b]       closed-loop load against tlp-serve
+//! tlp-cli adapt [snapshot.json]         continual-adapt a head to ryzen-3950x
 //! tlp-cli verify-corpus [out.json]      static-verifier sweep over the dataset
 //! tlp-cli platforms                     list simulated platforms
 //! ```
@@ -42,11 +43,12 @@ fn main() {
             args.get(2).map(String::as_str),
         ),
         Some("serve-bench") => cmd_serve_bench(&args[1..]),
+        Some("adapt") => cmd_adapt(args.get(1).map(String::as_str)),
         Some("verify-corpus") => cmd_verify_corpus(args.get(1).map(String::as_str)),
         Some("platforms") => cmd_platforms(),
         _ => {
             eprintln!(
-                "usage: tlp-cli <stats|train|eval|tune|serve-bench|verify-corpus|platforms> [args]\n\
+                "usage: tlp-cli <stats|train|eval|tune|serve-bench|adapt|verify-corpus|platforms> [args]\n\
                  \n\
                  stats                        dataset statistics\n\
                  train <model.json>           train TLP on the CPU dataset (i7 target)\n\
@@ -57,6 +59,11 @@ fn main() {
                  \x20                            r requests each (default 40) of b\n\
                  \x20                            candidates (default 16) against a\n\
                  \x20                            tlp-serve server; prints a JSON report\n\
+                 adapt [snapshot.json]        continual-adapt a warm-started head to\n\
+                 \x20                            ryzen-3950x from fault-injected\n\
+                 \x20                            measurements, hot-swapping canaried\n\
+                 \x20                            snapshots into a live registry; prints\n\
+                 \x20                            the adaptation report as JSON\n\
                  verify-corpus [out.json]     run the static schedule verifier over a\n\
                  \x20                            generated dataset sample and print (or\n\
                  \x20                            write) a JSON diagnostics summary\n\
@@ -239,6 +246,114 @@ fn cmd_tune(network: Option<&str>, model_path: Option<&str>) -> i32 {
             report.search.draft_scored,
             report.search.draft_acceptance() * 100.0
         );
+    }
+    0
+}
+
+fn cmd_adapt(snapshot_path: Option<&str>) -> i32 {
+    use tlp::experiments::eval_mtl_head;
+    use tlp::persist::snapshot_mtl;
+    use tlp::{train_mtl_with, MtlTlp, TrainOptions};
+    use tlp_continual::{
+        run_continual, AdaptConfig, CanarySet, ContinualConfig, PublishPolicy, ReplayBuffer,
+        SnapshotPublisher,
+    };
+    use tlp_hwsim::FaultRates;
+
+    let cfg = TlpConfig {
+        epochs: 6,
+        ..TlpConfig::test_scale()
+    };
+    let ds = tlp_dataset::generate_dataset_for(
+        &[tlp_workload::bert_tiny(1, 64)],
+        &[tlp_workload::bert_tiny(1, 128)],
+        &[
+            Platform::i7_10510u(),
+            Platform::e5_2673(),
+            Platform::ryzen_3950x(),
+        ],
+        &tlp_dataset::DatasetConfig {
+            programs_per_task: 48,
+            refined_fraction: 0.25,
+            seed: 0xC11,
+            ..tlp_dataset::DatasetConfig::default()
+        },
+    );
+    let extractor = FeatureExtractor::fit(&ds, cfg.seq_len, cfg.emb_size);
+
+    println!("training base model on i7-10510u + e5-2673…");
+    let mut base = MtlTlp::new(cfg.clone(), 2);
+    let data = [
+        TrainData::from_dataset(&ds, &extractor, 0),
+        TrainData::from_dataset(&ds, &extractor, 1),
+    ];
+    train_mtl_with(
+        &mut base,
+        &data,
+        &TrainOptions::from_config(&cfg).with_seed(0x0B),
+    );
+    let mut model = base.grow_head_from(1);
+    let (zero_shot, _) = eval_mtl_head(&model, &extractor, &ds, 2, 2);
+    println!("warm-started ryzen-3950x head from e5-2673 (zero-shot top-1 {zero_shot:.4})");
+
+    let mut replay = ReplayBuffer::stratified(3, 17);
+    replay.ingest_data(0, &data[0]);
+    replay.ingest_data(1, &data[1]);
+
+    let registry = Arc::new(ModelRegistry::new(EngineConfig::default()));
+    let mut publisher = SnapshotPublisher::new(
+        registry.clone(),
+        "ryzen-3950x",
+        2,
+        PublishPolicy::default(),
+        CanarySet::from_dataset(&ds, 2, 0),
+    );
+    let config = ContinualConfig {
+        rounds: 4,
+        per_task_candidates: 4,
+        max_tasks: 3,
+        fault_rates: FaultRates::uniform(0.05),
+        measure: Default::default(),
+        adapt: AdaptConfig::frozen(
+            TrainOptions::from_config(&cfg)
+                .with_epochs(4)
+                .with_batch_size(16)
+                .with_learning_rate(1e-3)
+                .with_seed(0x5EED),
+        ),
+        seed: 0xADA7,
+    };
+    println!(
+        "adapting: {} rounds x {} tasks x {} candidates at fault rate 0.05…",
+        config.rounds, config.max_tasks, config.per_task_candidates
+    );
+    let report = match run_continual(
+        &mut model,
+        &extractor,
+        &ds,
+        &replay,
+        &config,
+        Some(&mut publisher),
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("adapt: {e}");
+            return 1;
+        }
+    };
+    match serde_json::to_string_pretty(&report) {
+        Ok(j) => println!("{j}"),
+        Err(e) => {
+            eprintln!("adapt: {e}");
+            return 1;
+        }
+    }
+    if let Some(path) = snapshot_path {
+        if let Err(e) = snapshot_mtl(&model, &extractor).save(path) {
+            eprintln!("adapt: {e}");
+            return 1;
+        }
+        println!("saved adapted snapshot to {path}");
     }
     0
 }
