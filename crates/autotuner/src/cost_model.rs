@@ -341,10 +341,14 @@ impl RandomModel {
             x ^= x << 17;
             x
         };
-        let prev = self
+        // The closure always returns Some, so both arms carry the prior
+        // state; matching keeps the lock-free loop free of unwrap/expect.
+        let prev = match self
             .state
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |x| Some(step(x)))
-            .expect("xorshift step always succeeds");
+        {
+            Ok(p) | Err(p) => p,
+        };
         step(prev)
     }
 }
@@ -366,6 +370,7 @@ impl CostModel for RandomModel {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::disallowed_methods)]
     use super::*;
     use tlp_hwsim::Platform;
     use tlp_workload::{AnchorOp, Subgraph};

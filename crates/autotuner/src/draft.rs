@@ -303,6 +303,7 @@ impl DraftScorer {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::disallowed_methods)]
     use super::*;
     use crate::sketch::SketchPolicy;
     use rand::rngs::SmallRng;

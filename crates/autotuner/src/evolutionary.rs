@@ -313,10 +313,9 @@ impl<'a> Searcher<'a> {
             return rank_indices(&scores);
         }
 
-        let draft = self
-            .draft
-            .as_deref_mut()
-            .expect("speculate implies a draft scorer");
+        let Some(draft) = self.draft.as_deref_mut() else {
+            panic!("speculate implies a draft scorer");
+        };
 
         // 1. Draft: rank the whole pool with the tiny head.
         let mut draft_scores = Vec::with_capacity(pop.len());
@@ -496,6 +495,7 @@ fn rank_indices(scores: &[f32]) -> Vec<usize> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::disallowed_methods)]
     use super::*;
     use crate::cost_model::RandomModel;
     use crate::measure::Measurer;

@@ -41,7 +41,8 @@
 //! assert!(report.final_latency_s().is_finite());
 //! ```
 
-#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+#![warn(clippy::disallowed_methods)] // unwrap/expect ban in non-test lib code (see clippy.toml)
+#![allow(clippy::disallowed_types)] // keyed lookups only; determinism-critical crates opt in (clippy.toml)
 #![warn(missing_docs)]
 
 pub mod cost_model;

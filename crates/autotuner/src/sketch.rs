@@ -446,6 +446,7 @@ impl Candidate {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::disallowed_methods)]
     use super::*;
     use rand::SeedableRng;
     use tlp_hwsim::lower;

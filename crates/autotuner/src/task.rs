@@ -42,6 +42,7 @@ impl SearchTask {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::disallowed_methods)]
     use super::*;
     use tlp_workload::bert_tiny;
 

@@ -220,13 +220,14 @@ fn tune_impl(
         let ti = if round <= tasks.len() {
             round - 1
         } else {
-            (0..tasks.len())
-                .max_by(|&a, &b| {
-                    let wa = best[a] * tasks[a].weight as f64;
-                    let wb = best[b] * tasks[b].weight as f64;
-                    wa.partial_cmp(&wb).unwrap_or(std::cmp::Ordering::Equal)
-                })
-                .expect("at least one task")
+            match (0..tasks.len()).max_by(|&a, &b| {
+                let wa = best[a] * tasks[a].weight as f64;
+                let wb = best[b] * tasks[b].weight as f64;
+                wa.partial_cmp(&wb).unwrap_or(std::cmp::Ordering::Equal)
+            }) {
+                Some(i) => i,
+                None => unreachable!("tune_network checked tasks is non-empty"),
+            }
         };
         let task = &tasks[ti];
 
@@ -276,9 +277,9 @@ fn tune_impl(
             let lats: Vec<f64> = ok.iter().map(|r| r.latency_s).collect();
             // A mismatch here is a tuner bug (both vectors come from the
             // same measurement batch), so surface it loudly.
-            model
-                .update(task, &seqs, &lats)
-                .expect("cost-model update rejected measurement batch");
+            if let Err(e) = model.update(task, &seqs, &lats) {
+                panic!("cost-model update rejected measurement batch: {e}");
+            }
             for r in &ok {
                 best[ti] = best[ti].min(r.latency_s);
             }
@@ -332,6 +333,7 @@ fn tune_impl(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::disallowed_methods)]
     use super::*;
     use crate::cost_model::RandomModel;
     use tlp_workload::bert_tiny;

@@ -2,6 +2,7 @@
 //! and structural well-formedness of every emitted sequence.
 
 #![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+#![allow(clippy::disallowed_types)] // keyed lookups only; determinism-critical crates opt in (clippy.toml)
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;

@@ -125,7 +125,9 @@ fn main() {
     println!("\nserving: {CLIENTS} closed-loop clients…");
     let registry = Arc::new(ModelRegistry::new(EngineConfig::default()));
     let (model, ex) = model_and_extractor();
-    registry.install_tlp("tlp", model, ex);
+    registry
+        .install_tlp("tlp", model, ex)
+        .expect("fresh model passes audit");
     let server = Server::start(registry, ServeConfig::default());
     let report = run_closed_loop(
         &server.client(),

@@ -31,6 +31,7 @@ use tlp::{
     gather_rows, scored_loss, split_group_indices, MtlTlp, TrainOptions, TrainReport, Trainable,
     Trainer,
 };
+use tlp_modelcheck::{CoverageSpec, TrainedHeads};
 use tlp_nn::{ParamId, ParamStore, Var, Workspace};
 
 /// What the shared trunk (and the non-adapting heads) do during adaptation.
@@ -220,6 +221,31 @@ impl Trainable for AdaptTask<'_> {
         for &(id, scale) in &self.scaled {
             self.model.store.grad_mut(id).scale_assign(scale);
         }
+    }
+
+    fn coverage(&self) -> Option<CoverageSpec> {
+        let head_prefixes = (0..self.model.num_tasks())
+            .map(|i| format!("head{i}."))
+            .collect();
+        let spec = if self.frozen.is_empty() {
+            // Low-LR trunk: nothing is frozen and replay batches route
+            // through every old head, so the loss reaches everything.
+            CoverageSpec {
+                head_prefixes,
+                trained: TrainedHeads::All,
+                frozen: Vec::new(),
+            }
+        } else {
+            // Frozen trunk: only the adapting head is trainable; declaring
+            // the old heads untrained is the conservative truth the mask
+            // enforces (their replay gradients are zeroed every step).
+            CoverageSpec {
+                head_prefixes,
+                trained: TrainedHeads::Heads(vec![self.head]),
+                frozen: self.frozen.clone(),
+            }
+        };
+        Some(spec)
     }
 }
 

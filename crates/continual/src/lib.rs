@@ -35,6 +35,7 @@
 
 #![warn(missing_docs)]
 #![warn(clippy::disallowed_methods)]
+#![warn(clippy::disallowed_types)] // std HashMap/HashSet ban: deterministic iteration only
 
 pub mod adapt;
 pub mod publish;

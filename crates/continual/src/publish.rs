@@ -33,6 +33,14 @@ pub struct PublishPolicy {
     /// A candidate whose canary rank accuracy is more than this far below
     /// the last good snapshot's is rolled back.
     pub canary_tolerance: f64,
+    /// Run the `tlp-modelcheck` audit on every candidate snapshot *before*
+    /// it is installed for canary scoring, rejecting candidates with
+    /// error-severity diagnostics
+    /// ([`PublishOutcome::RejectedInvalid`]). On by default: the canary
+    /// only measures ranking quality, so a structurally broken model
+    /// (NaN weights, torn head partition) could otherwise reach the
+    /// registry before the canary notices anything.
+    pub audit: bool,
 }
 
 impl Default for PublishPolicy {
@@ -40,6 +48,7 @@ impl Default for PublishPolicy {
         PublishPolicy {
             every_rounds: 1,
             canary_tolerance: 0.02,
+            audit: true,
         }
     }
 }
@@ -103,6 +112,12 @@ pub enum PublishOutcome {
         restored_version: u64,
         /// The accuracy the good snapshot had scored.
         good_accuracy: f64,
+    },
+    /// The candidate failed the pre-canary `tlp-modelcheck` audit and was
+    /// never installed; the previously serving version is untouched.
+    RejectedInvalid {
+        /// Distinct M-codes of the audit's error diagnostics, sorted.
+        codes: Vec<String>,
     },
 }
 
@@ -172,6 +187,14 @@ impl SnapshotPublisher {
             .count()
     }
 
+    /// Number of candidates the pre-canary audit rejected.
+    pub fn rejected_invalid(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, PublishOutcome::RejectedInvalid { .. }))
+            .count()
+    }
+
     /// Snapshot → install → canary-score → keep-or-rollback, when `round`
     /// (0-based) is on the policy cadence.
     ///
@@ -190,10 +213,26 @@ impl SnapshotPublisher {
             return Ok(PublishOutcome::Skipped);
         }
         let snapshot = snapshot_mtl(model, extractor);
-        let (restored, ex) = snapshot.restore_mtl()?;
+        if self.policy.audit {
+            let report = snapshot.audit();
+            if report.has_errors() {
+                let codes: std::collections::BTreeSet<String> = report
+                    .errors()
+                    .map(|d| d.code.as_str().to_string())
+                    .collect();
+                let outcome = PublishOutcome::RejectedInvalid {
+                    codes: codes.into_iter().collect(),
+                };
+                self.events.push(outcome.clone());
+                return Ok(outcome);
+            }
+        }
+        // The pre-canary gate above already audited the exact bytes being
+        // installed (when enabled), so the restore need not re-audit.
+        let (restored, ex) = snapshot.restore_mtl_unchecked()?;
         let version = self
             .registry
-            .install_mtl_head(&self.name, restored, ex, self.head);
+            .install_mtl_head(&self.name, restored, ex, self.head)?;
         let accuracy = match self.registry.resolve(&self.name) {
             Some(v) => canary_accuracy(&v, &self.canaries),
             // Raced external removal: treat as a total regression so the
@@ -214,7 +253,8 @@ impl SnapshotPublisher {
             let restored_version = match &self.last_good {
                 Some((snap, _)) => {
                     let (m, ex) = snap.restore_mtl()?;
-                    self.registry.install_mtl_head(&self.name, m, ex, self.head)
+                    self.registry
+                        .install_mtl_head(&self.name, m, ex, self.head)?
                 }
                 None => version,
             };

@@ -33,7 +33,7 @@ use crate::replay::ReplayBuffer;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use tlp::experiments::eval_mtl_head;
 use tlp::features::FeatureBuf;
 use tlp::persist::PersistError;
@@ -58,6 +58,12 @@ pub struct ContinualConfig {
     pub measure: MeasurePolicy,
     /// Per-round adaptation configuration (trainer knobs + trunk mode).
     pub adapt: AdaptConfig,
+    /// Run the `tlp-modelcheck` audit on the grown model before the first
+    /// round, rejecting a structurally broken starting point
+    /// ([`PersistError::Invalid`]) instead of adapting it for hours. On by
+    /// default; the audit is read-only and RNG-neutral, so enabling it
+    /// never changes the loop's results on a valid model.
+    pub audit: bool,
     /// Master seed for candidate sampling and fault injection.
     pub seed: u64,
 }
@@ -110,7 +116,7 @@ pub struct AdaptReport {
 struct TaskAccum {
     task: SearchTask,
     /// Schedule fingerprints already measured (dedup across rounds).
-    seen: HashSet<u64>,
+    seen: BTreeSet<u64>,
     /// Row-major features of successfully measured schedules.
     features: Vec<f32>,
     /// Latencies aligned with `features` rows.
@@ -127,7 +133,9 @@ struct TaskAccum {
 ///
 /// # Errors
 ///
-/// Propagates [`PersistError`] from snapshot publishing.
+/// Returns [`PersistError::Invalid`] when the entry audit is enabled and
+/// the grown model carries error-severity diagnostics; propagates
+/// [`PersistError`] from snapshot publishing.
 ///
 /// # Panics
 ///
@@ -148,6 +156,15 @@ pub fn run_continual(
         "one dataset platform column per head (new platform last)"
     );
     assert!(n_heads >= 2, "need at least one old head and the new head");
+    if config.audit {
+        let spec = tlp::audit::mtl_spec(&model.config, n_heads);
+        let report = tlp_modelcheck::audit_store(&spec, &model.store);
+        if report.has_errors() {
+            return Err(PersistError::Invalid {
+                diagnostics: report.errors().cloned().collect(),
+            });
+        }
+    }
     let new_head = n_heads - 1;
     let new_platform = &ds.platforms[new_head];
 
@@ -177,7 +194,7 @@ pub fn run_continual(
         .take(take)
         .map(|t| TaskAccum {
             task: SearchTask::new(t.subgraph.clone(), new_platform.clone()),
-            seen: HashSet::new(),
+            seen: BTreeSet::new(),
             features: Vec::new(),
             latencies: Vec::new(),
         })

@@ -6,6 +6,7 @@
 
 use std::sync::Arc;
 use tlp::experiments::eval_mtl_head;
+use tlp::persist::PersistError;
 use tlp::{train_mtl_with, FeatureExtractor, MtlTlp, TlpConfig, TrainData, TrainOptions};
 use tlp_continual::{
     run_continual, AdaptConfig, CanarySet, ContinualConfig, PublishOutcome, PublishPolicy,
@@ -49,7 +50,7 @@ fn grown_model(ds: &Dataset, ex: &FeatureExtractor) -> MtlTlp {
     ];
     let options = TrainOptions::from_config(&cfg).with_seed(77);
     train_mtl_with(&mut base, &data, &options);
-    base.grow_head()
+    base.grow_head_checked().expect("grown model passes audit")
 }
 
 fn replay_from(ds: &Dataset, ex: &FeatureExtractor) -> ReplayBuffer {
@@ -76,6 +77,7 @@ fn loop_config(trunk_frozen: bool) -> ContinualConfig {
         } else {
             AdaptConfig::low_lr(train, 0.1)
         },
+        audit: true,
         seed: 99,
     }
 }
@@ -200,6 +202,7 @@ fn canary_gate_rolls_back_a_regressed_candidate() {
         PublishPolicy {
             every_rounds: 1,
             canary_tolerance: 0.01,
+            audit: true,
         },
         canaries,
     );
@@ -241,4 +244,76 @@ fn canary_gate_rolls_back_a_regressed_candidate() {
     assert_eq!(version.version(), restored_version);
     assert_eq!(publisher.published(), 1);
     assert_eq!(publisher.rolled_back(), 1);
+}
+
+#[test]
+fn entry_audit_rejects_nan_grown_model() {
+    let ds = continual_dataset();
+    let cfg = TlpConfig::test_scale();
+    let ex = FeatureExtractor::fit(&ds, cfg.seq_len, cfg.emb_size);
+    let mut model = grown_model(&ds, &ex);
+    // Corrupt one trunk weight: the M3xx numeric pass must catch it before
+    // the loop spends any measurement budget.
+    let id = model
+        .store
+        .ids()
+        .find(|&id| model.store.name(id).starts_with("backbone."))
+        .expect("trunk param");
+    model.store.value_mut(id).data_mut()[0] = f32::NAN;
+
+    let replay = replay_from(&ds, &ex);
+    let config = loop_config(true);
+    let err = run_continual(&mut model, &ex, &ds, &replay, &config, None)
+        .expect_err("NaN model must be rejected at entry");
+    let PersistError::Invalid { diagnostics } = err else {
+        panic!("expected Invalid, got {err:?}");
+    };
+    assert!(
+        diagnostics.iter().any(|d| d.code.as_str() == "M301"),
+        "expected M301 NonFiniteValue, got {diagnostics:?}"
+    );
+
+    // The escape hatch skips the gate (the loop then runs on garbage, which
+    // is the operator's explicit choice).
+    let config = ContinualConfig {
+        audit: false,
+        rounds: 0,
+        ..config
+    };
+    run_continual(&mut model, &ex, &ds, &replay, &config, None)
+        .expect("audit disabled: loop proceeds");
+}
+
+#[test]
+fn publisher_rejects_invalid_candidate_before_canary() {
+    let ds = continual_dataset();
+    let cfg = TlpConfig::test_scale();
+    let ex = FeatureExtractor::fit(&ds, cfg.seq_len, cfg.emb_size);
+    let mut model = grown_model(&ds, &ex);
+    let id = model
+        .store
+        .ids()
+        .find(|&id| model.store.name(id).starts_with("head2."))
+        .expect("new-head param");
+    model.store.value_mut(id).data_mut()[0] = f32::INFINITY;
+
+    let registry = Arc::new(ModelRegistry::default());
+    let mut publisher = SnapshotPublisher::new(
+        registry.clone(),
+        "gate",
+        2,
+        PublishPolicy::default(),
+        CanarySet::from_dataset(&ds, 2, 0),
+    );
+    let outcome = publisher
+        .maybe_publish(0, &model, &ex)
+        .expect("gate itself cannot fail");
+    let PublishOutcome::RejectedInvalid { codes } = outcome else {
+        panic!("expected RejectedInvalid, got {outcome:?}");
+    };
+    assert!(codes.contains(&"M301".to_string()), "codes: {codes:?}");
+    assert_eq!(publisher.rejected_invalid(), 1);
+    assert_eq!(publisher.published(), 0);
+    // The broken candidate never reached the registry.
+    assert!(registry.resolve("gate").is_none());
 }

@@ -19,6 +19,9 @@
 //!   program features;
 //! - [`pretrain`]: GPT/BERT-style self-supervised baselines (Table 8);
 //! - [`search`]: cost-model adapters for the auto-tuner (§6.3);
+//! - [`audit`]: model specs for the `tlp-modelcheck` static analyzer
+//!   (M-codes) that gates snapshot restores, serving installs, and
+//!   continual growth;
 //! - [`experiments`]: shared harness plumbing for the table/figure benches.
 //!
 //! # Example
@@ -44,8 +47,10 @@
 //! ```
 
 #![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+#![allow(clippy::disallowed_types)] // keyed lookups only; determinism-critical crates opt in (clippy.toml)
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod baselines;
 pub mod config;
 pub mod engine;
@@ -60,6 +65,7 @@ pub mod search;
 pub mod train;
 pub mod trainer;
 
+pub use audit::{mtl_spec, tlp_spec};
 pub use config::{Backbone, LossKind, TlpConfig};
 pub use engine::{EngineConfig, EngineStats, InferenceEngine, ScheduleScorer};
 pub use features::FeatureExtractor;
@@ -67,7 +73,8 @@ pub use metrics::top_k_score;
 pub use model::TlpModel;
 pub use mtl::{train_mtl, train_mtl_with, MtlTlp};
 pub use persist::{
-    snapshot_mtl, snapshot_tlp, ParamCheckpoint, PersistError, SavedTlp, SAVED_TLP_FORMAT_VERSION,
+    snapshot_mtl, snapshot_tlp, store_checksum, ParamCheckpoint, PersistError, SavedTlp,
+    SAVED_TLP_FORMAT_VERSION,
 };
 pub use search::{
     AnsorCostModel, FeatureModel, MtlTlpCostModel, TenSetMlpCostModel, TlpCostModel,

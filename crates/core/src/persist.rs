@@ -4,13 +4,23 @@
 //! plain serde data, so models can be cached to JSON, shipped next to a
 //! compiler install, and reloaded without retraining — the deployment mode
 //! an offline cost model exists for.
+//!
+//! Restores are **audited**: [`SavedTlp::restore_tlp`] and
+//! [`SavedTlp::restore_mtl`] run the `tlp-modelcheck` static analyzer
+//! (shape/arity, trunk/head partition, numeric sanity, store checksum)
+//! against the snapshot before handing a model back, rejecting corrupt or
+//! inconsistent snapshots with [`PersistError::Invalid`]. On a valid
+//! snapshot the audit is read-only and RNG-neutral, so the gated restore is
+//! bit-identical to the `_unchecked` variants.
 
 use crate::config::TlpConfig;
 use crate::features::FeatureExtractor;
 use crate::model::TlpModel;
 use crate::mtl::MtlTlp;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::path::Path;
+use tlp_modelcheck::{AuditReport, Code, Diagnostic, ModelSpec, Severity};
 use tlp_nn::ParamStore;
 use tlp_schedule::Vocabulary;
 
@@ -20,7 +30,10 @@ use tlp_schedule::Vocabulary;
 /// incompatibly. Snapshots written before the field existed probe as
 /// version 0 and are rejected with [`PersistError::Version`] — a model
 /// server must never hot-swap in a snapshot it may silently misinterpret.
-pub const SAVED_TLP_FORMAT_VERSION: u32 = 1;
+///
+/// History: 1 = initial versioned layout; 2 = added the `checksum` field
+/// over the parameter store (names, shapes, and value bit patterns).
+pub const SAVED_TLP_FORMAT_VERSION: u32 = 2;
 
 /// A serializable snapshot of a trained TLP model + its feature extractor.
 #[derive(Debug, Serialize, Deserialize)]
@@ -34,6 +47,8 @@ pub struct SavedTlp {
     store: ParamStore,
     /// Number of MTL heads (1 = single-task model).
     heads: usize,
+    /// Integrity checksum over the store; see [`store_checksum`].
+    checksum: u64,
 }
 
 /// Error loading or saving a model snapshot.
@@ -43,6 +58,27 @@ pub enum PersistError {
     Io(std::io::Error),
     /// Malformed snapshot.
     Format(serde_json::Error),
+    /// A snapshot file that failed to decode, with as much locus as the
+    /// decoder could recover: the byte offset where parsing stopped and
+    /// the name of the nearest preceding parameter (the likely victim of
+    /// a torn write or bit rot).
+    Corrupt {
+        /// Byte offset where the decoder gave up, when known.
+        offset: Option<usize>,
+        /// Last parameter name seen before the failure point, when the
+        /// failure landed inside the parameter store.
+        param: Option<String>,
+        /// The underlying decode error.
+        detail: String,
+    },
+    /// The snapshot decoded but failed the model audit: the store
+    /// contradicts the architecture its config declares (missing/extra/
+    /// misshapen parameters, broken head partition, non-finite values, or
+    /// a checksum mismatch). Carries every error-severity diagnostic.
+    Invalid {
+        /// The audit's error-severity diagnostics (M-codes).
+        diagnostics: Vec<Diagnostic>,
+    },
     /// The snapshot's format version does not match this build's.
     Version {
         /// Version tag found in the snapshot (0 when absent — a pre-version
@@ -74,6 +110,34 @@ impl std::fmt::Display for PersistError {
         match self {
             PersistError::Io(e) => write!(f, "model snapshot io error: {e}"),
             PersistError::Format(e) => write!(f, "model snapshot format error: {e}"),
+            PersistError::Corrupt {
+                offset,
+                param,
+                detail,
+            } => {
+                write!(f, "model snapshot corrupt: {detail}")?;
+                if let Some(off) = offset {
+                    write!(f, " (byte {off}")?;
+                    if let Some(p) = param {
+                        write!(f, ", near param \"{p}\"")?;
+                    }
+                    write!(f, ")")?;
+                } else if let Some(p) = param {
+                    write!(f, " (near param \"{p}\")")?;
+                }
+                Ok(())
+            }
+            PersistError::Invalid { diagnostics } => {
+                let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+                for d in diagnostics {
+                    *counts.entry(d.code.as_str()).or_insert(0) += 1;
+                }
+                write!(f, "model snapshot failed audit:")?;
+                for (code, n) in counts {
+                    write!(f, " {code}\u{d7}{n}")?;
+                }
+                Ok(())
+            }
             PersistError::Version { found, expected } => write!(
                 f,
                 "model snapshot format version {found} (this build reads {expected})"
@@ -103,6 +167,39 @@ impl From<serde_json::Error> for PersistError {
     }
 }
 
+/// One step of the checksum chain: a splitmix64-style finalizer over a
+/// running xor-multiply fold. Not cryptographic — it exists to catch torn
+/// writes, bit rot, and careless hand edits, not adversaries.
+fn mix(h: u64, v: u64) -> u64 {
+    let mut x = h ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Order-sensitive checksum of a parameter store: every parameter's name
+/// bytes, shape dims, and value **bit patterns** (`f32::to_bits`, so
+/// `-0.0`/`0.0` and NaN payloads are distinguished), folded in registration
+/// order. Any single-bit flip in any value changes the result.
+pub fn store_checksum(store: &ParamStore) -> u64 {
+    let mut h = 0x243F_6A88_85A3_08D3; // pi, for nothing-up-my-sleeve
+    for id in store.ids() {
+        for b in store.name(id).bytes() {
+            h = mix(h, u64::from(b));
+        }
+        let t = store.value(id);
+        for &d in t.shape() {
+            h = mix(h, d as u64);
+        }
+        for &x in t.data() {
+            h = mix(h, u64::from(x.to_bits()));
+        }
+    }
+    h
+}
+
 /// Writes `body` to `path` via a sibling tempfile + atomic rename, so a
 /// crash mid-write can never leave a torn file at `path`: readers see
 /// either the old complete content or the new complete content.
@@ -112,6 +209,41 @@ pub(crate) fn atomic_write(path: &Path, body: &str) -> std::io::Result<()> {
     let tmp = std::path::PathBuf::from(tmp);
     std::fs::write(&tmp, body)?;
     std::fs::rename(&tmp, path)
+}
+
+/// Recovers decode locus from a parse failure: the byte offset embedded in
+/// the parser's message (vendored serde_json reports `… at byte N`) and the
+/// last `"name":"…"` key preceding that offset — which, in a [`SavedTlp`]
+/// body, is the parameter the corruption landed in or immediately after.
+fn decode_context(body: &str, detail: String) -> PersistError {
+    let offset = detail
+        .rfind(" at byte ")
+        .and_then(|i| {
+            let digits: String = detail[i + " at byte ".len()..]
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect();
+            digits.parse::<usize>().ok()
+        })
+        .map(|off| off.min(body.len()));
+    let prefix = &body[..offset.unwrap_or(body.len())];
+    let param = prefix.rfind("\"name\":\"").and_then(|i| {
+        let rest = &prefix[i + "\"name\":\"".len()..];
+        // Param names never contain escapes, so the next quote ends it;
+        // a name torn mid-string simply yields the surviving prefix.
+        let end = rest.find('"').unwrap_or(rest.len());
+        let name = &rest[..end];
+        if name.is_empty() {
+            None
+        } else {
+            Some(name.to_string())
+        }
+    });
+    PersistError::Corrupt {
+        offset,
+        param,
+        detail,
+    }
 }
 
 /// An in-memory snapshot of just the learnable parameters.
@@ -154,6 +286,7 @@ pub fn snapshot_tlp(model: &TlpModel, extractor: &FeatureExtractor) -> SavedTlp 
         vocab: extractor.vocab().clone(),
         seq_len: extractor.seq_len,
         emb_size: extractor.emb_size,
+        checksum: store_checksum(&model.store),
         store: model.store.clone(),
         heads: 1,
     }
@@ -167,6 +300,7 @@ pub fn snapshot_mtl(model: &MtlTlp, extractor: &FeatureExtractor) -> SavedTlp {
         vocab: extractor.vocab().clone(),
         seq_len: extractor.seq_len,
         emb_size: extractor.emb_size,
+        checksum: store_checksum(&model.store),
         store: model.store.clone(),
         heads: model.num_tasks(),
     }
@@ -191,7 +325,9 @@ impl SavedTlp {
     /// The format version is probed on the parsed value tree *before* the
     /// full decode, so a stale or foreign file fails with the typed
     /// [`PersistError::Version`] instead of a field-by-field deserialize
-    /// error deep inside the parameter store.
+    /// error deep inside the parameter store. Decode failures surface as
+    /// [`PersistError::Corrupt`] carrying the byte offset where parsing
+    /// stopped and the nearest preceding parameter name.
     ///
     /// # Errors
     ///
@@ -199,7 +335,10 @@ impl SavedTlp {
     /// deserialization failure.
     pub fn load(path: impl AsRef<Path>) -> Result<SavedTlp, PersistError> {
         let body = std::fs::read_to_string(path)?;
-        let tree: serde::Value = serde_json::from_str(&body)?;
+        let tree: serde::Value = match serde_json::from_str(&body) {
+            Ok(tree) => tree,
+            Err(e) => return Err(decode_context(&body, e.to_string())),
+        };
         let found = tree
             .get("format_version")
             .and_then(serde::Value::as_u64)
@@ -211,7 +350,7 @@ impl SavedTlp {
             });
         }
         serde::Deserialize::deserialize_value(&tree)
-            .map_err(|e| PersistError::Format(serde_json::Error::from(e)))
+            .map_err(|e| decode_context(&body, e.to_string()))
     }
 
     /// The snapshot's format version tag.
@@ -224,13 +363,113 @@ impl SavedTlp {
         self.heads
     }
 
-    /// Rebuilds the single-task model and extractor.
+    /// The snapshot's parameter store.
+    pub fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    /// Mutable access to the snapshot's parameter store.
+    ///
+    /// The recorded checksum is **not** recomputed — that is the point:
+    /// this is the corruption-injection hook the `tlp-modelcheck`
+    /// soundness suite and `tlp-cli audit-model` use to forge snapshots a
+    /// gated restore must reject.
+    pub fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    /// Overrides the recorded head count without touching the store — a
+    /// head-partition corruption the audit's M2xx pass must catch (the
+    /// checksum stays valid, since the store itself is untouched).
+    pub fn set_heads(&mut self, heads: usize) {
+        self.heads = heads;
+    }
+
+    /// The expected parameter layout for this snapshot's config and head
+    /// count (single-task for `heads <= 1`, MTL otherwise).
+    fn spec(&self) -> ModelSpec {
+        if self.heads <= 1 {
+            crate::audit::tlp_spec(&self.config)
+        } else {
+            crate::audit::mtl_spec(&self.config, self.heads)
+        }
+    }
+
+    /// Audits the snapshot against `spec`: the analyzer's structural passes
+    /// plus the store-checksum verification (M106).
+    fn audit_against(&self, spec: &ModelSpec) -> AuditReport {
+        let report = tlp_modelcheck::audit_store(spec, &self.store);
+        let computed = store_checksum(&self.store);
+        if computed == self.checksum {
+            report
+        } else {
+            report.merge(AuditReport::new(vec![Diagnostic::global(
+                Code::ChecksumMismatch,
+                Severity::Error,
+                format!(
+                    "store checksum {computed:#018x} does not match recorded {:#018x}",
+                    self.checksum
+                ),
+            )]))
+        }
+    }
+
+    /// Runs the full `tlp-modelcheck` audit of this snapshot: shape/arity,
+    /// trunk/head partition, numeric sanity, and checksum verification,
+    /// against the parameter layout its own config declares.
+    pub fn audit(&self) -> AuditReport {
+        self.audit_against(&self.spec())
+    }
+
+    /// Rejects the snapshot with [`PersistError::Invalid`] if `report`
+    /// carries any error-severity diagnostic.
+    fn gate(report: &AuditReport) -> Result<(), PersistError> {
+        if report.has_errors() {
+            return Err(PersistError::Invalid {
+                diagnostics: report.errors().cloned().collect(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Rebuilds the single-task model and extractor, auditing the snapshot
+    /// first. The audit reuses the freshly initialized model as the layout
+    /// ground truth, so the gate costs one read-only sweep over the store
+    /// and nothing else — on a valid snapshot the result is bit-identical
+    /// to [`SavedTlp::restore_tlp_unchecked`].
     ///
     /// # Errors
     ///
     /// Returns [`PersistError::HeadCount`] if the snapshot was taken from an
-    /// MTL model (use [`SavedTlp::restore_mtl`]).
+    /// MTL model (use [`SavedTlp::restore_mtl`]), or
+    /// [`PersistError::Invalid`] if the audit finds errors.
     pub fn restore_tlp(&self) -> Result<(TlpModel, FeatureExtractor), PersistError> {
+        if self.heads != 1 {
+            return Err(PersistError::HeadCount {
+                found: self.heads,
+                expected: 1,
+            });
+        }
+        let mut model = TlpModel::new(self.config.clone());
+        let spec = ModelSpec::from_store(&model.store, vec!["head.".to_string()], None);
+        Self::gate(&self.audit_against(&spec))?;
+        model.store = self.store.clone();
+        let extractor =
+            FeatureExtractor::with_vocab(self.vocab.clone(), self.seq_len, self.emb_size);
+        Ok((model, extractor))
+    }
+
+    /// Rebuilds the single-task model and extractor without auditing.
+    ///
+    /// Escape hatch for trusted in-process snapshots and for measuring the
+    /// gate's overhead; anything crossing a file or process boundary should
+    /// go through [`SavedTlp::restore_tlp`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::HeadCount`] if the snapshot was taken from an
+    /// MTL model.
+    pub fn restore_tlp_unchecked(&self) -> Result<(TlpModel, FeatureExtractor), PersistError> {
         if self.heads != 1 {
             return Err(PersistError::HeadCount {
                 found: self.heads,
@@ -244,13 +483,39 @@ impl SavedTlp {
         Ok((model, extractor))
     }
 
-    /// Rebuilds an MTL model and extractor.
+    /// Rebuilds an MTL model and extractor, auditing the snapshot first
+    /// (same gate as [`SavedTlp::restore_tlp`]; bit-identical to
+    /// [`SavedTlp::restore_mtl_unchecked`] on a valid snapshot).
     ///
     /// # Errors
     ///
     /// Returns [`PersistError::HeadCount`] if the snapshot records no heads
-    /// at all (a corrupt or hand-edited file).
+    /// at all (a corrupt or hand-edited file), or
+    /// [`PersistError::Invalid`] if the audit finds errors.
     pub fn restore_mtl(&self) -> Result<(MtlTlp, FeatureExtractor), PersistError> {
+        if self.heads == 0 {
+            return Err(PersistError::HeadCount {
+                found: 0,
+                expected: 1,
+            });
+        }
+        let mut model = MtlTlp::new(self.config.clone(), self.heads);
+        let prefixes = (0..self.heads).map(|i| format!("head{i}.")).collect();
+        let spec = ModelSpec::from_store(&model.store, prefixes, Some("head".to_string()));
+        Self::gate(&self.audit_against(&spec))?;
+        model.store = self.store.clone();
+        let extractor =
+            FeatureExtractor::with_vocab(self.vocab.clone(), self.seq_len, self.emb_size);
+        Ok((model, extractor))
+    }
+
+    /// Rebuilds an MTL model and extractor without auditing (see
+    /// [`SavedTlp::restore_tlp_unchecked`] for when that is appropriate).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::HeadCount`] if the snapshot records no heads.
+    pub fn restore_mtl_unchecked(&self) -> Result<(MtlTlp, FeatureExtractor), PersistError> {
         if self.heads == 0 {
             return Err(PersistError::HeadCount {
                 found: 0,
@@ -401,9 +666,10 @@ mod tests {
     }
 
     #[test]
-    fn load_rejects_truncated_snapshot_without_panicking() {
+    fn load_reports_truncation_offset_and_nearest_param() {
         // Simulates the torn write that atomic_write prevents: a valid
-        // snapshot cut off mid-JSON must surface as a typed Format error.
+        // snapshot cut off mid-JSON must surface as a typed Corrupt error
+        // carrying the failure offset and the nearest parameter name.
         let cfg = TlpConfig::test_scale();
         let model = TlpModel::new(cfg.clone());
         let ex =
@@ -412,28 +678,38 @@ mod tests {
         snapshot_tlp(&model, &ex).save(&path).expect("save");
         let body = std::fs::read_to_string(&path).expect("read back");
         std::fs::write(&path, &body[..body.len() / 2]).expect("truncate");
-        assert!(matches!(
-            SavedTlp::load(&path),
-            Err(PersistError::Format(_))
-        ));
+        match SavedTlp::load(&path) {
+            Err(PersistError::Corrupt { offset, param, .. }) => {
+                assert!(offset.is_some(), "parser must report the failure offset");
+                // Half of a snapshot body is deep inside the store, so the
+                // context scan must find a parameter name before the cut.
+                let p = param.expect("failure inside the store names a param");
+                assert!(
+                    p.starts_with("backbone.") || p.starts_with("head."),
+                    "unexpected param locus {p:?}"
+                );
+            }
+            other => panic!("expected Corrupt, got {other:?}", other = other.err()),
+        }
         let _ = std::fs::remove_file(path);
     }
 
     #[test]
     fn load_rejects_corrupted_bytes_without_panicking() {
-        // Arbitrary text garbage must fail as a typed Format error.
+        // Arbitrary text garbage must fail as a typed Corrupt error with no
+        // param locus (the garbage has no store to point into).
         let path = std::env::temp_dir().join("tlp_snapshot_corrupt.json");
         std::fs::write(&path, "garbage: definitely [not json").expect("write");
         assert!(matches!(
             SavedTlp::load(&path),
-            Err(PersistError::Format(_))
+            Err(PersistError::Corrupt { param: None, .. })
         ));
         // Binary garbage (invalid UTF-8) fails at the read as a typed Io
         // error — still no panic.
         std::fs::write(&path, b"\x00\xffnot utf8\x13\x37").expect("write");
         assert!(matches!(SavedTlp::load(&path), Err(PersistError::Io(_))));
         // Valid JSON of the wrong shape (version probe passes, field decode
-        // fails) is a Format error too, never a panic.
+        // fails) is a Corrupt error too, never a panic.
         std::fs::write(
             &path,
             format!("{{\"format_version\": {SAVED_TLP_FORMAT_VERSION}}}"),
@@ -441,7 +717,7 @@ mod tests {
         .expect("write");
         assert!(matches!(
             SavedTlp::load(&path),
-            Err(PersistError::Format(_))
+            Err(PersistError::Corrupt { .. })
         ));
         let _ = std::fs::remove_file(path);
     }
@@ -460,5 +736,100 @@ mod tests {
         assert!(!tmp.exists(), "rename must consume the tempfile");
         assert!(SavedTlp::load(&path).is_ok());
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn checksum_is_bit_sensitive() {
+        let cfg = TlpConfig::test_scale();
+        let model = TlpModel::new(cfg);
+        let before = store_checksum(&model.store);
+        let mut store = model.store.clone();
+        let id = store.ids().next().expect("store has params");
+        // Flip the lowest mantissa bit of one value: numerically invisible,
+        // checksum-visible.
+        let bits = store.value(id).data()[0].to_bits() ^ 1;
+        store.value_mut(id).data_mut()[0] = f32::from_bits(bits);
+        assert_ne!(before, store_checksum(&store));
+    }
+
+    #[test]
+    fn restore_rejects_bit_flipped_store() {
+        let cfg = TlpConfig::test_scale();
+        let model = TlpModel::new(cfg.clone());
+        let ex =
+            FeatureExtractor::with_vocab(Vocabulary::builder().build(), cfg.seq_len, cfg.emb_size);
+        let mut snap = snapshot_tlp(&model, &ex);
+        let id = snap.store().ids().next().expect("store has params");
+        let bits = snap.store().value(id).data()[0].to_bits() ^ 1;
+        snap.store_mut().value_mut(id).data_mut()[0] = f32::from_bits(bits);
+
+        let report = snap.audit();
+        assert!(report.has_code(Code::ChecksumMismatch), "audit: {report}");
+        match snap.restore_tlp() {
+            Err(PersistError::Invalid { diagnostics }) => {
+                assert!(diagnostics.iter().any(|d| d.code == Code::ChecksumMismatch));
+            }
+            other => panic!("expected Invalid, got {other:?}", other = other.err()),
+        }
+        // The escape hatch still restores.
+        assert!(snap.restore_tlp_unchecked().is_ok());
+    }
+
+    #[test]
+    fn restore_rejects_nan_injected_store() {
+        let cfg = TlpConfig::test_scale();
+        let model = MtlTlp::new(cfg.clone(), 2);
+        let ex =
+            FeatureExtractor::with_vocab(Vocabulary::builder().build(), cfg.seq_len, cfg.emb_size);
+        let mut snap = snapshot_mtl(&model, &ex);
+        let id = snap.store().ids().next().expect("store has params");
+        snap.store_mut().value_mut(id).data_mut()[0] = f32::NAN;
+
+        let report = snap.audit();
+        assert!(report.has_code(Code::NonFiniteValue), "audit: {report}");
+        assert!(matches!(
+            snap.restore_mtl(),
+            Err(PersistError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn restore_rejects_head_count_forgery() {
+        // set_heads leaves the store (and checksum) untouched, so the
+        // partition pass — not the checksum — must catch the lie.
+        let cfg = TlpConfig::test_scale();
+        let model = MtlTlp::new(cfg.clone(), 3);
+        let ex =
+            FeatureExtractor::with_vocab(Vocabulary::builder().build(), cfg.seq_len, cfg.emb_size);
+        let mut snap = snapshot_mtl(&model, &ex);
+        snap.set_heads(2);
+        let report = snap.audit();
+        assert!(report.has_errors(), "audit must flag the forged head count");
+        assert!(!report.has_code(Code::ChecksumMismatch));
+        assert!(matches!(
+            snap.restore_mtl(),
+            Err(PersistError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn gated_restore_is_bit_identical_to_unchecked() {
+        let cfg = TlpConfig::test_scale();
+        let model = MtlTlp::new(cfg.clone(), 2);
+        let mut vb = Vocabulary::builder();
+        vb.observe("dense");
+        vb.observe("i");
+        let ex = FeatureExtractor::with_vocab(vb.build(), cfg.seq_len, cfg.emb_size);
+        let snap = snapshot_mtl(&model, &ex);
+        let (gated, _) = snap.restore_mtl().expect("valid snapshot");
+        let (unchecked, _) = snap.restore_mtl_unchecked().expect("valid snapshot");
+        let feats = sample_features(&ex);
+        for head in 0..2 {
+            assert_eq!(
+                gated.predict_task(&feats, head),
+                unchecked.predict_task(&feats, head),
+                "the audit gate must not perturb a valid model"
+            );
+        }
     }
 }

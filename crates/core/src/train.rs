@@ -16,6 +16,7 @@ use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use tlp_dataset::Dataset;
+use tlp_modelcheck::CoverageSpec;
 use tlp_nn::{ParamStore, Var, Workspace};
 
 /// One task's training samples: features and labels, row-aligned.
@@ -230,6 +231,12 @@ impl Trainable for TlpTask<'_> {
             self.group_batches(gi, &order, &mut out);
         }
         out
+    }
+
+    fn coverage(&self) -> Option<CoverageSpec> {
+        // Single-task training: the loss reaches the trunk and the one
+        // `head.` head; nothing is masked.
+        Some(CoverageSpec::full(vec!["head.".to_string()]))
     }
 }
 

@@ -39,6 +39,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
+use tlp_modelcheck::CoverageSpec;
 use tlp_nn::{
     lambda_rank_loss, mse_loss, Adam, GradBuffer, Graph, LrSchedule, Optimizer, ParamStore, Var,
     Workspace,
@@ -82,6 +83,13 @@ pub struct TrainOptions {
     /// seed; the legacy wrappers salt this exactly like the loops they
     /// replaced, preserving historical batch streams).
     pub seed: u64,
+    /// Run the `tlp-modelcheck` gradient-coverage check (M4xx) against the
+    /// task's declared [`Trainable::coverage`] objective before the first
+    /// epoch, panicking on errors — a mask that silently trains nothing or
+    /// strands a trainable parameter is a bug, not a run to complete.
+    /// Read-only and RNG-neutral, so results are bit-identical either way
+    /// on a sound objective. Default on.
+    pub coverage_check: bool,
 }
 
 impl TrainOptions {
@@ -100,6 +108,7 @@ impl TrainOptions {
             patience: 0,
             valid_frac: 0.0,
             seed: config.seed,
+            coverage_check: true,
         }
     }
 
@@ -148,6 +157,12 @@ impl TrainOptions {
     /// Sets the base learning rate.
     pub fn with_learning_rate(mut self, learning_rate: f32) -> Self {
         self.learning_rate = learning_rate;
+        self
+    }
+
+    /// Enables or disables the startup gradient-coverage check.
+    pub fn with_coverage_check(mut self, coverage_check: bool) -> Self {
+        self.coverage_check = coverage_check;
         self
     }
 
@@ -300,6 +315,15 @@ pub trait Trainable: Sync {
     /// moments at zero, so the frozen parameter is bitwise unchanged) or to
     /// run the trunk at a reduced effective learning rate.
     fn postprocess_grads(&mut self) {}
+
+    /// Declares the task's training objective for the `tlp-modelcheck`
+    /// gradient-coverage pass (M4xx): which heads the loss reaches and
+    /// which parameters `postprocess_grads` freezes. `None` (the default)
+    /// skips the check — for tasks whose stores don't follow the TLP
+    /// trunk/head naming scheme.
+    fn coverage(&self) -> Option<CoverageSpec> {
+        None
+    }
 }
 
 /// Format tag written into every [`TrainCheckpoint`] file.
@@ -455,6 +479,15 @@ impl Trainer {
         resume: Option<TrainCheckpoint>,
     ) -> TrainReport {
         let o = &self.options;
+        if o.coverage_check {
+            if let Some(cov) = task.coverage() {
+                let report = tlp_modelcheck::check_coverage(task.store(), &cov);
+                assert!(
+                    !report.has_errors(),
+                    "training objective fails gradient-coverage audit:\n{report}"
+                );
+            }
+        }
         let workers = o.effective_workers();
         let accum = o.effective_grad_accum().max(1);
         let mut opt = Adam::new(o.learning_rate);

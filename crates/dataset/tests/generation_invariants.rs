@@ -1,6 +1,7 @@
 //! Invariants of TenSet-like dataset generation.
 
 #![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+#![allow(clippy::disallowed_types)] // keyed lookups only; determinism-critical crates opt in (clippy.toml)
 
 use tlp_dataset::{generate_dataset_for, DatasetConfig};
 use tlp_hwsim::Platform;

@@ -2,6 +2,7 @@
 //! schedules.
 
 #![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+#![allow(clippy::disallowed_types)] // keyed lookups only; determinism-critical crates opt in (clippy.toml)
 
 use tlp_hwsim::{lower, Platform, Simulator};
 use tlp_schedule::{ConcretePrimitive, PrimitiveKind, ScheduleSequence};

@@ -1,0 +1,92 @@
+//! Pass 4 — gradient coverage: a static dataflow check that every
+//! trainable (unfrozen) parameter is reachable from the loss.
+//!
+//! Reachability follows the model's dataflow: trunk parameters feed every
+//! head, so they receive gradient whenever *any* head is trained; a head's
+//! parameters receive gradient only when the objective trains that head.
+//! A `postprocess_grads` mask removes parameters from the trainable set.
+//! The pass catches the two silent failure modes of masked training:
+//! a parameter the optimizer will step but the loss never reaches
+//! ([`Code::UnreachableParam`]), and a mask so broad nothing can move
+//! ([`Code::NothingTrainable`]).
+
+use crate::diagnostic::{Code, Diagnostic, Severity};
+use crate::spec::{CoverageSpec, TrainedHeads};
+use std::collections::BTreeSet;
+use tlp_nn::{ParamId, ParamStore};
+
+/// Runs the gradient-coverage pass.
+pub fn check(store: &ParamStore, cov: &CoverageSpec, out: &mut Vec<Diagnostic>) {
+    let ids: BTreeSet<ParamId> = store.ids().collect();
+    let mut frozen: BTreeSet<ParamId> = BTreeSet::new();
+    for &f in &cov.frozen {
+        if !ids.contains(&f) {
+            out.push(Diagnostic::global(
+                Code::UnknownFrozenId,
+                Severity::Error,
+                format!(
+                    "frozen id {f:?} does not exist in the store ({} params)",
+                    store.len()
+                ),
+            ));
+            continue;
+        }
+        frozen.insert(f);
+    }
+
+    if !ids.is_empty() && frozen.len() == ids.len() {
+        out.push(Diagnostic::global(
+            Code::NothingTrainable,
+            Severity::Error,
+            format!(
+                "all {} parameters are frozen; the objective cannot train anything",
+                store.len()
+            ),
+        ));
+    }
+
+    let any_trained = match &cov.trained {
+        TrainedHeads::All => true,
+        TrainedHeads::Heads(list) => !list.is_empty(),
+    };
+
+    for id in store.ids() {
+        let name = store.name(id);
+        let head = cov
+            .head_prefixes
+            .iter()
+            .position(|p| name.starts_with(p.as_str()));
+        let reachable = match head {
+            None => any_trained,
+            Some(h) => cov.trained.covers(h),
+        };
+        let trainable = !frozen.contains(&id);
+        if trainable && !reachable {
+            let mut d = Diagnostic::at(
+                Code::UnreachableParam,
+                Severity::Error,
+                name,
+                "parameter is trainable but the loss cannot reach it; it would silently never train",
+            );
+            if let Some(h) = head {
+                d = d.on_head(h);
+            }
+            out.push(d);
+        }
+        if !trainable {
+            if let Some(h) = head {
+                if cov.trained.covers(h) {
+                    out.push(
+                        Diagnostic::at(
+                            Code::FrozenTrainedParam,
+                            Severity::Warn,
+                            name,
+                            format!("head {h} is declared trained but this parameter is frozen by the gradient mask"),
+                        )
+                        .on_head(h),
+                    );
+                }
+            }
+        }
+    }
+}

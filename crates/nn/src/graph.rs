@@ -19,6 +19,18 @@
 use crate::kernels::{self, softmax_row};
 use crate::tensor::{numel, Tensor};
 
+/// Extent of the last axis, with the operation name in the panic message.
+///
+/// # Panics
+///
+/// Panics on rank-0 tensors.
+fn last_dim(shape: &[usize], what: &str) -> usize {
+    match shape.last() {
+        Some(&d) => d,
+        None => panic!("{what} on rank-0 tensor"),
+    }
+}
+
 /// Handle to a node in a [`Graph`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Var(pub(crate) usize);
@@ -195,7 +207,7 @@ impl Graph {
         let av = self.value(a);
         let bv = self.value(bias);
         assert_eq!(bv.shape().len(), 1, "bias must be rank 1");
-        let d = *av.shape().last().expect("add_bias on rank-0 tensor");
+        let d = last_dim(av.shape(), "add_bias");
         assert_eq!(bv.shape()[0], d, "bias length must match last dim");
         let mut out = av.clone();
         for chunk in out.data_mut().chunks_mut(d) {
@@ -245,7 +257,7 @@ impl Graph {
     /// Numerically stable softmax over the last axis.
     pub fn softmax(&mut self, a: Var) -> Var {
         let av = self.value(a);
-        let d = *av.shape().last().expect("softmax on rank-0 tensor");
+        let d = last_dim(av.shape(), "softmax");
         let mut out = av.clone();
         for row in out.data_mut().chunks_mut(d) {
             softmax_row(row);
@@ -262,7 +274,7 @@ impl Graph {
     /// identical to the unfused sequence.
     pub fn scaled_softmax(&mut self, a: Var, s: f32) -> Var {
         let av = self.value(a);
-        let d = *av.shape().last().expect("scaled_softmax on rank-0 tensor");
+        let d = last_dim(av.shape(), "scaled_softmax");
         let mut out = av.clone();
         kernels::scaled_softmax_rows(out.data_mut(), d, s);
         let ng = self.needs(a);
@@ -272,7 +284,7 @@ impl Graph {
     /// Numerically stable log-softmax over the last axis.
     pub fn log_softmax(&mut self, a: Var) -> Var {
         let av = self.value(a);
-        let d = *av.shape().last().expect("log_softmax on rank-0 tensor");
+        let d = last_dim(av.shape(), "log_softmax");
         let mut out = av.clone();
         for row in out.data_mut().chunks_mut(d) {
             let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
@@ -416,7 +428,7 @@ impl Graph {
     /// Layer normalization over the last axis with learnable `gamma`/`beta`.
     pub fn layer_norm(&mut self, x: Var, gamma: Var, beta: Var, eps: f32) -> Var {
         let xv = self.value(x);
-        let d = *xv.shape().last().expect("layer_norm on rank-0 tensor");
+        let d = last_dim(xv.shape(), "layer_norm");
         assert_eq!(self.value(gamma).shape(), &[d], "gamma must be [last_dim]");
         assert_eq!(self.value(beta).shape(), &[d], "beta must be [last_dim]");
         let gv = self.value(gamma).data().to_vec();
@@ -532,7 +544,9 @@ impl Graph {
     /// Computes this node's gradient contributions to its parents.
     fn local_grads(&self, id: usize) -> Vec<(Var, Tensor)> {
         let node = &self.nodes[id];
-        let g = node.grad.as_ref().expect("local_grads without grad");
+        let Some(g) = node.grad.as_ref() else {
+            panic!("local_grads without grad");
+        };
         let mut out: Vec<(Var, Tensor)> = Vec::new();
         match &node.op {
             Op::Leaf => {}
@@ -653,7 +667,7 @@ impl Graph {
             }
             Op::Softmax(a) => {
                 if self.needs(*a) {
-                    let d = *node.value.shape().last().unwrap();
+                    let d = last_dim(node.value.shape(), "softmax backward");
                     let mut dx = g.clone();
                     for (gr, yr) in dx.data_mut().chunks_mut(d).zip(node.value.data().chunks(d)) {
                         let dot: f32 = gr.iter().zip(yr).map(|(&gx, &y)| gx * y).sum();
@@ -667,7 +681,7 @@ impl Graph {
             Op::ScaledSoftmax(a, s) => {
                 if self.needs(*a) {
                     // y = softmax(s·x) ⇒ dx = s · softmax-backward(y, g).
-                    let d = *node.value.shape().last().unwrap();
+                    let d = last_dim(node.value.shape(), "softmax backward");
                     let s = *s;
                     let mut dx = g.clone();
                     for (gr, yr) in dx.data_mut().chunks_mut(d).zip(node.value.data().chunks(d)) {
@@ -681,7 +695,7 @@ impl Graph {
             }
             Op::LogSoftmax(a) => {
                 if self.needs(*a) {
-                    let d = *node.value.shape().last().unwrap();
+                    let d = last_dim(node.value.shape(), "softmax backward");
                     let mut dx = g.clone();
                     for (gr, yr) in dx.data_mut().chunks_mut(d).zip(node.value.data().chunks(d)) {
                         let gsum: f32 = gr.iter().sum();
@@ -777,7 +791,7 @@ impl Graph {
                 eps,
             } => {
                 let xv = self.value(*x);
-                let d = *xv.shape().last().unwrap();
+                let d = last_dim(xv.shape(), "layer_norm backward");
                 let gv = self.value(*gamma).data();
                 let needs_x = self.needs(*x);
                 let needs_g = self.needs(*gamma);
@@ -868,6 +882,7 @@ impl Graph {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::disallowed_methods)]
     use super::*;
 
     /// Central-difference check of `d loss / d input[i]` for every element.

@@ -104,6 +104,7 @@ pub fn ragged_tail_sums(y: &[f32], ragged: &Ragged<'_>, out: &mut Vec<f32>) {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::disallowed_methods)]
     use super::*;
 
     #[test]

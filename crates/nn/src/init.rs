@@ -31,6 +31,7 @@ pub fn uniform(rng: &mut SmallRng, shape: &[usize], limit: f32) -> Tensor {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::disallowed_methods)]
     use super::*;
     use rand::SeedableRng;
 

@@ -249,6 +249,7 @@ pub(crate) fn matmul_reference(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::disallowed_methods)]
     use super::*;
     use proptest::prelude::*;
 

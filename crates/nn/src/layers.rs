@@ -79,7 +79,9 @@ impl Linear {
     /// Applies the layer to `x` of shape `[.., in_dim]`.
     pub fn forward(&self, f: &mut Fwd<'_>, x: Var) -> Var {
         let shape = f.g.value(x).shape().to_vec();
-        let last = *shape.last().expect("linear input must have rank >= 1");
+        let Some(&last) = shape.last() else {
+            panic!("linear input must have rank >= 1");
+        };
         assert_eq!(last, self.in_dim, "linear input width mismatch");
         let rows: usize = shape[..shape.len() - 1].iter().product();
         let x2 = f.g.reshape(x, &[rows, self.in_dim]);
@@ -88,7 +90,9 @@ impl Linear {
         let y = f.g.matmul(x2, w);
         let y = f.g.add_bias(y, b);
         let mut out_shape = shape;
-        *out_shape.last_mut().unwrap() = self.out_dim;
+        if let Some(d) = out_shape.last_mut() {
+            *d = self.out_dim;
+        }
         f.g.reshape(y, &out_shape)
     }
 
@@ -763,6 +767,7 @@ impl Mlp {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::disallowed_methods)]
     use super::*;
     use rand::SeedableRng;
 

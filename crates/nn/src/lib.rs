@@ -35,7 +35,8 @@
 //! assert!((store.value(w).item() - 2.0).abs() < 0.05);
 //! ```
 
-#![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+#![warn(clippy::disallowed_methods)] // unwrap/expect ban in non-test lib code (see clippy.toml)
+#![warn(clippy::disallowed_types)] // std HashMap/HashSet ban: deterministic iteration only
 #![warn(missing_docs)]
 
 pub mod draft;

@@ -118,6 +118,7 @@ pub fn lambda_rank_loss(g: &mut Graph, pred: Var, labels: &[f32]) -> Var {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::disallowed_methods)]
     use super::*;
 
     #[test]

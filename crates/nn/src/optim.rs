@@ -178,6 +178,7 @@ impl Optimizer for Adam {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::disallowed_methods)]
     use super::*;
     use crate::graph::Graph;
     use crate::params::Binding;

@@ -8,10 +8,13 @@
 use crate::graph::{Graph, Var};
 use crate::tensor::Tensor;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Stable identifier of a parameter inside a [`ParamStore`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// Ids order by registration index, so `BTreeMap`/`BTreeSet` collections
+/// keyed on them iterate deterministically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ParamId(usize);
 
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -238,14 +241,16 @@ impl GradBuffer {
 /// store.
 #[derive(Debug, Default)]
 pub struct Binding {
-    bound: HashMap<ParamId, Var>,
+    /// Keyed by id so iteration (harvest) runs in registration order —
+    /// deterministic regardless of bind order.
+    bound: BTreeMap<ParamId, Var>,
 }
 
 impl Binding {
     /// Creates an empty binding for a fresh tape.
     pub fn new() -> Self {
         Binding {
-            bound: HashMap::new(),
+            bound: BTreeMap::new(),
         }
     }
 
@@ -274,8 +279,8 @@ impl Binding {
     /// Copies gradients from the tape into a thread-local [`GradBuffer`]
     /// instead of the shared store (the data-parallel path).
     ///
-    /// Each parameter's gradient lands in its own slot, so the `HashMap`
-    /// iteration order here cannot affect the result.
+    /// Each parameter's gradient lands in its own slot, so iteration order
+    /// here cannot affect the result (and is id-ordered anyway).
     pub fn harvest_into(&self, g: &Graph, buf: &mut GradBuffer) {
         for (&id, &var) in &self.bound {
             if let Some(grad) = g.grad(var) {
@@ -287,6 +292,7 @@ impl Binding {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::disallowed_methods)]
     use super::*;
 
     #[test]

@@ -467,6 +467,7 @@ pub(crate) fn permute_into(src: &[f32], shape: &[usize], perm: &[usize], out: &m
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::disallowed_methods)]
     use super::*;
 
     #[test]

@@ -116,6 +116,7 @@ impl Workspace {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::disallowed_methods)]
     use super::*;
     use crate::tensor::Tensor;
 

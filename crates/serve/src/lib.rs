@@ -56,6 +56,7 @@
 //! [`SavedTlp`]: tlp::persist::SavedTlp
 
 #![warn(clippy::disallowed_methods)]
+#![warn(clippy::disallowed_types)] // std HashMap/HashSet ban: deterministic iteration only
 
 pub mod backend;
 pub mod chaos;

@@ -12,8 +12,8 @@
 //! released immediately rather than when the last straggler finishes.
 
 use crate::error::ServeError;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use tlp::engine::{EngineConfig, InferenceEngine, ScheduleScorer};
 use tlp::persist::{PersistError, SavedTlp};
@@ -21,6 +21,7 @@ use tlp::search::{FeatureScratch, MtlTlpScorer, TlpScorer, TLP_PIPELINE_COST};
 use tlp::FeatureExtractor;
 use tlp::{MtlTlp, TlpModel};
 use tlp_autotuner::{BatchStats, PipelineCost, SearchTask};
+use tlp_modelcheck::{audit_store, AuditReport};
 use tlp_schedule::ScheduleSequence;
 
 /// A scorer restored from a [`SavedTlp`] snapshot: single-task TLP or the
@@ -111,11 +112,22 @@ impl ModelVersion {
 }
 
 /// Thread-safe name → current-[`ModelVersion`] map.
+///
+/// Installs are **audited** by default: every model entering the registry —
+/// from a snapshot or in-memory — is run through the `tlp-modelcheck`
+/// static analyzer first, and a model with error-severity diagnostics is
+/// rejected with [`PersistError::Invalid`] instead of ever becoming
+/// resolvable. The registry counts rejections
+/// ([`ModelRegistry::rejected_installs`]) for the serving stats snapshot.
+/// [`ModelRegistry::set_audit_installs`] is the escape hatch
+/// (`ServeConfig::validate_install` wires it at server start).
 #[derive(Debug)]
 pub struct ModelRegistry {
-    models: RwLock<HashMap<String, Arc<ModelVersion>>>,
+    models: RwLock<BTreeMap<String, Arc<ModelVersion>>>,
     next_version: AtomicU64,
     engine_config: EngineConfig,
+    audit_installs: AtomicBool,
+    rejected_installs: AtomicU64,
 }
 
 impl Default for ModelRegistry {
@@ -126,47 +138,122 @@ impl Default for ModelRegistry {
 
 impl ModelRegistry {
     /// An empty registry; every installed version gets an engine sized by
-    /// `engine_config`.
+    /// `engine_config`. Install auditing starts enabled.
     pub fn new(engine_config: EngineConfig) -> Self {
         ModelRegistry {
-            models: RwLock::new(HashMap::new()),
+            models: RwLock::new(BTreeMap::new()),
             next_version: AtomicU64::new(1),
             engine_config,
+            audit_installs: AtomicBool::new(true),
+            rejected_installs: AtomicU64::new(0),
         }
+    }
+
+    /// Enables or disables the `tlp-modelcheck` install gate.
+    pub fn set_audit_installs(&self, on: bool) {
+        self.audit_installs.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether installs are currently audited.
+    pub fn audit_installs(&self) -> bool {
+        self.audit_installs.load(Ordering::Relaxed)
+    }
+
+    /// How many installs the audit gate has rejected over the registry's
+    /// lifetime.
+    pub fn rejected_installs(&self) -> u64 {
+        self.rejected_installs.load(Ordering::Relaxed)
+    }
+
+    /// Rejects with [`PersistError::Invalid`] (and counts the rejection)
+    /// if `report` carries error-severity diagnostics.
+    fn gate(&self, report: AuditReport) -> Result<(), PersistError> {
+        if report.has_errors() {
+            self.rejected_installs.fetch_add(1, Ordering::Relaxed);
+            return Err(PersistError::Invalid {
+                diagnostics: report.errors().cloned().collect(),
+            });
+        }
+        Ok(())
     }
 
     /// Installs (or hot-swaps) a model restored from a snapshot. Single-task
     /// snapshots load as TLP, multi-head snapshots as MTL-TLP (target head).
+    /// When auditing is enabled the snapshot's full audit (structure,
+    /// numerics, checksum) must pass first.
     ///
     /// Returns the new version tag.
     ///
     /// # Errors
     ///
-    /// Propagates [`PersistError`] from the restore (zero-head snapshots).
+    /// Returns [`PersistError::Invalid`] when the audit gate rejects the
+    /// snapshot; propagates other [`PersistError`]s from the restore
+    /// (zero-head snapshots).
     pub fn install(&self, name: &str, snapshot: &SavedTlp) -> Result<u64, PersistError> {
+        if self.audit_installs() {
+            self.gate(snapshot.audit())?;
+        }
+        // The gate above already ran the full audit (or the operator turned
+        // it off); either way the restore itself need not re-audit.
         let scorer = if snapshot.heads() == 1 {
-            let (model, extractor) = snapshot.restore_tlp()?;
+            let (model, extractor) = snapshot.restore_tlp_unchecked()?;
             LoadedScorer::Tlp(TlpScorer { model, extractor })
         } else {
-            let (model, extractor) = snapshot.restore_mtl()?;
+            let (model, extractor) = snapshot.restore_mtl_unchecked()?;
             LoadedScorer::Mtl(MtlTlpScorer::new(model, extractor))
         };
         Ok(self.install_scorer(name, scorer))
     }
 
-    /// Installs (or hot-swaps) an in-memory single-task model.
-    pub fn install_tlp(&self, name: &str, model: TlpModel, extractor: FeatureExtractor) -> u64 {
-        self.install_scorer(name, LoadedScorer::Tlp(TlpScorer { model, extractor }))
+    /// Installs (or hot-swaps) an in-memory single-task model, auditing its
+    /// store against the layout its config declares when the gate is on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Invalid`] when the audit gate rejects the
+    /// model.
+    pub fn install_tlp(
+        &self,
+        name: &str,
+        model: TlpModel,
+        extractor: FeatureExtractor,
+    ) -> Result<u64, PersistError> {
+        if self.audit_installs() {
+            let spec = tlp::audit::tlp_spec(&model.config);
+            self.gate(audit_store(&spec, &model.store))?;
+        }
+        Ok(self.install_scorer(name, LoadedScorer::Tlp(TlpScorer { model, extractor })))
     }
 
-    /// Installs (or hot-swaps) an in-memory MTL model (scored via head 0).
-    pub fn install_mtl(&self, name: &str, model: MtlTlp, extractor: FeatureExtractor) -> u64 {
-        self.install_scorer(name, LoadedScorer::Mtl(MtlTlpScorer::new(model, extractor)))
+    /// Installs (or hot-swaps) an in-memory MTL model (scored via head 0),
+    /// auditing its store when the gate is on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Invalid`] when the audit gate rejects the
+    /// model.
+    pub fn install_mtl(
+        &self,
+        name: &str,
+        model: MtlTlp,
+        extractor: FeatureExtractor,
+    ) -> Result<u64, PersistError> {
+        if self.audit_installs() {
+            let spec = tlp::audit::mtl_spec(&model.config, model.num_tasks());
+            self.gate(audit_store(&spec, &model.store))?;
+        }
+        Ok(self.install_scorer(name, LoadedScorer::Mtl(MtlTlpScorer::new(model, extractor))))
     }
 
     /// Installs (or hot-swaps) an in-memory MTL model scored through head
     /// `head` (continual adaptation serves a newly grown platform head this
-    /// way without disturbing the other heads).
+    /// way without disturbing the other heads), auditing its store when the
+    /// gate is on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Invalid`] when the audit gate rejects the
+    /// model.
     ///
     /// # Panics
     ///
@@ -177,11 +264,16 @@ impl ModelRegistry {
         model: MtlTlp,
         extractor: FeatureExtractor,
         head: usize,
-    ) -> u64 {
-        self.install_scorer(
+    ) -> Result<u64, PersistError> {
+        assert!(head < model.num_tasks(), "serving head out of range");
+        if self.audit_installs() {
+            let spec = tlp::audit::mtl_spec(&model.config, model.num_tasks());
+            self.gate(audit_store(&spec, &model.store))?;
+        }
+        Ok(self.install_scorer(
             name,
             LoadedScorer::Mtl(MtlTlpScorer::for_head(model, extractor, head)),
-        )
+        ))
     }
 
     /// Installs a scorer under `name`, atomically replacing any previous
@@ -236,23 +328,20 @@ impl ModelRegistry {
             .is_some()
     }
 
-    /// Installed model names, sorted.
+    /// Installed model names, sorted (the map iterates in key order).
     pub fn names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self
-            .models
+        self.models
             .read()
             .unwrap_or_else(|e| e.into_inner())
             .keys()
             .cloned()
-            .collect();
-        names.sort();
-        names
+            .collect()
     }
 
-    /// Current (name, version, engine-stats) rows for stats snapshots.
+    /// Current (name, version, engine-stats) rows for stats snapshots,
+    /// sorted by name (the map iterates in key order).
     pub fn stats(&self) -> Vec<crate::stats::ModelStatsSnapshot> {
-        let mut rows: Vec<_> = self
-            .models
+        self.models
             .read()
             .unwrap_or_else(|e| e.into_inner())
             .values()
@@ -261,9 +350,7 @@ impl ModelRegistry {
                 version: m.version,
                 engine: m.engine.stats(),
             })
-            .collect();
-        rows.sort_by(|a, b| a.name.cmp(&b.name));
-        rows
+            .collect()
     }
 }
 
@@ -291,7 +378,7 @@ mod tests {
             Some(ServeError::UnknownModel("m".to_string())),
         );
         let (model, ex) = model_and_extractor();
-        let v1 = reg.install_tlp("m", model, ex);
+        let v1 = reg.install_tlp("m", model, ex).expect("valid model");
         let resolved = reg.resolve("m").expect("installed");
         assert_eq!(resolved.version(), v1);
         assert_eq!(resolved.name(), "m");
@@ -306,9 +393,9 @@ mod tests {
         let reg = ModelRegistry::default();
         let (m1, e1) = model_and_extractor();
         let (m2, e2) = model_and_extractor();
-        let v1 = reg.install_tlp("m", m1, e1);
+        let v1 = reg.install_tlp("m", m1, e1).expect("valid model");
         let held = reg.resolve("m").expect("v1");
-        let v2 = reg.install_tlp("m", m2, e2);
+        let v2 = reg.install_tlp("m", m2, e2).expect("valid model");
         assert!(v2 > v1);
         // The held Arc still answers as the old version.
         assert_eq!(held.version(), v1);
@@ -328,5 +415,55 @@ mod tests {
         let rows = reg.stats();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].name, "from-disk");
+    }
+
+    #[test]
+    fn audit_gate_rejects_nan_model_and_counts_it() {
+        let reg = ModelRegistry::default();
+        assert!(reg.audit_installs(), "gate must default on");
+        let (mut model, ex) = model_and_extractor();
+        let id = model.store.ids().next().expect("store has params");
+        model.store.value_mut(id).data_mut()[0] = f32::NAN;
+
+        match reg.install_tlp("bad", model, ex) {
+            Err(PersistError::Invalid { diagnostics }) => {
+                assert!(!diagnostics.is_empty());
+            }
+            other => panic!("expected Invalid, got {other:?}", other = other.err()),
+        }
+        assert_eq!(reg.rejected_installs(), 1);
+        assert!(
+            reg.resolve("bad").is_none(),
+            "rejected model must not serve"
+        );
+    }
+
+    #[test]
+    fn audit_gate_can_be_disabled() {
+        let reg = ModelRegistry::default();
+        reg.set_audit_installs(false);
+        let (mut model, ex) = model_and_extractor();
+        let id = model.store.ids().next().expect("store has params");
+        model.store.value_mut(id).data_mut()[0] = f32::NAN;
+        // With the gate off the broken model installs — the operator owns
+        // the consequences.
+        reg.install_tlp("bad", model, ex).expect("gate disabled");
+        assert_eq!(reg.rejected_installs(), 0);
+        assert!(reg.resolve("bad").is_some());
+    }
+
+    #[test]
+    fn snapshot_install_rejects_corrupt_snapshot() {
+        let reg = ModelRegistry::default();
+        let (model, ex) = model_and_extractor();
+        let mut snap = snapshot_tlp(&model, &ex);
+        let id = snap.store().ids().next().expect("store has params");
+        let bits = snap.store().value(id).data()[0].to_bits() ^ 1;
+        snap.store_mut().value_mut(id).data_mut()[0] = f32::from_bits(bits);
+        assert!(matches!(
+            reg.install("bad", &snap),
+            Err(PersistError::Invalid { .. })
+        ));
+        assert_eq!(reg.rejected_installs(), 1);
     }
 }

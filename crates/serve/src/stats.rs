@@ -155,9 +155,15 @@ impl ServeStats {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Renders the counters plus the current queue depth and per-model
-    /// engine stats into a serializable snapshot.
-    pub fn snapshot(&self, queue_depth: usize, models: Vec<ModelStatsSnapshot>) -> ServeSnapshot {
+    /// Renders the counters plus the current queue depth, the registry's
+    /// rejected-install count, and per-model engine stats into a
+    /// serializable snapshot.
+    pub fn snapshot(
+        &self,
+        queue_depth: usize,
+        rejected_installs: u64,
+        models: Vec<ModelStatsSnapshot>,
+    ) -> ServeSnapshot {
         let batches = self.batches.load(Ordering::Relaxed);
         let coalesced = self.coalesced_jobs.load(Ordering::Relaxed);
         ServeSnapshot {
@@ -167,6 +173,7 @@ impl ServeStats {
             rejected_invalid: self.rejected_invalid.load(Ordering::Relaxed),
             expired: self.expired.load(Ordering::Relaxed),
             unknown_model: self.unknown_model.load(Ordering::Relaxed),
+            rejected_installs,
             batches,
             coalesced_jobs: coalesced,
             mean_jobs_per_batch: if batches == 0 {
@@ -209,6 +216,9 @@ pub struct ServeSnapshot {
     pub expired: u64,
     /// Requests naming an unknown model.
     pub unknown_model: u64,
+    /// Model installs rejected by the registry's `tlp-modelcheck` audit
+    /// gate (a corrupt or inconsistent model that never became resolvable).
+    pub rejected_installs: u64,
     /// Engine batches executed.
     pub batches: u64,
     /// Client jobs coalesced into those batches.
@@ -286,7 +296,7 @@ mod tests {
         stats.latency.record_ns(5_000);
         ServeStats::bump(&stats.submitted);
         ServeStats::bump(&stats.completed);
-        let snap = stats.snapshot(3, vec![]);
+        let snap = stats.snapshot(3, 0, vec![]);
         let json = snap.to_json();
         assert!(json.contains("\"submitted\": 1"));
         assert!(json.contains("\"queue_depth\": 3"));

@@ -66,7 +66,7 @@ fn hot_swap_under_concurrent_publisher_never_mixes_or_fails() {
         .map(|seed| {
             let probe = ModelRegistry::default();
             let (m, ex) = model_for_seed(seed);
-            probe.install_tlp("probe", m, ex);
+            probe.install_tlp("probe", m, ex).expect("valid model");
             let v = probe.resolve("probe").expect("probe installed");
             let (scores, _) = v.score(&task, &pool);
             assert!(
@@ -84,7 +84,7 @@ fn hot_swap_under_concurrent_publisher_never_mixes_or_fails() {
 
     let registry = Arc::new(ModelRegistry::default());
     let (m0, e0) = model_for_seed(0);
-    registry.install_tlp("m", m0, e0);
+    registry.install_tlp("m", m0, e0).expect("valid model");
 
     let done = AtomicBool::new(false);
     let failures = AtomicU64::new(0);
@@ -98,7 +98,7 @@ fn hot_swap_under_concurrent_publisher_never_mixes_or_fails() {
             s.spawn(move || {
                 for i in 1..INSTALLS {
                     let (m, ex) = model_for_seed(i as u64 % SEEDS);
-                    registry.install_tlp("m", m, ex);
+                    registry.install_tlp("m", m, ex).expect("valid model");
                 }
                 done.store(true, Ordering::SeqCst);
             })
@@ -168,7 +168,7 @@ fn removed_then_reinstalled_name_keeps_serving_held_references() {
     let pool = schedule_pool(&task);
     let registry = ModelRegistry::default();
     let (m, ex) = model_for_seed(1);
-    registry.install_tlp("m", m, ex);
+    registry.install_tlp("m", m, ex).expect("valid model");
     let held = registry.resolve("m").expect("installed");
     let (before, _) = held.score(&task, &pool);
     assert!(registry.remove("m"));
@@ -176,6 +176,6 @@ fn removed_then_reinstalled_name_keeps_serving_held_references() {
     let (after, _) = held.score(&task, &pool);
     assert_eq!(score_bits(&before), score_bits(&after));
     let (m2, e2) = model_for_seed(2);
-    let v2 = registry.install_tlp("m", m2, e2);
+    let v2 = registry.install_tlp("m", m2, e2).expect("valid model");
     assert!(v2 > held.version());
 }

@@ -56,7 +56,7 @@ fn scorer(seed: u64) -> (TlpModel, FeatureExtractor) {
 fn serving_registry(seed: u64) -> Arc<ModelRegistry> {
     let reg = Arc::new(ModelRegistry::new(EngineConfig::default()));
     let (model, ex) = scorer(seed);
-    reg.install_tlp("m", model, ex);
+    reg.install_tlp("m", model, ex).expect("valid model");
     reg
 }
 
@@ -115,6 +115,7 @@ fn coalesced_jobs_share_engine_batches() {
                 max_wait: Duration::from_millis(50),
             },
             validate_admission: true,
+            validate_install: true,
         },
     );
     let t = task();
@@ -191,7 +192,7 @@ fn hot_swap_under_load_fails_zero_requests() {
         // Swap in the middle of the storm.
         std::thread::sleep(Duration::from_millis(20));
         let (m2, e2) = scorer(2);
-        reg.install_tlp("m", m2, e2);
+        reg.install_tlp("m", m2, e2).expect("valid model");
         std::thread::sleep(Duration::from_millis(20));
         stop.store(true, Ordering::Relaxed);
         clients
@@ -223,6 +224,7 @@ fn overload_is_typed_bounded_and_immediate() {
             batchers: 0,
             policy: BatchPolicy::default(),
             validate_admission: true,
+            validate_install: true,
         },
     );
     let t = task();
@@ -290,6 +292,7 @@ fn deadline_expires_client_side_when_server_is_stalled() {
             batchers: 0,
             policy: BatchPolicy::default(),
             validate_admission: true,
+            validate_install: true,
         },
     );
     let t = task();
@@ -313,6 +316,7 @@ fn graceful_shutdown_drains_admitted_work() {
                 max_wait: Duration::from_millis(5),
             },
             validate_admission: true,
+            validate_install: true,
         },
     );
     let t = task();
@@ -396,6 +400,7 @@ fn remote_cost_model_degrades_on_serve_errors() {
             batchers: 0,
             policy: BatchPolicy::default(),
             validate_admission: true,
+            validate_install: true,
         },
     );
     let t = task();
@@ -442,6 +447,7 @@ fn admission_validation_can_be_disabled() {
         ServeConfig {
             batchers: 0,
             validate_admission: false,
+            validate_install: true,
             ..ServeConfig::default()
         },
     );

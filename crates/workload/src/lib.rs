@@ -20,6 +20,7 @@
 //! ```
 
 #![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+#![allow(clippy::disallowed_types)] // keyed lookups only; determinism-critical crates opt in (clippy.toml)
 #![warn(missing_docs)]
 
 pub mod network;

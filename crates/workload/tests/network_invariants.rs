@@ -1,6 +1,7 @@
 //! Structural invariants of the workload library's networks.
 
 #![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+#![allow(clippy::disallowed_types)] // keyed lookups only; determinism-critical crates opt in (clippy.toml)
 
 use tlp_workload::{
     bert, bert_base, bert_tiny, distinct_subgraphs, mobilenet_v2, resnet50, resnext50,

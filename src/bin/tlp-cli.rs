@@ -8,6 +8,7 @@
 //! tlp-cli serve-bench [c] [r] [b]       closed-loop load against tlp-serve
 //! tlp-cli adapt [snapshot.json]         continual-adapt a head to ryzen-3950x
 //! tlp-cli verify-corpus [out.json]      static-verifier sweep over the dataset
+//! tlp-cli audit-model [out.json]        model-graph audit soundness suite (M-codes)
 //! tlp-cli platforms                     list simulated platforms
 //! ```
 //!
@@ -17,6 +18,7 @@
 //! pulls in `tlp-serve`, which itself depends on the core crate.
 
 #![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+#![allow(clippy::disallowed_types)] // keyed lookups only; determinism-critical crates opt in (clippy.toml)
 
 use std::sync::Arc;
 use tlp::engine::EngineConfig;
@@ -45,10 +47,11 @@ fn main() {
         Some("serve-bench") => cmd_serve_bench(&args[1..]),
         Some("adapt") => cmd_adapt(args.get(1).map(String::as_str)),
         Some("verify-corpus") => cmd_verify_corpus(args.get(1).map(String::as_str)),
+        Some("audit-model") => cmd_audit_model(args.get(1).map(String::as_str)),
         Some("platforms") => cmd_platforms(),
         _ => {
             eprintln!(
-                "usage: tlp-cli <stats|train|eval|tune|serve-bench|adapt|verify-corpus|platforms> [args]\n\
+                "usage: tlp-cli <stats|train|eval|tune|serve-bench|adapt|verify-corpus|audit-model|platforms> [args]\n\
                  \n\
                  stats                        dataset statistics\n\
                  train <model.json>           train TLP on the CPU dataset (i7 target)\n\
@@ -67,6 +70,11 @@ fn main() {
                  verify-corpus [out.json]     run the static schedule verifier over a\n\
                  \x20                            generated dataset sample and print (or\n\
                  \x20                            write) a JSON diagnostics summary\n\
+                 audit-model [out.json]       run the tlp-modelcheck soundness suite:\n\
+                 \x20                            golden models must audit clean and\n\
+                 \x20                            adversarial corruptions must be caught;\n\
+                 \x20                            prints (or writes) a per-M-code JSON\n\
+                 \x20                            summary plus audit throughput\n\
                  platforms                    list simulated platforms"
             );
             2
@@ -321,6 +329,7 @@ fn cmd_adapt(snapshot_path: Option<&str>) -> i32 {
                 .with_learning_rate(1e-3)
                 .with_seed(0x5EED),
         ),
+        audit: true,
         seed: 0xADA7,
     };
     println!(
@@ -443,6 +452,168 @@ fn cmd_verify_corpus(out_path: Option<&str>) -> i32 {
     }
 }
 
+/// One M-code's occurrence count in the `audit-model` JSON report.
+#[derive(serde::Serialize)]
+struct McodeCount {
+    code: String,
+    count: u32,
+}
+
+/// One golden model's audit outcome in the `audit-model` JSON report.
+#[derive(serde::Serialize)]
+struct ModelAudit {
+    model: String,
+    params: usize,
+    errors: u32,
+    warnings: u32,
+    lints: u32,
+    codes: Vec<McodeCount>,
+}
+
+/// One adversarial mutation's audit outcome.
+#[derive(serde::Serialize)]
+struct AdversarialAudit {
+    case: String,
+    caught: bool,
+    codes: Vec<McodeCount>,
+}
+
+/// Renders [`AuditReport::code_counts`](tlp_modelcheck::AuditReport) rows.
+fn mcode_counts(report: &tlp_modelcheck::AuditReport) -> Vec<McodeCount> {
+    report
+        .code_counts()
+        .into_iter()
+        .map(|(code, count)| McodeCount {
+            code: code.to_string(),
+            count,
+        })
+        .collect()
+}
+
+/// JSON report emitted by `audit-model`.
+#[derive(serde::Serialize)]
+struct AuditModelReport {
+    golden: Vec<ModelAudit>,
+    adversarial: Vec<AdversarialAudit>,
+    params_per_s: f64,
+    sound: bool,
+}
+
+fn cmd_audit_model(out_path: Option<&str>) -> i32 {
+    use tlp::persist::{snapshot_mtl, SavedTlp};
+    use tlp::MtlTlp;
+
+    let cfg = TlpConfig::test_scale();
+    let extractor =
+        FeatureExtractor::with_vocab(Vocabulary::builder().build(), cfg.seq_len, cfg.emb_size);
+    let param_count = |snap: &SavedTlp| -> usize {
+        let store = snap.store();
+        store.ids().map(|id| store.value(id).data().len()).sum()
+    };
+    let audit_one = |name: &str, snap: &SavedTlp| -> ModelAudit {
+        let report = snap.audit();
+        let s = report.summary();
+        ModelAudit {
+            model: name.to_string(),
+            params: param_count(snap),
+            errors: s.errors,
+            warnings: s.warnings,
+            lints: s.lints,
+            codes: mcode_counts(&report),
+        }
+    };
+
+    // Golden models: freshly constructed, so every pass must come back with
+    // zero errors.
+    let tlp_snap = snapshot_tlp(&TlpModel::new(cfg.clone()), &extractor);
+    let mtl_snap = snapshot_mtl(&MtlTlp::new(cfg.clone(), 3), &extractor);
+    let golden = vec![audit_one("tlp", &tlp_snap), audit_one("mtl-3", &mtl_snap)];
+
+    // Adversarial mutations: each corrupts a fresh golden snapshot (model
+    // construction is seeded, so rebuilding reproduces identical bytes) in a
+    // way one of the passes is specified to catch. An escape here is a
+    // soundness bug.
+    let fresh_tlp = || snapshot_tlp(&TlpModel::new(cfg.clone()), &extractor);
+    let fresh_mtl = || snapshot_mtl(&MtlTlp::new(cfg.clone(), 3), &extractor);
+    let adversarial_one = |case: &str, snap: SavedTlp| -> AdversarialAudit {
+        let report = snap.audit();
+        AdversarialAudit {
+            case: case.to_string(),
+            caught: report.has_errors(),
+            codes: mcode_counts(&report),
+        }
+    };
+    let first_id = |snap: &SavedTlp| snap.store().ids().next().expect("non-empty store");
+    let adversarial = vec![
+        adversarial_one("bit-flip", {
+            let mut s = fresh_tlp();
+            let id = first_id(&s);
+            let v = &mut s.store_mut().value_mut(id).data_mut()[0];
+            *v = f32::from_bits(v.to_bits() ^ 1);
+            s
+        }),
+        adversarial_one("nan-inject", {
+            let mut s = fresh_tlp();
+            let id = first_id(&s);
+            s.store_mut().value_mut(id).data_mut()[0] = f32::NAN;
+            s
+        }),
+        adversarial_one("tensor-truncate", {
+            let mut s = fresh_tlp();
+            let id = first_id(&s);
+            *s.store_mut().value_mut(id) = tlp_nn::Tensor::zeros(&[1]);
+            s
+        }),
+        adversarial_one("head-forgery", {
+            let mut s = fresh_mtl();
+            s.set_heads(2);
+            s
+        }),
+    ];
+
+    // Audit throughput over the golden MTL snapshot (all four passes plus
+    // the checksum sweep — the same work the persist/serve gates do).
+    let iters = 10u32;
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(mtl_snap.audit());
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let params_per_s = (param_count(&mtl_snap) as f64 * f64::from(iters)) / elapsed.max(1e-9);
+
+    let sound = golden.iter().all(|g| g.errors == 0) && adversarial.iter().all(|a| a.caught);
+    let report = AuditModelReport {
+        golden,
+        adversarial,
+        params_per_s,
+        sound,
+    };
+    let json = match serde_json::to_string_pretty(&report) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("audit-model: {e}");
+            return 1;
+        }
+    };
+    match out_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("audit-model: write {path}: {e}");
+                return 1;
+            }
+            println!("wrote audit summary to {path}");
+        }
+        None => println!("{json}"),
+    }
+    println!("audit throughput: {params_per_s:.0} params/s");
+    if report.sound {
+        0
+    } else {
+        eprintln!("audit-model: soundness check FAILED (see report)");
+        1
+    }
+}
+
 fn cmd_serve_bench(args: &[String]) -> i32 {
     let parse = |i: usize, default: usize| -> Option<usize> {
         match args.get(i) {
@@ -465,7 +636,9 @@ fn cmd_serve_bench(args: &[String]) -> i32 {
         FeatureExtractor::with_vocab(Vocabulary::builder().build(), cfg.seq_len, cfg.emb_size);
     let model = TlpModel::new(cfg);
     let registry = Arc::new(ModelRegistry::new(EngineConfig::default()));
-    registry.install_tlp("tlp", model, extractor);
+    registry
+        .install_tlp("tlp", model, extractor)
+        .expect("fresh model passes audit");
 
     let task = tlp_autotuner::SearchTask::new(
         Subgraph::new(

@@ -160,7 +160,9 @@ fn breaker_trips_under_server_faults_and_recovers_when_healthy() {
     };
     let ex = FeatureExtractor::with_vocab(Vocabulary::builder().build(), cfg.seq_len, cfg.emb_size);
     let registry = Arc::new(ModelRegistry::new(tlp::engine::EngineConfig::default()));
-    registry.install_tlp("m", TlpModel::new(cfg), ex);
+    registry
+        .install_tlp("m", TlpModel::new(cfg), ex)
+        .expect("fresh model passes audit");
     let server = Server::start(registry, ServeConfig::default());
 
     let remote = RemoteCostModel::new(FlakyTransport::new(server.client(), 99, 0.0), "m")

@@ -2,6 +2,7 @@
 //! (the unit tests in `tlp::features` use hand-built primitives).
 
 #![allow(clippy::disallowed_methods)] // unwrap/expect gate covers schedule, hwsim, serve (see clippy.toml)
+#![allow(clippy::disallowed_types)] // keyed lookups only; determinism-critical crates opt in (clippy.toml)
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
