@@ -39,6 +39,27 @@ pub trait ScoreTransport {
         schedules: &[ScheduleSequence],
         deadline: Option<Duration>,
     ) -> Result<ScoreReply, ServeError>;
+
+    /// Like [`ScoreTransport::score`] but attributed to `tenant` for QoS
+    /// accounting. Transports without tenancy ignore the label.
+    fn score_as(
+        &self,
+        _tenant: &str,
+        model: &str,
+        task: &SearchTask,
+        schedules: &[ScheduleSequence],
+        deadline: Option<Duration>,
+    ) -> Result<ScoreReply, ServeError> {
+        self.score(model, task, schedules, deadline)
+    }
+
+    /// Per-endpoint breaker state this transport maintains, one row per
+    /// endpoint. Empty for single-endpoint transports (the default); a
+    /// fleet router reports one row per shard so tests and operators can
+    /// see *which* shard tripped.
+    fn breaker_snapshots(&self) -> Vec<EndpointBreaker> {
+        Vec::new()
+    }
 }
 
 impl ScoreTransport for ServeClient {
@@ -54,6 +75,17 @@ impl ScoreTransport for ServeClient {
             Some(d) => ServeClient::score_with_deadline(self, model, task, schedules, d),
         }
     }
+
+    fn score_as(
+        &self,
+        tenant: &str,
+        model: &str,
+        task: &SearchTask,
+        schedules: &[ScheduleSequence],
+        deadline: Option<Duration>,
+    ) -> Result<ScoreReply, ServeError> {
+        ServeClient::score_as(self, tenant, model, task, schedules, deadline)
+    }
 }
 
 /// Whether an error is worth retrying: the server may recover (queue drains,
@@ -62,7 +94,11 @@ impl ScoreTransport for ServeClient {
 pub(crate) fn is_transient(err: &ServeError) -> bool {
     matches!(
         err,
-        ServeError::Overloaded { .. } | ServeError::DeadlineExceeded | ServeError::Disconnected
+        ServeError::Overloaded { .. }
+            | ServeError::TenantOverQuota { .. }
+            | ServeError::NoHealthyShard { .. }
+            | ServeError::DeadlineExceeded
+            | ServeError::Disconnected
     )
 }
 
@@ -210,6 +246,20 @@ impl CircuitBreaker {
         }
     }
 
+    /// Force-opens the breaker immediately — the health-gossip path: a
+    /// shard whose published error rate crosses the router's threshold is
+    /// tripped without waiting for this client to observe
+    /// `failure_threshold` consecutive failures itself. Starts a fresh
+    /// cooldown; counted as a trip unless already open.
+    pub fn trip(&mut self) {
+        if self.state != BreakerState::Open {
+            self.trips += 1;
+        }
+        self.state = BreakerState::Open;
+        self.calls_while_open = 0;
+        self.consecutive_failures = 0;
+    }
+
     /// Point-in-time view for observability.
     pub fn snapshot(&self) -> BreakerSnapshot {
         BreakerSnapshot {
@@ -233,6 +283,17 @@ pub struct BreakerSnapshot {
     pub trips: u64,
     /// Times a half-open probe succeeded and closed the breaker.
     pub recoveries: u64,
+}
+
+/// One endpoint's breaker state, labeled so multi-shard transports can
+/// report which shard is in which state.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct EndpointBreaker {
+    /// Endpoint label (e.g. `shard-2`, or `client` for the
+    /// [`RemoteCostModel`]'s own breaker).
+    pub endpoint: String,
+    /// That endpoint's breaker counters.
+    pub breaker: BreakerSnapshot,
 }
 
 /// A [`CostModel`] scoring through a serving transport, with retry, circuit
@@ -324,6 +385,19 @@ impl<T: ScoreTransport> RemoteCostModel<T> {
     /// Point-in-time breaker counters.
     pub fn breaker_snapshot(&self) -> BreakerSnapshot {
         self.breaker.borrow().snapshot()
+    }
+
+    /// Per-endpoint breaker rows: this client's own breaker under the label
+    /// `client`, followed by any per-shard breakers the transport maintains
+    /// (a fleet router reports one row per shard). Fleet tests use this to
+    /// assert *which* shard tripped.
+    pub fn endpoint_breakers(&self) -> Vec<EndpointBreaker> {
+        let mut rows = vec![EndpointBreaker {
+            endpoint: "client".to_string(),
+            breaker: self.breaker.borrow().snapshot(),
+        }];
+        rows.extend(self.transport.breaker_snapshots());
+        rows
     }
 
     /// The wrapped transport.

@@ -11,13 +11,14 @@
 use crate::backend::ScoreTransport;
 use crate::error::ServeError;
 use crate::server::ScoreReply;
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 use tlp_autotuner::SearchTask;
 use tlp_schedule::ScheduleSequence;
 
-/// splitmix64 finalizer: one independent uniform draw per request.
-fn mix(mut z: u64) -> u64 {
+/// splitmix64 finalizer: one independent uniform draw per request. Also
+/// used by the fleet router to spread ring points.
+pub(crate) fn mix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -25,12 +26,16 @@ fn mix(mut z: u64) -> u64 {
 }
 
 /// A [`ScoreTransport`] that deterministically injects transient failures.
+///
+/// All state is atomic (the rate is stored as `f64` bits), so one
+/// `FlakyTransport` can sit in front of a fleet shard shared across
+/// threads; the failure draw stays a pure function of `(seed, counter)`.
 pub struct FlakyTransport<T: ScoreTransport> {
     inner: T,
     seed: u64,
-    fail_rate: Cell<f64>,
-    calls: Cell<u64>,
-    injected: Cell<u64>,
+    fail_rate_bits: AtomicU64,
+    calls: AtomicU64,
+    injected: AtomicU64,
 }
 
 impl<T: ScoreTransport> FlakyTransport<T> {
@@ -40,31 +45,58 @@ impl<T: ScoreTransport> FlakyTransport<T> {
         FlakyTransport {
             inner,
             seed,
-            fail_rate: Cell::new(fail_rate),
-            calls: Cell::new(0),
-            injected: Cell::new(0),
+            fail_rate_bits: AtomicU64::new(fail_rate.to_bits()),
+            calls: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
         }
     }
 
     /// Changes the failure rate mid-run (e.g. `1.0` to wedge the server,
     /// then `0.0` to let a half-open breaker probe succeed).
     pub fn set_fail_rate(&self, rate: f64) {
-        self.fail_rate.set(rate);
+        self.fail_rate_bits.store(rate.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current failure rate.
+    pub fn fail_rate(&self) -> f64 {
+        f64::from_bits(self.fail_rate_bits.load(Ordering::Relaxed))
     }
 
     /// Requests seen so far (injected failures included).
     pub fn calls(&self) -> u64 {
-        self.calls.get()
+        self.calls.load(Ordering::Relaxed)
     }
 
     /// Failures injected so far.
     pub fn injected(&self) -> u64 {
-        self.injected.get()
+        self.injected.load(Ordering::Relaxed)
     }
 
     /// The wrapped transport.
     pub fn inner(&self) -> &T {
         &self.inner
+    }
+}
+
+impl<T: ScoreTransport> FlakyTransport<T> {
+    /// Draws the next failure (if any) from the deterministic schedule.
+    fn draw_failure(&self) -> Option<ServeError> {
+        let n = self.calls.fetch_add(1, Ordering::Relaxed);
+        let rate = self.fail_rate();
+        if rate > 0.0 {
+            let u = (mix(self.seed ^ n) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            if u < rate {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                // Cycle the transient classes so retry handling sees all of
+                // them.
+                return Some(match n % 3 {
+                    0 => ServeError::Overloaded { capacity: 0 },
+                    1 => ServeError::DeadlineExceeded,
+                    _ => ServeError::Disconnected,
+                });
+            }
+        }
+        None
     }
 }
 
@@ -76,24 +108,30 @@ impl<T: ScoreTransport> ScoreTransport for FlakyTransport<T> {
         schedules: &[ScheduleSequence],
         deadline: Option<Duration>,
     ) -> Result<ScoreReply, ServeError> {
-        let n = self.calls.get();
-        self.calls.set(n + 1);
-        let rate = self.fail_rate.get();
-        if rate > 0.0 {
-            let u = (mix(self.seed ^ n) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
-            if u < rate {
-                self.injected.set(self.injected.get() + 1);
-                // Cycle the transient classes so retry handling sees all of
-                // them.
-                let err = match n % 3 {
-                    0 => ServeError::Overloaded { capacity: 0 },
-                    1 => ServeError::DeadlineExceeded,
-                    _ => ServeError::Disconnected,
-                };
-                return Err(err);
-            }
+        match self.draw_failure() {
+            Some(err) => Err(err),
+            None => self.inner.score(model, task, schedules, deadline),
         }
-        self.inner.score(model, task, schedules, deadline)
+    }
+
+    fn score_as(
+        &self,
+        tenant: &str,
+        model: &str,
+        task: &SearchTask,
+        schedules: &[ScheduleSequence],
+        deadline: Option<Duration>,
+    ) -> Result<ScoreReply, ServeError> {
+        match self.draw_failure() {
+            Some(err) => Err(err),
+            None => self
+                .inner
+                .score_as(tenant, model, task, schedules, deadline),
+        }
+    }
+
+    fn breaker_snapshots(&self) -> Vec<crate::backend::EndpointBreaker> {
+        self.inner.breaker_snapshots()
     }
 }
 

@@ -1,0 +1,229 @@
+//! Deterministic gossip-style shard health.
+//!
+//! Every routed request's outcome is recorded against its shard in a
+//! [`HealthBoard`]. When a shard's window fills ([`HealthPolicy::
+//! publish_every`] outcomes), the board *publishes* a [`ShardHealth`]
+//! snapshot — the deterministic stand-in for a gossip round: instead of
+//! racing UDP packets, health propagates on a fixed request-count cadence,
+//! so every test run publishes the same snapshots in the same order. A
+//! published snapshot whose windowed error rate crosses
+//! [`HealthPolicy::max_error_rate`] is marked *sick*; the router responds
+//! by tripping that shard's circuit breaker (see
+//! [`CircuitBreaker::trip`](crate::CircuitBreaker::trip)), which is what
+//! makes failover proactive — the fleet stops sending a shard traffic
+//! because its published error rate is bad, not merely because one client
+//! saw enough consecutive failures itself.
+
+use crate::backend::BreakerState;
+use serde::Serialize;
+
+/// Health-publication cadence and sickness thresholds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HealthPolicy {
+    /// Outcomes per shard between published snapshots (the "gossip
+    /// interval", measured in requests for determinism).
+    pub publish_every: u64,
+    /// Minimum outcomes in a window before it can mark a shard sick — a
+    /// single failed request in a tiny window is noise, not sickness.
+    pub min_window: u64,
+    /// Windowed error rate above which a published snapshot is sick.
+    pub max_error_rate: f64,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            publish_every: 32,
+            min_window: 8,
+            max_error_rate: 0.5,
+        }
+    }
+}
+
+/// One published per-shard health snapshot.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct ShardHealth {
+    /// Shard index.
+    pub shard: usize,
+    /// Publication counter for this shard (1 = first snapshot).
+    pub epoch: u64,
+    /// Outcomes in the published window.
+    pub window_calls: u64,
+    /// Failures in the published window.
+    pub window_errors: u64,
+    /// `window_errors / window_calls`.
+    pub error_rate: f64,
+    /// The shard's admission-queue depth sampled at publish time.
+    pub queue_depth: usize,
+    /// The router-side breaker state for this shard at publish time.
+    pub breaker: BreakerState,
+    /// Whether this snapshot crosses the sickness thresholds
+    /// (`window_calls ≥ min_window` and `error_rate > max_error_rate`).
+    pub sick: bool,
+}
+
+#[derive(Debug, Default)]
+struct ShardWindow {
+    calls: u64,
+    errors: u64,
+    epoch: u64,
+    last: Option<ShardHealth>,
+}
+
+/// Per-shard windowed outcome counters with fixed-cadence publication.
+#[derive(Debug)]
+pub struct HealthBoard {
+    policy: HealthPolicy,
+    shards: Vec<ShardWindow>,
+}
+
+impl HealthBoard {
+    /// A board tracking `shards` shards under `policy`.
+    pub fn new(shards: usize, policy: HealthPolicy) -> Self {
+        HealthBoard {
+            policy,
+            shards: (0..shards).map(|_| ShardWindow::default()).collect(),
+        }
+    }
+
+    /// The publication policy.
+    pub fn policy(&self) -> HealthPolicy {
+        self.policy
+    }
+
+    /// Whether the next [`HealthBoard::record`] for `shard` will publish —
+    /// lets the caller sample expensive publish-time fields (queue depth)
+    /// only when they will actually be used.
+    pub fn due(&self, shard: usize) -> bool {
+        self.shards[shard].calls + 1 >= self.policy.publish_every.max(1)
+    }
+
+    /// Records one routed outcome for `shard`. When the window fills, rolls
+    /// it and returns the freshly published [`ShardHealth`] (the caller —
+    /// the router — samples `queue_depth` and `breaker` at that moment).
+    pub fn record(
+        &mut self,
+        shard: usize,
+        ok: bool,
+        queue_depth: usize,
+        breaker: BreakerState,
+    ) -> Option<ShardHealth> {
+        let publish_every = self.policy.publish_every.max(1);
+        let w = &mut self.shards[shard];
+        w.calls += 1;
+        if !ok {
+            w.errors += 1;
+        }
+        if w.calls < publish_every {
+            return None;
+        }
+        w.epoch += 1;
+        let error_rate = w.errors as f64 / w.calls as f64;
+        let health = ShardHealth {
+            shard,
+            epoch: w.epoch,
+            window_calls: w.calls,
+            window_errors: w.errors,
+            error_rate,
+            queue_depth,
+            breaker,
+            sick: w.calls >= self.policy.min_window && error_rate > self.policy.max_error_rate,
+        };
+        w.calls = 0;
+        w.errors = 0;
+        w.last = Some(health.clone());
+        Some(health)
+    }
+
+    /// The most recently published snapshot for `shard`, if any.
+    pub fn latest(&self, shard: usize) -> Option<&ShardHealth> {
+        self.shards.get(shard).and_then(|w| w.last.as_ref())
+    }
+
+    /// Latest published snapshot per shard (`None` where nothing has
+    /// published yet), for fleet-wide aggregation.
+    pub fn snapshot(&self) -> Vec<Option<ShardHealth>> {
+        self.shards.iter().map(|w| w.last.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::disallowed_methods)]
+    use super::*;
+
+    fn policy(publish_every: u64) -> HealthPolicy {
+        HealthPolicy {
+            publish_every,
+            ..HealthPolicy::default()
+        }
+    }
+
+    #[test]
+    fn publishes_on_fixed_cadence() {
+        let mut b = HealthBoard::new(2, policy(4));
+        for i in 0..3 {
+            assert!(b.record(0, true, 0, BreakerState::Closed).is_none(), "{i}");
+        }
+        let h = b
+            .record(0, false, 7, BreakerState::Closed)
+            .expect("window full");
+        assert_eq!(h.epoch, 1);
+        assert_eq!(h.window_calls, 4);
+        assert_eq!(h.window_errors, 1);
+        assert_eq!(h.queue_depth, 7);
+        assert!(!h.sick, "25% errors under the 50% threshold");
+        // The window rolled; the other shard is untouched.
+        assert!(b.record(0, true, 0, BreakerState::Closed).is_none());
+        assert!(b.latest(1).is_none());
+        assert_eq!(b.latest(0).map(|h| h.epoch), Some(1));
+    }
+
+    #[test]
+    fn sick_requires_min_window_and_rate() {
+        let mut b = HealthBoard::new(
+            1,
+            HealthPolicy {
+                publish_every: 8,
+                min_window: 8,
+                max_error_rate: 0.5,
+            },
+        );
+        for _ in 0..7 {
+            b.record(0, false, 0, BreakerState::Closed);
+        }
+        let h = b.record(0, false, 0, BreakerState::Closed).expect("full");
+        assert!(h.sick, "8/8 errors crosses the threshold");
+        // A small window never marks sick even at 100% errors.
+        let mut small = HealthBoard::new(
+            1,
+            HealthPolicy {
+                publish_every: 4,
+                min_window: 8,
+                max_error_rate: 0.5,
+            },
+        );
+        for _ in 0..3 {
+            small.record(0, false, 0, BreakerState::Closed);
+        }
+        let h = small
+            .record(0, false, 0, BreakerState::Closed)
+            .expect("full");
+        assert!(!h.sick, "window below min_window is never sick");
+    }
+
+    #[test]
+    fn identical_outcome_streams_publish_identically() {
+        let run = || {
+            let mut b = HealthBoard::new(1, policy(4));
+            let mut published = Vec::new();
+            for i in 0..32u32 {
+                if let Some(h) = b.record(0, i % 3 != 0, 0, BreakerState::Closed) {
+                    published.push(h);
+                }
+            }
+            published
+        };
+        assert_eq!(run(), run());
+    }
+}

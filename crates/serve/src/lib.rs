@@ -61,20 +61,31 @@
 pub mod backend;
 pub mod chaos;
 pub mod error;
+pub mod fleet;
+pub mod health;
 pub mod loadgen;
 pub mod registry;
+pub mod router;
 pub mod server;
 pub mod stats;
+pub mod tenant;
 
 pub use backend::{
-    BreakerConfig, BreakerSnapshot, BreakerState, CircuitBreaker, RemoteCostModel, RetryPolicy,
-    ScoreTransport,
+    BreakerConfig, BreakerSnapshot, BreakerState, CircuitBreaker, EndpointBreaker, RemoteCostModel,
+    RetryPolicy, ScoreTransport,
 };
 pub use chaos::FlakyTransport;
 pub use error::ServeError;
-pub use loadgen::{random_pool, run_closed_loop, LoadReport, LoadgenOptions};
+pub use fleet::{FleetConfig, FleetSnapshot, ServingFleet, ShardSnapshot};
+pub use health::{HealthBoard, HealthPolicy, ShardHealth};
+pub use loadgen::{
+    random_pool, run_closed_loop, run_fleet_sim, FleetLoadOptions, FleetLoadReport, LoadReport,
+    LoadgenOptions, SimLatencySummary, SimServiceModel,
+};
 pub use registry::{LoadedScorer, ModelRegistry, ModelVersion};
+pub use router::{route_key, FleetClient, FleetReply, HashRing, RouterStats};
 pub use server::{BatchPolicy, PendingScore, ScoreReply, ServeClient, ServeConfig, Server};
 pub use stats::{
     HistogramSnapshot, LatencyHistogram, ModelStatsSnapshot, ServeSnapshot, ServeStats,
 };
+pub use tenant::{TenantPolicy, TenantSpec, TenantStatsSnapshot, DEFAULT_TENANT};

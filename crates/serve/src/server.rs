@@ -22,6 +22,7 @@
 use crate::error::ServeError;
 use crate::registry::ModelRegistry;
 use crate::stats::{ServeSnapshot, ServeStats};
+use crate::tenant::{TenantPolicy, TenantTable, DEFAULT_TENANT};
 use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
 use std::sync::mpsc;
@@ -54,7 +55,7 @@ impl Default for BatchPolicy {
 }
 
 /// Server sizing knobs.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ServeConfig {
     /// Admission-queue capacity; submission `capacity + 1` while the queue
     /// is full gets [`ServeError::Overloaded`].
@@ -80,6 +81,11 @@ pub struct ServeConfig {
     /// subsequent score; rejected installs are counted in
     /// [`ServeSnapshot::rejected_installs`](crate::stats::ServeSnapshot).
     pub validate_install: bool,
+    /// Per-tenant QoS: weighted admission shares and fair-share dispatch.
+    /// The default policy has a single auto-registered tenant class, which
+    /// reduces to plain FIFO + global capacity — identical to pre-tenant
+    /// behavior.
+    pub tenants: TenantPolicy,
 }
 
 impl Default for ServeConfig {
@@ -90,6 +96,7 @@ impl Default for ServeConfig {
             policy: BatchPolicy::default(),
             validate_admission: true,
             validate_install: true,
+            tenants: TenantPolicy::default(),
         }
     }
 }
@@ -112,6 +119,7 @@ pub struct ScoreReply {
 }
 
 struct Job {
+    tenant: String,
     model: String,
     task_fp: u64,
     task: SearchTask,
@@ -123,6 +131,7 @@ struct Job {
 
 struct QueueState {
     queue: VecDeque<Job>,
+    tenants: TenantTable,
     shutdown: bool,
 }
 
@@ -145,11 +154,15 @@ impl Shared {
     }
 
     fn snapshot(&self) -> ServeSnapshot {
-        let depth = self.lock_state().queue.len();
+        let (depth, tenants) = {
+            let st = self.lock_state();
+            (st.queue.len(), st.tenants.snapshot())
+        };
         self.stats.snapshot(
             depth,
             self.registry.rejected_installs(),
             self.registry.stats(),
+            tenants,
         )
     }
 }
@@ -171,6 +184,7 @@ impl Server {
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
                 queue: VecDeque::with_capacity(config.queue_capacity.min(1 << 16)),
+                tenants: TenantTable::new(&config.tenants),
                 shutdown: false,
             }),
             cv: Condvar::new(),
@@ -267,6 +281,26 @@ impl ServeClient {
         self.submit(model, task, schedules, None)?.wait()
     }
 
+    /// Like [`ServeClient::score`] but attributed to `tenant` for QoS
+    /// accounting (weighted admission share, fair-share dispatch). Tenancy
+    /// never affects scores or cache keys — only scheduling.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServeError`], including [`ServeError::TenantOverQuota`] when
+    /// the tenant is at its admission share.
+    pub fn score_as(
+        &self,
+        tenant: &str,
+        model: &str,
+        task: &SearchTask,
+        schedules: &[ScheduleSequence],
+        deadline: Option<Duration>,
+    ) -> Result<ScoreReply, ServeError> {
+        self.submit_as(tenant, model, task, schedules, deadline)?
+            .wait()
+    }
+
     /// Like [`ServeClient::score`] with a deadline: the request fails with
     /// [`ServeError::DeadlineExceeded`] if scoring has not completed within
     /// `deadline` of submission (checked both server-side before scoring and
@@ -299,6 +333,24 @@ impl ServeClient {
         schedules: &[ScheduleSequence],
         deadline: Option<Duration>,
     ) -> Result<PendingScore, ServeError> {
+        self.submit_as(DEFAULT_TENANT, model, task, schedules, deadline)
+    }
+
+    /// Like [`ServeClient::submit`] but attributed to `tenant`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`], [`ServeError::Overloaded`],
+    /// [`ServeError::TenantOverQuota`], or [`ServeError::ShuttingDown`] —
+    /// all admission-time failures.
+    pub fn submit_as(
+        &self,
+        tenant: &str,
+        model: &str,
+        task: &SearchTask,
+        schedules: &[ScheduleSequence],
+        deadline: Option<Duration>,
+    ) -> Result<PendingScore, ServeError> {
         // Fast-fail before paying for the clone: an unknown model can never
         // become scoreable by queueing (installs race admission either way).
         if self.shared.registry.resolve(model).is_none() {
@@ -326,6 +378,7 @@ impl ServeClient {
         let now = Instant::now();
         let (tx, rx) = mpsc::channel();
         let job = Job {
+            tenant: tenant.to_string(),
             model: model.to_string(),
             task_fp: task_fingerprint(task),
             task: task.clone(),
@@ -343,6 +396,13 @@ impl ServeClient {
                 ServeStats::bump(&self.shared.stats.rejected_overload);
                 return Err(ServeError::Overloaded {
                     capacity: self.shared.capacity,
+                });
+            }
+            if let Err(share) = st.tenants.admit(tenant, self.shared.capacity) {
+                ServeStats::bump(&self.shared.stats.rejected_quota);
+                return Err(ServeError::TenantOverQuota {
+                    tenant: tenant.to_string(),
+                    share,
                 });
             }
             st.queue.push_back(job);
@@ -410,12 +470,17 @@ impl Group {
         }
     }
 
-    /// Moves matching queued jobs into the group until `max_batch`.
-    fn top_up(&mut self, queue: &mut VecDeque<Job>, max_batch: usize) {
+    /// Moves matching queued jobs into the group until `max_batch`, charging
+    /// each move to its tenant. Coalescing crosses tenant boundaries on
+    /// purpose: replies are split per job, so sharing a batch shares compute
+    /// without sharing scores, and every coalesced job still advances its
+    /// own tenant's pass.
+    fn top_up(&mut self, queue: &mut VecDeque<Job>, tenants: &mut TenantTable, max_batch: usize) {
         let mut i = 0;
         while i < queue.len() && self.candidates < max_batch {
             if queue[i].model == self.model && queue[i].task_fp == self.task_fp {
                 if let Some(job) = queue.remove(i) {
+                    tenants.on_dispatch(&job.tenant, job.schedules.len());
                     self.candidates += job.schedules.len();
                     self.jobs.push(job);
                 }
@@ -424,6 +489,24 @@ impl Group {
             }
         }
     }
+}
+
+/// Pops the queued job whose tenant currently has the lowest virtual pass
+/// (stride scheduling; FIFO within a tenant since the scan prefers the
+/// earliest index on ties), charging the dispatch to the tenant table. With
+/// one tenant this degenerates to `pop_front`.
+fn pick_fair(st: &mut QueueState) -> Option<Job> {
+    let mut best: Option<(u64, usize)> = None;
+    for (i, job) in st.queue.iter().enumerate() {
+        let pass = st.tenants.pass_of(&job.tenant);
+        if best.is_none_or(|(bp, _)| pass < bp) {
+            best = Some((pass, i));
+        }
+    }
+    let (_, idx) = best?;
+    let job = st.queue.remove(idx)?;
+    st.tenants.on_dispatch(&job.tenant, job.schedules.len());
+    Some(job)
 }
 
 /// Per-batcher-thread scratch reused across executed batches: the gathered
@@ -449,11 +532,14 @@ fn batcher_loop(shared: &Shared, policy: BatchPolicy) {
             }
             st = shared.cv.wait(st).unwrap_or_else(|e| e.into_inner());
         }
-        let Some(first) = st.queue.pop_front() else {
+        let Some(first) = pick_fair(&mut st) else {
             continue; // Unreachable: the wait loop guarantees a non-empty queue.
         };
         let mut group = Group::seed(first);
-        group.top_up(&mut st.queue, policy.max_batch);
+        {
+            let QueueState { queue, tenants, .. } = &mut *st;
+            group.top_up(queue, tenants, policy.max_batch);
+        }
         // Below target size: hold the batch open for stragglers, measured
         // from the oldest job so no request waits more than max_wait here.
         // Shutdown flushes immediately.
@@ -468,7 +554,10 @@ fn batcher_loop(shared: &Shared, policy: BatchPolicy) {
                 .wait_timeout(st, wait_until - now)
                 .unwrap_or_else(|e| e.into_inner());
             st = guard;
-            group.top_up(&mut st.queue, policy.max_batch);
+            {
+                let QueueState { queue, tenants, .. } = &mut *st;
+                group.top_up(queue, tenants, policy.max_batch);
+            }
             if timed_out.timed_out() {
                 break;
             }

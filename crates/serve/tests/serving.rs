@@ -114,8 +114,7 @@ fn coalesced_jobs_share_engine_batches() {
                 max_batch: 1024,
                 max_wait: Duration::from_millis(50),
             },
-            validate_admission: true,
-            validate_install: true,
+            ..ServeConfig::default()
         },
     );
     let t = task();
@@ -222,9 +221,7 @@ fn overload_is_typed_bounded_and_immediate() {
         ServeConfig {
             queue_capacity: CAPACITY,
             batchers: 0,
-            policy: BatchPolicy::default(),
-            validate_admission: true,
-            validate_install: true,
+            ..ServeConfig::default()
         },
     );
     let t = task();
@@ -290,9 +287,7 @@ fn deadline_expires_client_side_when_server_is_stalled() {
         ServeConfig {
             queue_capacity: 8,
             batchers: 0,
-            policy: BatchPolicy::default(),
-            validate_admission: true,
-            validate_install: true,
+            ..ServeConfig::default()
         },
     );
     let t = task();
@@ -315,8 +310,7 @@ fn graceful_shutdown_drains_admitted_work() {
                 max_batch: 8,
                 max_wait: Duration::from_millis(5),
             },
-            validate_admission: true,
-            validate_install: true,
+            ..ServeConfig::default()
         },
     );
     let t = task();
@@ -398,9 +392,7 @@ fn remote_cost_model_degrades_on_serve_errors() {
         ServeConfig {
             queue_capacity: 0,
             batchers: 0,
-            policy: BatchPolicy::default(),
-            validate_admission: true,
-            validate_install: true,
+            ..ServeConfig::default()
         },
     );
     let t = task();

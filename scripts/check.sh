@@ -40,6 +40,9 @@ cargo test -q --offline --workspace
 echo "==> chaos suite (fault injection across tuning, serving, training)"
 cargo test -q --offline --test chaos
 
+echo "==> fleet suite (sharded routing, failover, QoS, gossip health)"
+cargo test -q --offline -p tlp-serve --test fleet
+
 echo "==> continual suite (live adaptation, hot-swap, canary rollback)"
 cargo test -q --offline -p tlp-continual
 cargo test -q --offline -p tlp-serve --test registry_stress

@@ -31,8 +31,8 @@ use tlp_autotuner::{
 use tlp_hwsim::{FaultModel, FaultRates, InjectedFault, Platform};
 use tlp_schedule::{ScheduleSequence, Vocabulary};
 use tlp_serve::{
-    BreakerConfig, BreakerState, FlakyTransport, ModelRegistry, RemoteCostModel, RetryPolicy,
-    ServeConfig, Server,
+    BreakerConfig, BreakerState, CircuitBreaker, FlakyTransport, ModelRegistry, RemoteCostModel,
+    RetryPolicy, ServeConfig, Server,
 };
 use tlp_workload::{bert_tiny, AnchorOp, Subgraph};
 
@@ -221,6 +221,175 @@ fn breaker_trips_under_server_faults_and_recovers_when_healthy() {
     let json = serde_json::to_string(&snap).expect("snapshot serializes");
     assert!(json.contains("\"trips\""));
     server.shutdown();
+}
+
+#[test]
+fn half_open_concurrent_probes_settle_deterministically() {
+    // The breaker admits *every* caller while half-open (it does not lock
+    // the probe slot), so several threads' probes can be in flight at once.
+    // The contract is last-writer-wins with consistent accounting: this
+    // test walks the exact interleaving a concurrent race would produce.
+    let mut b = CircuitBreaker::new(BreakerConfig {
+        failure_threshold: 1,
+        cooldown_calls: 2,
+    });
+    assert!(b.allow_request());
+    b.on_failure();
+    assert_eq!(b.state(), BreakerState::Open);
+
+    // Cooldown elapses; three callers race into the half-open window.
+    assert!(!b.allow_request());
+    assert!(b.allow_request(), "first probe admitted");
+    assert_eq!(b.state(), BreakerState::HalfOpen);
+    assert!(b.allow_request(), "second concurrent probe admitted");
+    assert!(b.allow_request(), "third concurrent probe admitted");
+    assert_eq!(b.state(), BreakerState::HalfOpen, "probes don't re-trip");
+    let trips_before = b.snapshot().trips;
+
+    // Probe outcomes land out of order: a failure first (re-opens, one
+    // trip), then a straggler success (closes — the endpoint answered, so
+    // staying open would be wrong — but it is not counted as a half-open
+    // recovery because the failure already re-opened the breaker).
+    b.on_failure();
+    assert_eq!(b.state(), BreakerState::Open);
+    assert_eq!(b.snapshot().trips, trips_before + 1);
+    let recoveries_before = b.snapshot().recoveries;
+    b.on_success();
+    assert_eq!(b.state(), BreakerState::Closed);
+    assert_eq!(b.snapshot().recoveries, recoveries_before);
+
+    // The mirror ordering: success first (counted recovery), straggler
+    // failure afterwards is one closed-state failure, not a trip.
+    let mut b = CircuitBreaker::new(BreakerConfig {
+        failure_threshold: 2,
+        cooldown_calls: 1,
+    });
+    b.on_failure();
+    b.on_failure();
+    assert_eq!(b.state(), BreakerState::Open);
+    assert!(b.allow_request());
+    assert_eq!(b.state(), BreakerState::HalfOpen);
+    assert!(b.allow_request());
+    b.on_success();
+    assert_eq!(b.state(), BreakerState::Closed);
+    assert_eq!(b.snapshot().recoveries, 1);
+    b.on_failure();
+    assert_eq!(
+        b.state(),
+        BreakerState::Closed,
+        "one straggler failure below the threshold must not re-trip"
+    );
+}
+
+#[test]
+fn breaker_recovery_racing_a_hot_swap_lands_on_the_new_version() {
+    let mk = |seed| {
+        let cfg = TlpConfig {
+            seed,
+            ..TlpConfig::test_scale()
+        };
+        let ex =
+            FeatureExtractor::with_vocab(Vocabulary::builder().build(), cfg.seq_len, cfg.emb_size);
+        (TlpModel::new(cfg), ex)
+    };
+    let registry = Arc::new(ModelRegistry::new(tlp::engine::EngineConfig::default()));
+    let (m1, e1) = mk(3);
+    registry.install_tlp("m", m1, e1).expect("v1 passes audit");
+    let server = Server::start(Arc::clone(&registry), ServeConfig::default());
+
+    let remote = RemoteCostModel::new(FlakyTransport::new(server.client(), 41, 0.0), "m")
+        .with_retry(RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        })
+        .with_breaker(BreakerConfig {
+            failure_threshold: 2,
+            cooldown_calls: 2,
+        });
+    let t = serve_task();
+    let cands = serve_candidates(5, 2);
+    let _ = remote.predict(ScoreRequest::new(&t, &cands));
+    assert_eq!(remote.breaker_state(), BreakerState::Closed);
+
+    // Trip the breaker, then hot-swap the model *while the breaker is
+    // open* — the race a rolling deploy produces.
+    remote.transport().set_fail_rate(1.0);
+    for _ in 0..2 {
+        let _ = remote.predict(ScoreRequest::new(&t, &cands));
+    }
+    assert_eq!(remote.breaker_state(), BreakerState::Open);
+    let (m2, e2) = mk(4);
+    let v2 = registry
+        .install_tlp("m", m2, e2)
+        .expect("v2 passes audit mid-outage");
+
+    // Recovery: the half-open probe must land on v2 — never on a stale
+    // resolve cached from before the trip.
+    remote.transport().set_fail_rate(0.0);
+    let mut recovered = false;
+    for _ in 0..12 {
+        let batch = remote.predict(ScoreRequest::new(&t, &cands));
+        if remote.breaker_state() == BreakerState::Closed {
+            assert!(batch.valid.iter().all(|&v| v), "probe scored for real");
+            recovered = true;
+            break;
+        }
+    }
+    assert!(recovered, "breaker recovered after the swap");
+    let reply = server
+        .client()
+        .score("m", &t, &cands)
+        .expect("healthy server");
+    assert_eq!(reply.model_version, v2, "post-recovery traffic is on v2");
+    server.shutdown();
+}
+
+#[test]
+fn graceful_drain_answers_every_admitted_job_while_breaker_is_tripped() {
+    let cfg = TlpConfig {
+        seed: 6,
+        ..TlpConfig::test_scale()
+    };
+    let ex = FeatureExtractor::with_vocab(Vocabulary::builder().build(), cfg.seq_len, cfg.emb_size);
+    let registry = Arc::new(ModelRegistry::new(tlp::engine::EngineConfig::default()));
+    registry
+        .install_tlp("m", TlpModel::new(cfg), ex)
+        .expect("fresh model passes audit");
+    let server = Server::start(registry, ServeConfig::default());
+    let t = serve_task();
+    let cands = serve_candidates(3, 8);
+
+    // Admit a pipeline of jobs, then trip a client-side breaker (its chaos
+    // wrapper never reaches the server, so the server itself is healthy).
+    let client = server.client();
+    let pending: Vec<_> = (0..6)
+        .map(|_| client.submit("m", &t, &cands, None).expect("admitted"))
+        .collect();
+    let remote = RemoteCostModel::new(FlakyTransport::new(server.client(), 17, 1.0), "m")
+        .with_retry(RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        })
+        .with_breaker(BreakerConfig {
+            failure_threshold: 1,
+            cooldown_calls: 1000,
+        });
+    let _ = remote.predict(ScoreRequest::new(&t, &cands));
+    assert_eq!(remote.breaker_state(), BreakerState::Open);
+
+    // The open breaker keeps degrading without touching the draining
+    // server, and the drain answers every admitted job with real scores.
+    let masked = remote.predict(ScoreRequest::new(&t, &cands));
+    assert!(masked.valid.iter().all(|&v| !v));
+    let snap = server.shutdown();
+    for (i, p) in pending.into_iter().enumerate() {
+        let reply = p
+            .wait()
+            .unwrap_or_else(|e| panic!("job {i} lost in drain: {e}"));
+        assert_eq!(reply.scores.len(), cands.len());
+    }
+    assert_eq!(snap.completed, 6, "all admitted jobs drained with scores");
+    assert_eq!(snap.queue_depth, 0);
 }
 
 // -------------------------------------------------------------- training --
